@@ -1,0 +1,97 @@
+// A1 — ablation study for Algorithm 1's design decisions (DESIGN.md §4).
+//
+// The paper's algorithm makes three choices the analysis leans on:
+//   1. Phase-1 nodes go passive after ONE shot (vs Elsässer–Gasieniec's
+//      repeat-every-round) — the source of the <= 1 tx/node guarantee.
+//   2. A single Phase-2 boost round in the sparse regime — what lifts the
+//      informed set from Theta(d^T) to Theta(n) before the mop-up.
+//   3. No activation in Phase 3 — what caps total energy at O(log n / p).
+//
+// Each variant toggles exactly one choice on identical graphs/seeds, so the
+// deltas in the table price the decisions individually.
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+
+#include "core/broadcast_random.hpp"
+#include "graph/generators.hpp"
+#include "harness/experiment.hpp"
+#include "harness/monte_carlo.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using radnet::Rng;
+using radnet::Table;
+using radnet::core::BroadcastRandomParams;
+using radnet::core::BroadcastRandomProtocol;
+using radnet::graph::Digraph;
+
+}  // namespace
+
+int main() {
+  const auto env = radnet::harness::bench_env();
+  radnet::harness::banner(
+      "A1 (ablation)",
+      "Pricing Algorithm 1's design choices: one-shot Phase 1, the Phase-2 "
+      "boost, and no-activation Phase 3.");
+
+  const std::uint32_t trials = env.trials(16);
+  const auto n = static_cast<std::uint32_t>(env.scaled(8192));
+  const double p = 8.0 * std::log(n) / n;  // sparse regime (Phase 2 active)
+
+  Table t({"variant", "success", "rounds", "total_tx", "mean_tx/node",
+           "max_tx/node"});
+  t.set_caption("A1: n=" + std::to_string(n) + ", p=" + std::to_string(p) +
+                ", " + std::to_string(trials) +
+                " trials/variant (identical graphs per variant)");
+
+  const auto run_variant = [&](const BroadcastRandomParams& params) {
+    radnet::harness::McSpec spec;
+    spec.trials = trials;
+    spec.seed = env.seed + 20;
+    spec.make_graph = [n, p](std::uint32_t, Rng rng) {
+      return std::make_shared<const Digraph>(
+          radnet::graph::gnp_directed(n, p, rng));
+    };
+    spec.make_protocol = [&params](const Digraph&, std::uint32_t) {
+      return std::make_unique<BroadcastRandomProtocol>(params);
+    };
+    BroadcastRandomProtocol probe(params);
+    probe.reset(n, Rng(0));
+    spec.run_options.max_rounds = probe.round_budget();
+    const auto result = radnet::harness::run_monte_carlo(spec);
+    const auto rounds = result.rounds_sample();
+
+    BroadcastRandomProtocol namer(params);
+    t.row()
+        .add(namer.name())
+        .add(result.success_rate(), 3)
+        .add_pm(rounds.empty() ? 0.0 : rounds.mean(),
+                rounds.empty() ? 0.0 : rounds.stddev(), 1)
+        .add_pm(result.total_tx_sample().mean(),
+                result.total_tx_sample().stddev(), 0)
+        .add(result.mean_tx_sample().mean(), 4)
+        .add(result.max_tx_sample().mean(), 1);
+  };
+
+  run_variant(BroadcastRandomParams{.p = p});  // the paper's algorithm
+  run_variant(BroadcastRandomParams{.p = p, .enable_phase2 = false});
+  run_variant(BroadcastRandomParams{.p = p, .phase3_activation = true});
+  run_variant(BroadcastRandomParams{.p = p, .phase1_repeat = true});
+
+  radnet::harness::emit_table(env, "a1", "ablation", t);
+
+  std::cout
+      << "Shape check:\n"
+         "  -phase2   : success drops and/or completion slows — Phase 3's\n"
+         "              active supply starts at Theta(d^T) instead of\n"
+         "              Theta(n) (Lemma 2.5's role).\n"
+         "  +p3act    : success intact but total_tx inflates toward\n"
+         "              Theta(n) — the O(log n / p) energy bound is lost\n"
+         "              (why the paper's Phase 3 has no activation clause).\n"
+         "  +p1rep    : max_tx/node rises above 1 (up to T) — the exact\n"
+         "              regression to Elsässer-Gasieniec the paper fixes.\n";
+  return 0;
+}

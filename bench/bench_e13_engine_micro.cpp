@@ -1,0 +1,136 @@
+// E13 — simulator microbenchmarks (google-benchmark).
+//
+// Measures the substrate itself: rounds/second of the optimised engine vs
+// the first-principles reference engine across graph sizes and densities,
+// plus generator and rumor-merge throughput. These are the numbers that
+// justify trusting the experiment sweeps to run at laptop scale.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/gossip_random.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+#include "sim/reference_engine.hpp"
+#include "support/bitset.hpp"
+
+namespace {
+
+using radnet::Rng;
+using radnet::graph::Digraph;
+
+/// Everybody transmits with fixed probability; never completes (pure
+/// engine-throughput load).
+class LoadProtocol final : public radnet::sim::Protocol {
+ public:
+  explicit LoadProtocol(double q) : q_(q) {}
+
+  void reset(radnet::graph::NodeId n, Rng rng) override {
+    rng_ = rng;
+    all_.resize(n);
+    for (radnet::graph::NodeId v = 0; v < n; ++v) all_[v] = v;
+  }
+  [[nodiscard]] std::span<const radnet::graph::NodeId> candidates()
+      const override {
+    return {all_.data(), all_.size()};
+  }
+  [[nodiscard]] bool wants_transmit(radnet::graph::NodeId,
+                                    radnet::sim::Round) override {
+    return rng_.bernoulli(q_);
+  }
+  void on_delivered(radnet::graph::NodeId, radnet::graph::NodeId,
+                    radnet::sim::Round) override {}
+  [[nodiscard]] bool is_complete() const override { return false; }
+  [[nodiscard]] std::string name() const override { return "load"; }
+
+ private:
+  double q_;
+  Rng rng_;
+  std::vector<radnet::graph::NodeId> all_;
+};
+
+Digraph make_graph(std::uint32_t n) {
+  Rng rng(n);
+  return radnet::graph::gnp_directed(n, 8.0 * std::log(n) / n, rng);
+}
+
+void BM_EngineRounds(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Digraph g = make_graph(n);
+  radnet::sim::Engine engine;
+  radnet::sim::RunOptions options;
+  options.max_rounds = 64;
+  for (auto _ : state) {
+    LoadProtocol proto(0.1);
+    benchmark::DoNotOptimize(engine.run(g, proto, Rng(1), options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+  state.counters["nodes"] = n;
+}
+BENCHMARK(BM_EngineRounds)->Arg(1 << 10)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_ReferenceEngineRounds(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Digraph g = make_graph(n);
+  radnet::sim::ReferenceEngine engine;
+  radnet::sim::RunOptions options;
+  options.max_rounds = 64;
+  for (auto _ : state) {
+    LoadProtocol proto(0.1);
+    benchmark::DoNotOptimize(engine.run(g, proto, Rng(1), options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_ReferenceEngineRounds)->Arg(1 << 10)->Arg(1 << 12);
+
+void BM_GnpGeneration(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const double p = 8.0 * std::log(n) / n;
+  Rng rng(7);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(radnet::graph::gnp_directed(n, p, rng));
+  state.counters["nodes"] = n;
+}
+BENCHMARK(BM_GnpGeneration)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_GeometricGeneration(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const double r = radnet::graph::rgg_threshold_radius(n, 2.0);
+  Rng rng(8);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(radnet::graph::random_geometric(n, r, rng));
+}
+BENCHMARK(BM_GeometricGeneration)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_RumorMerge(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  radnet::Bitset a(bits), b(bits);
+  for (std::size_t i = 0; i < bits; i += 3) b.set(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.unite(b));
+    benchmark::DoNotOptimize(a.count());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bits / 8));
+}
+BENCHMARK(BM_RumorMerge)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_GossipRound(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const double p = 8.0 * std::log(n) / n;
+  const Digraph g = make_graph(n);
+  radnet::sim::Engine engine;
+  radnet::sim::RunOptions options;
+  options.max_rounds = 32;
+  for (auto _ : state) {
+    radnet::core::GossipRandomProtocol proto(
+        radnet::core::GossipRandomParams{.p = p});
+    benchmark::DoNotOptimize(engine.run(g, proto, Rng(2), options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_GossipRound)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,150 @@
+// E14 — extension: the paper's algorithms on *changing* topologies.
+//
+// The paper's introduction motivates oblivious, local protocols precisely
+// with mobility ("the network topology changes over time"), and Section 3
+// remarks that Algorithm 2 becomes a dynamic gossip by timestamping rumors
+// and deleting stale copies. This bench quantifies both claims:
+//
+//   (a) Broadcast robustness — Algorithm 3 under per-round link churn on a
+//       stationary G(n,p): success and time vs churn rate. Obliviousness
+//       means the protocol doesn't even notice the churn; only the
+//       *connectivity-over-time* matters.
+//   (b) Dynamic gossip — timestamped Algorithm 2 on churn and mobility
+//       topologies: steady-state staleness and coverage vs churn/step,
+//       compared against the static gossip time O(d log n).
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+
+#include "core/broadcast_general.hpp"
+#include "core/dynamic_gossip.hpp"
+#include "graph/dynamics.hpp"
+#include "graph/metrics.hpp"
+#include "harness/experiment.hpp"
+#include "sim/engine.hpp"
+#include "support/math.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using radnet::Rng;
+using radnet::Sample;
+using radnet::Table;
+
+}  // namespace
+
+int main() {
+  const auto env = radnet::harness::bench_env();
+  radnet::harness::banner(
+      "E14 (extension: dynamic networks)",
+      "Broadcast under link churn and timestamped dynamic gossip — the "
+      "mobility story of §1 and the §3 dynamic-gossip remark, quantified.");
+
+  const std::uint32_t trials = env.trials(8);
+
+  // (a) Algorithm 3 under churn.
+  {
+    const auto n = static_cast<radnet::graph::NodeId>(env.scaled(512));
+    const double p = 10.0 * std::log(n) / n;
+    Table t({"churn/round", "success", "rounds", "rounds vs static"});
+    t.set_caption("E14a: Algorithm 3 on churn-G(n,p), n=" + std::to_string(n) +
+                  " — " + std::to_string(trials) + " trials/row");
+    double static_rounds = 0.0;
+    for (const double churn : {0.0, 0.01, 0.05, 0.2, 0.5}) {
+      Sample rounds;
+      std::uint32_t success = 0;
+      for (std::uint32_t trial = 0; trial < trials; ++trial) {
+        Rng root(env.seed + 30);
+        radnet::graph::ChurnGnp topo(n, p, churn, root.split(trial, 0));
+        // D for a G(n,p) this dense is ~3; the protocol only needs an upper
+        // bound, so use the Lemma 3.1 prediction + 1.
+        const auto D = static_cast<std::uint64_t>(
+            std::ceil(std::log(static_cast<double>(n)) / std::log(n * p))) + 1;
+        radnet::core::GeneralBroadcastProtocol proto(
+            radnet::core::GeneralBroadcastParams{
+                .distribution = radnet::core::SequenceDistribution::alpha(n, D),
+                .window = radnet::core::general_window(n, 4.0),
+                .source = 0,
+                .label = ""});
+        radnet::sim::Engine engine;
+        radnet::sim::RunOptions options;
+        options.max_rounds = radnet::core::general_round_budget(
+            n, D, radnet::lambda_of(n, D), 96.0);
+        options.stop_on_empty_candidates = true;
+        const auto r = engine.run(topo, proto, root.split(trial, 1), options);
+        if (r.completed) {
+          ++success;
+          rounds.add(static_cast<double>(r.completion_round));
+        }
+      }
+      const double mean_rounds = rounds.empty() ? 0.0 : rounds.mean();
+      if (churn == 0.0) static_rounds = mean_rounds;
+      t.row()
+          .add(churn, 2)
+          .add(static_cast<double>(success) / trials, 2)
+          .add_pm(mean_rounds, rounds.empty() ? 0.0 : rounds.stddev(), 0)
+          .add(static_rounds > 0.0 ? mean_rounds / static_rounds : 0.0, 2);
+    }
+    radnet::harness::emit_table(env, "e14", "broadcast_churn", t);
+  }
+
+  // (b) Dynamic gossip staleness.
+  {
+    const auto n = static_cast<radnet::graph::NodeId>(env.scaled(192));
+    const double p = 10.0 * std::log(n) / n;
+    const double d = n * p;
+    const double gossip_unit = d * std::log2(static_cast<double>(n));
+    const auto horizon = static_cast<radnet::sim::Round>(24.0 * gossip_unit);
+
+    Table t({"topology", "coverage", "staleness mean", "staleness max",
+             "staleness/(d*log2n)"});
+    t.set_caption("E14b: timestamped dynamic gossip, n=" + std::to_string(n) +
+                  ", horizon=" + std::to_string(horizon) +
+                  " rounds; staleness = age of the freshest copy");
+
+    std::uint64_t row = 0;
+    const auto run_gossip = [&](const std::string& name,
+                                radnet::graph::TopologySequence& topo) {
+      radnet::core::DynamicGossipProtocol proto(
+          radnet::core::DynamicGossipParams{.p = p, .regen_interval = 1});
+      radnet::sim::Engine engine;
+      radnet::sim::RunOptions options;
+      options.max_rounds = horizon;
+      (void)engine.run(topo, proto, Rng(env.seed + 31).split(row++), options);
+      const auto s = proto.staleness();
+      t.row()
+          .add(name)
+          .add(proto.coverage(), 4)
+          .add(s.mean, 1)
+          .add(static_cast<std::uint64_t>(s.max))
+          .add(static_cast<double>(s.max) / gossip_unit, 2);
+    };
+
+    {
+      Rng r(env.seed + 32);
+      radnet::graph::ChurnGnp topo(n, p, 0.0, r);
+      run_gossip("static G(n,p)", topo);
+    }
+    for (const double churn : {0.02, 0.1, 0.3}) {
+      Rng r(env.seed + 33);
+      radnet::graph::ChurnGnp topo(n, p, churn, r);
+      run_gossip("churn " + std::to_string(churn).substr(0, 4), topo);
+    }
+    {
+      Rng r(env.seed + 34);
+      radnet::graph::MobilityRgg topo(
+          n, radnet::graph::rgg_threshold_radius(n, 4.0), 0.02, r);
+      run_gossip("mobility RGG (step 0.02)", topo);
+    }
+    radnet::harness::emit_table(env, "e14", "gossip_staleness", t);
+  }
+
+  std::cout
+      << "Shape check: (a) broadcast success stays ~1 and time degrades\n"
+         "gracefully with churn (obliviousness pays off); (b) coverage ~ 1\n"
+         "and max staleness stays a small multiple of the static gossip\n"
+         "time d*log2 n on every dynamic topology — the continuous-service\n"
+         "property claimed in §3.\n";
+  return 0;
+}

@@ -1,0 +1,170 @@
+// E5 — Theorem 3.2: Algorithm 2 (gossip) on G(n,p).
+//
+// Claims validated: gossip completes w.h.p. in O(d log n) rounds and no node
+// performs more than O(log n) transmissions. A deterministic TDMA sweep
+// baseline shows what the randomised schedule buys in time (Theta(nD) vs
+// O(d log n)) at comparable energy.
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+
+#include "baselines/gossip_baselines.hpp"
+#include "core/gossip_random.hpp"
+#include "graph/generators.hpp"
+#include "harness/experiment.hpp"
+#include "harness/monte_carlo.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using radnet::Rng;
+using radnet::Table;
+using radnet::core::GossipRandomParams;
+using radnet::core::GossipRandomProtocol;
+
+}  // namespace
+
+int main() {
+  const auto env = radnet::harness::bench_env();
+  radnet::harness::banner(
+      "E5 (Theorem 3.2)",
+      "Algorithm 2 gossip on G(n,p): O(d log n) rounds, O(log n) "
+      "transmissions per node; TDMA sweep baseline for contrast.");
+
+  const std::uint32_t trials = env.trials(10);
+
+  Table t({"n", "d=np", "success", "rounds", "rounds/(d*log2n)",
+           "max_tx/node", "max_tx/log2n", "mean_tx/node"});
+  t.set_caption("E5a: Algorithm 2 — " + std::to_string(trials) + " trials/row");
+
+  struct Case {
+    std::uint64_t n;
+    double delta;
+  };
+  for (const auto c : {Case{256, 8.0}, Case{512, 8.0}, Case{1024, 8.0},
+                       Case{512, 16.0}, Case{512, 32.0}}) {
+    const auto n = static_cast<std::uint32_t>(env.scaled(c.n));
+    const double p = c.delta * std::log(n) / n;
+    const double d = n * p;
+    const double log2n = std::log2(static_cast<double>(n));
+
+    radnet::harness::McSpec spec;
+    spec.trials = trials;
+    spec.seed = env.seed + 3;
+    spec.make_graph = [n, p](std::uint32_t, Rng rng) {
+      return std::make_shared<const radnet::graph::Digraph>(
+          radnet::graph::gnp_directed(n, p, rng));
+    };
+    spec.make_protocol = [p](const radnet::graph::Digraph&, std::uint32_t) {
+      return std::make_unique<GossipRandomProtocol>(GossipRandomParams{.p = p});
+    };
+    GossipRandomProtocol probe(GossipRandomParams{.p = p});
+    probe.reset(n, Rng(0));
+    spec.run_options.max_rounds = probe.round_budget();
+
+    const auto result = radnet::harness::run_monte_carlo(spec);
+    const auto rounds = result.rounds_sample();
+    const auto maxtx = result.max_tx_sample();
+
+    t.row()
+        .add(static_cast<std::uint64_t>(n))
+        .add(d, 1)
+        .add(result.success_rate(), 3)
+        .add_pm(rounds.empty() ? 0.0 : rounds.mean(),
+                rounds.empty() ? 0.0 : rounds.stddev(), 0)
+        .add(rounds.empty() ? 0.0 : rounds.mean() / (d * log2n), 3)
+        .add_pm(maxtx.mean(), maxtx.stddev(), 1)
+        .add(maxtx.mean() / log2n, 3)
+        .add(result.mean_tx_sample().mean(), 2);
+  }
+  radnet::harness::emit_table(env, "e5", "theorem32", t);
+
+  // Baselines at one size: TDMA sweep and Decay-scheduled gossip (the
+  // general-network framework style of [8,11], no knowledge of d needed).
+  {
+    // n large enough that the Theta(n*D) vs O(d log n) separation shows.
+    const auto n = static_cast<std::uint32_t>(env.scaled(1024));
+    const double p = 8.0 * std::log(n) / n;
+    const double unit = n * p * std::log2(static_cast<double>(n));
+
+    Table b({"protocol", "n", "success", "rounds", "rounds/(d*log2n)",
+             "max_tx/node"});
+    b.set_caption(
+        "E5b: gossip baselines on the same G(n,p) — TDMA (deterministic, "
+        "collision-free, slow) and decay-gossip (topology-agnostic, "
+        "energy-hungry)");
+
+    const auto run_baseline =
+        [&](const std::string& name,
+            const std::function<std::unique_ptr<radnet::sim::Protocol>()>& make,
+            radnet::sim::Round max_rounds) {
+          radnet::harness::McSpec spec;
+          spec.trials = trials;
+          spec.seed = env.seed + 4;
+          spec.make_graph = [n, p](std::uint32_t, Rng rng) {
+            return std::make_shared<const radnet::graph::Digraph>(
+                radnet::graph::gnp_directed(n, p, rng));
+          };
+          spec.make_protocol = [&make](const radnet::graph::Digraph&,
+                                       std::uint32_t) { return make(); };
+          spec.run_options.max_rounds = max_rounds;
+          const auto result = radnet::harness::run_monte_carlo(spec);
+          const auto rounds = result.rounds_sample();
+          b.row()
+              .add(name)
+              .add(static_cast<std::uint64_t>(n))
+              .add(result.success_rate(), 3)
+              .add_pm(rounds.empty() ? 0.0 : rounds.mean(),
+                      rounds.empty() ? 0.0 : rounds.stddev(), 0)
+              .add(rounds.empty() ? 0.0 : rounds.mean() / unit, 2)
+              .add(result.max_tx_sample().mean(), 1);
+        };
+
+    run_baseline("tdma-gossip", [] {
+      return std::make_unique<radnet::baselines::TdmaGossipProtocol>();
+    }, 200u * n);
+    run_baseline("decay-gossip", [] {
+      return std::make_unique<radnet::baselines::DecayGossipProtocol>();
+    }, 200u * n);
+    radnet::harness::emit_table(env, "e5", "baselines", b);
+  }
+
+  // Decay-gossip's selling point is topology independence: it also
+  // completes on a grid, where Algorithm 2's G(n,p) tuning does not apply.
+  {
+    const auto side = static_cast<radnet::graph::NodeId>(env.scaled(12, 4));
+    auto g = radnet::graph::grid(side, side);
+    const std::uint32_t n = g.num_nodes();
+    radnet::harness::McSpec spec;
+    spec.trials = trials;
+    spec.seed = env.seed + 5;
+    spec.make_graph = radnet::harness::shared_graph(std::move(g));
+    spec.make_protocol = [](const radnet::graph::Digraph&, std::uint32_t) {
+      return std::make_unique<radnet::baselines::DecayGossipProtocol>();
+    };
+    spec.run_options.max_rounds = 4000u * side;
+    const auto result = radnet::harness::run_monte_carlo(spec);
+    const auto rounds = result.rounds_sample();
+    Table c({"protocol", "topology", "success", "rounds", "max_tx/node"});
+    c.set_caption("E5c: general-network gossip (no d to tune against)");
+    c.row()
+        .add("decay-gossip")
+        .add("grid " + std::to_string(side) + "x" + std::to_string(side))
+        .add(result.success_rate(), 3)
+        .add_pm(rounds.empty() ? 0.0 : rounds.mean(),
+                rounds.empty() ? 0.0 : rounds.stddev(), 0)
+        .add(result.max_tx_sample().mean(), 1);
+    radnet::harness::emit_table(env, "e5", "grid", c);
+    (void)n;
+  }
+
+  std::cout
+      << "Shape check: rounds/(d*log2 n) and max_tx/log2 n stay in constant\n"
+         "bands across n and d (Theorem 3.2). Baselines: TDMA is collision-\n"
+         "free and cheap per node but needs Theta(n*D) rounds (linear in n,\n"
+         "vs Algorithm 2's O(d log n)); decay-gossip matches the time shape\n"
+         "without knowing d but pays ~2 transmissions per node per phase —\n"
+         "an order of magnitude above Algorithm 2's O(log n) budget.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// F1 — Figure 1: the distribution alpha vs Czumaj–Rytter's alpha'.
+//
+// Regenerates the figure as tables: for representative (n, D) pairs, the
+// per-k probabilities of both distributions, their ratio, the silence mass,
+// and the derived per-round expected transmit probability E[2^{-I}] — the
+// quantity whose Theta(1/lambda) scaling drives Theorem 4.1's energy bound.
+#include <cstdint>
+#include <iostream>
+
+#include "core/distributions.hpp"
+#include "harness/experiment.hpp"
+#include "support/math.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using radnet::Table;
+using radnet::core::SequenceDistribution;
+
+void emit_pair(const radnet::harness::BenchEnv& env, std::uint64_t n,
+               std::uint64_t D) {
+  const auto a = SequenceDistribution::alpha(n, D);
+  const auto ap = SequenceDistribution::alpha_prime(n, D);
+
+  Table t({"k", "alpha_k", "alpha'_k", "alpha/alpha'", "2^-k"});
+  t.set_caption("Figure 1 profile: n=" + std::to_string(n) +
+                ", D=" + std::to_string(D) +
+                ", lambda=" + std::to_string(a.lambda()));
+  for (std::uint32_t k = 1; k <= a.max_k(); ++k) {
+    t.row()
+        .add(static_cast<std::uint64_t>(k))
+        .add(a.prob(k), 5)
+        .add(ap.prob(k), 5)
+        .add(ap.prob(k) > 0 ? a.prob(k) / ap.prob(k) : 0.0, 2)
+        .add(radnet::pow2_neg(k), 6);
+  }
+  radnet::harness::emit_table(env, "f1", "profile_n" + std::to_string(n) +
+                                             "_D" + std::to_string(D),
+                              t);
+
+  Table s({"dist", "silence", "E[2^-I]", "E[2^-I]*lambda", "min_k alpha_k"});
+  s.set_caption("Derived quantities (paper: E[2^-I] = Theta(1/lambda) for alpha)");
+  const auto derived = [&](const SequenceDistribution& d, const char* name) {
+    double min_k = 1.0;
+    for (std::uint32_t k = 1; k <= d.max_k(); ++k)
+      min_k = std::min(min_k, d.prob(k));
+    s.row()
+        .add(name)
+        .add(d.silence_prob(), 4)
+        .add(d.expected_tx_prob(), 5)
+        .add(d.expected_tx_prob() * d.lambda(), 4)
+        .add(min_k, 6);
+  };
+  derived(a, "alpha");
+  derived(ap, "alpha'");
+  radnet::harness::emit_table(env, "f1", "derived_n" + std::to_string(n) +
+                                             "_D" + std::to_string(D),
+                              s);
+}
+
+}  // namespace
+
+int main() {
+  const auto env = radnet::harness::bench_env();
+  radnet::harness::banner(
+      "F1 (Figure 1)",
+      "alpha vs alpha': per-round send-probability distributions for known-D "
+      "broadcast. alpha keeps the 1/(2 log n) floor; alpha' does not, which "
+      "is why the CR baseline needs Theta(log(n/D)) x longer active windows.");
+
+  emit_pair(env, 1 << 12, 1 << 3);    // lambda = 9: floor active in deep tail
+  emit_pair(env, 1 << 12, 1 << 9);    // lambda = 3: long floored tail
+  emit_pair(env, 1 << 16, 1 << 10);   // lambda = 6 at larger n
+
+  std::cout << "Shape check: alpha_k >= alpha'_k everywhere, with the gap\n"
+               "concentrated at large k (the floor region). alpha' decays\n"
+               "geometrically to its minimum; alpha flattens at 1/(2 log n).\n";
+  return 0;
+}

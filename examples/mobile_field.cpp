@@ -1,0 +1,81 @@
+// Mobile field: continuous situational awareness under mobility.
+//
+// The paper's motivating picture (§1): devices move, the topology changes,
+// so protocols must be oblivious and local. This example puts the §3
+// dynamic-gossip remark to work — n vehicles drive a random walk across a
+// field while continuously gossiping their positions. Each position report
+// carries its generation timestamp; copies older than a TTL are dropped
+// (stale positions are worse than none). We watch the steady state: how old
+// is the picture each vehicle has of each other vehicle?
+//
+//   $ ./mobile_field [n] [seed]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/dynamic_gossip.hpp"
+#include "graph/dynamics.hpp"
+#include "sim/engine.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace radnet;
+
+  const graph::NodeId n =
+      argc > 1 ? static_cast<graph::NodeId>(std::atoi(argv[1])) : 256;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 11;
+
+  // Vehicles in a unit-square field; radio range 4x the connectivity
+  // threshold so the network stays connected while everything moves.
+  const double radius = graph::rgg_threshold_radius(n, 4.0);
+  const double step = radius / 8.0;  // per-round movement
+  graph::MobilityRgg field(n, radius, step, Rng(seed));
+
+  // Tune the gossip rate from the expected degree of the geometric graph
+  // (pi r^2 n neighbours on average).
+  const double mean_degree = 3.141592653589793 * radius * radius * n;
+  const double p = mean_degree / n;
+  const double gossip_unit = mean_degree * std::log2(static_cast<double>(n));
+  const auto ttl = static_cast<sim::Round>(8.0 * gossip_unit);
+
+  std::cout << "mobile field: n=" << n << " vehicles, radio range=" << radius
+            << ", step/round=" << step << ", mean neighbours=" << mean_degree
+            << "\nposition TTL=" << ttl << " rounds\n\n";
+
+  core::DynamicGossipProtocol gossip(core::DynamicGossipParams{
+      .p = p, .regen_interval = 1, .ttl = ttl});
+
+  Table t({"round", "coverage %", "mean age", "p99-ish max age",
+           "age/(d*log2n)"});
+  t.set_caption("Situational-awareness timeline:");
+  sim::Engine engine;
+  sim::RunOptions options;
+  const auto horizon = static_cast<sim::Round>(16.0 * gossip_unit);
+  options.max_rounds = horizon;
+  const auto sample_every = std::max<sim::Round>(1, horizon / 12);
+  options.round_observer = [&](sim::Round r) {
+    if (r % sample_every != 0) return;
+    const auto s = gossip.staleness();
+    t.row()
+        .add(static_cast<std::uint64_t>(r))
+        .add(100.0 * gossip.coverage(), 1)
+        .add(s.mean, 1)
+        .add(static_cast<std::uint64_t>(s.max))
+        .add(static_cast<double>(s.max) / gossip_unit, 2);
+  };
+
+  const auto result = engine.run(field, gossip, Rng(seed + 1), options);
+  t.print(std::cout);
+
+  const auto s = gossip.staleness();
+  std::cout << "\nafter " << result.rounds_executed << " rounds: every vehicle"
+            << " knows " << 100.0 * gossip.coverage()
+            << "% of the fleet's positions,\nwith worst-case age " << s.max
+            << " rounds (" << static_cast<double>(s.max) / gossip_unit
+            << " x the static gossip time d*log2 n)."
+            << "\nper-vehicle radio duty: "
+            << result.ledger.mean_tx_per_node() /
+                   static_cast<double>(result.rounds_executed)
+            << " transmissions/round (the 1/d schedule of Algorithm 2).\n";
+  return 0;
+}

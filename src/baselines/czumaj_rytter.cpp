@@ -1,0 +1,30 @@
+#include "baselines/czumaj_rytter.hpp"
+
+#include <cmath>
+
+#include "support/math.hpp"
+#include "support/require.hpp"
+
+namespace radnet::baselines {
+
+sim::Round czumaj_rytter_window(std::uint64_t n, std::uint64_t diameter,
+                                double beta) {
+  RADNET_REQUIRE(n >= 4, "czumaj_rytter_window needs n >= 4");
+  RADNET_REQUIRE(beta > 0.0, "beta must be positive");
+  const double l = log2d(static_cast<double>(n));
+  const double lambda = lambda_of(n, diameter);
+  return static_cast<sim::Round>(std::ceil(beta * lambda * l * l));
+}
+
+std::unique_ptr<core::GeneralBroadcastProtocol> czumaj_rytter(
+    std::uint64_t n, std::uint64_t diameter, double beta,
+    graph::NodeId source) {
+  core::GeneralBroadcastParams params{
+      .distribution = core::SequenceDistribution::alpha_prime(n, diameter),
+      .window = czumaj_rytter_window(n, diameter, beta),
+      .source = source,
+      .label = "czumaj-rytter"};
+  return std::make_unique<core::GeneralBroadcastProtocol>(std::move(params));
+}
+
+}  // namespace radnet::baselines

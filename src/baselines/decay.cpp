@@ -1,0 +1,41 @@
+#include "baselines/decay.hpp"
+
+#include "support/math.hpp"
+#include "support/require.hpp"
+
+namespace radnet::baselines {
+
+void DecayProtocol::reset(NodeId num_nodes, Rng rng) {
+  RADNET_REQUIRE(num_nodes >= 2, "Decay needs n >= 2");
+  rng_ = rng;
+  phase_len_ = ilog2_ceil(num_nodes) + 1;
+  state_.reset(num_nodes, params_.source);
+}
+
+std::span<const NodeId> DecayProtocol::candidates() const {
+  return state_.active();
+}
+
+bool DecayProtocol::wants_transmit(NodeId v, sim::Round r) {
+  if (params_.active_phases != 0) {
+    const sim::Round expiry =
+        state_.informed_time(v) + params_.active_phases * phase_len_;
+    if (r >= expiry) {
+      state_.deactivate(v);
+      return false;
+    }
+  }
+  const std::uint32_t j = r % phase_len_;
+  return rng_.bernoulli(pow2_neg(j));
+}
+
+void DecayProtocol::on_delivered(NodeId receiver, NodeId /*sender*/,
+                                 sim::Round r) {
+  state_.deliver(receiver, r);
+}
+
+void DecayProtocol::end_round(sim::Round /*r*/) { state_.commit(); }
+
+bool DecayProtocol::is_complete() const { return state_.all_informed(); }
+
+}  // namespace radnet::baselines

@@ -1,0 +1,59 @@
+#include "baselines/elsasser_gasieniec.hpp"
+
+#include <cmath>
+
+#include "support/math.hpp"
+#include "support/require.hpp"
+
+namespace radnet::baselines {
+
+ElsasserGasieniecProtocol::ElsasserGasieniecProtocol(
+    ElsasserGasieniecParams params)
+    : params_(params) {
+  RADNET_REQUIRE(params_.p > 0.0 && params_.p <= 1.0, "p must be in (0,1]");
+  RADNET_REQUIRE(params_.phase3_factor > 0.0, "phase3_factor must be positive");
+}
+
+void ElsasserGasieniecProtocol::reset(NodeId num_nodes, Rng rng) {
+  RADNET_REQUIRE(num_nodes >= 2, "EG needs n >= 2");
+  n_ = num_nodes;
+  rng_ = rng;
+  d_ = static_cast<double>(n_) * params_.p;
+  RADNET_REQUIRE(d_ > 1.0, "EG needs expected degree d = np > 1");
+  t_ = phase1_rounds(n_, d_);
+  const double dT = std::pow(d_, static_cast<double>(t_));
+  phase2_prob_ = std::min(1.0, 1.0 / (dT * params_.p));  // = n / d^{T+1}
+  phase3_prob_ = std::min(1.0, 1.0 / d_);
+  phase3_len_ = static_cast<sim::Round>(
+      std::ceil(params_.phase3_factor * log2d(static_cast<double>(n_))));
+  state_.reset(n_, params_.source);
+}
+
+std::span<const NodeId> ElsasserGasieniecProtocol::candidates() const {
+  return state_.active();
+}
+
+bool ElsasserGasieniecProtocol::wants_transmit(NodeId v, sim::Round r) {
+  if (r < t_) return true;                              // Phase 1, every round
+  if (r == t_) return rng_.bernoulli(phase2_prob_);     // Phase 2
+  if (r >= round_budget()) {                            // budget exhausted
+    state_.deactivate(v);
+    return false;
+  }
+  return rng_.bernoulli(phase3_prob_);                  // Phase 3
+}
+
+void ElsasserGasieniecProtocol::on_delivered(NodeId receiver, NodeId /*sender*/,
+                                             sim::Round r) {
+  // As in [12] (and Algorithm 1): only nodes informed in the first two
+  // phases transmit in Phase 3; late informees stay silent.
+  state_.deliver(receiver, r, /*activate=*/r <= t_);
+}
+
+void ElsasserGasieniecProtocol::end_round(sim::Round /*r*/) { state_.commit(); }
+
+bool ElsasserGasieniecProtocol::is_complete() const {
+  return state_.all_informed();
+}
+
+}  // namespace radnet::baselines

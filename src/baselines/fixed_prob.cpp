@@ -1,0 +1,46 @@
+#include "baselines/fixed_prob.hpp"
+
+#include <sstream>
+
+#include "support/require.hpp"
+
+namespace radnet::baselines {
+
+FixedProbProtocol::FixedProbProtocol(FixedProbParams params) : params_(params) {
+  RADNET_REQUIRE(params_.q > 0.0 && params_.q <= 1.0, "q must be in (0,1]");
+}
+
+void FixedProbProtocol::reset(NodeId num_nodes, Rng rng) {
+  RADNET_REQUIRE(num_nodes >= 2, "FixedProb needs n >= 2");
+  rng_ = rng;
+  state_.reset(num_nodes, params_.source);
+}
+
+std::span<const NodeId> FixedProbProtocol::candidates() const {
+  return state_.active();
+}
+
+bool FixedProbProtocol::wants_transmit(NodeId v, sim::Round r) {
+  if (params_.window != 0 && r >= state_.informed_time(v) + params_.window) {
+    state_.deactivate(v);
+    return false;
+  }
+  return rng_.bernoulli(params_.q);
+}
+
+void FixedProbProtocol::on_delivered(NodeId receiver, NodeId /*sender*/,
+                                     sim::Round r) {
+  state_.deliver(receiver, r);
+}
+
+void FixedProbProtocol::end_round(sim::Round /*r*/) { state_.commit(); }
+
+bool FixedProbProtocol::is_complete() const { return state_.all_informed(); }
+
+std::string FixedProbProtocol::name() const {
+  std::ostringstream os;
+  os << "fixed(q=" << params_.q << ")";
+  return os.str();
+}
+
+}  // namespace radnet::baselines

@@ -1,0 +1,26 @@
+#include "baselines/flooding.hpp"
+
+namespace radnet::baselines {
+
+void FloodingProtocol::reset(NodeId num_nodes, Rng /*rng*/) {
+  state_.reset(num_nodes, source_);
+}
+
+std::span<const NodeId> FloodingProtocol::candidates() const {
+  return state_.active();
+}
+
+bool FloodingProtocol::wants_transmit(NodeId /*v*/, sim::Round /*r*/) {
+  return true;  // flood: always transmit while informed
+}
+
+void FloodingProtocol::on_delivered(NodeId receiver, NodeId /*sender*/,
+                                    sim::Round r) {
+  state_.deliver(receiver, r);
+}
+
+void FloodingProtocol::end_round(sim::Round /*r*/) { state_.commit(); }
+
+bool FloodingProtocol::is_complete() const { return state_.all_informed(); }
+
+}  // namespace radnet::baselines

@@ -1,0 +1,43 @@
+// Naive flooding: every informed node transmits in every round, forever.
+//
+// In a wired network this is the textbook broadcast; in the radio model it
+// is a cautionary baseline — as soon as a node has two informed in-
+// neighbours every round collides and the node is never informed. The
+// examples and E11 use it to demonstrate *why* the paper's randomised
+// schedules are necessary: flooding succeeds only on collision-free
+// topologies (paths, trees traversed layer by layer) and burns one
+// transmission per node per round while doing so.
+#pragma once
+
+#include <string>
+
+#include "core/broadcast_state.hpp"
+#include "sim/protocol.hpp"
+
+namespace radnet::baselines {
+
+using core::BroadcastState;
+using graph::NodeId;
+
+class FloodingProtocol final : public sim::Protocol {
+ public:
+  explicit FloodingProtocol(NodeId source = 0) : source_(source) {}
+
+  void reset(NodeId num_nodes, Rng rng) override;
+  [[nodiscard]] std::span<const NodeId> candidates() const override;
+  [[nodiscard]] bool wants_transmit(NodeId v, sim::Round r) override;
+  void on_delivered(NodeId receiver, NodeId sender, sim::Round r) override;
+  void end_round(sim::Round r) override;
+  [[nodiscard]] bool is_complete() const override;
+  [[nodiscard]] std::string name() const override { return "flooding"; }
+
+  [[nodiscard]] NodeId informed_count() const noexcept {
+    return state_.informed_count();
+  }
+
+ private:
+  NodeId source_;
+  BroadcastState state_;
+};
+
+}  // namespace radnet::baselines

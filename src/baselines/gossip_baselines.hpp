@@ -1,0 +1,80 @@
+// Gossip baselines.
+//
+// TdmaGossipProtocol: a deterministic round-robin ("TDMA") schedule — in
+// round r exactly the node with id r mod n transmits, carrying the join of
+// everything it knows. There are never collisions, so correctness is
+// trivial; the cost is time: a rumor advances at most one hop per n rounds
+// in the worst case, giving Theta(n * D) rounds against Algorithm 2's
+// O(d log n). The E5 bench contrasts the two to show what the randomised
+// schedule buys. Per-node energy is the number of sweeps, i.e. ~rounds/n.
+// This stands in for the deterministic gossip line of work the paper cites
+// ([27] etc.) in spirit: collision-free but slow.
+//
+// DecayGossipProtocol: gossip for *general* (non-random) networks in the
+// spirit of the Chrobak–Gasieniec–Rytter framework [8] as used by [11]:
+// every node runs the BGI Decay schedule continuously (transmit with
+// probability 2^{-(r mod phase)} each round) and joins whatever it hears.
+// Decay's coin-halving makes some round of every phase match any local
+// density, so rumors advance one hop per O(log n) rounds regardless of the
+// topology — no knowledge of d required, unlike Algorithm 2. The price is
+// energy: ~2 transmissions per node per phase, Theta(rounds / log n) per
+// node overall, against Algorithm 2's O(log n) total.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/protocol.hpp"
+#include "support/bitset.hpp"
+
+namespace radnet::baselines {
+
+using graph::NodeId;
+
+class TdmaGossipProtocol final : public sim::Protocol {
+ public:
+  TdmaGossipProtocol() = default;
+
+  void reset(NodeId num_nodes, Rng rng) override;
+  [[nodiscard]] std::span<const NodeId> candidates() const override;
+  [[nodiscard]] bool wants_transmit(NodeId v, sim::Round r) override;
+  void on_delivered(NodeId receiver, NodeId sender, sim::Round r) override;
+  [[nodiscard]] bool is_complete() const override;
+  [[nodiscard]] std::string name() const override { return "tdma-gossip"; }
+
+  [[nodiscard]] std::uint64_t pairs_known() const noexcept { return known_; }
+
+ private:
+  NodeId n_ = 0;
+  // The single slot owner for the current round; refreshed in begin_round.
+  void begin_round(sim::Round r) override;
+  std::vector<NodeId> slot_;  // one-element candidate list
+  std::vector<Bitset> rumors_;
+  std::uint64_t known_ = 0;
+};
+
+class DecayGossipProtocol final : public sim::Protocol {
+ public:
+  DecayGossipProtocol() = default;
+
+  void reset(NodeId num_nodes, Rng rng) override;
+  [[nodiscard]] std::span<const NodeId> candidates() const override;
+  [[nodiscard]] bool wants_transmit(NodeId v, sim::Round r) override;
+  void on_delivered(NodeId receiver, NodeId sender, sim::Round r) override;
+  [[nodiscard]] bool is_complete() const override;
+  [[nodiscard]] std::string name() const override { return "decay-gossip"; }
+
+  [[nodiscard]] std::uint64_t pairs_known() const noexcept { return known_; }
+  [[nodiscard]] sim::Round phase_length() const noexcept { return phase_len_; }
+
+ private:
+  NodeId n_ = 0;
+  Rng rng_;
+  sim::Round phase_len_ = 1;
+  std::vector<NodeId> everyone_;
+  std::vector<Bitset> rumors_;
+  std::uint64_t known_ = 0;
+};
+
+}  // namespace radnet::baselines

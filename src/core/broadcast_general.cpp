@@ -1,0 +1,80 @@
+#include "core/broadcast_general.hpp"
+
+#include <cmath>
+
+#include "support/math.hpp"
+#include "support/require.hpp"
+
+namespace radnet::core {
+
+sim::Round general_window(std::uint64_t n, double beta) {
+  RADNET_REQUIRE(n >= 2, "general_window needs n >= 2");
+  RADNET_REQUIRE(beta > 0.0, "beta must be positive");
+  const double l = log2d(static_cast<double>(n));
+  return static_cast<sim::Round>(std::ceil(beta * l * l));
+}
+
+sim::Round general_round_budget(std::uint64_t n, std::uint64_t diameter,
+                                double lambda, double c) {
+  RADNET_REQUIRE(n >= 2, "general_round_budget needs n >= 2");
+  RADNET_REQUIRE(diameter >= 1, "diameter must be >= 1");
+  RADNET_REQUIRE(lambda >= 1.0, "lambda must be >= 1");
+  RADNET_REQUIRE(c > 0.0, "c must be positive");
+  const double l = log2d(static_cast<double>(n));
+  const double bound = c * (static_cast<double>(diameter) * lambda + l * l);
+  return static_cast<sim::Round>(std::ceil(bound));
+}
+
+GeneralBroadcastProtocol::GeneralBroadcastProtocol(GeneralBroadcastParams params)
+    : params_(std::move(params)) {}
+
+void GeneralBroadcastProtocol::reset(NodeId num_nodes, Rng rng) {
+  RADNET_REQUIRE(num_nodes >= 2, "Algorithm 3 needs n >= 2");
+  n_ = num_nodes;
+  rng_ = rng;
+  RADNET_REQUIRE(params_.source < n_, "source out of range");
+  state_.reset(n_, params_.source);
+  current_k_.reset();
+  current_tx_prob_ = 0.0;
+}
+
+void GeneralBroadcastProtocol::begin_round(sim::Round /*r*/) {
+  // One shared draw per round: the whole network sees the same I_r (common
+  // randomness, as in the selection sequences of [11]).
+  current_k_ = params_.distribution.sample(rng_);
+  current_tx_prob_ = current_k_ ? pow2_neg(*current_k_) : 0.0;
+}
+
+std::span<const NodeId> GeneralBroadcastProtocol::candidates() const {
+  return state_.active();
+}
+
+bool GeneralBroadcastProtocol::wants_transmit(NodeId v, sim::Round r) {
+  if (params_.window != 0) {
+    const sim::Round t_u = state_.informed_time(v);
+    if (r >= t_u + params_.window) {
+      state_.deactivate(v);  // the paper's "u becomes passive"
+      return false;
+    }
+  }
+  if (current_tx_prob_ <= 0.0) return false;
+  return rng_.bernoulli(current_tx_prob_);
+}
+
+void GeneralBroadcastProtocol::on_delivered(NodeId receiver, NodeId /*sender*/,
+                                            sim::Round r) {
+  state_.deliver(receiver, r);
+}
+
+void GeneralBroadcastProtocol::end_round(sim::Round /*r*/) { state_.commit(); }
+
+bool GeneralBroadcastProtocol::is_complete() const {
+  return state_.all_informed();
+}
+
+std::string GeneralBroadcastProtocol::name() const {
+  if (!params_.label.empty()) return params_.label;
+  return "alg3[" + params_.distribution.name() + "]";
+}
+
+}  // namespace radnet::core

@@ -1,0 +1,87 @@
+// Algorithm 3 — energy-efficient broadcast for arbitrary networks with
+// known diameter D (§4.1).
+//
+// A shared random sequence I = <I_0, I_1, ...> is drawn with
+// Pr[I_r = k] = alpha_k (see core/distributions.hpp); in round r every
+// *active* node transmits with probability 2^{-I_r}. A node stays active for
+// a window of beta * log^2 n rounds after it is informed (the paper's
+// "if r <= t_u + beta log^2 n"), then goes passive for good.
+//
+// Theorem 4.1: with the distribution alpha(n, D), broadcasting completes in
+// O(D log(n/D) + log^2 n) rounds w.h.p. and costs an expected
+// O(log^2 n / log(n/D)) transmissions per node.
+//
+// Theorem 4.2 (trade-off): with alpha_with_lambda(n, lambda) for
+// log(n/D) <= lambda <= log n, time becomes O(D lambda + log^2 n) and energy
+// O(log^2 n / lambda) per node — the same protocol class, so the trade-off
+// bench just sweeps the distribution.
+//
+// The Czumaj–Rytter baseline and the lower-bound schedules of §4.2 are also
+// instances of this class (different distribution and window); see
+// baselines/czumaj_rytter.hpp and baselines/fixed_prob.hpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/broadcast_state.hpp"
+#include "core/distributions.hpp"
+#include "sim/protocol.hpp"
+
+namespace radnet::core {
+
+struct GeneralBroadcastParams {
+  /// Per-round transmit-probability distribution (the shared sequence's law).
+  SequenceDistribution distribution;
+  /// Active window in rounds: a node informed at time t transmits only while
+  /// r < t + window. 0 means unlimited (never passive).
+  sim::Round window = 0;
+  /// Broadcast originator.
+  NodeId source = 0;
+  /// Optional display name override for result tables.
+  std::string label;
+};
+
+/// The paper's window beta * log2(n)^2, rounded up.
+[[nodiscard]] sim::Round general_window(std::uint64_t n, double beta);
+
+/// A generous engine round budget c * (D * lambda + log2(n)^2) matching the
+/// Theorem 4.1/4.2 time bound.
+[[nodiscard]] sim::Round general_round_budget(std::uint64_t n, std::uint64_t diameter,
+                                              double lambda, double c);
+
+class GeneralBroadcastProtocol final : public sim::Protocol {
+ public:
+  explicit GeneralBroadcastProtocol(GeneralBroadcastParams params);
+
+  void reset(NodeId num_nodes, Rng rng) override;
+  void begin_round(sim::Round r) override;
+  [[nodiscard]] std::span<const NodeId> candidates() const override;
+  [[nodiscard]] bool wants_transmit(NodeId v, sim::Round r) override;
+  void on_delivered(NodeId receiver, NodeId sender, sim::Round r) override;
+  void end_round(sim::Round r) override;
+  [[nodiscard]] bool is_complete() const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] NodeId informed_count() const noexcept {
+    return state_.informed_count();
+  }
+  [[nodiscard]] NodeId active_count() const noexcept {
+    return state_.active_count();
+  }
+  /// The sequence value drawn for the current round (nullopt = silent).
+  [[nodiscard]] std::optional<std::uint32_t> current_k() const noexcept {
+    return current_k_;
+  }
+
+ private:
+  GeneralBroadcastParams params_;
+  Rng rng_;
+  BroadcastState state_;
+  NodeId n_ = 0;
+  std::optional<std::uint32_t> current_k_;
+  double current_tx_prob_ = 0.0;
+};
+
+}  // namespace radnet::core

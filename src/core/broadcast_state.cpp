@@ -1,0 +1,53 @@
+#include "core/broadcast_state.hpp"
+
+#include <algorithm>
+
+#include "support/require.hpp"
+
+namespace radnet::core {
+
+void BroadcastState::reset(NodeId n, NodeId source) {
+  RADNET_REQUIRE(n >= 1, "BroadcastState needs n >= 1");
+  RADNET_REQUIRE(source < n, "source out of range");
+  n_ = n;
+  informed_.assign(n, 0);
+  deactivated_.assign(n, 0);
+  informed_time_.assign(n, 0);
+  active_.clear();
+  pending_active_.clear();
+  has_deactivations_ = false;
+  informed_[source] = 1;
+  informed_count_ = 1;
+  informed_time_[source] = 0;
+  active_.push_back(source);
+}
+
+bool BroadcastState::deliver(NodeId v, Round round, bool activate) {
+  RADNET_REQUIRE(v < n_, "deliver out of range");
+  if (informed_[v]) return false;
+  informed_[v] = 1;
+  ++informed_count_;
+  informed_time_[v] = round + 1;
+  if (activate) pending_active_.push_back(v);
+  return true;
+}
+
+void BroadcastState::deactivate(NodeId v) {
+  RADNET_REQUIRE(v < n_, "deactivate out of range");
+  deactivated_[v] = 1;
+  has_deactivations_ = true;
+}
+
+void BroadcastState::commit() {
+  if (has_deactivations_) {
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [this](NodeId v) { return deactivated_[v] != 0; }),
+                  active_.end());
+    has_deactivations_ = false;
+  }
+  for (const NodeId v : pending_active_)
+    if (!deactivated_[v]) active_.push_back(v);
+  pending_active_.clear();
+}
+
+}  // namespace radnet::core

@@ -1,0 +1,71 @@
+// Shared informed/active bookkeeping for broadcast-style protocols.
+//
+// All the paper's broadcast algorithms share the same node life-cycle:
+// uninformed -> informed+active -> passive. This helper maintains the
+// informed flags, the time a node was informed (the paper's t_u), and the
+// candidate list handed to the engine, with *deferred* mutation so the
+// candidate span stays valid for the whole round:
+//   - activations requested during on_delivered take effect next round,
+//   - deactivations requested during wants_transmit take effect next round
+//     (the node still transmitted its current message this round).
+// Call commit() from the protocol's end_round.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace radnet::core {
+
+using graph::NodeId;
+using sim::Round;
+
+class BroadcastState {
+ public:
+  /// Resets for n nodes with `source` informed (at time 0) and active.
+  void reset(NodeId n, NodeId source);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept { return n_; }
+  [[nodiscard]] bool informed(NodeId v) const { return informed_[v] != 0; }
+  [[nodiscard]] NodeId informed_count() const noexcept { return informed_count_; }
+  [[nodiscard]] bool all_informed() const noexcept { return informed_count_ == n_; }
+
+  /// The paper's t_u: 0 for the source, r+1 for a node first reached in
+  /// engine round r (it participates from the following round on).
+  [[nodiscard]] Round informed_time(NodeId v) const { return informed_time_[v]; }
+
+  /// Current candidate set (active nodes), stable within a round.
+  [[nodiscard]] std::span<const NodeId> active() const noexcept {
+    return {active_.data(), active_.size()};
+  }
+  [[nodiscard]] NodeId active_count() const noexcept {
+    return static_cast<NodeId>(active_.size());
+  }
+
+  /// Marks v informed (if new) and, when `activate` is true, schedules
+  /// activation for the next round. Algorithm 1's Phase 3 passes
+  /// activate = false: its pseudocode has no activation clause, so nodes
+  /// informed there never transmit — the source of the O(log n / p) total-
+  /// transmission bound. Returns true iff v was newly informed.
+  bool deliver(NodeId v, Round round, bool activate = true);
+
+  /// Schedules v's removal from the active set at end of round.
+  void deactivate(NodeId v);
+
+  /// Applies deferred activations/deactivations. Call from end_round.
+  void commit();
+
+ private:
+  NodeId n_ = 0;
+  NodeId informed_count_ = 0;
+  std::vector<std::uint8_t> informed_;
+  std::vector<std::uint8_t> deactivated_;  // pending removal flags
+  std::vector<Round> informed_time_;
+  std::vector<NodeId> active_;
+  std::vector<NodeId> pending_active_;
+  bool has_deactivations_ = false;
+};
+
+}  // namespace radnet::core

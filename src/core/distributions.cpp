@@ -1,0 +1,146 @@
+#include "core/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/math.hpp"
+#include "support/require.hpp"
+
+namespace radnet::core {
+
+namespace {
+
+/// Builds the alpha-shaped weight vector for a given (L, lambda) with or
+/// without the 1/(2L) floor, then normalises so the total mass is <= 1,
+/// assigning leftover mass to silence.
+std::pair<std::vector<double>, double> build_alpha_weights(std::uint32_t L,
+                                                           double lambda,
+                                                           bool with_floor) {
+  RADNET_CHECK(L >= 1, "alpha needs log2 n >= 1");
+  RADNET_CHECK(lambda >= 1.0 && lambda <= static_cast<double>(L) + 1e-9,
+               "lambda out of [1, log2 n]");
+  std::vector<double> w(L, 0.0);
+  const double head = 1.0 / (4.0 * lambda);
+  const double floor = with_floor ? 1.0 / (2.0 * static_cast<double>(L)) : 0.0;
+  for (std::uint32_t k = 1; k <= L; ++k) {
+    // The 1/(2 log n) floor applies over the whole support — the paper's
+    // "forall 1 <= k <= log n: alpha_k >= 1/(2 log n)". When lambda >
+    // log(n)/2 the floor exceeds the paper's 1/(4 lambda) cap; the floor
+    // wins because the w.h.p. delivery argument (Theorem 4.1's
+    // 1/(20 log n) per-round success probability) depends on it.
+    // For fractional lambda the first tail value 2^{-(k-lambda)}/(2 lambda)
+    // with k in (lambda, lambda+1) would exceed the 1/(4 lambda) cap; clamp
+    // it (integer-lambda values are unaffected: 2^{-j} <= 1/2 for j >= 1).
+    const double shape =
+        static_cast<double>(k) <= lambda
+            ? head
+            : std::min(head, std::exp2(-(static_cast<double>(k) - lambda)) /
+                                 (2.0 * lambda));
+    w[k - 1] = std::max(shape, floor);
+  }
+  double total = 0.0;
+  for (const double v : w) total += v;
+  if (total > 1.0) {
+    for (double& v : w) v /= total;
+    total = 1.0;
+  }
+  return {std::move(w), 1.0 - total};
+}
+
+}  // namespace
+
+SequenceDistribution::SequenceDistribution(std::string name, double lambda,
+                                           std::vector<double> probs,
+                                           double silence)
+    : name_(std::move(name)),
+      lambda_(lambda),
+      max_k_(static_cast<std::uint32_t>(probs.size())),
+      probs_(std::move(probs)),
+      silence_(silence) {
+  RADNET_CHECK(!probs_.empty(), "empty distribution");
+  cdf_.resize(probs_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    RADNET_CHECK(probs_[i] >= 0.0, "negative probability");
+    acc += probs_[i];
+    cdf_[i] = acc;
+  }
+  RADNET_CHECK(acc <= 1.0 + 1e-9, "distribution mass exceeds 1");
+  RADNET_CHECK(std::abs(acc + silence_ - 1.0) < 1e-6,
+               "probabilities and silence must sum to 1");
+}
+
+SequenceDistribution SequenceDistribution::alpha(std::uint64_t n,
+                                                 std::uint64_t diameter) {
+  RADNET_REQUIRE(n >= 4, "alpha needs n >= 4");
+  RADNET_REQUIRE(diameter >= 1 && diameter <= n, "diameter must be in [1, n]");
+  const double lambda = lambda_of(n, diameter);
+  const std::uint32_t L = ilog2_ceil(n);
+  auto [w, silence] = build_alpha_weights(L, lambda, /*with_floor=*/true);
+  return SequenceDistribution("alpha(n=" + std::to_string(n) +
+                                  ",D=" + std::to_string(diameter) + ")",
+                              lambda, std::move(w), silence);
+}
+
+SequenceDistribution SequenceDistribution::alpha_with_lambda(std::uint64_t n,
+                                                             double lambda) {
+  RADNET_REQUIRE(n >= 4, "alpha_with_lambda needs n >= 4");
+  const std::uint32_t L = ilog2_ceil(n);
+  const double clamped = std::clamp(lambda, 1.0, static_cast<double>(L));
+  auto [w, silence] = build_alpha_weights(L, clamped, /*with_floor=*/true);
+  return SequenceDistribution("alpha(n=" + std::to_string(n) + ",lambda=" +
+                                  std::to_string(clamped) + ")",
+                              clamped, std::move(w), silence);
+}
+
+SequenceDistribution SequenceDistribution::alpha_prime(std::uint64_t n,
+                                                       std::uint64_t diameter) {
+  RADNET_REQUIRE(n >= 4, "alpha_prime needs n >= 4");
+  RADNET_REQUIRE(diameter >= 1 && diameter <= n, "diameter must be in [1, n]");
+  const double lambda = lambda_of(n, diameter);
+  const std::uint32_t L = ilog2_ceil(n);
+  auto [w, silence] = build_alpha_weights(L, lambda, /*with_floor=*/false);
+  return SequenceDistribution("alpha_prime(n=" + std::to_string(n) +
+                                  ",D=" + std::to_string(diameter) + ")",
+                              lambda, std::move(w), silence);
+}
+
+SequenceDistribution SequenceDistribution::uniform(std::uint64_t n) {
+  RADNET_REQUIRE(n >= 4, "uniform needs n >= 4");
+  const std::uint32_t L = ilog2_ceil(n);
+  std::vector<double> w(L, 1.0 / static_cast<double>(L));
+  return SequenceDistribution("uniform(n=" + std::to_string(n) + ")",
+                              static_cast<double>(L), std::move(w), 0.0);
+}
+
+SequenceDistribution SequenceDistribution::point(std::uint64_t n,
+                                                 std::uint32_t k) {
+  RADNET_REQUIRE(n >= 4, "point needs n >= 4");
+  const std::uint32_t L = ilog2_ceil(n);
+  RADNET_REQUIRE(k >= 1 && k <= L, "point k must be in [1, log2 n]");
+  std::vector<double> w(L, 0.0);
+  w[k - 1] = 1.0;
+  return SequenceDistribution(
+      "point(n=" + std::to_string(n) + ",k=" + std::to_string(k) + ")",
+      static_cast<double>(k), std::move(w), 0.0);
+}
+
+double SequenceDistribution::prob(std::uint32_t k) const {
+  if (k < 1 || k > max_k_) return 0.0;
+  return probs_[k - 1];
+}
+
+double SequenceDistribution::expected_tx_prob() const {
+  double e = 0.0;
+  for (std::uint32_t k = 1; k <= max_k_; ++k) e += probs_[k - 1] * pow2_neg(k);
+  return e;
+}
+
+std::optional<std::uint32_t> SequenceDistribution::sample(Rng& rng) const {
+  const std::uint64_t miss = max_k_;  // sentinel index == size
+  const std::uint64_t idx = rng.sample_cdf(cdf_.data(), cdf_.size(), miss);
+  if (idx == miss) return std::nullopt;
+  return static_cast<std::uint32_t>(idx + 1);
+}
+
+}  // namespace radnet::core

@@ -1,0 +1,92 @@
+// The sequence distributions of Section 4 (Fig. 1).
+//
+// Algorithm 3 draws a shared random sequence I = <I_1, I_2, ...> with
+// Pr[I_r = k] = alpha_k over k in {1, ..., log2 n}; in round r every active
+// node transmits with probability 2^{-I_r}. The distribution alpha (left of
+// Fig. 1) is the paper's contribution; alpha' (right of Fig. 1) is
+// Czumaj–Rytter's distribution from [11] used as the baseline.
+//
+// Reconstruction note (see DESIGN.md §2): Fig. 1 itself is an image absent
+// from the text. alpha is rebuilt from its stated properties, with
+//   lambda = log2(n / D),  L = log2 n:
+//     alpha_k = max( shape_k, 1/(2 L) )  with
+//     shape_k = 1/(4 lambda)                    for 1 <= k <= lambda
+//             = 2^{-(k-lambda)} / (2 lambda)    for lambda < k <= L
+// (the 1/(2L) floor covers the whole support; note the paper's two stated
+// bounds 1/(2 log n) <= alpha_k <= 1/(4 lambda) are jointly satisfiable only
+// when lambda <= log(n)/2, i.e. D >= sqrt(n) — outside that regime the floor
+// takes precedence because the w.h.p. delivery argument needs it),
+// and any probability mass left over is a *silent* round (I_r = infinity,
+// transmit probability 0); if the raw weights exceed mass 1 (possible when
+// lambda ~ L) they are renormalised. alpha' is the same construction
+// without the 1/(2L) floor. All the properties the paper states —
+//   1/(2 log n) <= alpha_k <= 1/(4 lambda),   alpha_k >= alpha'_k / 2,
+// and E[2^{-I}] = Theta(1/lambda) — are asserted by the unit tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace radnet::core {
+
+class SequenceDistribution {
+ public:
+  /// The paper's alpha for a network with n nodes and known diameter D
+  /// (Theorem 4.1): lambda = log2(n/D).
+  [[nodiscard]] static SequenceDistribution alpha(std::uint64_t n, std::uint64_t diameter);
+
+  /// The trade-off family of Theorem 4.2: alpha with an explicit lambda in
+  /// [log2(n/D), log2 n]. lambda is clamped into [1, log2 n].
+  [[nodiscard]] static SequenceDistribution alpha_with_lambda(std::uint64_t n, double lambda);
+
+  /// Czumaj–Rytter's alpha' (the floorless variant; see file comment).
+  [[nodiscard]] static SequenceDistribution alpha_prime(std::uint64_t n, std::uint64_t diameter);
+
+  /// Uniform distribution over {1..log2 n} with no silence; the simplest
+  /// oblivious choice, used as a further baseline.
+  [[nodiscard]] static SequenceDistribution uniform(std::uint64_t n);
+
+  /// Degenerate distribution: always k (Pr[I_r = k] = 1). Used by the
+  /// lower-bound experiments as the canonical time-invariant single-point
+  /// schedule.
+  [[nodiscard]] static SequenceDistribution point(std::uint64_t n, std::uint32_t k);
+
+  /// Largest k in the support (= ceil(log2 n)).
+  [[nodiscard]] std::uint32_t max_k() const noexcept { return max_k_; }
+
+  /// Pr[I_r = k] for k in [1, max_k()]; 0 outside.
+  [[nodiscard]] double prob(std::uint32_t k) const;
+
+  /// Probability of a silent round (I_r drawn as "no transmission").
+  [[nodiscard]] double silence_prob() const noexcept { return silence_; }
+
+  /// The lambda this distribution was built with (log2(n/D) or explicit).
+  [[nodiscard]] double lambda() const noexcept { return lambda_; }
+
+  /// Expected per-round transmit probability E[2^{-I}] (silence counts 0).
+  /// For alpha this is Theta(1/lambda) — the source of the paper's
+  /// O(log^2 n / lambda) energy bound.
+  [[nodiscard]] double expected_tx_prob() const;
+
+  /// Draws I_r: a k in [1, max_k()], or nullopt for a silent round.
+  [[nodiscard]] std::optional<std::uint32_t> sample(Rng& rng) const;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  SequenceDistribution(std::string name, double lambda,
+                       std::vector<double> probs, double silence);
+
+  std::string name_;
+  double lambda_ = 1.0;
+  std::uint32_t max_k_ = 1;
+  std::vector<double> probs_;  // probs_[k-1] = Pr[I = k]
+  std::vector<double> cdf_;    // inclusive prefix sums of probs_
+  double silence_ = 0.0;
+};
+
+}  // namespace radnet::core

@@ -1,0 +1,90 @@
+#include "core/dynamic_gossip.hpp"
+
+#include <numeric>
+
+#include "support/require.hpp"
+
+namespace radnet::core {
+
+DynamicGossipProtocol::DynamicGossipProtocol(DynamicGossipParams params)
+    : params_(params) {
+  RADNET_REQUIRE(params_.p > 0.0 && params_.p <= 1.0, "p must be in (0,1]");
+  RADNET_REQUIRE(params_.regen_interval >= 1, "regen_interval must be >= 1");
+}
+
+void DynamicGossipProtocol::reset(NodeId num_nodes, Rng rng) {
+  RADNET_REQUIRE(num_nodes >= 2, "dynamic gossip needs n >= 2");
+  n_ = num_nodes;
+  rng_ = rng;
+  const double d = static_cast<double>(n_) * params_.p;
+  RADNET_REQUIRE(d > 1.0, "dynamic gossip needs expected degree d = np > 1");
+  tx_prob_ = 1.0 / d;
+  everyone_.resize(n_);
+  std::iota(everyone_.begin(), everyone_.end(), NodeId{0});
+  ages_.assign(static_cast<std::size_t>(n_) * n_, kNever);
+  for (NodeId v = 0; v < n_; ++v)
+    ages_[static_cast<std::size_t>(v) * n_ + v] = 0;  // own rumor, fresh
+}
+
+void DynamicGossipProtocol::begin_round(sim::Round r) {
+  // Everything held ages by one round; over-ttl copies die; own rumor
+  // refreshes on its regeneration schedule.
+  for (auto& a : ages_)
+    if (a != kNever) ++a;
+  if (params_.ttl != 0) {
+    for (auto& a : ages_)
+      if (a != kNever && a > params_.ttl) a = kNever;
+  }
+  if (r % params_.regen_interval == 0) {
+    for (NodeId v = 0; v < n_; ++v)
+      ages_[static_cast<std::size_t>(v) * n_ + v] = 0;
+  }
+}
+
+std::span<const NodeId> DynamicGossipProtocol::candidates() const {
+  return {everyone_.data(), everyone_.size()};
+}
+
+bool DynamicGossipProtocol::wants_transmit(NodeId /*v*/, sim::Round /*r*/) {
+  return rng_.bernoulli(tx_prob_);
+}
+
+void DynamicGossipProtocol::on_delivered(NodeId receiver, NodeId sender,
+                                         sim::Round /*r*/) {
+  // Join: keep the fresher copy of every rumor. Under half-duplex the
+  // sender's row is exactly what it transmitted this round.
+  const std::size_t rcv = static_cast<std::size_t>(receiver) * n_;
+  const std::size_t snd = static_cast<std::size_t>(sender) * n_;
+  for (NodeId u = 0; u < n_; ++u)
+    ages_[rcv + u] = std::min(ages_[rcv + u], ages_[snd + u]);
+}
+
+void DynamicGossipProtocol::end_round(sim::Round /*r*/) {}
+
+std::uint32_t DynamicGossipProtocol::age(NodeId v, NodeId u) const {
+  RADNET_REQUIRE(v < n_ && u < n_, "age query out of range");
+  return ages_[static_cast<std::size_t>(v) * n_ + u];
+}
+
+double DynamicGossipProtocol::coverage() const {
+  std::size_t live = 0;
+  for (const auto a : ages_) live += (a != kNever) ? 1 : 0;
+  return static_cast<double>(live) /
+         static_cast<double>(static_cast<std::size_t>(n_) * n_);
+}
+
+DynamicGossipProtocol::Staleness DynamicGossipProtocol::staleness() const {
+  Staleness s;
+  std::size_t live = 0;
+  double sum = 0.0;
+  for (const auto a : ages_) {
+    if (a == kNever) continue;
+    ++live;
+    sum += a;
+    s.max = std::max(s.max, a);
+  }
+  if (live > 0) s.mean = sum / static_cast<double>(live);
+  return s;
+}
+
+}  // namespace radnet::core

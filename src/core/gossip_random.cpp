@@ -1,0 +1,61 @@
+#include "core/gossip_random.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "support/math.hpp"
+#include "support/require.hpp"
+
+namespace radnet::core {
+
+GossipRandomProtocol::GossipRandomProtocol(GossipRandomParams params)
+    : params_(params) {
+  RADNET_REQUIRE(params_.p > 0.0 && params_.p <= 1.0, "p must be in (0,1]");
+  RADNET_REQUIRE(params_.round_factor > 0.0, "round_factor must be positive");
+}
+
+void GossipRandomProtocol::reset(NodeId num_nodes, Rng rng) {
+  RADNET_REQUIRE(num_nodes >= 2, "Algorithm 2 needs n >= 2");
+  n_ = num_nodes;
+  rng_ = rng;
+  d_ = static_cast<double>(n_) * params_.p;
+  RADNET_REQUIRE(d_ > 1.0, "Algorithm 2 needs expected degree d = np > 1");
+  tx_prob_ = 1.0 / d_;
+  budget_ = static_cast<sim::Round>(std::ceil(
+      params_.round_factor * d_ * log2d(static_cast<double>(n_))));
+
+  everyone_.resize(n_);
+  std::iota(everyone_.begin(), everyone_.end(), NodeId{0});
+  rumors_.assign(n_, Bitset(n_));
+  for (NodeId v = 0; v < n_; ++v) rumors_[v].set(v);
+  known_ = n_;
+}
+
+std::span<const NodeId> GossipRandomProtocol::candidates() const {
+  return {everyone_.data(), everyone_.size()};
+}
+
+bool GossipRandomProtocol::wants_transmit(NodeId /*v*/, sim::Round r) {
+  if (r >= budget_) return false;
+  return rng_.bernoulli(tx_prob_);
+}
+
+void GossipRandomProtocol::on_delivered(NodeId receiver, NodeId sender,
+                                        sim::Round /*r*/) {
+  // Half-duplex semantics (engine default) guarantee the sender received
+  // nothing this round, so its current set equals the set it transmitted.
+  const std::size_t before = rumors_[receiver].count();
+  if (rumors_[receiver].unite(rumors_[sender]))
+    known_ += rumors_[receiver].count() - before;
+}
+
+bool GossipRandomProtocol::is_complete() const {
+  return known_ == static_cast<std::uint64_t>(n_) * n_;
+}
+
+std::size_t GossipRandomProtocol::rumors_known(NodeId v) const {
+  RADNET_REQUIRE(v < n_, "node out of range");
+  return rumors_[v].count();
+}
+
+}  // namespace radnet::core

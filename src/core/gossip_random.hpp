@@ -1,0 +1,73 @@
+// Algorithm 2 — gossip for random networks (§3).
+//
+// Every node starts with its own rumor. In every round, every node transmits
+// with probability 1/d (d = np), sending the *join* of every rumor it knows
+// (the combined-message model of [8,11]: a message can carry any set of
+// rumors and still fits in one round). A node that hears a clean
+// transmission joins the incoming rumor set into its own.
+//
+// Theorem 3.2: with p > delta log n / n, gossip completes in O(d log n)
+// rounds w.h.p. and every node performs O(log n) transmissions w.h.p. —
+// nodes never become passive here; the energy bound comes from the round
+// budget 128 d log n times the 1/d transmit probability.
+//
+// Rumor sets are bitsets of size n; delivery merges are word-parallel. The
+// protocol tracks the global count of (node, rumor) pairs known so the
+// engine's completion check is O(1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/protocol.hpp"
+#include "support/bitset.hpp"
+
+namespace radnet::core {
+
+using graph::NodeId;
+
+struct GossipRandomParams {
+  /// Edge probability the protocol is tuned for (nodes know n and p).
+  double p = 0.0;
+  /// The protocol's round budget is ceil(round_factor * d * log2 n). The
+  /// paper's constant is 128; the engine stops at completion, so this only
+  /// bounds the worst case.
+  double round_factor = 128.0;
+};
+
+class GossipRandomProtocol final : public sim::Protocol {
+ public:
+  explicit GossipRandomProtocol(GossipRandomParams params);
+
+  void reset(NodeId num_nodes, Rng rng) override;
+  [[nodiscard]] std::span<const NodeId> candidates() const override;
+  [[nodiscard]] bool wants_transmit(NodeId v, sim::Round r) override;
+  void on_delivered(NodeId receiver, NodeId sender, sim::Round r) override;
+  [[nodiscard]] bool is_complete() const override;
+  [[nodiscard]] std::string name() const override { return "alg2"; }
+
+  /// ceil(round_factor * d * log2 n): pass to RunOptions::max_rounds.
+  [[nodiscard]] sim::Round round_budget() const noexcept { return budget_; }
+
+  /// Number of rumors node v currently knows.
+  [[nodiscard]] std::size_t rumors_known(NodeId v) const;
+
+  /// Total (node, rumor) pairs known, out of n * n.
+  [[nodiscard]] std::uint64_t pairs_known() const noexcept { return known_; }
+
+  [[nodiscard]] double degree() const noexcept { return d_; }
+
+ private:
+  GossipRandomParams params_;
+  Rng rng_;
+  NodeId n_ = 0;
+  double d_ = 0.0;
+  double tx_prob_ = 0.0;
+  sim::Round budget_ = 0;
+  std::vector<NodeId> everyone_;
+  std::vector<Bitset> rumors_;
+  std::uint64_t known_ = 0;
+};
+
+}  // namespace radnet::core

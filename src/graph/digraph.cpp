@@ -1,0 +1,95 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+#include "support/require.hpp"
+
+namespace radnet::graph {
+
+Digraph::Digraph(NodeId n, std::vector<Edge> edges) : n_(n) {
+  for (const auto& e : edges) {
+    RADNET_REQUIRE(e.from < n && e.to < n, "edge endpoint out of range");
+    RADNET_REQUIRE(e.from != e.to, "self-loops are not allowed");
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.from != b.from ? a.from < b.from : a.to < b.to;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  out_off_.assign(static_cast<std::size_t>(n) + 1, 0);
+  in_off_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& e : edges) {
+    ++out_off_[e.from + 1];
+    ++in_off_[e.to + 1];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    out_off_[v + 1] += out_off_[v];
+    in_off_[v + 1] += in_off_[v];
+  }
+  out_adj_.resize(edges.size());
+  in_adj_.resize(edges.size());
+  std::vector<std::uint64_t> out_cursor(out_off_.begin(), out_off_.end() - 1);
+  std::vector<std::uint64_t> in_cursor(in_off_.begin(), in_off_.end() - 1);
+  for (const auto& e : edges) {
+    out_adj_[out_cursor[e.from]++] = e.to;
+    in_adj_[in_cursor[e.to]++] = e.from;
+  }
+  // in_adj_ groups by target in source-sorted order; sort each bucket for
+  // deterministic iteration and binary-searchability.
+  for (NodeId v = 0; v < n; ++v)
+    std::sort(in_adj_.begin() + static_cast<std::ptrdiff_t>(in_off_[v]),
+              in_adj_.begin() + static_cast<std::ptrdiff_t>(in_off_[v + 1]));
+}
+
+std::span<const NodeId> Digraph::out_neighbors(NodeId v) const {
+  RADNET_REQUIRE(v < n_, "node out of range");
+  return {out_adj_.data() + out_off_[v], out_adj_.data() + out_off_[v + 1]};
+}
+
+std::span<const NodeId> Digraph::in_neighbors(NodeId v) const {
+  RADNET_REQUIRE(v < n_, "node out of range");
+  return {in_adj_.data() + in_off_[v], in_adj_.data() + in_off_[v + 1]};
+}
+
+std::uint32_t Digraph::out_degree(NodeId v) const {
+  RADNET_REQUIRE(v < n_, "node out of range");
+  return static_cast<std::uint32_t>(out_off_[v + 1] - out_off_[v]);
+}
+
+std::uint32_t Digraph::in_degree(NodeId v) const {
+  RADNET_REQUIRE(v < n_, "node out of range");
+  return static_cast<std::uint32_t>(in_off_[v + 1] - in_off_[v]);
+}
+
+bool Digraph::has_edge(NodeId u, NodeId v) const {
+  const auto nb = out_neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+Digraph Digraph::reversed() const {
+  std::vector<Edge> edges;
+  edges.reserve(out_adj_.size());
+  for (NodeId v = 0; v < n_; ++v)
+    for (const NodeId w : out_neighbors(v)) edges.push_back({w, v});
+  return Digraph(n_, std::move(edges));
+}
+
+std::vector<Edge> Digraph::edge_list() const {
+  std::vector<Edge> edges;
+  edges.reserve(out_adj_.size());
+  for (NodeId v = 0; v < n_; ++v)
+    for (const NodeId w : out_neighbors(v)) edges.push_back({v, w});
+  return edges;
+}
+
+std::vector<Edge> symmetrise(const std::vector<Edge>& edges) {
+  std::vector<Edge> out;
+  out.reserve(edges.size() * 2);
+  for (const auto& e : edges) {
+    out.push_back(e);
+    out.push_back({e.to, e.from});
+  }
+  return out;
+}
+
+}  // namespace radnet::graph

@@ -1,0 +1,79 @@
+// Immutable directed graph in compressed sparse row form.
+//
+// Orientation convention. The paper (Section 1.2) writes "(u,v) ∈ E means
+// that u is in the communication range of v", i.e. v's transmissions reach u.
+// The simulator stores the *transmission* direction instead: an edge u → v in
+// a radnet::graph::Digraph means "when u transmits, v can hear u". The two
+// conventions are mutually reversed; all generators and algorithms in this
+// repository consistently use the transmission direction, which makes the
+// collision rule read naturally: node v receives in a round iff exactly one
+// of v's *in*-neighbours transmits.
+//
+// Graphs are immutable after construction and therefore safely shared across
+// Monte-Carlo worker threads without synchronisation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace radnet::graph {
+
+using NodeId = std::uint32_t;
+
+/// An edge in transmission direction: when `from` transmits, `to` hears.
+struct Edge {
+  NodeId from;
+  NodeId to;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Digraph {
+ public:
+  /// Builds a graph with `n` nodes from an edge list. Self-loops are
+  /// rejected (a radio cannot usefully transmit to itself); parallel edges
+  /// are collapsed. The edge list is taken by value and consumed.
+  Digraph(NodeId n, std::vector<Edge> edges);
+
+  /// An empty graph.
+  Digraph() = default;
+
+  [[nodiscard]] NodeId num_nodes() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept {
+    return static_cast<std::uint64_t>(out_adj_.size());
+  }
+
+  /// Nodes that hear `v` when v transmits.
+  [[nodiscard]] std::span<const NodeId> out_neighbors(NodeId v) const;
+
+  /// Nodes whose transmissions reach `v`.
+  [[nodiscard]] std::span<const NodeId> in_neighbors(NodeId v) const;
+
+  [[nodiscard]] std::uint32_t out_degree(NodeId v) const;
+  [[nodiscard]] std::uint32_t in_degree(NodeId v) const;
+
+  /// True iff the transmission edge u -> v exists (binary search).
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  /// The graph with every edge reversed.
+  [[nodiscard]] Digraph reversed() const;
+
+  /// All edges in transmission direction, grouped by source, targets sorted.
+  [[nodiscard]] std::vector<Edge> edge_list() const;
+
+ private:
+  NodeId n_ = 0;
+  // CSR over out-edges and (separately) in-edges.
+  std::vector<std::uint64_t> out_off_;
+  std::vector<NodeId> out_adj_;
+  std::vector<std::uint64_t> in_off_;
+  std::vector<NodeId> in_adj_;
+};
+
+/// Convenience: adds both directions of each listed pair (symmetric links,
+/// as in undirected radio models and geometric graphs).
+[[nodiscard]] std::vector<Edge> symmetrise(const std::vector<Edge>& edges);
+
+}  // namespace radnet::graph

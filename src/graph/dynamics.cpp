@@ -1,0 +1,173 @@
+#include "graph/dynamics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/require.hpp"
+
+namespace radnet::graph {
+
+namespace {
+
+/// Ordered-pair index -> (u, v) with the diagonal removed: row u holds the
+/// n-1 targets {0..n-1} \ {u}, in order.
+Edge pair_of(NodeId n, std::uint64_t idx) {
+  const NodeId u = static_cast<NodeId>(idx / (n - 1));
+  NodeId v = static_cast<NodeId>(idx % (n - 1));
+  if (v >= u) ++v;
+  return {u, v};
+}
+
+}  // namespace
+
+ChurnGnp::ChurnGnp(NodeId n, double p, double churn, Rng rng)
+    : n_(n), p_(p), churn_(churn), rng_(rng) {
+  RADNET_REQUIRE(n >= 2, "ChurnGnp needs n >= 2");
+  RADNET_REQUIRE(p >= 0.0 && p <= 1.0, "p must be in [0,1]");
+  RADNET_REQUIRE(churn >= 0.0 && churn <= 1.0, "churn must be in [0,1]");
+  const std::uint64_t pairs =
+      static_cast<std::uint64_t>(n) * (static_cast<std::uint64_t>(n) - 1);
+  RADNET_REQUIRE(pairs < (1ull << 32),
+                 "ChurnGnp maintains dense pair state; n too large");
+  present_.assign(pairs, 0);
+  // Initial state: exact G(n,p) via skip sampling.
+  if (p_ > 0.0) {
+    std::uint64_t i = rng_.geometric(std::min(1.0, p_)) - 1;
+    while (i < pairs) {
+      present_[i] = 1;
+      if (p_ >= 1.0) {
+        ++i;
+      } else {
+        i += rng_.geometric(p_);
+      }
+    }
+  }
+  rebuild();
+}
+
+void ChurnGnp::resample_step() {
+  if (churn_ <= 0.0) return;
+  const std::uint64_t pairs = present_.size();
+  // Visit an expected churn * pairs positions by geometric skipping and
+  // re-Bernoulli(p) each; this keeps G(n,p) stationary.
+  if (churn_ >= 1.0) {
+    for (std::uint64_t i = 0; i < pairs; ++i)
+      present_[i] = rng_.bernoulli(p_) ? 1 : 0;
+    return;
+  }
+  std::uint64_t i = rng_.geometric(churn_) - 1;
+  while (i < pairs) {
+    present_[i] = rng_.bernoulli(p_) ? 1 : 0;
+    i += rng_.geometric(churn_);
+  }
+}
+
+void ChurnGnp::rebuild() {
+  edges_.clear();
+  for (std::uint64_t i = 0; i < present_.size(); ++i)
+    if (present_[i]) edges_.push_back(pair_of(n_, i));
+  current_ = Digraph(n_, edges_);
+}
+
+const Digraph& ChurnGnp::at(std::uint32_t round) {
+  RADNET_REQUIRE(!built_ || round >= built_round_,
+                 "TopologySequence must be accessed with non-decreasing rounds");
+  if (!built_) {
+    built_ = true;
+    built_round_ = 0;
+  }
+  while (built_round_ < round) {
+    resample_step();
+    ++built_round_;
+    if (built_round_ == round) rebuild();
+  }
+  return current_;
+}
+
+MobilityRgg::MobilityRgg(NodeId n, double radius, double step, Rng rng)
+    : n_(n), radius_(radius), step_(step), rng_(rng) {
+  RADNET_REQUIRE(n >= 1, "MobilityRgg needs n >= 1");
+  RADNET_REQUIRE(radius > 0.0 && radius <= 1.5, "radius must be in (0, 1.5]");
+  RADNET_REQUIRE(step >= 0.0 && step <= 1.0, "step must be in [0,1]");
+  pts_.resize(n);
+  for (auto& pt : pts_) pt = Point{rng_.next_double(), rng_.next_double()};
+  rebuild();
+}
+
+void MobilityRgg::move_step() {
+  if (step_ <= 0.0) return;  // parked devices: topology is static
+  for (auto& pt : pts_) {
+    // Uniform step in a square of side 2*step, reflected at the borders.
+    pt.x += rng_.uniform_real(-step_, step_);
+    pt.y += rng_.uniform_real(-step_, step_);
+    if (pt.x < 0.0) pt.x = -pt.x;
+    if (pt.x > 1.0) pt.x = 2.0 - pt.x;
+    if (pt.y < 0.0) pt.y = -pt.y;
+    if (pt.y > 1.0) pt.y = 2.0 - pt.y;
+    pt.x = std::clamp(pt.x, 0.0, 1.0);
+    pt.y = std::clamp(pt.y, 0.0, 1.0);
+  }
+}
+
+void MobilityRgg::rebuild() {
+  // Reuse the static generator's bucketed neighbour search by regenerating
+  // from the current positions: O(n + m) per round.
+  const double r2 = radius_ * radius_;
+  std::vector<Edge> edges;
+  const auto cells =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(1.0 / radius_));
+  const double cell_size = 1.0 / static_cast<double>(cells);
+  std::vector<std::vector<NodeId>> buckets(static_cast<std::size_t>(cells) *
+                                           cells);
+  const auto cell_of = [&](const Point& pt) {
+    auto cx = static_cast<std::uint32_t>(pt.x / cell_size);
+    auto cy = static_cast<std::uint32_t>(pt.y / cell_size);
+    cx = std::min(cx, cells - 1);
+    cy = std::min(cy, cells - 1);
+    return std::pair<std::uint32_t, std::uint32_t>{cx, cy};
+  };
+  for (NodeId v = 0; v < n_; ++v) {
+    const auto [cx, cy] = cell_of(pts_[v]);
+    buckets[static_cast<std::size_t>(cy) * cells + cx].push_back(v);
+  }
+  for (NodeId v = 0; v < n_; ++v) {
+    const auto [cx, cy] = cell_of(pts_[v]);
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int nx = static_cast<int>(cx) + dx;
+        const int ny = static_cast<int>(cy) + dy;
+        if (nx < 0 || ny < 0 || nx >= static_cast<int>(cells) ||
+            ny >= static_cast<int>(cells))
+          continue;
+        for (const NodeId w : buckets[static_cast<std::size_t>(ny) * cells +
+                                      static_cast<std::size_t>(nx)]) {
+          if (w <= v) continue;
+          const double ddx = pts_[v].x - pts_[w].x;
+          const double ddy = pts_[v].y - pts_[w].y;
+          if (ddx * ddx + ddy * ddy <= r2) {
+            edges.push_back({v, w});
+            edges.push_back({w, v});
+          }
+        }
+      }
+    }
+  }
+  current_ = Digraph(n_, std::move(edges));
+}
+
+const Digraph& MobilityRgg::at(std::uint32_t round) {
+  RADNET_REQUIRE(!built_ || round >= built_round_,
+                 "TopologySequence must be accessed with non-decreasing rounds");
+  if (!built_) {
+    built_ = true;
+    built_round_ = 0;
+  }
+  while (built_round_ < round) {
+    move_step();
+    ++built_round_;
+    if (built_round_ == round) rebuild();
+  }
+  return current_;
+}
+
+}  // namespace radnet::graph

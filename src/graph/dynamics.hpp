@@ -1,0 +1,109 @@
+// Dynamic topologies — the paper's motivating setting.
+//
+// Section 1: "due to the mobility of the nodes, the network topology changes
+// over time. This last characteristic makes it desirable that communication
+// algorithms use local information only." The paper's algorithms are
+// oblivious precisely so they survive topology change; this module provides
+// the changing topologies to test that claim (used by the dynamic gossip of
+// Section 3's remark and the E14 extension experiments).
+//
+// A TopologySequence yields the communication graph for each round. All
+// implementations are deterministic functions of their seed Rng, and all
+// keep the node count fixed (devices persist; links change).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace radnet::graph {
+
+class TopologySequence {
+ public:
+  virtual ~TopologySequence() = default;
+
+  [[nodiscard]] virtual NodeId num_nodes() const = 0;
+
+  /// The graph in force during round r. Must be called with non-decreasing
+  /// r (the engine's access pattern); the reference stays valid until the
+  /// next call.
+  [[nodiscard]] virtual const Digraph& at(std::uint32_t round) = 0;
+};
+
+/// A constant topology wrapped as a sequence.
+class StaticTopology final : public TopologySequence {
+ public:
+  explicit StaticTopology(Digraph g) : g_(std::move(g)) {}
+  [[nodiscard]] NodeId num_nodes() const override { return g_.num_nodes(); }
+  [[nodiscard]] const Digraph& at(std::uint32_t) override { return g_; }
+
+ private:
+  Digraph g_;
+};
+
+/// Directed G(n,p) with per-round edge churn. Every round, each ordered
+/// pair is *re-sampled* (set to present with probability p) independently
+/// with probability `churn`; pairs not selected keep their state. Started
+/// from G(n,p) the process is stationary: the graph is G(n,p) at every
+/// round, but an expected churn * n * (n-1) pair-states refresh per round —
+/// the memoryless link-level mobility model.
+class ChurnGnp final : public TopologySequence {
+ public:
+  /// churn in [0, 1]: fraction of pair-states re-sampled per round.
+  ChurnGnp(NodeId n, double p, double churn, Rng rng);
+
+  [[nodiscard]] NodeId num_nodes() const override { return n_; }
+  [[nodiscard]] const Digraph& at(std::uint32_t round) override;
+
+  /// Current edge count (for stationarity tests).
+  [[nodiscard]] std::uint64_t edge_count() const { return edges_.size(); }
+
+ private:
+  void resample_step();
+  void rebuild();
+
+  NodeId n_;
+  double p_;
+  double churn_;
+  Rng rng_;
+  // Dense membership per ordered pair index (u * (n-1) + slot), mirrored by
+  // the edge list used to rebuild the CSR graph.
+  std::vector<char> present_;
+  std::vector<Edge> edges_;
+  Digraph current_;
+  std::uint32_t built_round_ = 0;
+  bool built_ = false;
+};
+
+/// Random-walk mobility over a random geometric graph: n devices in the
+/// unit square, each taking an independent uniform step of length at most
+/// `step` per round (reflected at the borders); symmetric links within
+/// `radius`. The standard smooth-mobility model for ad-hoc networks.
+class MobilityRgg final : public TopologySequence {
+ public:
+  MobilityRgg(NodeId n, double radius, double step, Rng rng);
+
+  [[nodiscard]] NodeId num_nodes() const override { return n_; }
+  [[nodiscard]] const Digraph& at(std::uint32_t round) override;
+
+  [[nodiscard]] const std::vector<Point>& positions() const { return pts_; }
+
+ private:
+  void move_step();
+  void rebuild();
+
+  NodeId n_;
+  double radius_;
+  double step_;
+  Rng rng_;
+  std::vector<Point> pts_;
+  Digraph current_;
+  std::uint32_t built_round_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace radnet::graph

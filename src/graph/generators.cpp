@@ -1,0 +1,220 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/math.hpp"
+#include "support/require.hpp"
+
+namespace radnet::graph {
+
+namespace {
+
+/// Iterates the indices of a Bernoulli(p) subset of [0, total) by geometric
+/// skipping and calls f(index) for each selected element.
+template <typename F>
+void skip_sample(std::uint64_t total, double p, Rng& rng, F&& f) {
+  if (p <= 0.0 || total == 0) return;
+  if (p >= 1.0) {
+    for (std::uint64_t i = 0; i < total; ++i) f(i);
+    return;
+  }
+  std::uint64_t i = rng.geometric(p) - 1;  // first selected index
+  while (i < total) {
+    f(i);
+    i += rng.geometric(p);
+  }
+}
+
+}  // namespace
+
+Digraph gnp_directed(NodeId n, double p, Rng& rng) {
+  RADNET_REQUIRE(n >= 1, "gnp_directed needs n >= 1");
+  RADNET_REQUIRE(p >= 0.0 && p <= 1.0, "p must be in [0,1]");
+  std::vector<Edge> edges;
+  if (p > 0.0)
+    edges.reserve(static_cast<std::size_t>(
+        static_cast<double>(n) * static_cast<double>(n) * p * 1.1 + 16));
+  const std::uint64_t pairs =
+      static_cast<std::uint64_t>(n) * (static_cast<std::uint64_t>(n) - 1);
+  skip_sample(pairs, p, rng, [&](std::uint64_t idx) {
+    // Ordered pairs without the diagonal: row u has n-1 slots.
+    const NodeId u = static_cast<NodeId>(idx / (n - 1));
+    NodeId v = static_cast<NodeId>(idx % (n - 1));
+    if (v >= u) ++v;  // skip the diagonal
+    edges.push_back({u, v});
+  });
+  return Digraph(n, std::move(edges));
+}
+
+Digraph gnp_undirected(NodeId n, double p, Rng& rng) {
+  RADNET_REQUIRE(n >= 1, "gnp_undirected needs n >= 1");
+  RADNET_REQUIRE(p >= 0.0 && p <= 1.0, "p must be in [0,1]");
+  std::vector<Edge> edges;
+  const std::uint64_t pairs =
+      static_cast<std::uint64_t>(n) * (static_cast<std::uint64_t>(n) - 1) / 2;
+  if (p > 0.0)
+    edges.reserve(static_cast<std::size_t>(static_cast<double>(pairs) * p * 2.2 + 16));
+  skip_sample(pairs, p, rng, [&](std::uint64_t idx) {
+    // Unrank idx into the strictly-lower-triangular pair (u, v), u > v.
+    // Row u contains u entries; find u with u(u-1)/2 <= idx < u(u+1)/2.
+    const double x = std::floor((1.0 + std::sqrt(1.0 + 8.0 * static_cast<double>(idx))) / 2.0);
+    NodeId u = static_cast<NodeId>(x);
+    while (static_cast<std::uint64_t>(u) * (u + 1) / 2 <= idx) ++u;
+    while (static_cast<std::uint64_t>(u) * (u - 1) / 2 > idx) --u;
+    const NodeId v = static_cast<NodeId>(idx - static_cast<std::uint64_t>(u) * (u - 1) / 2);
+    edges.push_back({u, v});
+    edges.push_back({v, u});
+  });
+  return Digraph(n, std::move(edges));
+}
+
+Digraph random_geometric(NodeId n, double radius, Rng& rng,
+                         std::vector<Point>* positions_out) {
+  RADNET_REQUIRE(n >= 1, "random_geometric needs n >= 1");
+  RADNET_REQUIRE(radius > 0.0 && radius <= 1.5, "radius must be in (0, 1.5]");
+  std::vector<Point> pts(n);
+  for (auto& pt : pts) pt = Point{rng.next_double(), rng.next_double()};
+
+  // Bucket grid with cell size = radius; only same/adjacent cells can link.
+  const std::uint32_t cells =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(1.0 / radius));
+  const double cell_size = 1.0 / static_cast<double>(cells);
+  std::vector<std::vector<NodeId>> grid_buckets(
+      static_cast<std::size_t>(cells) * cells);
+  const auto cell_of = [&](const Point& pt) {
+    auto cx = static_cast<std::uint32_t>(pt.x / cell_size);
+    auto cy = static_cast<std::uint32_t>(pt.y / cell_size);
+    cx = std::min(cx, cells - 1);
+    cy = std::min(cy, cells - 1);
+    return std::pair<std::uint32_t, std::uint32_t>{cx, cy};
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    const auto [cx, cy] = cell_of(pts[v]);
+    grid_buckets[static_cast<std::size_t>(cy) * cells + cx].push_back(v);
+  }
+
+  const double r2 = radius * radius;
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto [cx, cy] = cell_of(pts[v]);
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int nx = static_cast<int>(cx) + dx;
+        const int ny = static_cast<int>(cy) + dy;
+        if (nx < 0 || ny < 0 || nx >= static_cast<int>(cells) ||
+            ny >= static_cast<int>(cells))
+          continue;
+        for (const NodeId w :
+             grid_buckets[static_cast<std::size_t>(ny) * cells +
+                          static_cast<std::size_t>(nx)]) {
+          if (w <= v) continue;  // handle each unordered pair once
+          const double ddx = pts[v].x - pts[w].x;
+          const double ddy = pts[v].y - pts[w].y;
+          if (ddx * ddx + ddy * ddy <= r2) {
+            edges.push_back({v, w});
+            edges.push_back({w, v});
+          }
+        }
+      }
+    }
+  }
+  if (positions_out != nullptr) *positions_out = std::move(pts);
+  return Digraph(n, std::move(edges));
+}
+
+double rgg_threshold_radius(NodeId n, double c) {
+  RADNET_REQUIRE(n >= 2, "rgg_threshold_radius needs n >= 2");
+  RADNET_REQUIRE(c > 0.0, "c must be positive");
+  return std::sqrt(c * std::log(static_cast<double>(n)) /
+                   (3.141592653589793 * static_cast<double>(n)));
+}
+
+Digraph path(NodeId n) {
+  RADNET_REQUIRE(n >= 1, "path needs n >= 1");
+  std::vector<Edge> edges;
+  edges.reserve(2 * (n - 1));
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    edges.push_back({v, static_cast<NodeId>(v + 1)});
+    edges.push_back({static_cast<NodeId>(v + 1), v});
+  }
+  return Digraph(n, std::move(edges));
+}
+
+Digraph cycle(NodeId n) {
+  RADNET_REQUIRE(n >= 3, "cycle needs n >= 3");
+  std::vector<Edge> edges;
+  edges.reserve(2 * n);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId w = static_cast<NodeId>((v + 1) % n);
+    edges.push_back({v, w});
+    edges.push_back({w, v});
+  }
+  return Digraph(n, std::move(edges));
+}
+
+Digraph grid(NodeId w, NodeId h) {
+  RADNET_REQUIRE(w >= 1 && h >= 1, "grid needs positive dimensions");
+  std::vector<Edge> edges;
+  const auto id = [w](NodeId r, NodeId c) { return static_cast<NodeId>(r * w + c); };
+  for (NodeId r = 0; r < h; ++r) {
+    for (NodeId c = 0; c < w; ++c) {
+      if (c + 1 < w) {
+        edges.push_back({id(r, c), id(r, c + 1)});
+        edges.push_back({id(r, c + 1), id(r, c)});
+      }
+      if (r + 1 < h) {
+        edges.push_back({id(r, c), id(r + 1, c)});
+        edges.push_back({id(r + 1, c), id(r, c)});
+      }
+    }
+  }
+  return Digraph(static_cast<NodeId>(w * h), std::move(edges));
+}
+
+Digraph star(NodeId n) {
+  RADNET_REQUIRE(n >= 2, "star needs n >= 2");
+  std::vector<Edge> edges;
+  edges.reserve(2 * (n - 1));
+  for (NodeId v = 1; v < n; ++v) {
+    edges.push_back({0, v});
+    edges.push_back({v, 0});
+  }
+  return Digraph(n, std::move(edges));
+}
+
+Digraph complete(NodeId n) {
+  RADNET_REQUIRE(n >= 1, "complete needs n >= 1");
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1));
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = 0; v < n; ++v)
+      if (u != v) edges.push_back({u, v});
+  return Digraph(n, std::move(edges));
+}
+
+Digraph cluster_chain(NodeId cluster_size, NodeId chain_len) {
+  RADNET_REQUIRE(cluster_size >= 1, "cluster_chain needs cluster_size >= 1");
+  RADNET_REQUIRE(chain_len >= 1, "cluster_chain needs chain_len >= 1");
+  const NodeId n = static_cast<NodeId>(cluster_size * chain_len);
+  std::vector<Edge> edges;
+  for (NodeId c = 0; c < chain_len; ++c) {
+    const NodeId base = static_cast<NodeId>(c * cluster_size);
+    for (NodeId i = 0; i < cluster_size; ++i)
+      for (NodeId j = 0; j < cluster_size; ++j)
+        if (i != j)
+          edges.push_back({static_cast<NodeId>(base + i),
+                           static_cast<NodeId>(base + j)});
+    if (c + 1 < chain_len) {
+      // One symmetric bridge from the last node of this cluster to the first
+      // node of the next.
+      const NodeId a = static_cast<NodeId>(base + cluster_size - 1);
+      const NodeId b = static_cast<NodeId>(base + cluster_size);
+      edges.push_back({a, b});
+      edges.push_back({b, a});
+    }
+  }
+  return Digraph(n, std::move(edges));
+}
+
+}  // namespace radnet::graph

@@ -1,0 +1,81 @@
+// Network generators.
+//
+// Covers every topology the paper uses or motivates:
+//  * directed Erdős–Rényi G(n,p) — the random-network model of Sections 2/3
+//    ("node v has an edge to node w with probability p", so each *ordered*
+//    pair is sampled independently);
+//  * undirected (symmetric) G(n,p) — used by comparisons with [12,13];
+//  * random geometric graphs — the "more realistic" model named in the
+//    paper's future-work list (Section 5);
+//  * deterministic topologies (path, cycle, grid, star, complete, layered
+//    caterpillar) used by the general-network experiments of Section 4.
+//
+// All generators are pure functions of their Rng argument; splitting the
+// caller's generator per trial yields independent, reproducible networks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "support/rng.hpp"
+
+namespace radnet::graph {
+
+/// Directed G(n,p): every ordered pair (u,v), u != v, becomes a transmission
+/// edge independently with probability p. Uses geometric skipping, so the
+/// cost is O(n + m), not O(n^2).
+[[nodiscard]] Digraph gnp_directed(NodeId n, double p, Rng& rng);
+
+/// Undirected G(n,p): every unordered pair is linked with probability p and
+/// contributes both transmission directions.
+[[nodiscard]] Digraph gnp_undirected(NodeId n, double p, Rng& rng);
+
+/// A point in the unit square, exposed so examples can render node layouts.
+struct Point {
+  double x;
+  double y;
+};
+
+/// Random geometric graph: n points uniform in the unit square, symmetric
+/// links between points at Euclidean distance <= radius. Grid-bucketed, so
+/// cost is O(n + m) for radii near the connectivity threshold
+/// sqrt(ln n / (pi n)). If `positions_out` is non-null the sampled layout is
+/// returned for visualisation.
+[[nodiscard]] Digraph random_geometric(NodeId n, double radius, Rng& rng,
+                                       std::vector<Point>* positions_out = nullptr);
+
+/// The connectivity-threshold radius sqrt(c * ln n / (pi * n)) for RGGs.
+[[nodiscard]] double rgg_threshold_radius(NodeId n, double c = 1.0);
+
+/// Bidirectional path 0 - 1 - ... - (n-1). Diameter n-1.
+[[nodiscard]] Digraph path(NodeId n);
+
+/// Bidirectional cycle. Diameter floor(n/2).
+[[nodiscard]] Digraph cycle(NodeId n);
+
+/// Bidirectional w x h grid, node (r, c) has id r*w + c. Diameter w+h-2.
+[[nodiscard]] Digraph grid(NodeId w, NodeId h);
+
+/// Star with one hub (id 0) and n-1 leaves; symmetric links.
+[[nodiscard]] Digraph star(NodeId n);
+
+/// Complete symmetric graph.
+[[nodiscard]] Digraph complete(NodeId n);
+
+/// "Cluster chain": `chain_len` dense clusters of `cluster_size` nodes
+/// (cliques), consecutive clusters joined by a single symmetric bridge edge.
+/// Diameter ~ 2 * chain_len; a standard stress topology for broadcast with
+/// both dense collision domains and long stretches — exercises both regimes
+/// of the Theorem 4.1/4.2 analysis (small vs large layers).
+[[nodiscard]] Digraph cluster_chain(NodeId cluster_size, NodeId chain_len);
+
+/// Result metadata for generators whose constructions have named parts.
+struct GnpParams {
+  NodeId n;
+  double p;
+  /// Expected in/out degree d = n * p.
+  [[nodiscard]] double degree() const { return static_cast<double>(n) * p; }
+};
+
+}  // namespace radnet::graph

@@ -1,0 +1,68 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/require.hpp"
+
+namespace radnet::graph {
+
+void write_edge_list(std::ostream& os, const Digraph& g) {
+  os << "radnet-digraph " << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    for (const NodeId w : g.out_neighbors(v)) os << v << ' ' << w << '\n';
+}
+
+Digraph read_edge_list(std::istream& is) {
+  std::string line;
+  std::string magic;
+  std::uint64_t n = 0, m = 0;
+  // Skip comments before the header.
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream hdr(line);
+    if (!(hdr >> magic >> n >> m) || magic != "radnet-digraph")
+      throw std::runtime_error("bad edge-list header: " + line);
+    break;
+  }
+  if (magic.empty()) throw std::runtime_error("empty edge-list input");
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  std::uint64_t seen = 0;
+  while (seen < m && std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    std::uint64_t a = 0, b = 0;
+    if (!(row >> a >> b)) throw std::runtime_error("bad edge line: " + line);
+    if (a >= n || b >= n) throw std::runtime_error("edge endpoint out of range: " + line);
+    edges.push_back({static_cast<NodeId>(a), static_cast<NodeId>(b)});
+    ++seen;
+  }
+  if (seen != m) throw std::runtime_error("edge-list truncated");
+  return Digraph(static_cast<NodeId>(n), std::move(edges));
+}
+
+void save_edge_list(const std::string& path, const Digraph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  write_edge_list(out, g);
+  if (!out) throw std::runtime_error("error writing " + path);
+}
+
+Digraph load_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_edge_list(in);
+}
+
+std::string to_dot(const Digraph& g, const std::string& name) {
+  std::ostringstream os;
+  os << "digraph " << name << " {\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    for (const NodeId w : g.out_neighbors(v))
+      os << "  " << v << " -> " << w << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace radnet::graph

@@ -1,0 +1,31 @@
+// Graph serialisation: a plain edge-list text format plus Graphviz DOT
+// export, so experiment topologies can be archived and inspected.
+//
+// Edge-list format:
+//   line 1:  "radnet-digraph <n> <m>"
+//   m lines: "<from> <to>"          (transmission direction)
+// Comment lines start with '#'.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace radnet::graph {
+
+/// Writes the edge-list format to `os`.
+void write_edge_list(std::ostream& os, const Digraph& g);
+
+/// Parses the edge-list format. Throws std::runtime_error on malformed
+/// input.
+[[nodiscard]] Digraph read_edge_list(std::istream& is);
+
+/// Round-trips through a file. Throws std::runtime_error on I/O failure.
+void save_edge_list(const std::string& path, const Digraph& g);
+[[nodiscard]] Digraph load_edge_list(const std::string& path);
+
+/// Graphviz DOT (directed) representation for small graphs.
+[[nodiscard]] std::string to_dot(const Digraph& g, const std::string& name = "radnet");
+
+}  // namespace radnet::graph

@@ -1,0 +1,114 @@
+#include "graph/lower_bound_nets.hpp"
+
+#include <cmath>
+
+#include "support/math.hpp"
+#include "support/require.hpp"
+
+namespace radnet::graph {
+
+double Obs43Network::transmission_lower_bound() const {
+  const double n = static_cast<double>(n_destinations);
+  return n * std::log2(n) / 2.0;
+}
+
+Obs43Network obs43_network(NodeId n_destinations) {
+  RADNET_REQUIRE(n_destinations >= 2, "obs43_network needs n >= 2");
+  Obs43Network net;
+  net.n_destinations = n_destinations;
+  const NodeId n = n_destinations;
+  const NodeId total = static_cast<NodeId>(3 * n + 1);
+  net.roles.assign(total, Obs43Role::kDestination);
+
+  // Node ids: 0 = source, [1, 2n] = intermediates, [2n+1, 3n] = destinations.
+  net.source = 0;
+  net.roles[0] = Obs43Role::kSource;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(4) * n);
+  for (NodeId i = 1; i <= 2 * n; ++i) {
+    net.roles[i] = Obs43Role::kIntermediate;
+    net.intermediates.push_back(i);
+    edges.push_back({net.source, i});  // s transmits, u_i hears
+  }
+  for (NodeId j = 0; j < n; ++j) {
+    const NodeId d = static_cast<NodeId>(2 * n + 1 + j);
+    net.roles[d] = Obs43Role::kDestination;
+    net.destinations.push_back(d);
+    const NodeId u_odd = static_cast<NodeId>(2 * j + 1);   // u_{2j+1}
+    const NodeId u_even = static_cast<NodeId>(2 * j + 2);  // u_{2j+2}
+    edges.push_back({u_odd, d});
+    edges.push_back({u_even, d});
+  }
+  net.graph = Digraph(total, std::move(edges));
+  return net;
+}
+
+Thm44Network thm44_network(NodeId n, std::uint64_t diameter) {
+  RADNET_REQUIRE(n >= 4, "thm44_network needs n >= 4");
+  const std::uint32_t L = ilog2_floor(n);
+  RADNET_REQUIRE((NodeId{1} << L) == n, "thm44_network needs n a power of two");
+  RADNET_REQUIRE(diameter >= 2ull * L + 1,
+                 "thm44_network needs diameter >= 2*log2(n) + 1");
+
+  Thm44Network net;
+  net.num_stars = L;
+  net.n_parameter = n;
+  net.diameter = diameter;
+  net.path_length = diameter - 2ull * L;
+
+  // Count nodes: sum_{i=1..L} (1 + 2^i) star nodes plus path_length path
+  // nodes (path node 0 doubles as c_{L+1}).
+  std::uint64_t count = 0;
+  for (std::uint32_t i = 1; i <= L; ++i) count += 1 + (std::uint64_t{1} << i);
+  count += net.path_length + 1;
+  RADNET_REQUIRE(count < (std::uint64_t{1} << 31), "thm44_network too large");
+  const NodeId total = static_cast<NodeId>(count);
+  net.roles.assign(total, Thm44Role::kPathNode);
+
+  std::vector<Edge> edges;
+  NodeId next = 0;
+  std::vector<NodeId> prev_leaves;
+  for (std::uint32_t i = 1; i <= L; ++i) {
+    const NodeId center = next++;
+    net.roles[center] = Thm44Role::kStarCenter;
+    net.centers.push_back(center);
+    if (i == 1) net.source = center;
+    // Leaves of S_{i-1} feed this centre: crossing star i-1 requires exactly
+    // one of its 2^{i-1} leaves to transmit alone.
+    for (const NodeId leaf : prev_leaves) edges.push_back({leaf, center});
+
+    std::vector<NodeId> cur_leaves;
+    const std::uint64_t leaf_count = std::uint64_t{1} << i;
+    cur_leaves.reserve(leaf_count);
+    for (std::uint64_t j = 0; j < leaf_count; ++j) {
+      const NodeId leaf = next++;
+      net.roles[leaf] = Thm44Role::kStarLeaf;
+      // The centre informs all its leaves in one clean round.
+      edges.push_back({center, leaf});
+      cur_leaves.push_back(leaf);
+    }
+    net.leaves.push_back(cur_leaves);
+    prev_leaves = std::move(cur_leaves);
+  }
+
+  // Path v_0 .. v_{path_length}; v_0 is c_{L+1}, hearing all leaves of S_L.
+  NodeId prev_path = 0;
+  for (std::uint64_t j = 0; j <= net.path_length; ++j) {
+    const NodeId v = next++;
+    net.roles[v] = Thm44Role::kPathNode;
+    net.path_nodes.push_back(v);
+    if (j == 0) {
+      for (const NodeId leaf : prev_leaves) edges.push_back({leaf, v});
+    } else {
+      edges.push_back({prev_path, v});  // forward-only path, as in Fig. 2
+    }
+    prev_path = v;
+  }
+  net.sink = prev_path;
+  RADNET_CHECK(next == total, "node count mismatch in thm44_network");
+
+  net.graph = Digraph(total, std::move(edges));
+  return net;
+}
+
+}  // namespace radnet::graph

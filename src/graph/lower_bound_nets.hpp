@@ -1,0 +1,70 @@
+// The lower-bound network constructions of Section 4.2.
+//
+// Observation 4.3 network ("double-cover star"): source s reaches 2n
+// intermediate nodes u_1..u_2n; destination d_i (1 <= i <= n) hears exactly
+// u_{2i-1} and u_{2i}. Once all intermediates are informed, d_i is informed
+// in a round iff exactly one of its two intermediates transmits — forcing
+// every oblivious schedule to spend Theta(log n) expected transmissions per
+// intermediate to reach success probability 1 - 1/n, i.e. n log n / 2 total.
+//
+// Theorem 4.4 network (Fig. 2): subgraph G1 is a chain of stars S_1..S_L
+// (L = log2 n), star S_i having a centre c_i and 2^i leaves; c_i informs its
+// leaves directly, and c_{i+1} hears all 2^i leaves of S_i, so crossing star
+// i requires a round where *exactly one* of 2^i leaves transmits. Subgraph
+// G2 is a path of length D - 2 log n appended behind S_L. The star chain
+// forces any time-invariant distribution to keep nodes awake ~ln^2 n rounds;
+// the path forces a per-round transmission probability >= ~1/(2c log(n/D)).
+//
+// Both builders return the graph plus a role map so experiments can measure
+// per-layer behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace radnet::graph {
+
+/// Roles in the Observation 4.3 network.
+enum class Obs43Role : std::uint8_t { kSource, kIntermediate, kDestination };
+
+struct Obs43Network {
+  Digraph graph;
+  NodeId source = 0;
+  /// n in the paper's notation: number of destination nodes.
+  NodeId n_destinations = 0;
+  std::vector<Obs43Role> roles;              // indexed by node id
+  std::vector<NodeId> intermediates;         // u_1..u_2n in order
+  std::vector<NodeId> destinations;          // d_1..d_n in order
+  /// Paper's bound: total transmissions >= n log2(n) / 2 for success 1-1/n.
+  [[nodiscard]] double transmission_lower_bound() const;
+};
+
+/// Builds the Observation 4.3 network with `n_destinations` destinations
+/// (3n + 1 nodes in total).
+[[nodiscard]] Obs43Network obs43_network(NodeId n_destinations);
+
+/// Roles in the Theorem 4.4 (Fig. 2) network.
+enum class Thm44Role : std::uint8_t { kStarCenter, kStarLeaf, kPathNode };
+
+struct Thm44Network {
+  Digraph graph;
+  NodeId source = 0;          // c_1
+  NodeId sink = 0;            // last node of the path
+  std::uint32_t num_stars = 0;        // L = log2 n
+  std::uint64_t path_length = 0;      // D - 2 log n
+  std::uint64_t diameter = 0;         // the D the network was built for
+  NodeId n_parameter = 0;             // the n the construction was built for
+  std::vector<Thm44Role> roles;       // indexed by node id
+  std::vector<NodeId> centers;        // c_1..c_{L} (and c_{L+1} = path[0])
+  std::vector<std::vector<NodeId>> leaves;  // leaves[i] = leaves of S_{i+1}
+  std::vector<NodeId> path_nodes;     // v_0..v_L2
+};
+
+/// Builds the Fig. 2 network for parameters (n, D). Requires n a power of
+/// two and D >= 2 log2 n + 1 (the paper assumes D > 4 log n for the full
+/// bound; smaller D simply shortens the path).
+[[nodiscard]] Thm44Network thm44_network(NodeId n, std::uint64_t diameter);
+
+}  // namespace radnet::graph

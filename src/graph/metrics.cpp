@@ -1,0 +1,112 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+
+#include "support/require.hpp"
+#include "support/rng.hpp"
+
+namespace radnet::graph {
+
+std::vector<std::uint32_t> bfs_distances(const Digraph& g, NodeId source) {
+  RADNET_REQUIRE(source < g.num_nodes(), "bfs source out of range");
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::vector<NodeId> frontier{source};
+  std::vector<NodeId> next;
+  dist[source] = 0;
+  std::uint32_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    for (const NodeId v : frontier) {
+      for (const NodeId w : g.out_neighbors(v)) {
+        if (dist[w] == kUnreachable) {
+          dist[w] = depth;
+          next.push_back(w);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+std::optional<std::uint32_t> eccentricity(const Digraph& g, NodeId source) {
+  const auto dist = bfs_distances(g, source);
+  std::uint32_t ecc = 0;
+  for (const auto d : dist) {
+    if (d == kUnreachable) return std::nullopt;
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::optional<std::uint32_t> diameter_exact(const Digraph& g) {
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto ecc = eccentricity(g, v);
+    if (!ecc) return std::nullopt;
+    best = std::max(best, *ecc);
+  }
+  return best;
+}
+
+std::optional<std::uint32_t> diameter_sampled(const Digraph& g,
+                                              std::uint32_t samples,
+                                              std::uint64_t seed) {
+  RADNET_REQUIRE(g.num_nodes() >= 1, "empty graph");
+  Rng rng(seed);
+  std::uint32_t best = 0;
+  NodeId far_node = 0;
+  for (std::uint32_t s = 0; s < samples; ++s) {
+    const NodeId src = static_cast<NodeId>(rng.uniform_below(g.num_nodes()));
+    const auto dist = bfs_distances(g, src);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (dist[v] == kUnreachable) return std::nullopt;
+      if (dist[v] > best) {
+        best = dist[v];
+        far_node = v;
+      }
+    }
+  }
+  // Double sweep: BFS again from the farthest node found.
+  const auto dist = bfs_distances(g, far_node);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (dist[v] == kUnreachable) return std::nullopt;
+    best = std::max(best, dist[v]);
+  }
+  return best;
+}
+
+bool all_reachable_from(const Digraph& g, NodeId source) {
+  const auto dist = bfs_distances(g, source);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+bool strongly_connected(const Digraph& g) {
+  if (g.num_nodes() == 0) return true;
+  if (!all_reachable_from(g, 0)) return false;
+  return all_reachable_from(g.reversed(), 0);
+}
+
+DegreeStats degree_stats(const Digraph& g) {
+  DegreeStats s;
+  if (g.num_nodes() == 0) return s;
+  s.min_out = s.min_in = std::numeric_limits<std::uint32_t>::max();
+  double sum_out = 0.0, sum_in = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto od = g.out_degree(v);
+    const auto id = g.in_degree(v);
+    sum_out += od;
+    sum_in += id;
+    s.min_out = std::min(s.min_out, od);
+    s.max_out = std::max(s.max_out, od);
+    s.min_in = std::min(s.min_in, id);
+    s.max_in = std::max(s.max_in, id);
+  }
+  s.mean_out = sum_out / g.num_nodes();
+  s.mean_in = sum_in / g.num_nodes();
+  return s;
+}
+
+}  // namespace radnet::graph

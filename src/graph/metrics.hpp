@@ -1,0 +1,58 @@
+// Graph measurements used by experiments and validity checks.
+//
+// Distances follow the *transmission* direction (see digraph.hpp): the
+// distance from s to v is the minimum number of hops a message from s needs
+// to reach v, which is exactly the quantity D in the paper's bounds.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace radnet::graph {
+
+/// Sentinel distance for unreachable nodes.
+inline constexpr std::uint32_t kUnreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// BFS hop distances from `source` along transmission edges.
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Digraph& g,
+                                                       NodeId source);
+
+/// Maximum finite distance from `source`; nullopt if some node is
+/// unreachable.
+[[nodiscard]] std::optional<std::uint32_t> eccentricity(const Digraph& g,
+                                                        NodeId source);
+
+/// Exact directed diameter (max over all sources); nullopt if the graph is
+/// not strongly connected. O(n * (n + m)) — intended for n up to ~2^14.
+[[nodiscard]] std::optional<std::uint32_t> diameter_exact(const Digraph& g);
+
+/// Diameter estimated from `samples` random sources plus the two endpoints
+/// of a double-sweep; a lower bound on the true diameter, accurate for
+/// random graphs. Returns nullopt on reachability failure.
+[[nodiscard]] std::optional<std::uint32_t> diameter_sampled(const Digraph& g,
+                                                            std::uint32_t samples,
+                                                            std::uint64_t seed);
+
+/// True iff every node is reachable from `source`.
+[[nodiscard]] bool all_reachable_from(const Digraph& g, NodeId source);
+
+/// True iff the graph is strongly connected (forward + reverse BFS from 0).
+[[nodiscard]] bool strongly_connected(const Digraph& g);
+
+/// Degree summary used by experiment logs.
+struct DegreeStats {
+  double mean_out = 0.0;
+  double mean_in = 0.0;
+  std::uint32_t min_out = 0;
+  std::uint32_t max_out = 0;
+  std::uint32_t min_in = 0;
+  std::uint32_t max_in = 0;
+};
+[[nodiscard]] DegreeStats degree_stats(const Digraph& g);
+
+}  // namespace radnet::graph

@@ -1,0 +1,69 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "support/require.hpp"
+
+namespace radnet::harness {
+
+std::uint32_t BenchEnv::trials(std::uint32_t default_trials) const {
+  return trials_override != 0 ? trials_override : default_trials;
+}
+
+std::uint64_t BenchEnv::scaled(std::uint64_t base, std::uint64_t min) const {
+  const double v = static_cast<double>(base) * scale;
+  return std::max<std::uint64_t>(min, static_cast<std::uint64_t>(std::llround(v)));
+}
+
+BenchEnv bench_env() {
+  BenchEnv env;
+  if (const char* s = std::getenv("RADNET_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0) env.scale = v;
+  }
+  if (const char* s = std::getenv("RADNET_TRIALS")) {
+    const long v = std::atol(s);
+    if (v > 0) env.trials_override = static_cast<std::uint32_t>(v);
+  }
+  if (const char* s = std::getenv("RADNET_SEED")) {
+    env.seed = std::strtoull(s, nullptr, 0);
+  }
+  if (const char* s = std::getenv("RADNET_CSV")) {
+    env.csv_dir = s;
+  }
+  return env;
+}
+
+void emit_table(const BenchEnv& env, const std::string& bench,
+                const std::string& table_id, const Table& table) {
+  std::cout << table.str() << '\n';
+  if (!env.csv_dir.empty()) {
+    const std::string path = env.csv_dir + "/" + bench + "_" + table_id + ".csv";
+    table.write_csv(path);
+    std::cout << "[csv written: " << path << "]\n\n";
+  }
+}
+
+void banner(const std::string& bench_id, const std::string& claim) {
+  std::cout << "==============================================================\n"
+            << bench_id << '\n'
+            << claim << '\n'
+            << "==============================================================\n\n";
+}
+
+double wilson_half_width(double rate, std::uint64_t trials, double z) {
+  RADNET_REQUIRE(trials >= 1, "wilson_half_width needs trials >= 1");
+  const double n = static_cast<double>(trials);
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (rate + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(rate * (1.0 - rate) / n + z2 / (4.0 * n * n)) / denom;
+  (void)center;
+  return half;
+}
+
+}  // namespace radnet::harness

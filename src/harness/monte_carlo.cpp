@@ -1,0 +1,91 @@
+#include "harness/monte_carlo.hpp"
+
+#include "support/require.hpp"
+#include "support/thread_pool.hpp"
+
+namespace radnet::harness {
+
+double McResult::success_rate() const {
+  if (outcomes.empty()) return 0.0;
+  return static_cast<double>(successes) / static_cast<double>(outcomes.size());
+}
+
+Sample McResult::rounds_sample() const {
+  Sample s;
+  for (const auto& o : outcomes)
+    if (o.completed) s.add(static_cast<double>(o.rounds));
+  return s;
+}
+
+Sample McResult::total_tx_sample() const {
+  Sample s;
+  for (const auto& o : outcomes) s.add(static_cast<double>(o.total_tx));
+  return s;
+}
+
+Sample McResult::max_tx_sample() const {
+  Sample s;
+  for (const auto& o : outcomes) s.add(static_cast<double>(o.max_tx_node));
+  return s;
+}
+
+Sample McResult::mean_tx_sample() const {
+  Sample s;
+  for (const auto& o : outcomes) s.add(o.mean_tx_node);
+  return s;
+}
+
+McResult run_monte_carlo(const McSpec& spec) {
+  RADNET_REQUIRE(spec.trials >= 1, "need at least one trial");
+  RADNET_REQUIRE(static_cast<bool>(spec.make_graph), "make_graph is required");
+  RADNET_REQUIRE(static_cast<bool>(spec.make_protocol),
+                 "make_protocol is required");
+
+  McResult result;
+  result.outcomes.resize(spec.trials);
+  const Rng root(spec.seed);
+
+  const auto run_trial = [&](std::uint64_t t) {
+    const auto trial = static_cast<std::uint32_t>(t);
+    Rng graph_rng = root.split(t, 0);
+    const Rng protocol_rng = root.split(t, 1);
+    const std::shared_ptr<const graph::Digraph> g =
+        spec.make_graph(trial, graph_rng);
+    RADNET_CHECK(g != nullptr, "make_graph returned null");
+    const std::unique_ptr<sim::Protocol> protocol =
+        spec.make_protocol(*g, trial);
+    RADNET_CHECK(protocol != nullptr, "make_protocol returned null");
+
+    sim::Engine engine;
+    const sim::RunResult run =
+        engine.run(*g, *protocol, protocol_rng, spec.run_options);
+
+    TrialOutcome& out = result.outcomes[trial];
+    out.completed = run.completed;
+    out.rounds = run.completed ? run.completion_round : run.rounds_executed;
+    out.total_tx = run.ledger.total_transmissions;
+    out.max_tx_node = run.ledger.max_tx_per_node();
+    out.mean_tx_node = run.ledger.mean_tx_per_node();
+    out.deliveries = run.ledger.total_deliveries;
+    out.collisions = run.ledger.total_collisions;
+    out.nodes = g->num_nodes();
+  };
+
+  if (spec.serial) {
+    for (std::uint32_t t = 0; t < spec.trials; ++t) run_trial(t);
+  } else {
+    global_pool().parallel_for_index(spec.trials, run_trial);
+  }
+
+  for (const auto& o : result.outcomes)
+    if (o.completed) ++result.successes;
+  return result;
+}
+
+std::function<std::shared_ptr<const graph::Digraph>(std::uint32_t, Rng)>
+shared_graph(graph::Digraph g) {
+  auto shared = std::make_shared<const graph::Digraph>(std::move(g));
+  return [shared](std::uint32_t, Rng) { return shared; };
+}
+
+}  // namespace radnet::harness

@@ -1,0 +1,80 @@
+// Deterministic, parallel Monte-Carlo trial runner.
+//
+// A *trial* is one protocol execution on one network. Trial t derives its
+// graph RNG from (seed, t, 0) and its protocol RNG from (seed, t, 1), so the
+// full experiment is a pure function of the root seed, and trials are
+// independent by construction. Trials run on the global thread pool with
+// results written into a pre-sized slot vector — aggregation afterwards is
+// serial, so the output is identical whether the pool has 1 or 64 threads
+// (asserted by tests/harness tests).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "graph/digraph.hpp"
+#include "sim/engine.hpp"
+#include "support/stats.hpp"
+
+namespace radnet::harness {
+
+/// Everything a bench wants to know about one trial.
+struct TrialOutcome {
+  bool completed = false;
+  sim::Round rounds = 0;         ///< completion round if completed, else rounds run
+  std::uint64_t total_tx = 0;
+  std::uint32_t max_tx_node = 0; ///< max transmissions by any single node
+  double mean_tx_node = 0.0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t collisions = 0;
+  graph::NodeId nodes = 0;
+};
+
+struct McSpec {
+  /// Number of independent trials.
+  std::uint32_t trials = 32;
+  /// Root seed; the entire experiment is a function of this.
+  std::uint64_t seed = 1;
+  /// Produces (or shares) the network for a trial. Called once per trial
+  /// with that trial's private graph RNG.
+  std::function<std::shared_ptr<const graph::Digraph>(std::uint32_t trial, Rng rng)>
+      make_graph;
+  /// Produces a fresh protocol object for a trial (trials may run
+  /// concurrently, so protocols cannot be shared).
+  std::function<std::unique_ptr<sim::Protocol>(const graph::Digraph& g,
+                                               std::uint32_t trial)>
+      make_protocol;
+  /// Engine options (max_rounds etc.), shared by all trials.
+  sim::RunOptions run_options;
+  /// Run trials serially on the calling thread (used by the determinism
+  /// tests and when a caller is already inside a parallel region).
+  bool serial = false;
+};
+
+struct McResult {
+  std::vector<TrialOutcome> outcomes;  ///< indexed by trial
+  std::uint32_t successes = 0;
+
+  [[nodiscard]] std::uint32_t trials() const {
+    return static_cast<std::uint32_t>(outcomes.size());
+  }
+  [[nodiscard]] double success_rate() const;
+
+  /// Sample over completed trials only (rounds of failed trials are
+  /// censored at max_rounds and would poison time statistics).
+  [[nodiscard]] Sample rounds_sample() const;
+  /// Samples over all trials (energy is well-defined even on failure).
+  [[nodiscard]] Sample total_tx_sample() const;
+  [[nodiscard]] Sample max_tx_sample() const;
+  [[nodiscard]] Sample mean_tx_sample() const;
+};
+
+/// Runs the experiment described by `spec`.
+[[nodiscard]] McResult run_monte_carlo(const McSpec& spec);
+
+/// Convenience: wraps an already-built graph for McSpec::make_graph.
+[[nodiscard]] std::function<std::shared_ptr<const graph::Digraph>(std::uint32_t, Rng)>
+shared_graph(graph::Digraph g);
+
+}  // namespace radnet::harness

@@ -1,0 +1,71 @@
+#include "harness/scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/require.hpp"
+
+namespace radnet::harness {
+
+ScalingCheck::ScalingCheck(std::string name, double slope_tolerance)
+    : name_(std::move(name)), tolerance_(slope_tolerance) {
+  RADNET_REQUIRE(slope_tolerance > 0.0, "tolerance must be positive");
+}
+
+void ScalingCheck::add(double model, double measured) {
+  RADNET_REQUIRE(model > 0.0, "model prediction must be positive");
+  RADNET_REQUIRE(measured > 0.0, "measured value must be positive");
+  model_.push_back(model);
+  measured_.push_back(measured);
+}
+
+double ScalingCheck::fitted_exponent() const {
+  RADNET_REQUIRE(model_.size() >= 2, "need at least two sweep points");
+  std::vector<double> lx, ly;
+  lx.reserve(model_.size());
+  ly.reserve(model_.size());
+  for (std::size_t i = 0; i < model_.size(); ++i) {
+    lx.push_back(std::log(model_[i]));
+    ly.push_back(std::log(measured_[i]));
+  }
+  return fit_linear(lx, ly).slope;
+}
+
+double ScalingCheck::band_ratio() const {
+  RADNET_REQUIRE(!model_.empty(), "no sweep points");
+  double lo = 1e300, hi = 0.0;
+  for (std::size_t i = 0; i < model_.size(); ++i) {
+    const double r = measured_[i] / model_[i];
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  return hi / lo;
+}
+
+bool ScalingCheck::passes() const {
+  return std::abs(fitted_exponent() - 1.0) <= tolerance_;
+}
+
+std::string ScalingCheck::report() const {
+  std::ostringstream os;
+  os << "[scaling] " << name_ << ": exponent "
+     << fitted_exponent() << " (target 1 ± " << tolerance_ << "), band x"
+     << band_ratio() << " -> " << (passes() ? "OK" : "DEVIATES");
+  return os.str();
+}
+
+bool ScalingCheck::band_passes(double max_band) const {
+  RADNET_REQUIRE(max_band >= 1.0, "max_band must be >= 1");
+  return band_ratio() <= max_band;
+}
+
+std::string ScalingCheck::report_band(double max_band) const {
+  std::ostringstream os;
+  os << "[scaling] " << name_ << ": normalised ratio flat within x"
+     << band_ratio() << " (allowed x" << max_band << ") -> "
+     << (band_passes(max_band) ? "OK" : "DEVIATES");
+  return os.str();
+}
+
+}  // namespace radnet::harness

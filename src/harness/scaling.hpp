@@ -1,0 +1,58 @@
+// Empirical scaling checks.
+//
+// The paper's claims are asymptotic (O(log n), O(d log n), ...). The benches
+// validate them as *shapes*: measured quantity divided by the model should be
+// flat across the sweep, equivalently a log-log fit of measurement against
+// the model should have slope ~1. ScalingCheck collects (model, measured)
+// pairs and reports the fitted log-log exponent, the flatness band of the
+// normalised ratio, and a verdict — one uniform mechanism every table-
+// producing bench can append to its output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace radnet::harness {
+
+class ScalingCheck {
+ public:
+  /// `name` describes the claim, e.g. "rounds = O(log n)";
+  /// `slope_tolerance` is the allowed deviation of the log-log slope from 1.
+  explicit ScalingCheck(std::string name, double slope_tolerance = 0.35);
+
+  /// Adds one sweep point: the model's prediction (e.g. log2 n) and the
+  /// measured mean (e.g. completion rounds). Both must be positive.
+  void add(double model, double measured);
+
+  [[nodiscard]] std::size_t points() const noexcept { return model_.size(); }
+
+  /// Fitted exponent of measured ~ model^s (log-log OLS slope). Requires at
+  /// least two points with distinct model values.
+  [[nodiscard]] double fitted_exponent() const;
+
+  /// max/min of the normalised ratio measured/model across the sweep — the
+  /// "constant band" width. 1 means perfectly flat.
+  [[nodiscard]] double band_ratio() const;
+
+  /// True when the fitted exponent is within slope_tolerance of 1.
+  [[nodiscard]] bool passes() const;
+
+  /// One-line human-readable verdict for bench output.
+  [[nodiscard]] std::string report() const;
+
+  /// Band-based verdict, for sweeps whose model range is too narrow for a
+  /// meaningful log-log slope (e.g. log n varying by < 2x): passes when the
+  /// normalised ratio stays within `max_band`.
+  [[nodiscard]] bool band_passes(double max_band) const;
+  [[nodiscard]] std::string report_band(double max_band) const;
+
+ private:
+  std::string name_;
+  double tolerance_;
+  std::vector<double> model_;
+  std::vector<double> measured_;
+};
+
+}  // namespace radnet::harness

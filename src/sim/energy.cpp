@@ -1,0 +1,39 @@
+#include "sim/energy.hpp"
+
+#include <algorithm>
+
+namespace radnet::sim {
+
+void EnergyLedger::reset(graph::NodeId n) {
+  tx_per_node.assign(n, 0);
+  total_transmissions = 0;
+  total_deliveries = 0;
+  total_collisions = 0;
+  node_rounds = 0;
+}
+
+void EnergyLedger::record_transmission(graph::NodeId v) {
+  ++tx_per_node[v];
+  ++total_transmissions;
+}
+
+std::uint32_t EnergyLedger::max_tx_per_node() const {
+  if (tx_per_node.empty()) return 0;
+  return *std::max_element(tx_per_node.begin(), tx_per_node.end());
+}
+
+double EnergyLedger::mean_tx_per_node() const {
+  if (tx_per_node.empty()) return 0.0;
+  return static_cast<double>(total_transmissions) /
+         static_cast<double>(tx_per_node.size());
+}
+
+double EnergyLedger::energy(const EnergyModel& model) const {
+  const double idle_events =
+      static_cast<double>(node_rounds) - static_cast<double>(total_transmissions);
+  return model.tx_cost * static_cast<double>(total_transmissions) +
+         model.rx_cost * static_cast<double>(total_deliveries) +
+         model.idle_cost * std::max(0.0, idle_events);
+}
+
+}  // namespace radnet::sim

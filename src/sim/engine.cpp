@@ -1,0 +1,143 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "support/require.hpp"
+
+namespace radnet::sim {
+
+namespace {
+
+/// The shared round loop. `graph_for` yields the topology in force during a
+/// given round (constant for static runs). Node count must not change.
+RunResult run_loop(graph::NodeId n,
+                   const std::function<const graph::Digraph&(Round)>& graph_for,
+                   Protocol& protocol, Rng protocol_rng,
+                   const RunOptions& options) {
+  RADNET_REQUIRE(n >= 1, "cannot simulate an empty network");
+
+  RunResult result;
+  result.ledger.reset(n);
+  protocol.reset(n, std::move(protocol_rng));
+
+  // Per-node scratch: number of transmissions heard this round, and the
+  // sender when that number is exactly one. `touched` lists nodes whose
+  // hit-counter is non-zero so clearing is proportional to activity.
+  std::vector<std::uint32_t> hits(n, 0);
+  std::vector<graph::NodeId> heard_from(n, 0);
+  std::vector<graph::NodeId> touched;
+  std::vector<graph::NodeId> transmitters;
+  std::vector<char> is_tx(n, 0);
+
+  if (protocol.is_complete()) {
+    result.completed = true;
+    result.completion_round = 0;
+    return result;
+  }
+
+  for (Round r = 0; r < options.max_rounds; ++r) {
+    protocol.begin_round(r);
+
+    // Phase A: collect this round's transmitters. All decisions are made
+    // before any delivery, matching the synchronous model.
+    transmitters.clear();
+    const auto candidates = protocol.candidates();
+    if (candidates.empty() &&
+        (options.stop_on_empty_candidates ||
+         (options.run_to_quiescence && result.completed)))
+      break;
+    for (const graph::NodeId v : candidates) {
+      RADNET_CHECK(v < n, "protocol candidate out of range");
+      if (protocol.wants_transmit(v, r)) transmitters.push_back(v);
+    }
+
+    // Phase B: propagate over this round's topology.
+    const graph::Digraph& g = graph_for(r);
+    RADNET_CHECK(g.num_nodes() == n, "topology changed its node count");
+    for (const graph::NodeId u : transmitters) {
+      result.ledger.record_transmission(u);
+      is_tx[u] = 1;
+      for (const graph::NodeId w : g.out_neighbors(u)) {
+        if (hits[w] == 0) {
+          heard_from[w] = u;
+          touched.push_back(w);
+        }
+        ++hits[w];
+      }
+    }
+
+    // Phase C: deliveries and collisions. `touched` is filled in transmitter
+    // adjacency order; callbacks must run in ascending receiver id for
+    // determinism. For sparse rounds sort the touched list; for dense rounds
+    // (more than ~1/8 of all nodes heard something) a linear scan over the
+    // hit array is cheaper than the O(k log k) sort and yields the same
+    // order.
+    if (touched.size() > n / 8) {
+      touched.clear();
+      for (graph::NodeId w = 0; w < n; ++w)
+        if (hits[w] != 0) touched.push_back(w);
+    } else {
+      std::sort(touched.begin(), touched.end());
+    }
+    RoundTrace* rt = nullptr;
+    if (options.record_trace) {
+      result.trace.rounds.push_back({});
+      rt = &result.trace.rounds.back();
+      rt->round = r;
+      rt->transmitters = transmitters;
+      std::sort(rt->transmitters.begin(), rt->transmitters.end());
+    }
+    for (const graph::NodeId w : touched) {
+      if (options.half_duplex && is_tx[w]) {
+        hits[w] = 0;
+        continue;  // a transmitting radio hears nothing
+      }
+      if (hits[w] == 1) {
+        ++result.ledger.total_deliveries;
+        if (rt != nullptr) rt->deliveries.push_back({w, heard_from[w]});
+        protocol.on_delivered(w, heard_from[w], r);
+      } else {
+        ++result.ledger.total_collisions;
+        if (rt != nullptr) rt->collisions.push_back(w);
+        protocol.on_collision(w, r);
+      }
+      hits[w] = 0;
+    }
+    touched.clear();
+    for (const graph::NodeId u : transmitters) is_tx[u] = 0;
+
+    protocol.end_round(r);
+    result.rounds_executed = r + 1;
+    result.ledger.node_rounds =
+        static_cast<std::uint64_t>(n) * result.rounds_executed;
+    if (options.round_observer) options.round_observer(r);
+
+    if (!result.completed && protocol.is_complete()) {
+      result.completed = true;
+      result.completion_round = r + 1;
+      if (!options.run_to_quiescence) break;
+    }
+  }
+
+  return result;
+}
+
+}  // namespace
+
+RunResult Engine::run(const graph::Digraph& g, Protocol& protocol,
+                      Rng protocol_rng, const RunOptions& options) {
+  return run_loop(
+      g.num_nodes(), [&g](Round) -> const graph::Digraph& { return g; },
+      protocol, std::move(protocol_rng), options);
+}
+
+RunResult Engine::run(graph::TopologySequence& topology, Protocol& protocol,
+                      Rng protocol_rng, const RunOptions& options) {
+  return run_loop(
+      topology.num_nodes(),
+      [&topology](Round r) -> const graph::Digraph& { return topology.at(r); },
+      protocol, std::move(protocol_rng), options);
+}
+
+}  // namespace radnet::sim

@@ -1,0 +1,84 @@
+// The synchronous radio-network simulation engine.
+//
+// Implements the paper's round semantics exactly (Section 1.2):
+//   1. Every candidate node decides independently whether to transmit.
+//   2. A node receives iff *exactly one* of its in-neighbours transmitted;
+//      with two or more the messages collide and nothing is received.
+//   3. Edges are directed: u -> v means v hears u, not necessarily
+//      vice versa (asymmetric communication ranges).
+//
+// Cost per round is O(sum of out-degrees of this round's transmitters) plus
+// O(|candidates|), achieved with a hit-counter array that is cleared through
+// a touched list — never a full O(n) sweep. The engine is a pure function of
+// (graph, protocol state, options); reproducibility is tested against the
+// naive reference engine in reference_engine.hpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "graph/digraph.hpp"
+#include "graph/dynamics.hpp"
+#include "sim/energy.hpp"
+#include "sim/protocol.hpp"
+#include "sim/trace.hpp"
+
+namespace radnet::sim {
+
+struct RunOptions {
+  /// Hard stop after this many rounds even if the protocol is incomplete.
+  Round max_rounds = 1u << 20;
+  /// Half-duplex radios: a node that transmits in a round cannot receive in
+  /// that round (the standard radio-network reading; the paper's broadcast
+  /// algorithms are insensitive to this because transmitters are already
+  /// informed, but gossip message joining is not).
+  bool half_duplex = true;
+  /// Stop early once candidates() is empty and the protocol is incomplete —
+  /// the execution has provably stalled (used by bounded-activity broadcast
+  /// protocols whose nodes all went passive).
+  bool stop_on_empty_candidates = false;
+  /// Keep simulating after the protocol's goal is reached, until every node
+  /// has gone passive (candidates() empty) or max_rounds. Nodes do not know
+  /// the broadcast finished — they keep spending energy until their own
+  /// activity windows expire — so this is the honest energy accounting the
+  /// paper's per-node transmission bounds refer to. completion_round still
+  /// records the first round at which the goal held.
+  bool run_to_quiescence = false;
+  /// Record a full per-round trace (costly; for tests/examples/E2).
+  bool record_trace = false;
+  /// Invoked after every round with the round just executed; used by the
+  /// Phase-1 growth experiment to snapshot protocol counters.
+  std::function<void(Round)> round_observer;
+};
+
+struct RunResult {
+  /// Protocol reported is_complete() before max_rounds ran out.
+  bool completed = false;
+  /// Number of rounds actually executed.
+  Round rounds_executed = 0;
+  /// Round (1-based count) at whose end the protocol became complete;
+  /// meaningful only when completed.
+  Round completion_round = 0;
+  EnergyLedger ledger;
+  Trace trace;  ///< empty unless RunOptions::record_trace
+};
+
+class Engine {
+ public:
+  /// Runs `protocol` on the static topology `g`. The engine calls
+  /// protocol.reset(g.num_nodes(), rng) itself so a single protocol object
+  /// can be reused across Monte-Carlo trials.
+  [[nodiscard]] RunResult run(const graph::Digraph& g, Protocol& protocol,
+                              Rng protocol_rng, const RunOptions& options = {});
+
+  /// Runs `protocol` over a *changing* topology (mobility / link churn —
+  /// the paper's motivating setting): round r uses topology.at(r). The node
+  /// count is fixed; links change between rounds. Protocols need no changes:
+  /// obliviousness means they never saw the topology anyway.
+  [[nodiscard]] RunResult run(graph::TopologySequence& topology,
+                              Protocol& protocol, Rng protocol_rng,
+                              const RunOptions& options = {});
+};
+
+}  // namespace radnet::sim

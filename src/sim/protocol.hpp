@@ -1,0 +1,76 @@
+// The protocol interface every communication algorithm implements.
+//
+// The paper's model (Section 1.2) is a synchronous radio network: in each
+// round every node independently decides whether to transmit; a node
+// *receives* a message iff exactly one of its in-neighbours transmitted
+// (two or more collide and nothing is heard; the node cannot distinguish
+// collision from silence). Algorithms are *oblivious*: every node runs the
+// same code, knowing only n (and, for Section 4, the diameter D) — never the
+// topology.
+//
+// The engine/protocol split enforces that obliviousness mechanically: the
+// protocol never sees the graph's edges, only per-node callbacks
+// (`wants_transmit`, `on_delivered`). `reset` receives the node count and a
+// private Rng; the engine owns the topology and computes who hears whom.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "graph/digraph.hpp"
+#include "support/rng.hpp"
+
+namespace radnet::sim {
+
+using graph::NodeId;
+using Round = std::uint32_t;
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Prepares per-node state for a fresh execution on `num_nodes` nodes.
+  /// `rng` is the protocol's private randomness for the whole run.
+  virtual void reset(NodeId num_nodes, Rng rng) = 0;
+
+  /// Start-of-round hook, called once per round before any transmit query.
+  /// Protocols that share a global coin across nodes (Algorithm 3 draws the
+  /// round's sequence value I_r here) override this.
+  virtual void begin_round(Round r) { (void)r; }
+
+  /// The set of nodes that could possibly transmit this round. The engine
+  /// queries wants_transmit exactly for these, in the order given, which
+  /// fixes the randomness consumption order and hence makes runs
+  /// reproducible. The span must stay valid until end_round returns.
+  [[nodiscard]] virtual std::span<const NodeId> candidates() const = 0;
+
+  /// Whether node v transmits in round r. Called once per candidate per
+  /// round, in candidates() order.
+  [[nodiscard]] virtual bool wants_transmit(NodeId v, Round r) = 0;
+
+  /// Node `receiver` heard exactly one transmitter, `sender`, in round r.
+  virtual void on_delivered(NodeId receiver, NodeId sender, Round r) = 0;
+
+  /// Two or more in-neighbours of `receiver` transmitted in round r. In the
+  /// paper's model nodes cannot detect collisions, so the default ignores
+  /// it; the engine still counts collisions for diagnostics.
+  virtual void on_collision(NodeId receiver, Round r) {
+    (void)receiver;
+    (void)r;
+  }
+
+  /// End-of-round hook, called after all deliveries of round r.
+  virtual void end_round(Round r) { (void)r; }
+
+  /// Whether the protocol's goal is reached (all nodes informed for
+  /// broadcast; all rumors everywhere for gossip). The engine checks this
+  /// after every round and stops early. This is an omniscient-observer
+  /// predicate used for measurement only — the nodes themselves never see it.
+  [[nodiscard]] virtual bool is_complete() const = 0;
+
+  /// Display name used in result tables.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace radnet::sim

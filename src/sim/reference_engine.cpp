@@ -1,0 +1,93 @@
+#include "sim/reference_engine.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/require.hpp"
+
+namespace radnet::sim {
+
+RunResult ReferenceEngine::run(const graph::Digraph& g, Protocol& protocol,
+                               Rng protocol_rng, const RunOptions& options) {
+  const graph::NodeId n = g.num_nodes();
+  RADNET_REQUIRE(n >= 1, "cannot simulate an empty network");
+
+  RunResult result;
+  result.ledger.reset(n);
+  protocol.reset(n, std::move(protocol_rng));
+
+  if (protocol.is_complete()) {
+    result.completed = true;
+    return result;
+  }
+
+  std::vector<char> is_tx(n, 0);
+
+  for (Round r = 0; r < options.max_rounds; ++r) {
+    protocol.begin_round(r);
+
+    std::vector<graph::NodeId> transmitters;
+    const auto candidates = protocol.candidates();
+    if (candidates.empty() &&
+        (options.stop_on_empty_candidates ||
+         (options.run_to_quiescence && result.completed)))
+      break;
+    for (const graph::NodeId v : candidates)
+      if (protocol.wants_transmit(v, r)) transmitters.push_back(v);
+
+    std::fill(is_tx.begin(), is_tx.end(), 0);
+    for (const graph::NodeId u : transmitters) {
+      is_tx[u] = 1;
+      result.ledger.record_transmission(u);
+    }
+
+    RoundTrace* rt = nullptr;
+    if (options.record_trace) {
+      result.trace.rounds.push_back({});
+      rt = &result.trace.rounds.back();
+      rt->round = r;
+      rt->transmitters = transmitters;
+      std::sort(rt->transmitters.begin(), rt->transmitters.end());
+    }
+
+    // First-principles reception: for every node, count transmitting
+    // in-neighbours; exactly one means delivery from that neighbour.
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (options.half_duplex && is_tx[v]) continue;
+      std::uint32_t heard = 0;
+      graph::NodeId sender = 0;
+      for (const graph::NodeId u : g.in_neighbors(v)) {
+        if (is_tx[u]) {
+          ++heard;
+          sender = u;
+          if (heard > 1) break;
+        }
+      }
+      if (heard == 1) {
+        ++result.ledger.total_deliveries;
+        if (rt != nullptr) rt->deliveries.push_back({v, sender});
+        protocol.on_delivered(v, sender, r);
+      } else if (heard > 1) {
+        ++result.ledger.total_collisions;
+        if (rt != nullptr) rt->collisions.push_back(v);
+        protocol.on_collision(v, r);
+      }
+    }
+
+    protocol.end_round(r);
+    result.rounds_executed = r + 1;
+    result.ledger.node_rounds =
+        static_cast<std::uint64_t>(n) * result.rounds_executed;
+    if (options.round_observer) options.round_observer(r);
+
+    if (!result.completed && protocol.is_complete()) {
+      result.completed = true;
+      result.completion_round = r + 1;
+      if (!options.run_to_quiescence) break;
+    }
+  }
+
+  return result;
+}
+
+}  // namespace radnet::sim

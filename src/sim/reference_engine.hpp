@@ -1,0 +1,24 @@
+// A deliberately naive engine used as an oracle in the property tests.
+//
+// It recomputes each round's deliveries from first principles: for every
+// node v it scans v's in-neighbour list and counts members of the transmitter
+// set, then applies the exactly-one rule. This is O(n + sum of in-degrees)
+// per round — much slower than Engine — but its correctness is obvious from
+// the model statement, so agreement between the two engines on the same
+// (graph, protocol, seed) triple is strong evidence the optimised engine
+// implements the paper's semantics. It consumes randomness in exactly the
+// same order as Engine (candidates() order), so runs are comparable
+// bit-for-bit.
+#pragma once
+
+#include "sim/engine.hpp"
+
+namespace radnet::sim {
+
+class ReferenceEngine {
+ public:
+  [[nodiscard]] RunResult run(const graph::Digraph& g, Protocol& protocol,
+                              Rng protocol_rng, const RunOptions& options = {});
+};
+
+}  // namespace radnet::sim

@@ -1,0 +1,30 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace radnet::sim {
+
+std::string Trace::summary(std::size_t max_rounds) const {
+  std::ostringstream os;
+  std::size_t shown = 0;
+  for (const auto& r : rounds) {
+    if (shown++ >= max_rounds) {
+      os << "... (" << rounds.size() - max_rounds << " more rounds)\n";
+      break;
+    }
+    os << "round " << r.round << ": tx={";
+    for (std::size_t i = 0; i < r.transmitters.size(); ++i) {
+      if (i > 0) os << ',';
+      if (i >= 16) {
+        os << "...(" << r.transmitters.size() << ")";
+        break;
+      }
+      os << r.transmitters[i];
+    }
+    os << "} delivered=" << r.deliveries.size()
+       << " collisions=" << r.collisions.size() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace radnet::sim

@@ -1,0 +1,43 @@
+// Per-round execution traces.
+//
+// When enabled, the engine records who transmitted, who received from whom,
+// and where collisions happened in every round. Traces power (a) the
+// Phase-1 growth experiment (Lemma 2.3/2.4 track |U_t| round by round),
+// (b) causality checking in the property tests (every delivery must have a
+// unique transmitting in-neighbour that round), and (c) debugging output in
+// the examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace radnet::sim {
+
+struct Delivery {
+  graph::NodeId receiver;
+  graph::NodeId sender;
+
+  friend bool operator==(const Delivery&, const Delivery&) = default;
+};
+
+struct RoundTrace {
+  std::uint32_t round = 0;
+  std::vector<graph::NodeId> transmitters;   // ascending node id
+  std::vector<Delivery> deliveries;          // ascending receiver id
+  std::vector<graph::NodeId> collisions;     // receivers that heard noise
+};
+
+struct Trace {
+  std::vector<RoundTrace> rounds;
+
+  void clear() { rounds.clear(); }
+  [[nodiscard]] bool empty() const { return rounds.empty(); }
+
+  /// Compact multi-line rendering for small runs (examples / debugging).
+  [[nodiscard]] std::string summary(std::size_t max_rounds = 32) const;
+};
+
+}  // namespace radnet::sim

@@ -1,0 +1,47 @@
+// Precondition / invariant checking for the radnet library.
+//
+// Per the C++ Core Guidelines (I.6, E.12) we express preconditions explicitly
+// and fail loudly. RADNET_REQUIRE throws std::invalid_argument with a message
+// naming the violated condition and its location; RADNET_CHECK throws
+// std::logic_error and is meant for internal invariants. Both are always on:
+// the simulator is a research instrument, and silent corruption of an
+// experiment is far more expensive than the branch.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace radnet {
+
+namespace detail {
+
+[[noreturn]] inline void throw_requirement(const char* kind, const char* cond,
+                                           const char* file, int line,
+                                           const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << cond << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "precondition") throw std::invalid_argument(os.str());
+  throw std::logic_error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace radnet
+
+// Precondition on arguments of a public API. Throws std::invalid_argument.
+#define RADNET_REQUIRE(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::radnet::detail::throw_requirement("precondition", #cond, __FILE__,   \
+                                          __LINE__, (msg));                  \
+  } while (0)
+
+// Internal invariant. Throws std::logic_error.
+#define RADNET_CHECK(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::radnet::detail::throw_requirement("invariant", #cond, __FILE__,      \
+                                          __LINE__, (msg));                  \
+  } while (0)

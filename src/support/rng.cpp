@@ -1,0 +1,161 @@
+#include "support/rng.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "support/require.hpp"
+
+namespace radnet {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& w : s_) w = splitmix64(s);
+  // xoshiro must not start from the all-zero state; splitmix64 of any seed
+  // cannot produce four zero words, but keep the guard for clarity.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ull;
+}
+
+Rng Rng::split(std::uint64_t a) const {
+  std::uint64_t h = s_[0] ^ mix64(a + 0x100ull);
+  return Rng(mix64(h));
+}
+
+Rng Rng::split(std::uint64_t a, std::uint64_t b) const {
+  std::uint64_t h = s_[0] ^ mix64(a + 0x100ull);
+  h = mix64(h ^ mix64(b + 0x200ull));
+  return Rng(h);
+}
+
+Rng Rng::split(std::uint64_t a, std::uint64_t b, std::uint64_t c) const {
+  std::uint64_t h = s_[0] ^ mix64(a + 0x100ull);
+  h = mix64(h ^ mix64(b + 0x200ull));
+  h = mix64(h ^ mix64(c + 0x300ull));
+  return Rng(h);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+std::uint64_t Rng::uniform_below(std::uint64_t bound) {
+  RADNET_REQUIRE(bound >= 1, "uniform_below needs bound >= 1");
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  RADNET_REQUIRE(lo <= hi, "uniform_int needs lo <= hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  return lo + static_cast<std::int64_t>(uniform_below(span));
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  RADNET_REQUIRE(lo < hi, "uniform_real needs lo < hi");
+  return lo + (hi - lo) * next_double();
+}
+
+std::uint64_t Rng::geometric(double p) {
+  RADNET_REQUIRE(p > 0.0 && p <= 1.0, "geometric needs p in (0,1]");
+  if (p >= 1.0) return 1;
+  // Inversion: ceil(log(U) / log(1-p)) has the right distribution.
+  const double u = 1.0 - next_double();  // u in (0,1]
+  const double g = std::ceil(std::log(u) / std::log1p(-p));
+  if (g < 1.0) return 1;
+  return static_cast<std::uint64_t>(g);
+}
+
+std::uint64_t Rng::binomial(std::uint64_t n, double p) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  const double np = static_cast<double>(n) * p;
+  if (n <= 64 || np <= 16.0) {
+    // Direct simulation / geometric skipping for the sparse case.
+    if (p < 0.1) {
+      std::uint64_t count = 0;
+      std::uint64_t i = 0;
+      while (true) {
+        i += geometric(p);
+        if (i > n) break;
+        ++count;
+      }
+      return count;
+    }
+    std::uint64_t count = 0;
+    for (std::uint64_t i = 0; i < n; ++i) count += bernoulli(p) ? 1u : 0u;
+    return count;
+  }
+  // Normal approximation for large n*p; used only in graph-generator fast
+  // paths where the error is far below sampling noise.
+  const double sd = std::sqrt(np * (1.0 - p));
+  const double u1 = 1.0 - next_double();
+  const double u2 = next_double();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  double v = std::round(np + sd * z);
+  if (v < 0.0) v = 0.0;
+  const double nd = static_cast<double>(n);
+  if (v > nd) v = nd;
+  return static_cast<std::uint64_t>(v);
+}
+
+std::uint64_t Rng::sample_cdf(const double* cdf, std::uint64_t size,
+                              std::uint64_t miss) {
+  RADNET_REQUIRE(size >= 1, "sample_cdf needs a non-empty cdf");
+  const double u = next_double();
+  if (u >= cdf[size - 1]) return miss;
+  // Binary search for the first index with cdf[i] > u.
+  std::uint64_t lo = 0, hi = size - 1;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (cdf[mid] > u)
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  return lo;
+}
+
+}  // namespace radnet

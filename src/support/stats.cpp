@@ -1,0 +1,191 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "support/require.hpp"
+#include "support/rng.hpp"
+
+namespace radnet {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Sample::mean() const {
+  RADNET_REQUIRE(!values_.empty(), "Sample::mean on empty sample");
+  double s = 0.0;
+  for (const double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double Sample::stddev() const {
+  RADNET_REQUIRE(!values_.empty(), "Sample::stddev on empty sample");
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (const double v : values_) s += (v - m) * (v - m);
+  return std::sqrt(s / static_cast<double>(values_.size() - 1));
+}
+
+double Sample::min() const {
+  RADNET_REQUIRE(!values_.empty(), "Sample::min on empty sample");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Sample::max() const {
+  RADNET_REQUIRE(!values_.empty(), "Sample::max on empty sample");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Sample::quantile(double q) const {
+  RADNET_REQUIRE(!values_.empty(), "Sample::quantile on empty sample");
+  RADNET_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Sample::Interval Sample::bootstrap_mean_ci(Rng& rng, double confidence,
+                                           std::uint32_t resamples) const {
+  RADNET_REQUIRE(!values_.empty(), "bootstrap on empty sample");
+  RADNET_REQUIRE(confidence > 0.0 && confidence < 1.0,
+                 "confidence must be in (0,1)");
+  std::vector<double> means;
+  means.reserve(resamples);
+  const std::size_t n = values_.size();
+  for (std::uint32_t r = 0; r < resamples; ++r) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      s += values_[rng.uniform_below(n)];
+    means.push_back(s / static_cast<double>(n));
+  }
+  std::sort(means.begin(), means.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto idx = [&](double q) {
+    const double pos = q * static_cast<double>(means.size() - 1);
+    return means[static_cast<std::size_t>(std::llround(pos))];
+  };
+  return Interval{idx(alpha), idx(1.0 - alpha)};
+}
+
+Histogram::Histogram(double lo, double hi, std::uint32_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  RADNET_REQUIRE(hi > lo, "Histogram needs hi > lo");
+  RADNET_REQUIRE(bins >= 1, "Histogram needs at least one bin");
+}
+
+void Histogram::add(double x) noexcept {
+  const double span = hi_ - lo_;
+  double pos = (x - lo_) / span * static_cast<double>(counts_.size());
+  if (pos < 0.0) pos = 0.0;
+  const double maxbin = static_cast<double>(counts_.size() - 1);
+  if (pos > maxbin) pos = maxbin;
+  ++counts_[static_cast<std::size_t>(pos)];
+  ++total_;
+}
+
+std::uint64_t Histogram::bin_count(std::uint32_t b) const {
+  RADNET_REQUIRE(b < counts_.size(), "Histogram bin out of range");
+  return counts_[b];
+}
+
+double Histogram::bin_lo(std::uint32_t b) const {
+  RADNET_REQUIRE(b < counts_.size(), "Histogram bin out of range");
+  return lo_ + (hi_ - lo_) * static_cast<double>(b) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::uint32_t b) const {
+  RADNET_REQUIRE(b < counts_.size(), "Histogram bin out of range");
+  return lo_ + (hi_ - lo_) * static_cast<double>(b + 1) /
+                   static_cast<double>(counts_.size());
+}
+
+std::string Histogram::render(std::uint32_t width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::uint32_t b = 0; b < counts_.size(); ++b) {
+    const auto bars = static_cast<std::uint32_t>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) * width);
+    os << "[" << bin_lo(b) << ", " << bin_hi(b) << ")  ";
+    for (std::uint32_t i = 0; i < bars; ++i) os << '#';
+    os << "  " << counts_[b] << '\n';
+  }
+  return os.str();
+}
+
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y) {
+  RADNET_REQUIRE(x.size() == y.size(), "fit_linear needs equal-length vectors");
+  RADNET_REQUIRE(x.size() >= 2, "fit_linear needs at least two points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (std::abs(denom) < 1e-300) {
+    fit.slope = 0.0;
+    fit.intercept = sy / n;
+    fit.r2 = 0.0;
+    return fit;
+  }
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (fit.intercept + fit.slope * x[i]);
+    ss_res += e * e;
+  }
+  fit.r2 = (ss_tot > 0.0) ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace radnet

@@ -1,0 +1,107 @@
+// Statistics utilities for the experiment harness.
+//
+// Every bench reports mean / stddev / min / max / quantiles of quantities like
+// broadcast time and transmissions per node over Monte-Carlo trials. Online
+// accumulation (Welford) is used where samples are streamed; Sample keeps the
+// raw values when quantiles or bootstrap confidence intervals are needed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace radnet {
+
+class Rng;
+
+/// Streaming mean/variance accumulator (Welford), mergeable so that
+/// per-thread accumulators can be combined deterministically.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const OnlineStats& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A stored sample of doubles with quantile and bootstrap support.
+class Sample {
+ public:
+  void add(double x) { values_.push_back(x); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Linear-interpolation quantile, q in [0,1]. Requires a non-empty sample.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  /// Percentile bootstrap confidence interval for the mean.
+  struct Interval {
+    double lo = 0.0;
+    double hi = 0.0;
+  };
+  [[nodiscard]] Interval bootstrap_mean_ci(Rng& rng, double confidence = 0.95,
+                                           std::uint32_t resamples = 1000) const;
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range values are clamped into
+/// the edge bins. Used by benches that plot distributions (e.g. per-node
+/// transmission counts).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::uint32_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::uint32_t bins() const noexcept {
+    return static_cast<std::uint32_t>(counts_.size());
+  }
+  [[nodiscard]] std::uint64_t bin_count(std::uint32_t b) const;
+  [[nodiscard]] double bin_lo(std::uint32_t b) const;
+  [[nodiscard]] double bin_hi(std::uint32_t b) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Multi-line ASCII rendering with proportional bars.
+  [[nodiscard]] std::string render(std::uint32_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Ordinary least squares fit of y = a + b*x; used by benches to report the
+/// empirical scaling exponent of measured times against model predictions
+/// (fit in log-log space).
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+[[nodiscard]] LinearFit fit_linear(const std::vector<double>& x,
+                                   const std::vector<double>& y);
+
+}  // namespace radnet

@@ -1,0 +1,125 @@
+#include "support/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/require.hpp"
+
+namespace radnet {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  RADNET_REQUIRE(!headers_.empty(), "Table needs at least one column");
+}
+
+Table& Table::row() {
+  RADNET_CHECK(cells_.empty() || cells_.back().size() == headers_.size(),
+               "previous row incomplete");
+  cells_.emplace_back();
+  return *this;
+}
+
+void Table::push_cell(std::string s) {
+  RADNET_REQUIRE(!cells_.empty(), "call row() before add()");
+  RADNET_REQUIRE(cells_.back().size() < headers_.size(), "row overfull");
+  cells_.back().push_back(std::move(s));
+}
+
+Table& Table::add(const std::string& cell) {
+  push_cell(cell);
+  return *this;
+}
+
+Table& Table::add(const char* cell) {
+  push_cell(std::string(cell));
+  return *this;
+}
+
+Table& Table::add(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  push_cell(os.str());
+  return *this;
+}
+
+Table& Table::add(std::uint64_t v) {
+  push_cell(std::to_string(v));
+  return *this;
+}
+
+Table& Table::add(std::int64_t v) {
+  push_cell(std::to_string(v));
+  return *this;
+}
+
+Table& Table::add(int v) {
+  push_cell(std::to_string(v));
+  return *this;
+}
+
+Table& Table::add_pm(double mean, double sd, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << mean << " ± "
+     << std::setprecision(precision) << sd;
+  push_cell(os.str());
+  return *this;
+}
+
+const std::string& Table::cell(std::size_t r, std::size_t c) const {
+  RADNET_REQUIRE(r < cells_.size() && c < cells_[r].size(),
+                 "Table::cell out of range");
+  return cells_[r][c];
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : cells_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  if (!caption_.empty()) os << caption_ << '\n';
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& s = c < row.size() ? row[c] : std::string();
+      os << "| " << s << std::string(width[c] - s.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  emit(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << "|" << std::string(width[c] + 2, '-');
+  os << "|\n";
+  for (const auto& row : cells_) emit(row);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << str(); }
+
+std::string Table::csv() const {
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      RADNET_CHECK(row[c].find(',') == std::string::npos,
+                   "CSV cell contains a comma");
+      os << row[c];
+      if (c + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : cells_) emit(row);
+  return os.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << csv();
+  if (!out) throw std::runtime_error("error writing " + path);
+}
+
+}  // namespace radnet

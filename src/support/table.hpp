@@ -1,0 +1,61 @@
+// Paper-style result tables.
+//
+// Every bench binary regenerates one of the paper's tables/figures as (a) an
+// aligned ASCII table on stdout and (b) optionally a CSV file, so results can
+// be diffed across runs and plotted externally. Cells are strings internally;
+// numeric helpers format with a fixed precision so tables are stable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace radnet {
+
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Optional caption printed above the table.
+  void set_caption(std::string caption) { caption_ = std::move(caption); }
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  Table& row();
+
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(double v, int precision = 3);
+  Table& add(std::uint64_t v);
+  Table& add(std::int64_t v);
+  Table& add(int v);
+  /// Formats a mean ± stddev pair in one cell.
+  Table& add_pm(double mean, double sd, int precision = 2);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return cells_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+  [[nodiscard]] const std::string& cell(std::size_t r, std::size_t c) const;
+
+  /// Renders the aligned ASCII table.
+  [[nodiscard]] std::string str() const;
+
+  /// Writes the table to `os` (ASCII form).
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (no quoting needed for our cells; commas are asserted
+  /// absent).
+  [[nodiscard]] std::string csv() const;
+
+  /// Writes csv() to `path`; throws std::runtime_error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::string caption_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+
+  void push_cell(std::string s);
+};
+
+}  // namespace radnet

@@ -1,0 +1,110 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "support/require.hpp"
+
+namespace radnet {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned n = threads;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task.fn();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RADNET_CHECK(!stopping_, "submit after shutdown");
+    queue_.push_back(Task{std::move(fn)});
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_for_index(
+    std::uint64_t n, const std::function<void(std::uint64_t)>& body) {
+  if (n == 0) return;
+  const std::uint64_t workers = size() + 1;  // workers plus the calling thread
+  const std::uint64_t chunk = std::max<std::uint64_t>(1, (n + workers - 1) / workers);
+
+  struct Shared {
+    std::atomic<std::uint64_t> next{0};
+    std::atomic<std::uint64_t> pending{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+  } shared;
+
+  const auto run_chunks = [&]() {
+    for (;;) {
+      const std::uint64_t begin =
+          shared.next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const std::uint64_t end = std::min(n, begin + chunk);
+      try {
+        for (std::uint64_t i = begin; i < end; ++i) body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared.error_mu);
+        if (!shared.first_error) shared.first_error = std::current_exception();
+      }
+    }
+  };
+
+  const std::uint64_t tasks = std::min<std::uint64_t>(workers - 1, (n + chunk - 1) / chunk);
+  shared.pending.store(tasks, std::memory_order_relaxed);
+  for (std::uint64_t t = 0; t < tasks; ++t) {
+    submit([&shared, run_chunks] {
+      run_chunks();
+      if (shared.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(shared.done_mu);
+        shared.done_cv.notify_all();
+      }
+    });
+  }
+
+  run_chunks();  // the calling thread participates
+
+  std::unique_lock<std::mutex> lock(shared.done_mu);
+  shared.done_cv.wait(lock, [&shared] {
+    return shared.pending.load(std::memory_order_acquire) == 0;
+  });
+
+  if (shared.first_error) std::rethrow_exception(shared.first_error);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace radnet

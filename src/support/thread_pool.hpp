@@ -1,0 +1,64 @@
+// A small work-stealing-free thread pool plus deterministic parallel_for.
+//
+// The reproduction parallelises across *independent Monte-Carlo trials*
+// (each trial owns an Rng split from (root seed, trial index)), so the pool
+// only needs static chunking: parallel_for_index divides [0, n) into
+// contiguous blocks, one in-flight task per worker. Results must be written
+// into pre-sized output slots indexed by trial, which makes parallel output
+// bit-identical to serial output regardless of thread count — a property the
+// tests assert.
+//
+// Exceptions thrown by a task are captured and rethrown on the calling
+// thread (first one wins), per C++ Core Guidelines E.2.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace radnet {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs body(i) for every i in [0, n), distributing contiguous chunks over
+  /// the workers, and blocks until all complete. The calling thread also
+  /// executes chunks. If any invocation throws, the first captured exception
+  /// is rethrown here after all chunks finish or are abandoned.
+  void parallel_for_index(std::uint64_t n,
+                          const std::function<void(std::uint64_t)>& body);
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+  void submit(std::function<void()> fn);
+
+  std::vector<std::thread> workers_;
+  std::deque<Task> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// A process-wide pool, lazily created with hardware concurrency. Benches and
+/// the Monte-Carlo harness share it so nested sweeps don't oversubscribe.
+ThreadPool& global_pool();
+
+}  // namespace radnet

@@ -1,0 +1,162 @@
+#include "core/broadcast_random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+
+namespace radnet::core {
+namespace {
+
+using graph::Digraph;
+
+sim::RunResult run_alg1(const Digraph& g, double p, std::uint64_t seed,
+                        sim::RunResult* out = nullptr) {
+  BroadcastRandomProtocol proto(BroadcastRandomParams{.p = p});
+  sim::RunOptions options;
+  // reset happens inside run; budget depends on n so compute beforehand via
+  // a scratch protocol reset.
+  BroadcastRandomProtocol probe(BroadcastRandomParams{.p = p});
+  probe.reset(g.num_nodes(), Rng(0));
+  options.max_rounds = probe.round_budget();
+  sim::Engine engine;
+  auto r = engine.run(g, proto, Rng(seed), options);
+  if (out != nullptr) *out = r;
+  return r;
+}
+
+TEST(BroadcastRandomTest, PhaseLayoutSparseRegime) {
+  // n = 4096, p = 4096^{-0.5} < n^{-2/5}: Phase 2 applies.
+  BroadcastRandomProtocol proto(
+      BroadcastRandomParams{.p = 1.0 / 64.0});
+  proto.reset(4096, Rng(1));
+  EXPECT_TRUE(proto.has_phase2());
+  EXPECT_EQ(proto.phase1_end(), 2u);  // T = floor(12 / 6) = 2
+  EXPECT_EQ(proto.phase3_begin(), 3u);
+  EXPECT_NEAR(proto.degree(), 64.0, 1e-9);
+}
+
+TEST(BroadcastRandomTest, PhaseLayoutDenseRegime) {
+  // p = 0.1 > n^{-2/5} for n = 1024: no Phase 2.
+  BroadcastRandomProtocol proto(BroadcastRandomParams{.p = 0.1});
+  proto.reset(1024, Rng(1));
+  EXPECT_FALSE(proto.has_phase2());
+  EXPECT_EQ(proto.phase1_end(), proto.phase3_begin());
+}
+
+TEST(BroadcastRandomTest, CompletesOnRandomGraph) {
+  // delta = 10 keeps p below the n^{-2/5} threshold (sparse regime) at this
+  // n, where the finite-size guarantees of Lemmas 2.5/2.6 hold.
+  const std::uint32_t n = 2048;
+  const double p = 10.0 * std::log(n) / n;
+  int successes = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng grng(seed + 100);
+    const Digraph g = graph::gnp_directed(n, p, grng);
+    const auto r = run_alg1(g, p, seed);
+    successes += r.completed ? 1 : 0;
+  }
+  EXPECT_GE(successes, 9);  // w.h.p.; allow one unlucky seed
+}
+
+TEST(BroadcastRandomTest, AtMostOneTransmissionPerNodeAlways) {
+  // Theorem 2.1's hard invariant, across seeds and both p regimes.
+  for (const double p : {0.004, 0.05, 0.2}) {
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      Rng grng(seed);
+      const Digraph g = graph::gnp_directed(1024, p, grng);
+      const auto r = run_alg1(g, p, seed + 50);
+      EXPECT_LE(r.ledger.max_tx_per_node(), 1u)
+          << "p=" << p << " seed=" << seed;
+    }
+  }
+}
+
+TEST(BroadcastRandomTest, RoundsScaleLogarithmically) {
+  // O(log n) w.h.p.: completion rounds divided by log2 n stay bounded as n
+  // grows (constant band check, not absolute).
+  // All three sizes sit in the sparse regime p <= n^{-2/5} at delta = 8.
+  for (const std::uint32_t n : {1024u, 4096u, 16384u}) {
+    const double p = 8.0 * std::log(n) / n;
+    Rng grng(n);
+    const Digraph g = graph::gnp_directed(n, p, grng);
+    const auto r = run_alg1(g, p, n + 1);
+    ASSERT_TRUE(r.completed) << n;
+    const double normalised =
+        static_cast<double>(r.completion_round) / std::log2(n);
+    EXPECT_LT(normalised, 6.0) << "n=" << n;
+  }
+}
+
+TEST(BroadcastRandomTest, TotalTransmissionsNearLogNOverP) {
+  // Theorem 2.1: expected total transmissions O(log n / p).
+  const std::uint32_t n = 4096;
+  const double p = 12.0 * std::log(n) / n;  // sparse regime at this n
+  double total = 0.0;
+  const int trials = 8;
+  for (int t = 0; t < trials; ++t) {
+    Rng grng(t + 7);
+    const Digraph g = graph::gnp_directed(n, p, grng);
+    const auto r = run_alg1(g, p, t + 77);
+    ASSERT_TRUE(r.completed);
+    total += static_cast<double>(r.ledger.total_transmissions);
+  }
+  const double mean = total / trials;
+  const double bound_unit = std::log2(n) / p;
+  EXPECT_LT(mean, 3.0 * bound_unit);
+  EXPECT_GT(mean, 0.005 * bound_unit);
+}
+
+TEST(BroadcastRandomTest, WorksInVeryDenseGraphs) {
+  // p = 0.5: T == 1, Phase 2 skipped, Phase 3 probability 1/(dp).
+  const std::uint32_t n = 256;
+  Rng grng(3);
+  const Digraph g = graph::gnp_directed(n, 0.5, grng);
+  const auto r = run_alg1(g, 0.5, 4);
+  EXPECT_TRUE(r.completed);
+  EXPECT_LE(r.ledger.max_tx_per_node(), 1u);
+}
+
+TEST(BroadcastRandomTest, CustomSourceRespected) {
+  const std::uint32_t n = 512;
+  const double p = 0.05;
+  Rng grng(9);
+  const Digraph g = graph::gnp_directed(n, p, grng);
+  BroadcastRandomProtocol proto(
+      BroadcastRandomParams{.p = p, .source = 77});
+  sim::Engine engine;
+  sim::RunOptions options;
+  options.max_rounds = 4096;
+  options.record_trace = true;
+  const auto r = engine.run(g, proto, Rng(10), options);
+  ASSERT_TRUE(r.completed);
+  ASSERT_FALSE(r.trace.rounds.empty());
+  EXPECT_EQ(r.trace.rounds[0].transmitters, (std::vector<graph::NodeId>{77}));
+}
+
+TEST(BroadcastRandomTest, FailureIsDetectedNotHidden) {
+  // A disconnected graph cannot complete; the engine reports it honestly.
+  const Digraph g(64, {});  // no edges at all
+  BroadcastRandomProtocol proto(BroadcastRandomParams{.p = 0.05});
+  sim::Engine engine;
+  sim::RunOptions options;
+  options.max_rounds = 512;
+  const auto r = engine.run(g, proto, Rng(11), options);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.ledger.total_deliveries, 0u);
+}
+
+TEST(BroadcastRandomTest, InvalidParamsThrow) {
+  EXPECT_THROW(BroadcastRandomProtocol(BroadcastRandomParams{.p = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(BroadcastRandomProtocol(BroadcastRandomParams{.p = 1.5}),
+               std::invalid_argument);
+  BroadcastRandomProtocol proto(BroadcastRandomParams{.p = 0.001});
+  // d = np = 0.064 < 1 at n = 64: not a valid regime.
+  EXPECT_THROW(proto.reset(64, Rng(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace radnet::core

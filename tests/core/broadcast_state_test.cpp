@@ -1,0 +1,136 @@
+#include "core/broadcast_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace radnet::core {
+namespace {
+
+std::vector<NodeId> active_vec(const BroadcastState& s) {
+  const auto span = s.active();
+  return {span.begin(), span.end()};
+}
+
+TEST(BroadcastStateTest, InitialState) {
+  BroadcastState s;
+  s.reset(5, 2);
+  EXPECT_EQ(s.informed_count(), 1u);
+  EXPECT_TRUE(s.informed(2));
+  EXPECT_FALSE(s.informed(0));
+  EXPECT_EQ(s.informed_time(2), 0u);
+  EXPECT_EQ(active_vec(s), (std::vector<NodeId>{2}));
+  EXPECT_FALSE(s.all_informed());
+}
+
+TEST(BroadcastStateTest, DeliverActivatesNextRoundOnly) {
+  BroadcastState s;
+  s.reset(4, 0);
+  EXPECT_TRUE(s.deliver(1, 0));
+  // Not yet active — activation is deferred to commit().
+  EXPECT_EQ(active_vec(s), (std::vector<NodeId>{0}));
+  EXPECT_TRUE(s.informed(1));
+  EXPECT_EQ(s.informed_time(1), 1u);
+  s.commit();
+  EXPECT_EQ(active_vec(s), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(BroadcastStateTest, RedeliveryIgnored) {
+  BroadcastState s;
+  s.reset(3, 0);
+  EXPECT_TRUE(s.deliver(1, 0));
+  EXPECT_FALSE(s.deliver(1, 5));  // already informed
+  EXPECT_EQ(s.informed_time(1), 1u);  // first time sticks
+  EXPECT_EQ(s.informed_count(), 2u);
+  s.commit();
+  EXPECT_EQ(s.active().size(), 2u);  // only added once
+}
+
+TEST(BroadcastStateTest, DeactivationRemovesAtCommit) {
+  BroadcastState s;
+  s.reset(3, 0);
+  s.deliver(1, 0);
+  s.deliver(2, 0);
+  s.commit();
+  ASSERT_EQ(s.active().size(), 3u);
+  s.deactivate(0);
+  s.deactivate(2);
+  EXPECT_EQ(s.active().size(), 3u);  // still visible this round
+  s.commit();
+  EXPECT_EQ(active_vec(s), (std::vector<NodeId>{1}));
+}
+
+TEST(BroadcastStateTest, DeliverAndDeactivateSameRound) {
+  // A node delivered and deactivated in the same round never activates
+  // (matters for protocols whose window is 0 rounds).
+  BroadcastState s;
+  s.reset(3, 0);
+  s.deliver(1, 0);
+  s.deactivate(1);
+  s.commit();
+  EXPECT_EQ(active_vec(s), (std::vector<NodeId>{0}));
+  EXPECT_TRUE(s.informed(1));
+}
+
+TEST(BroadcastStateTest, DeliverWithoutActivation) {
+  // Phase-3 semantics: informed counts toward completion but the node never
+  // joins the candidate list.
+  BroadcastState s;
+  s.reset(3, 0);
+  EXPECT_TRUE(s.deliver(1, 4, /*activate=*/false));
+  s.commit();
+  EXPECT_TRUE(s.informed(1));
+  EXPECT_EQ(s.informed_time(1), 5u);
+  EXPECT_EQ(active_vec(s), (std::vector<NodeId>{0}));
+  // Redelivery with activation still doesn't resurrect it.
+  EXPECT_FALSE(s.deliver(1, 6, /*activate=*/true));
+  s.commit();
+  EXPECT_EQ(active_vec(s), (std::vector<NodeId>{0}));
+}
+
+TEST(BroadcastStateTest, AllInformed) {
+  BroadcastState s;
+  s.reset(3, 0);
+  s.deliver(1, 0);
+  EXPECT_FALSE(s.all_informed());
+  s.deliver(2, 1);
+  EXPECT_TRUE(s.all_informed());
+  EXPECT_EQ(s.informed_count(), 3u);
+}
+
+TEST(BroadcastStateTest, InformedTimesTrackRounds) {
+  BroadcastState s;
+  s.reset(4, 0);
+  s.deliver(1, 0);
+  s.commit();
+  s.deliver(2, 7);
+  s.commit();
+  EXPECT_EQ(s.informed_time(0), 0u);
+  EXPECT_EQ(s.informed_time(1), 1u);
+  EXPECT_EQ(s.informed_time(2), 8u);
+}
+
+TEST(BroadcastStateTest, ResetClearsEverything) {
+  BroadcastState s;
+  s.reset(3, 0);
+  s.deliver(1, 0);
+  s.deactivate(0);
+  s.commit();
+  s.reset(3, 1);
+  EXPECT_EQ(s.informed_count(), 1u);
+  EXPECT_TRUE(s.informed(1));
+  EXPECT_FALSE(s.informed(0));
+  EXPECT_EQ(active_vec(s), (std::vector<NodeId>{1}));
+}
+
+TEST(BroadcastStateTest, RejectsBadArguments) {
+  BroadcastState s;
+  EXPECT_THROW(s.reset(0, 0), std::invalid_argument);
+  EXPECT_THROW(s.reset(3, 3), std::invalid_argument);
+  s.reset(3, 0);
+  EXPECT_THROW(s.deliver(9, 0), std::invalid_argument);
+  EXPECT_THROW(s.deactivate(9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace radnet::core

@@ -1,0 +1,127 @@
+#include "core/dynamic_gossip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/dynamics.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+
+namespace radnet::core {
+namespace {
+
+using graph::Digraph;
+
+TEST(DynamicGossipTest, InitialStateKnowsOnlySelf) {
+  DynamicGossipProtocol proto(DynamicGossipParams{.p = 0.1});
+  proto.reset(32, Rng(1));
+  for (graph::NodeId v = 0; v < 32; ++v) {
+    EXPECT_EQ(proto.age(v, v), 0u);
+    for (graph::NodeId u = 0; u < 32; ++u)
+      if (u != v) {
+        EXPECT_EQ(proto.age(v, u), DynamicGossipProtocol::kNever);
+      }
+  }
+  EXPECT_NEAR(proto.coverage(), 1.0 / 32.0, 1e-9);
+}
+
+TEST(DynamicGossipTest, CoverageReachesOneOnStaticGraph) {
+  const std::uint32_t n = 128;
+  const double p = 12.0 * std::log(n) / n;
+  Rng grng(2);
+  const Digraph g = graph::gnp_directed(n, p, grng);
+  DynamicGossipProtocol proto(DynamicGossipParams{.p = p});
+  sim::Engine engine;
+  sim::RunOptions options;
+  const double d = n * p;
+  options.max_rounds = static_cast<sim::Round>(16.0 * d * std::log2(n));
+  (void)engine.run(g, proto, Rng(3), options);
+  EXPECT_DOUBLE_EQ(proto.coverage(), 1.0);
+  // Staleness after convergence is bounded by roughly the gossip time.
+  const auto s = proto.staleness();
+  EXPECT_LT(s.mean, 8.0 * d * std::log2(n));
+}
+
+TEST(DynamicGossipTest, StalenessStaysBoundedUnderChurn) {
+  const std::uint32_t n = 96;
+  const double p = 12.0 * std::log(n) / n;
+  graph::ChurnGnp topo(n, p, 0.05, Rng(4));
+  DynamicGossipProtocol proto(DynamicGossipParams{.p = p});
+  sim::Engine engine;
+  sim::RunOptions options;
+  const double d = n * p;
+  const double horizon = 24.0 * d * std::log2(n);
+  options.max_rounds = static_cast<sim::Round>(horizon);
+  (void)engine.run(topo, proto, Rng(5), options);
+  EXPECT_GT(proto.coverage(), 0.99);
+  const auto s = proto.staleness();
+  // Max staleness must be well below the horizon: information keeps
+  // refreshing despite the churn (continuous-service property).
+  EXPECT_LT(static_cast<double>(s.max), horizon / 2.0);
+}
+
+TEST(DynamicGossipTest, TtlDropsStaleCopies) {
+  // A complete graph where nobody regenerates (interval huge) and ttl is
+  // tiny: copies must die out, leaving coverage to collapse toward only
+  // freshly-regenerated own rumors.
+  const std::uint32_t n = 16;
+  const Digraph g = graph::complete(n);
+  DynamicGossipProtocol proto(DynamicGossipParams{
+      .p = 4.0 / n, .regen_interval = 1000, .ttl = 3});
+  sim::Engine engine;
+  sim::RunOptions options;
+  options.max_rounds = 64;
+  (void)engine.run(g, proto, Rng(6), options);
+  // Own rumor regenerated only at round 0; with ttl = 3 even self copies
+  // expired by round 64.
+  EXPECT_LT(proto.coverage(), 0.05);
+}
+
+TEST(DynamicGossipTest, RegenerationKeepsOwnRumorFresh) {
+  const std::uint32_t n = 16;
+  const Digraph g = graph::complete(n);
+  DynamicGossipProtocol proto(
+      DynamicGossipParams{.p = 4.0 / n, .regen_interval = 4, .ttl = 0});
+  sim::Engine engine;
+  sim::RunOptions options;
+  options.max_rounds = 33;
+  (void)engine.run(g, proto, Rng(7), options);
+  for (graph::NodeId v = 0; v < n; ++v) EXPECT_LE(proto.age(v, v), 4u);
+}
+
+TEST(DynamicGossipTest, AgesPropagateThroughJoins) {
+  // Two nodes, symmetric link; whoever transmits alone hands over its whole
+  // (aged) table.
+  const Digraph g(2, {{0, 1}, {1, 0}});
+  DynamicGossipProtocol proto(DynamicGossipParams{.p = 0.75});
+  sim::Engine engine;
+  sim::RunOptions options;
+  options.max_rounds = 64;
+  (void)engine.run(g, proto, Rng(8), options);
+  EXPECT_DOUBLE_EQ(proto.coverage(), 1.0);
+  EXPECT_NE(proto.age(0, 1), DynamicGossipProtocol::kNever);
+  EXPECT_NE(proto.age(1, 0), DynamicGossipProtocol::kNever);
+}
+
+TEST(DynamicGossipTest, NeverCompletes) {
+  DynamicGossipProtocol proto(DynamicGossipParams{.p = 0.5});
+  proto.reset(8, Rng(9));
+  EXPECT_FALSE(proto.is_complete());
+}
+
+TEST(DynamicGossipTest, InvalidParamsThrow) {
+  EXPECT_THROW(DynamicGossipProtocol(DynamicGossipParams{.p = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      DynamicGossipProtocol(DynamicGossipParams{.p = 0.5, .regen_interval = 0}),
+      std::invalid_argument);
+  DynamicGossipProtocol proto(DynamicGossipParams{.p = 0.001});
+  EXPECT_THROW(proto.reset(100, Rng(10)), std::invalid_argument);
+  proto = DynamicGossipProtocol(DynamicGossipParams{.p = 0.5});
+  proto.reset(8, Rng(11));
+  EXPECT_THROW((void)proto.age(9, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace radnet::core

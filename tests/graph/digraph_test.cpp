@@ -1,0 +1,99 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace radnet::graph {
+namespace {
+
+TEST(DigraphTest, EmptyGraph) {
+  Digraph g(3, {});
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_TRUE(g.out_neighbors(v).empty());
+    EXPECT_TRUE(g.in_neighbors(v).empty());
+  }
+}
+
+TEST(DigraphTest, AdjacencyIsSortedAndComplete) {
+  Digraph g(4, {{0, 2}, {0, 1}, {2, 3}, {1, 3}, {0, 3}});
+  const auto n0 = g.out_neighbors(0);
+  EXPECT_TRUE(std::is_sorted(n0.begin(), n0.end()));
+  EXPECT_EQ(std::vector<NodeId>(n0.begin(), n0.end()),
+            (std::vector<NodeId>{1, 2, 3}));
+  const auto in3 = g.in_neighbors(3);
+  EXPECT_EQ(std::vector<NodeId>(in3.begin(), in3.end()),
+            (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(DigraphTest, DegreesMatchAdjacency) {
+  Digraph g(5, {{0, 1}, {0, 2}, {3, 0}, {4, 0}, {4, 1}});
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(4), 2u);
+  EXPECT_EQ(g.in_degree(1), 2u);
+  EXPECT_EQ(g.out_degree(1), 0u);
+}
+
+TEST(DigraphTest, ParallelEdgesCollapse) {
+  Digraph g(2, {{0, 1}, {0, 1}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+}
+
+TEST(DigraphTest, SelfLoopRejected) {
+  EXPECT_THROW(Digraph(2, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(DigraphTest, OutOfRangeEdgeRejected) {
+  EXPECT_THROW(Digraph(2, {{0, 2}}), std::invalid_argument);
+  EXPECT_THROW(Digraph(2, {{5, 0}}), std::invalid_argument);
+}
+
+TEST(DigraphTest, HasEdgeIsDirectional) {
+  Digraph g(3, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(DigraphTest, ReversedSwapsDirections) {
+  Digraph g(3, {{0, 1}, {1, 2}, {0, 2}});
+  const Digraph r = g.reversed();
+  EXPECT_EQ(r.num_edges(), 3u);
+  EXPECT_TRUE(r.has_edge(1, 0));
+  EXPECT_TRUE(r.has_edge(2, 1));
+  EXPECT_TRUE(r.has_edge(2, 0));
+  EXPECT_FALSE(r.has_edge(0, 1));
+}
+
+TEST(DigraphTest, EdgeListRoundTrip) {
+  const std::vector<Edge> edges{{0, 1}, {0, 3}, {2, 1}};
+  Digraph g(4, edges);
+  const auto out = g.edge_list();
+  EXPECT_EQ(out.size(), 3u);
+  Digraph g2(4, out);
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  for (const auto& e : edges) EXPECT_TRUE(g2.has_edge(e.from, e.to));
+}
+
+TEST(DigraphTest, SymmetriseDoubles) {
+  const auto sym = symmetrise({{0, 1}, {2, 3}});
+  Digraph g(4, sym);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(3, 2));
+  EXPECT_EQ(g.num_edges(), 4u);
+}
+
+TEST(DigraphTest, NodeQueriesOutOfRangeThrow) {
+  Digraph g(2, {{0, 1}});
+  EXPECT_THROW((void)g.out_neighbors(2), std::invalid_argument);
+  EXPECT_THROW((void)g.in_degree(7), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace radnet::graph

@@ -1,0 +1,151 @@
+#include "graph/dynamics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+
+namespace radnet::graph {
+namespace {
+
+TEST(StaticTopologyTest, AlwaysSameGraph) {
+  StaticTopology topo(path(5));
+  EXPECT_EQ(topo.num_nodes(), 5u);
+  const Digraph& a = topo.at(0);
+  const Digraph& b = topo.at(100);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.num_edges(), 8u);
+}
+
+TEST(ChurnGnpTest, InitialStateIsGnp) {
+  const NodeId n = 400;
+  const double p = 0.02;
+  ChurnGnp topo(n, p, 0.05, Rng(1));
+  const auto& g = topo.at(0);
+  const double expected = static_cast<double>(n) * (n - 1) * p;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              5.0 * std::sqrt(expected));
+}
+
+TEST(ChurnGnpTest, ZeroChurnIsStatic) {
+  ChurnGnp topo(100, 0.05, 0.0, Rng(2));
+  const auto edges0 = topo.at(0).edge_list();
+  const auto edges9 = topo.at(9).edge_list();
+  EXPECT_TRUE(edges0 == edges9);
+}
+
+TEST(ChurnGnpTest, FullChurnResamplesEverything) {
+  ChurnGnp topo(60, 0.2, 1.0, Rng(3));
+  const auto e0 = topo.at(0).edge_list();
+  const auto e1 = topo.at(1).edge_list();
+  EXPECT_FALSE(e0 == e1);  // astronomically unlikely to coincide
+}
+
+TEST(ChurnGnpTest, StationaryEdgeCount) {
+  // Under churn, the edge count must stay concentrated around n(n-1)p —
+  // the process is G(n,p)-stationary, not drifting.
+  const NodeId n = 300;
+  const double p = 0.03;
+  ChurnGnp topo(n, p, 0.1, Rng(4));
+  const double expected = static_cast<double>(n) * (n - 1) * p;
+  for (const std::uint32_t r : {0u, 20u, 40u, 80u, 160u}) {
+    const auto& g = topo.at(r);
+    EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+                6.0 * std::sqrt(expected))
+        << "round " << r;
+  }
+}
+
+TEST(ChurnGnpTest, ChurnActuallyChangesEdges) {
+  ChurnGnp topo(200, 0.05, 0.05, Rng(5));
+  const auto e0 = topo.at(0).edge_list();
+  const auto e5 = topo.at(5).edge_list();
+  std::size_t common = 0;
+  std::size_t i = 0, j = 0;
+  const auto less = [](const Edge& a, const Edge& b) {
+    return a.from != b.from ? a.from < b.from : a.to < b.to;
+  };
+  while (i < e0.size() && j < e5.size()) {
+    if (e0[i] == e5[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (less(e0[i], e5[j])) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  EXPECT_LT(common, e0.size());  // some links died
+  EXPECT_GT(common, e0.size() / 2);  // but most survive 5 rounds at 5% churn
+}
+
+TEST(ChurnGnpTest, DeterministicGivenSeed) {
+  ChurnGnp a(80, 0.1, 0.2, Rng(6));
+  ChurnGnp b(80, 0.1, 0.2, Rng(6));
+  EXPECT_TRUE(a.at(7).edge_list() == b.at(7).edge_list());
+}
+
+TEST(ChurnGnpTest, RejectsDecreasingRounds) {
+  ChurnGnp topo(50, 0.1, 0.1, Rng(7));
+  (void)topo.at(5);
+  EXPECT_THROW((void)topo.at(3), std::invalid_argument);
+}
+
+TEST(ChurnGnpTest, RejectsBadParameters) {
+  EXPECT_THROW(ChurnGnp(1, 0.1, 0.1, Rng(8)), std::invalid_argument);
+  EXPECT_THROW(ChurnGnp(10, 1.5, 0.1, Rng(8)), std::invalid_argument);
+  EXPECT_THROW(ChurnGnp(10, 0.1, -0.1, Rng(8)), std::invalid_argument);
+}
+
+TEST(MobilityRggTest, PositionsStayInUnitSquare) {
+  MobilityRgg topo(200, 0.15, 0.05, Rng(9));
+  for (const std::uint32_t r : {0u, 10u, 50u, 100u}) {
+    (void)topo.at(r);
+    for (const auto& pt : topo.positions()) {
+      ASSERT_GE(pt.x, 0.0);
+      ASSERT_LE(pt.x, 1.0);
+      ASSERT_GE(pt.y, 0.0);
+      ASSERT_LE(pt.y, 1.0);
+    }
+  }
+}
+
+TEST(MobilityRggTest, EdgesAreSymmetricAndLocalEveryRound) {
+  MobilityRgg topo(150, 0.2, 0.03, Rng(10));
+  for (const std::uint32_t r : {0u, 5u, 15u}) {
+    const auto& g = topo.at(r);
+    const auto& pts = topo.positions();
+    for (const auto& e : g.edge_list()) {
+      ASSERT_TRUE(g.has_edge(e.to, e.from));
+      const double dx = pts[e.from].x - pts[e.to].x;
+      const double dy = pts[e.from].y - pts[e.to].y;
+      ASSERT_LE(std::sqrt(dx * dx + dy * dy), 0.2 + 1e-12);
+    }
+  }
+}
+
+TEST(MobilityRggTest, ZeroStepIsStatic) {
+  MobilityRgg topo(100, 0.2, 0.0, Rng(11));
+  const auto e0 = topo.at(0).edge_list();
+  const auto e20 = topo.at(20).edge_list();
+  EXPECT_TRUE(e0 == e20);
+}
+
+TEST(MobilityRggTest, MovementChangesTopology) {
+  MobilityRgg topo(100, 0.15, 0.1, Rng(12));
+  const auto e0 = topo.at(0).edge_list();
+  const auto e10 = topo.at(10).edge_list();
+  EXPECT_FALSE(e0 == e10);
+}
+
+TEST(MobilityRggTest, DeterministicGivenSeed) {
+  MobilityRgg a(60, 0.2, 0.05, Rng(13));
+  MobilityRgg b(60, 0.2, 0.05, Rng(13));
+  EXPECT_TRUE(a.at(9).edge_list() == b.at(9).edge_list());
+}
+
+}  // namespace
+}  // namespace radnet::graph

@@ -1,0 +1,159 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/metrics.hpp"
+
+namespace radnet::graph {
+namespace {
+
+TEST(GeneratorsTest, GnpDirectedEdgeCountConcentrates) {
+  Rng rng(1);
+  const NodeId n = 2000;
+  const double p = 0.01;
+  const Digraph g = gnp_directed(n, p, rng);
+  const double expected = static_cast<double>(n) * (n - 1) * p;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 5.0 * std::sqrt(expected));
+}
+
+TEST(GeneratorsTest, GnpDirectedIsActuallyDirected) {
+  Rng rng(2);
+  const Digraph g = gnp_directed(300, 0.05, rng);
+  // In a directed G(n,p) a noticeable fraction of edges lack their reverse.
+  std::uint64_t asym = 0;
+  for (const auto& e : g.edge_list())
+    if (!g.has_edge(e.to, e.from)) ++asym;
+  EXPECT_GT(asym, g.num_edges() / 2);  // ~95% expected at p=0.05
+}
+
+TEST(GeneratorsTest, GnpExtremes) {
+  Rng rng(3);
+  EXPECT_EQ(gnp_directed(50, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(gnp_directed(50, 1.0, rng).num_edges(), 50u * 49u);
+  EXPECT_EQ(gnp_undirected(50, 1.0, rng).num_edges(), 50u * 49u);
+}
+
+TEST(GeneratorsTest, GnpUndirectedIsSymmetric) {
+  Rng rng(4);
+  const Digraph g = gnp_undirected(400, 0.02, rng);
+  for (const auto& e : g.edge_list())
+    ASSERT_TRUE(g.has_edge(e.to, e.from))
+        << e.from << "->" << e.to << " lacks reverse";
+  // Edge count (counting both directions) concentrates around n(n-1)p.
+  const double expected = 400.0 * 399.0 * 0.02;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              6.0 * std::sqrt(expected));
+}
+
+TEST(GeneratorsTest, GnpDeterministicGivenSeed) {
+  Rng a(99), b(99);
+  const Digraph g1 = gnp_directed(200, 0.03, a);
+  const Digraph g2 = gnp_directed(200, 0.03, b);
+  EXPECT_EQ(g1.edge_list().size(), g2.edge_list().size());
+  EXPECT_TRUE(g1.edge_list() == g2.edge_list());
+}
+
+TEST(GeneratorsTest, GeometricIsSymmetricAndLocal) {
+  Rng rng(5);
+  std::vector<Point> pts;
+  const double radius = 0.1;
+  const Digraph g = random_geometric(500, radius, rng, &pts);
+  ASSERT_EQ(pts.size(), 500u);
+  for (const auto& e : g.edge_list()) {
+    ASSERT_TRUE(g.has_edge(e.to, e.from));
+    const double dx = pts[e.from].x - pts[e.to].x;
+    const double dy = pts[e.from].y - pts[e.to].y;
+    ASSERT_LE(std::sqrt(dx * dx + dy * dy), radius + 1e-12);
+  }
+}
+
+TEST(GeneratorsTest, GeometricFindsAllClosePairs) {
+  // Brute-force cross-check on a small instance: every pair within the
+  // radius must be linked (validates the grid-bucket neighbour search).
+  Rng rng(6);
+  std::vector<Point> pts;
+  const double radius = 0.23;
+  const Digraph g = random_geometric(120, radius, rng, &pts);
+  for (NodeId a = 0; a < 120; ++a) {
+    for (NodeId b = 0; b < 120; ++b) {
+      if (a == b) continue;
+      const double dx = pts[a].x - pts[b].x;
+      const double dy = pts[a].y - pts[b].y;
+      const bool close = dx * dx + dy * dy <= radius * radius;
+      ASSERT_EQ(g.has_edge(a, b), close) << a << "," << b;
+    }
+  }
+}
+
+TEST(GeneratorsTest, RggThresholdRadiusConnectsWhp) {
+  Rng rng(7);
+  // c = 2 is comfortably above the connectivity threshold.
+  const NodeId n = 800;
+  const Digraph g = random_geometric(n, rgg_threshold_radius(n, 2.0), rng);
+  EXPECT_TRUE(strongly_connected(g));
+}
+
+TEST(GeneratorsTest, PathShape) {
+  const Digraph g = path(5);
+  EXPECT_EQ(g.num_edges(), 8u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(2), 2u);
+  EXPECT_EQ(*eccentricity(g, 0), 4u);
+  EXPECT_EQ(*diameter_exact(g), 4u);
+}
+
+TEST(GeneratorsTest, CycleShape) {
+  const Digraph g = cycle(8);
+  EXPECT_EQ(g.num_edges(), 16u);
+  for (NodeId v = 0; v < 8; ++v) EXPECT_EQ(g.out_degree(v), 2u);
+  EXPECT_EQ(*diameter_exact(g), 4u);
+}
+
+TEST(GeneratorsTest, GridShape) {
+  const Digraph g = grid(4, 3);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  // Corner has degree 2, interior 4.
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(5), 4u);  // (1,1)
+  EXPECT_EQ(*diameter_exact(g), 5u);  // w+h-2
+}
+
+TEST(GeneratorsTest, StarShape) {
+  const Digraph g = star(10);
+  EXPECT_EQ(g.out_degree(0), 9u);
+  EXPECT_EQ(g.in_degree(0), 9u);
+  for (NodeId v = 1; v < 10; ++v) {
+    EXPECT_EQ(g.out_degree(v), 1u);
+    EXPECT_EQ(g.in_degree(v), 1u);
+  }
+  EXPECT_EQ(*diameter_exact(g), 2u);
+}
+
+TEST(GeneratorsTest, CompleteShape) {
+  const Digraph g = complete(6);
+  EXPECT_EQ(g.num_edges(), 30u);
+  EXPECT_EQ(*diameter_exact(g), 1u);
+}
+
+TEST(GeneratorsTest, ClusterChainShape) {
+  const Digraph g = cluster_chain(5, 4);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  EXPECT_TRUE(strongly_connected(g));
+  // Diameter: inside cluster 1 hop, bridge hops between; first node of
+  // cluster 0 to last of cluster 3: 1 + (1+1)*3 = at least 7.
+  EXPECT_GE(*diameter_exact(g), 7u);
+}
+
+TEST(GeneratorsTest, InvalidArgumentsThrow) {
+  Rng rng(8);
+  EXPECT_THROW(gnp_directed(0, 0.5, rng), std::invalid_argument);
+  EXPECT_THROW(gnp_directed(10, 1.5, rng), std::invalid_argument);
+  EXPECT_THROW(random_geometric(10, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(cycle(2), std::invalid_argument);
+  EXPECT_THROW(star(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace radnet::graph

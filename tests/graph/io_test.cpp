@@ -1,0 +1,74 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "graph/generators.hpp"
+
+namespace radnet::graph {
+namespace {
+
+TEST(IoTest, WriteReadRoundTrip) {
+  Rng rng(1);
+  const Digraph g = gnp_directed(60, 0.1, rng);
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Digraph h = read_edge_list(ss);
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_TRUE(h.edge_list() == g.edge_list());
+}
+
+TEST(IoTest, CommentsAndBlankLinesSkipped) {
+  std::stringstream ss(
+      "# a comment\n\nradnet-digraph 3 2\n# inner comment\n0 1\n\n1 2\n");
+  const Digraph g = read_edge_list(ss);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(IoTest, MalformedInputsThrow) {
+  {
+    std::stringstream ss("bogus-header 3 1\n0 1\n");
+    EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("radnet-digraph 3 2\n0 1\n");  // truncated
+    EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("radnet-digraph 2 1\n0 5\n");  // out of range
+    EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("");
+    EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+  }
+}
+
+TEST(IoTest, FileRoundTrip) {
+  const Digraph g = path(10);
+  const std::string p = ::testing::TempDir() + "radnet_io_test.edges";
+  save_edge_list(p, g);
+  const Digraph h = load_edge_list(p);
+  EXPECT_TRUE(h.edge_list() == g.edge_list());
+  std::remove(p.c_str());
+}
+
+TEST(IoTest, LoadMissingFileThrows) {
+  EXPECT_THROW(load_edge_list("/nonexistent/radnet.edges"), std::runtime_error);
+}
+
+TEST(IoTest, DotContainsAllEdges) {
+  const Digraph g(3, {{0, 1}, {2, 0}});
+  const std::string dot = to_dot(g, "t");
+  EXPECT_NE(dot.find("digraph t"), std::string::npos);
+  EXPECT_NE(dot.find("0 -> 1;"), std::string::npos);
+  EXPECT_NE(dot.find("2 -> 0;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace radnet::graph

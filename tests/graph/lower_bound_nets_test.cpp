@@ -1,0 +1,128 @@
+#include "graph/lower_bound_nets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/metrics.hpp"
+
+namespace radnet::graph {
+namespace {
+
+TEST(Obs43Test, NodeCountAndRoles) {
+  const auto net = obs43_network(8);
+  EXPECT_EQ(net.graph.num_nodes(), 3u * 8 + 1);
+  EXPECT_EQ(net.intermediates.size(), 16u);
+  EXPECT_EQ(net.destinations.size(), 8u);
+  EXPECT_EQ(net.roles[net.source], Obs43Role::kSource);
+  for (const NodeId u : net.intermediates)
+    EXPECT_EQ(net.roles[u], Obs43Role::kIntermediate);
+  for (const NodeId d : net.destinations)
+    EXPECT_EQ(net.roles[d], Obs43Role::kDestination);
+}
+
+TEST(Obs43Test, SourceReachesAllIntermediatesDirectly) {
+  const auto net = obs43_network(10);
+  for (const NodeId u : net.intermediates)
+    EXPECT_TRUE(net.graph.has_edge(net.source, u));
+  EXPECT_EQ(net.graph.out_degree(net.source), 20u);
+}
+
+TEST(Obs43Test, EachDestinationHearsExactlyItsTwoIntermediates) {
+  const auto net = obs43_network(10);
+  for (std::size_t i = 0; i < net.destinations.size(); ++i) {
+    const NodeId d = net.destinations[i];
+    ASSERT_EQ(net.graph.in_degree(d), 2u);
+    const auto in = net.graph.in_neighbors(d);
+    EXPECT_EQ(in[0], net.intermediates[2 * i]);
+    EXPECT_EQ(in[1], net.intermediates[2 * i + 1]);
+    // Destinations are sinks: they talk to nobody.
+    EXPECT_EQ(net.graph.out_degree(d), 0u);
+  }
+}
+
+TEST(Obs43Test, EveryNodeReachableFromSource) {
+  const auto net = obs43_network(6);
+  EXPECT_TRUE(all_reachable_from(net.graph, net.source));
+  // Two hops: s -> u -> d.
+  const auto dist = bfs_distances(net.graph, net.source);
+  for (const NodeId d : net.destinations) EXPECT_EQ(dist[d], 2u);
+}
+
+TEST(Obs43Test, LowerBoundFormula) {
+  const auto net = obs43_network(16);
+  EXPECT_DOUBLE_EQ(net.transmission_lower_bound(), 16.0 * 4.0 / 2.0);
+}
+
+TEST(Obs43Test, RejectsTinyN) {
+  EXPECT_THROW(obs43_network(1), std::invalid_argument);
+}
+
+TEST(Thm44Test, StructureMatchesFig2) {
+  const NodeId n = 64;  // L = 6 stars
+  const std::uint64_t D = 40;
+  const auto net = thm44_network(n, D);
+  EXPECT_EQ(net.num_stars, 6u);
+  EXPECT_EQ(net.path_length, D - 12);
+  EXPECT_EQ(net.centers.size(), 6u);
+  ASSERT_EQ(net.leaves.size(), 6u);
+  for (std::uint32_t i = 0; i < 6; ++i)
+    EXPECT_EQ(net.leaves[i].size(), std::size_t{1} << (i + 1))
+        << "star S_" << (i + 1);
+  // Node count: sum (1 + 2^i) + path_length + 1.
+  std::uint64_t expect = 0;
+  for (std::uint32_t i = 1; i <= 6; ++i) expect += 1 + (1u << i);
+  expect += net.path_length + 1;
+  EXPECT_EQ(net.graph.num_nodes(), expect);
+}
+
+TEST(Thm44Test, CenterInformsLeavesAndLeavesFeedNextCenter) {
+  const auto net = thm44_network(32, 30);
+  for (std::uint32_t i = 0; i < net.num_stars; ++i) {
+    const NodeId c = net.centers[i];
+    for (const NodeId leaf : net.leaves[i]) {
+      EXPECT_TRUE(net.graph.has_edge(c, leaf));
+      const NodeId next = (i + 1 < net.num_stars) ? net.centers[i + 1]
+                                                  : net.path_nodes.front();
+      EXPECT_TRUE(net.graph.has_edge(leaf, next));
+    }
+  }
+}
+
+TEST(Thm44Test, NextCenterHearsExactlyPreviousLeaves) {
+  const auto net = thm44_network(32, 30);
+  for (std::uint32_t i = 1; i < net.num_stars; ++i) {
+    // c_{i+1} (index i) hears exactly the 2^i leaves of S_i (index i-1).
+    EXPECT_EQ(net.graph.in_degree(net.centers[i]), net.leaves[i - 1].size());
+  }
+  EXPECT_EQ(net.graph.in_degree(net.path_nodes.front()),
+            net.leaves.back().size());
+}
+
+TEST(Thm44Test, PathIsForwardOnlyChain) {
+  const auto net = thm44_network(16, 25);
+  for (std::size_t j = 1; j < net.path_nodes.size(); ++j) {
+    EXPECT_TRUE(net.graph.has_edge(net.path_nodes[j - 1], net.path_nodes[j]));
+    EXPECT_FALSE(net.graph.has_edge(net.path_nodes[j], net.path_nodes[j - 1]));
+    EXPECT_EQ(net.graph.in_degree(net.path_nodes[j]), 1u);
+  }
+  EXPECT_EQ(net.sink, net.path_nodes.back());
+}
+
+TEST(Thm44Test, EccentricityFromSourceEqualsDiameterParameter) {
+  // Source -> leaves(S_1) is 1 hop wait: source = c_1 informs its leaves in
+  // 1; chain c_1 .. c_L alternates centre/leaf hops (2 per star), then the
+  // path. The farthest node is the sink at distance 2L + path_length = D.
+  const NodeId n = 64;
+  const std::uint64_t D = 40;
+  const auto net = thm44_network(n, D);
+  const auto dist = bfs_distances(net.graph, net.source);
+  EXPECT_EQ(dist[net.sink], D);
+  EXPECT_TRUE(all_reachable_from(net.graph, net.source));
+}
+
+TEST(Thm44Test, RejectsBadParameters) {
+  EXPECT_THROW(thm44_network(48, 100), std::invalid_argument);  // not a power of 2
+  EXPECT_THROW(thm44_network(64, 5), std::invalid_argument);    // D too small
+}
+
+}  // namespace
+}  // namespace radnet::graph

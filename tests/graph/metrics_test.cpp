@@ -1,0 +1,89 @@
+#include "graph/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "support/math.hpp"
+
+namespace radnet::graph {
+namespace {
+
+TEST(MetricsTest, BfsOnPath) {
+  const Digraph g = path(6);
+  const auto dist = bfs_distances(g, 0);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(dist[v], v);
+  const auto mid = bfs_distances(g, 3);
+  EXPECT_EQ(mid[0], 3u);
+  EXPECT_EQ(mid[5], 2u);
+}
+
+TEST(MetricsTest, BfsUnreachableMarked) {
+  const Digraph g(4, {{0, 1}, {1, 2}});  // 3 is isolated; edges one-way
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[3], kUnreachable);
+  const auto back = bfs_distances(g, 2);
+  EXPECT_EQ(back[0], kUnreachable);  // directed: no way back
+}
+
+TEST(MetricsTest, EccentricityAndDiameter) {
+  EXPECT_EQ(*eccentricity(path(9), 0), 8u);
+  EXPECT_EQ(*eccentricity(path(9), 4), 4u);
+  EXPECT_EQ(*diameter_exact(path(9)), 8u);
+  EXPECT_EQ(*diameter_exact(star(12)), 2u);
+  EXPECT_EQ(*diameter_exact(grid(5, 5)), 8u);
+}
+
+TEST(MetricsTest, DiameterNulloptWhenDisconnected) {
+  const Digraph g(3, {{0, 1}});
+  EXPECT_FALSE(eccentricity(g, 0).has_value());
+  EXPECT_FALSE(diameter_exact(g).has_value());
+  EXPECT_FALSE(diameter_sampled(g, 2, 1).has_value());
+}
+
+TEST(MetricsTest, SampledDiameterBoundsExact) {
+  Rng rng(31);
+  const Digraph g = gnp_undirected(500, 0.02, rng);
+  const auto exact = diameter_exact(g);
+  ASSERT_TRUE(exact.has_value());
+  const auto sampled = diameter_sampled(g, 8, 7);
+  ASSERT_TRUE(sampled.has_value());
+  EXPECT_LE(*sampled, *exact);
+  EXPECT_GE(*sampled + 2, *exact);  // double sweep is near-exact on G(n,p)
+}
+
+TEST(MetricsTest, ReachabilityAndStrongConnectivity) {
+  EXPECT_TRUE(strongly_connected(cycle(5)));
+  EXPECT_TRUE(strongly_connected(complete(4)));
+  // A one-way path is weakly but not strongly connected.
+  const Digraph oneway(3, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(all_reachable_from(oneway, 0));
+  EXPECT_FALSE(strongly_connected(oneway));
+}
+
+TEST(MetricsTest, DegreeStats) {
+  const Digraph g = star(5);  // hub degree 4, leaves degree 1
+  const auto s = degree_stats(g);
+  EXPECT_DOUBLE_EQ(s.mean_out, 8.0 / 5.0);
+  EXPECT_EQ(s.max_out, 4u);
+  EXPECT_EQ(s.min_out, 1u);
+  EXPECT_EQ(s.max_in, 4u);
+}
+
+TEST(MetricsTest, RandomGraphDiameterMatchesLemma31) {
+  // Lemma 3.1: for p > delta log n / n, diameter = ceil(log n / log d) whp.
+  Rng rng(32);
+  const NodeId n = 2048;
+  const double p = 24.0 * std::log(static_cast<double>(n)) / n;
+  const Digraph g = gnp_directed(n, p, rng);
+  const auto dia = diameter_sampled(g, 4, 5);
+  ASSERT_TRUE(dia.has_value());
+  const double d = static_cast<double>(n) * p;
+  const auto predicted = static_cast<std::uint32_t>(
+      std::ceil(std::log(static_cast<double>(n)) / std::log(d)));
+  EXPECT_GE(*dia, predicted - 1);
+  EXPECT_LE(*dia, predicted + 1);
+}
+
+}  // namespace
+}  // namespace radnet::graph

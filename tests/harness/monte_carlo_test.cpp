@@ -1,0 +1,127 @@
+#include "harness/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/broadcast_random.hpp"
+#include "graph/generators.hpp"
+
+namespace radnet::harness {
+namespace {
+
+McSpec alg1_spec(std::uint32_t n, double p, std::uint32_t trials,
+                 std::uint64_t seed) {
+  McSpec spec;
+  spec.trials = trials;
+  spec.seed = seed;
+  spec.make_graph = [n, p](std::uint32_t, Rng rng) {
+    return std::make_shared<const graph::Digraph>(
+        graph::gnp_directed(n, p, rng));
+  };
+  spec.make_protocol = [p](const graph::Digraph&, std::uint32_t) {
+    return std::make_unique<core::BroadcastRandomProtocol>(
+        core::BroadcastRandomParams{.p = p});
+  };
+  core::BroadcastRandomProtocol probe(core::BroadcastRandomParams{.p = p});
+  probe.reset(n, Rng(0));
+  spec.run_options.max_rounds = probe.round_budget();
+  return spec;
+}
+
+TEST(MonteCarloTest, RunsAllTrialsAndAggregates) {
+  const std::uint32_t n = 512;
+  const double p = 16.0 * std::log(n) / n;
+  const auto result = run_monte_carlo(alg1_spec(n, p, 16, 42));
+  EXPECT_EQ(result.trials(), 16u);
+  EXPECT_GE(result.successes, 14u);  // w.h.p. broadcast succeeds
+  EXPECT_GT(result.success_rate(), 0.85);
+  const auto rounds = result.rounds_sample();
+  EXPECT_EQ(rounds.size(), result.successes);
+  EXPECT_GT(rounds.mean(), 0.0);
+  EXPECT_EQ(result.total_tx_sample().size(), 16u);
+  for (const auto& o : result.outcomes) {
+    EXPECT_EQ(o.nodes, n);
+    EXPECT_LE(o.max_tx_node, 1u);  // Algorithm 1 invariant through the harness
+  }
+}
+
+TEST(MonteCarloTest, DeterministicAcrossRuns) {
+  const std::uint32_t n = 256;
+  const double p = 16.0 * std::log(n) / n;
+  const auto a = run_monte_carlo(alg1_spec(n, p, 8, 7));
+  const auto b = run_monte_carlo(alg1_spec(n, p, 8, 7));
+  ASSERT_EQ(a.trials(), b.trials());
+  for (std::uint32_t t = 0; t < a.trials(); ++t) {
+    EXPECT_EQ(a.outcomes[t].rounds, b.outcomes[t].rounds) << t;
+    EXPECT_EQ(a.outcomes[t].total_tx, b.outcomes[t].total_tx) << t;
+    EXPECT_EQ(a.outcomes[t].completed, b.outcomes[t].completed) << t;
+  }
+}
+
+TEST(MonteCarloTest, ParallelMatchesSerial) {
+  const std::uint32_t n = 256;
+  const double p = 16.0 * std::log(n) / n;
+  auto spec = alg1_spec(n, p, 12, 99);
+  const auto par = run_monte_carlo(spec);
+  spec.serial = true;
+  const auto ser = run_monte_carlo(spec);
+  ASSERT_EQ(par.trials(), ser.trials());
+  for (std::uint32_t t = 0; t < par.trials(); ++t) {
+    EXPECT_EQ(par.outcomes[t].rounds, ser.outcomes[t].rounds) << t;
+    EXPECT_EQ(par.outcomes[t].total_tx, ser.outcomes[t].total_tx) << t;
+    EXPECT_EQ(par.outcomes[t].collisions, ser.outcomes[t].collisions) << t;
+  }
+}
+
+TEST(MonteCarloTest, DifferentSeedsGiveDifferentRuns) {
+  const std::uint32_t n = 256;
+  const double p = 16.0 * std::log(n) / n;
+  const auto a = run_monte_carlo(alg1_spec(n, p, 8, 1));
+  const auto b = run_monte_carlo(alg1_spec(n, p, 8, 2));
+  bool any_diff = false;
+  for (std::uint32_t t = 0; t < 8; ++t)
+    any_diff |= (a.outcomes[t].total_tx != b.outcomes[t].total_tx);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MonteCarloTest, SharedGraphFactoryReusesOneGraph) {
+  Rng grng(3);
+  auto g = graph::gnp_directed(128, 0.1, grng);
+  const auto factory = shared_graph(std::move(g));
+  Rng dummy(0);
+  const auto g1 = factory(0, dummy);
+  const auto g2 = factory(5, dummy);
+  EXPECT_EQ(g1.get(), g2.get());  // same object, not a copy
+}
+
+TEST(MonteCarloTest, RejectsInvalidSpecs) {
+  McSpec spec;
+  spec.trials = 0;
+  EXPECT_THROW(run_monte_carlo(spec), std::invalid_argument);
+  spec.trials = 1;
+  EXPECT_THROW(run_monte_carlo(spec), std::invalid_argument);  // no factories
+}
+
+TEST(MonteCarloTest, FailuresAreCensoredInRoundsSample) {
+  // A protocol on a disconnected graph never completes; rounds_sample must
+  // be empty while total_tx_sample still has every trial.
+  McSpec spec;
+  spec.trials = 4;
+  spec.seed = 11;
+  spec.make_graph = [](std::uint32_t, Rng) {
+    return std::make_shared<const graph::Digraph>(64, std::vector<graph::Edge>{});
+  };
+  spec.make_protocol = [](const graph::Digraph&, std::uint32_t) {
+    return std::make_unique<core::BroadcastRandomProtocol>(
+        core::BroadcastRandomParams{.p = 0.1});
+  };
+  spec.run_options.max_rounds = 64;
+  const auto result = run_monte_carlo(spec);
+  EXPECT_EQ(result.successes, 0u);
+  EXPECT_TRUE(result.rounds_sample().empty());
+  EXPECT_EQ(result.total_tx_sample().size(), 4u);
+}
+
+}  // namespace
+}  // namespace radnet::harness

@@ -1,0 +1,67 @@
+#include "harness/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace radnet::harness {
+namespace {
+
+TEST(ScalingCheckTest, PerfectLinearScalingPasses) {
+  ScalingCheck check("y = O(x)");
+  for (const double x : {10.0, 20.0, 40.0, 80.0}) check.add(x, 3.0 * x);
+  EXPECT_NEAR(check.fitted_exponent(), 1.0, 1e-9);
+  EXPECT_NEAR(check.band_ratio(), 1.0, 1e-9);
+  EXPECT_TRUE(check.passes());
+  EXPECT_NE(check.report().find("OK"), std::string::npos);
+}
+
+TEST(ScalingCheckTest, QuadraticGrowthFails) {
+  ScalingCheck check("y = O(x)?");
+  for (const double x : {10.0, 20.0, 40.0, 80.0}) check.add(x, x * x);
+  EXPECT_NEAR(check.fitted_exponent(), 2.0, 1e-9);
+  EXPECT_FALSE(check.passes());
+  EXPECT_NE(check.report().find("DEVIATES"), std::string::npos);
+}
+
+TEST(ScalingCheckTest, ConstantFactorNoiseTolerated) {
+  ScalingCheck check("noisy linear", 0.35);
+  // measured = c_i * x with c_i in [2, 3]: flat within a small band.
+  check.add(16.0, 2.2 * 16.0);
+  check.add(32.0, 2.9 * 32.0);
+  check.add(64.0, 2.4 * 64.0);
+  check.add(128.0, 2.6 * 128.0);
+  EXPECT_TRUE(check.passes());
+  EXPECT_LT(check.band_ratio(), 1.5);
+}
+
+TEST(ScalingCheckTest, SubLinearDetected) {
+  ScalingCheck check("y = O(x)?", 0.2);
+  for (const double x : {8.0, 64.0, 512.0}) check.add(x, std::sqrt(x));
+  EXPECT_NEAR(check.fitted_exponent(), 0.5, 1e-9);
+  EXPECT_FALSE(check.passes());
+}
+
+TEST(ScalingCheckTest, BandCriterion) {
+  ScalingCheck check("flat band");
+  check.add(10.0, 20.0);
+  check.add(100.0, 250.0);  // ratio 2.0 vs 2.5: band 1.25
+  EXPECT_NEAR(check.band_ratio(), 1.25, 1e-9);
+  EXPECT_TRUE(check.band_passes(1.5));
+  EXPECT_FALSE(check.band_passes(1.1));
+  EXPECT_NE(check.report_band(1.5).find("OK"), std::string::npos);
+  EXPECT_NE(check.report_band(1.1).find("DEVIATES"), std::string::npos);
+  EXPECT_THROW((void)check.band_passes(0.5), std::invalid_argument);
+}
+
+TEST(ScalingCheckTest, RejectsInvalidUse) {
+  ScalingCheck check("x");
+  EXPECT_THROW(check.add(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(check.add(1.0, -1.0), std::invalid_argument);
+  check.add(1.0, 1.0);
+  EXPECT_THROW((void)check.fitted_exponent(), std::invalid_argument);
+  EXPECT_THROW(ScalingCheck("t", 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace radnet::harness

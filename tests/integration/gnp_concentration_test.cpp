@@ -1,0 +1,109 @@
+// Parameterised concentration sweeps for the G(n,p) generator — the
+// substrate every Section 2/3 result stands on. Chernoff-style bounds say
+// degrees concentrate around d = np; if the generator drifted, every
+// experiment would silently shift, so these run as properties over a grid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+
+namespace radnet::graph {
+namespace {
+
+struct ConcCase {
+  NodeId n;
+  double delta;  // p = delta ln n / n
+  std::uint64_t seed;
+};
+
+void PrintTo(const ConcCase& c, std::ostream* os) {
+  *os << "n=" << c.n << " delta=" << c.delta << " seed=" << c.seed;
+}
+
+class GnpConcentration : public ::testing::TestWithParam<ConcCase> {};
+
+TEST_P(GnpConcentration, DegreesConcentrateAroundNp) {
+  const auto c = GetParam();
+  const double p = c.delta * std::log(c.n) / c.n;
+  const double d = c.n * p;
+  Rng rng(c.seed);
+  const Digraph g = gnp_directed(c.n, p, rng);
+  const auto stats = degree_stats(g);
+
+  // Mean degree within 5 sd of d (sd of the mean ~ sqrt(d/n)).
+  EXPECT_NEAR(stats.mean_out, d, 5.0 * std::sqrt(d / c.n) + 0.5);
+  EXPECT_NEAR(stats.mean_in, d, 5.0 * std::sqrt(d / c.n) + 0.5);
+
+  // Every individual degree within a Chernoff band: for delta >= 8 the
+  // probability of any node deviating by 6 sd is negligible at these n.
+  const double band = 6.0 * std::sqrt(d) + 3.0;
+  EXPECT_GT(stats.min_out, d - band);
+  EXPECT_LT(stats.max_out, d + band);
+  EXPECT_GT(stats.min_in, d - band);
+  EXPECT_LT(stats.max_in, d + band);
+}
+
+TEST_P(GnpConcentration, StronglyConnectedAboveThreshold) {
+  // p > log n / n implies connectivity w.h.p. (Section 1.1); our sweep uses
+  // delta >= 8, comfortably above.
+  const auto c = GetParam();
+  const double p = c.delta * std::log(c.n) / c.n;
+  Rng rng(c.seed + 5000);
+  const Digraph g = gnp_directed(c.n, p, rng);
+  EXPECT_TRUE(strongly_connected(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GnpConcentration,
+    ::testing::Values(ConcCase{512, 8.0, 1}, ConcCase{512, 16.0, 2},
+                      ConcCase{1024, 8.0, 3}, ConcCase{1024, 12.0, 4},
+                      ConcCase{2048, 8.0, 5}, ConcCase{2048, 24.0, 6},
+                      ConcCase{4096, 8.0, 7}, ConcCase{700, 9.0, 8},
+                      ConcCase{1500, 10.0, 9}, ConcCase{3000, 8.0, 10}));
+
+struct RggCase {
+  NodeId n;
+  double mult;  // radius multiple of the connectivity threshold
+  std::uint64_t seed;
+};
+
+void PrintTo(const RggCase& c, std::ostream* os) {
+  *os << "n=" << c.n << " mult=" << c.mult << " seed=" << c.seed;
+}
+
+class RggConcentration : public ::testing::TestWithParam<RggCase> {};
+
+TEST_P(RggConcentration, MeanDegreeMatchesAreaFormula) {
+  // E[deg] ~ pi r^2 n up to boundary effects, which reduce it by at most
+  // ~(1 - r)^-ish; allow a 25% band below and 5% above.
+  const auto c = GetParam();
+  const double r = rgg_threshold_radius(c.n, c.mult);
+  Rng rng(c.seed);
+  const Digraph g = random_geometric(c.n, r, rng);
+  const double expect = 3.141592653589793 * r * r * c.n;
+  const auto stats = degree_stats(g);
+  EXPECT_GT(stats.mean_out, 0.7 * expect);
+  EXPECT_LT(stats.mean_out, 1.1 * expect);
+}
+
+TEST_P(RggConcentration, ConnectedAboveThreshold) {
+  const auto c = GetParam();
+  if (c.mult < 2.0) GTEST_SKIP() << "below the reliable-connectivity band";
+  const double r = rgg_threshold_radius(c.n, c.mult);
+  Rng rng(c.seed + 100);
+  const Digraph g = random_geometric(c.n, r, rng);
+  EXPECT_TRUE(strongly_connected(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RggConcentration,
+                         ::testing::Values(RggCase{512, 2.0, 1},
+                                           RggCase{512, 4.0, 2},
+                                           RggCase{1024, 2.0, 3},
+                                           RggCase{1024, 3.0, 4},
+                                           RggCase{2048, 2.5, 5},
+                                           RggCase{800, 3.5, 6}));
+
+}  // namespace
+}  // namespace radnet::graph

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "graph/dynamics.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+#include "test_protocols.hpp"
+
+namespace radnet::sim {
+namespace {
+
+using graph::Digraph;
+using graph::NodeId;
+using testing::ScriptedProtocol;
+using Script = std::vector<std::vector<NodeId>>;
+
+/// A hand-rolled sequence cycling through an explicit list of graphs.
+class GraphList final : public graph::TopologySequence {
+ public:
+  explicit GraphList(std::vector<Digraph> graphs)
+      : graphs_(std::move(graphs)) {}
+  [[nodiscard]] NodeId num_nodes() const override {
+    return graphs_.front().num_nodes();
+  }
+  [[nodiscard]] const Digraph& at(std::uint32_t round) override {
+    return graphs_[round % graphs_.size()];
+  }
+
+ private:
+  std::vector<Digraph> graphs_;
+};
+
+TEST(DynamicEngineTest, RoundUsesThatRoundsTopology) {
+  // Round 0: edge 0->1 only. Round 1: edge 0->2 only. Node 0 transmits both
+  // rounds; deliveries must follow the per-round topology.
+  GraphList topo({Digraph(3, {{0, 1}}), Digraph(3, {{0, 2}})});
+  ScriptedProtocol p(Script{{0}, {0}});
+  Engine engine;
+  (void)engine.run(topo, p, Rng(1));
+  ASSERT_EQ(p.deliveries.size(), 2u);
+  EXPECT_EQ(p.deliveries[0], (ScriptedProtocol::DeliveryEvent{0, 1, 0}));
+  EXPECT_EQ(p.deliveries[1], (ScriptedProtocol::DeliveryEvent{1, 2, 0}));
+}
+
+TEST(DynamicEngineTest, CollisionSemanticsPerRoundTopology) {
+  // Same transmitters {1,2}; in graph A both reach 0 (collision), in graph
+  // B only 1 reaches 0 (delivery).
+  GraphList topo({Digraph(3, {{1, 0}, {2, 0}}), Digraph(3, {{1, 0}})});
+  ScriptedProtocol p(Script{{1, 2}, {1, 2}});
+  Engine engine;
+  const auto r = engine.run(topo, p, Rng(2));
+  ASSERT_EQ(p.collisions.size(), 1u);
+  EXPECT_EQ(p.collisions[0].round, 0u);
+  ASSERT_EQ(p.deliveries.size(), 1u);
+  EXPECT_EQ(p.deliveries[0], (ScriptedProtocol::DeliveryEvent{1, 0, 1}));
+  EXPECT_EQ(r.ledger.total_transmissions, 4u);
+}
+
+TEST(DynamicEngineTest, StaticSequenceMatchesStaticRun) {
+  Rng grng(3);
+  const Digraph g = graph::gnp_directed(120, 0.05, grng);
+  RunOptions options;
+
+  testing::NoisyProtocol p1(0.1, 25);
+  Engine e1;
+  const auto r1 = e1.run(g, p1, Rng(4), options);
+
+  graph::StaticTopology topo{Digraph(g)};
+  testing::NoisyProtocol p2(0.1, 25);
+  Engine e2;
+  const auto r2 = e2.run(topo, p2, Rng(4), options);
+
+  EXPECT_EQ(p1.digest(), p2.digest());
+  EXPECT_EQ(r1.ledger.total_transmissions, r2.ledger.total_transmissions);
+  EXPECT_EQ(r1.ledger.total_deliveries, r2.ledger.total_deliveries);
+}
+
+TEST(DynamicEngineTest, ChurnTopologyRunsEndToEnd) {
+  graph::ChurnGnp topo(100, 0.08, 0.1, Rng(5));
+  testing::NoisyProtocol p(0.05, 40);
+  Engine engine;
+  const auto r = engine.run(topo, p, Rng(6));
+  EXPECT_EQ(r.rounds_executed, 40u);
+  EXPECT_GT(r.ledger.total_transmissions, 0u);
+  EXPECT_GT(r.ledger.total_deliveries, 0u);
+}
+
+TEST(QuiescenceTest, RunToQuiescenceKeepsGoingAfterCompletion) {
+  // One transmitter per scripted round on a path; the script is longer than
+  // completion. Without quiescence the run stops at completion; with it the
+  // engine keeps going (the protocol still has candidates) until the script
+  // runs dry and is_complete was already latched.
+  const Digraph g = graph::path(3);
+  {
+    ScriptedProtocol p(Script{{0}, {1}, {1}, {1}});
+    Engine engine;
+    RunOptions options;
+    const auto r = engine.run(g, p, Rng(7), options);
+    // ScriptedProtocol completes when the script is exhausted (4 rounds).
+    EXPECT_EQ(r.completion_round, 4u);
+  }
+  {
+    ScriptedProtocol p(Script{{0}, {1}, {1}, {1}});
+    Engine engine;
+    RunOptions options;
+    options.run_to_quiescence = true;
+    options.max_rounds = 10;
+    const auto r = engine.run(g, p, Rng(7), options);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.completion_round, 4u);  // first completion is still recorded
+    EXPECT_EQ(r.rounds_executed, 10u);  // but the run continued to max_rounds
+  }
+}
+
+}  // namespace
+}  // namespace radnet::sim

@@ -1,0 +1,62 @@
+#include "sim/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace radnet::sim {
+namespace {
+
+TEST(EnergyTest, LedgerCountsPerNode) {
+  EnergyLedger ledger;
+  ledger.reset(4);
+  ledger.record_transmission(1);
+  ledger.record_transmission(1);
+  ledger.record_transmission(3);
+  EXPECT_EQ(ledger.total_transmissions, 3u);
+  EXPECT_EQ(ledger.tx_per_node[1], 2u);
+  EXPECT_EQ(ledger.tx_per_node[0], 0u);
+  EXPECT_EQ(ledger.max_tx_per_node(), 2u);
+  EXPECT_DOUBLE_EQ(ledger.mean_tx_per_node(), 0.75);
+}
+
+TEST(EnergyTest, ResetClears) {
+  EnergyLedger ledger;
+  ledger.reset(2);
+  ledger.record_transmission(0);
+  ledger.total_deliveries = 5;
+  ledger.reset(3);
+  EXPECT_EQ(ledger.total_transmissions, 0u);
+  EXPECT_EQ(ledger.total_deliveries, 0u);
+  EXPECT_EQ(ledger.tx_per_node.size(), 3u);
+  EXPECT_EQ(ledger.max_tx_per_node(), 0u);
+}
+
+TEST(EnergyTest, PaperMetricCountsOnlyTransmissions) {
+  EnergyLedger ledger;
+  ledger.reset(10);
+  for (int i = 0; i < 7; ++i) ledger.record_transmission(0);
+  ledger.total_deliveries = 100;
+  ledger.node_rounds = 1000;
+  const EnergyModel paper;  // tx only
+  EXPECT_DOUBLE_EQ(ledger.energy(paper), 7.0);
+}
+
+TEST(EnergyTest, ExtendedModelWeighsRxAndIdle) {
+  EnergyLedger ledger;
+  ledger.reset(5);
+  ledger.record_transmission(0);
+  ledger.record_transmission(1);
+  ledger.total_deliveries = 3;
+  ledger.node_rounds = 10;  // 8 idle node-rounds
+  const EnergyModel model{.tx_cost = 2.0, .rx_cost = 0.5, .idle_cost = 0.1};
+  EXPECT_DOUBLE_EQ(ledger.energy(model), 2.0 * 2 + 0.5 * 3 + 0.1 * 8);
+}
+
+TEST(EnergyTest, EmptyLedgerSafe) {
+  EnergyLedger ledger;
+  EXPECT_EQ(ledger.max_tx_per_node(), 0u);
+  EXPECT_DOUBLE_EQ(ledger.mean_tx_per_node(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.energy(EnergyModel{}), 0.0);
+}
+
+}  // namespace
+}  // namespace radnet::sim

@@ -1,0 +1,174 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "test_protocols.hpp"
+
+namespace radnet::sim {
+namespace {
+
+using graph::Digraph;
+using graph::NodeId;
+using testing::ScriptedProtocol;
+using Script = std::vector<std::vector<NodeId>>;
+
+RunOptions trace_options() {
+  RunOptions o;
+  o.record_trace = true;
+  return o;
+}
+
+TEST(EngineTest, SingleTransmitterDelivers) {
+  // 0 -> 1, 0 -> 2: one transmitter, both hear it.
+  const Digraph g(3, {{0, 1}, {0, 2}});
+  ScriptedProtocol p(Script{{0}});
+  Engine engine;
+  const RunResult r = engine.run(g, p, Rng(1), trace_options());
+  ASSERT_EQ(p.deliveries.size(), 2u);
+  EXPECT_EQ(p.deliveries[0],
+            (ScriptedProtocol::DeliveryEvent{0, 1, 0}));
+  EXPECT_EQ(p.deliveries[1],
+            (ScriptedProtocol::DeliveryEvent{0, 2, 0}));
+  EXPECT_TRUE(p.collisions.empty());
+  EXPECT_EQ(r.ledger.total_transmissions, 1u);
+  EXPECT_EQ(r.ledger.total_deliveries, 2u);
+}
+
+TEST(EngineTest, TwoTransmittersCollideAtCommonNeighbor) {
+  // 0 -> 2 and 1 -> 2 transmit together: 2 hears noise, nothing delivered.
+  const Digraph g(3, {{0, 2}, {1, 2}});
+  ScriptedProtocol p(Script{{0, 1}});
+  Engine engine;
+  const RunResult r = engine.run(g, p, Rng(1));
+  EXPECT_TRUE(p.deliveries.empty());
+  ASSERT_EQ(p.collisions.size(), 1u);
+  EXPECT_EQ(p.collisions[0], (ScriptedProtocol::CollisionEvent{0, 2}));
+  EXPECT_EQ(r.ledger.total_collisions, 1u);
+}
+
+TEST(EngineTest, CollisionIsPerReceiverNotGlobal) {
+  // 0 -> 2, 1 -> 2 (collision at 2), but 1 -> 3 alone (delivery at 3).
+  const Digraph g(4, {{0, 2}, {1, 2}, {1, 3}});
+  ScriptedProtocol p(Script{{0, 1}});
+  Engine engine;
+  (void)engine.run(g, p, Rng(1));
+  ASSERT_EQ(p.deliveries.size(), 1u);
+  EXPECT_EQ(p.deliveries[0], (ScriptedProtocol::DeliveryEvent{0, 3, 1}));
+  ASSERT_EQ(p.collisions.size(), 1u);
+}
+
+TEST(EngineTest, DirectedEdgesAreOneWay) {
+  // Edge 0 -> 1 only; 1's transmission reaches nobody.
+  const Digraph g(2, {{0, 1}});
+  ScriptedProtocol p(Script{{1}, {0}});
+  Engine engine;
+  (void)engine.run(g, p, Rng(1));
+  ASSERT_EQ(p.deliveries.size(), 1u);
+  EXPECT_EQ(p.deliveries[0], (ScriptedProtocol::DeliveryEvent{1, 1, 0}));
+}
+
+TEST(EngineTest, HalfDuplexTransmitterCannotReceive) {
+  // 0 and 1 point at each other; both transmit. Full duplex would deliver
+  // both ways; half duplex (default) delivers neither.
+  const Digraph g(2, {{0, 1}, {1, 0}});
+  {
+    ScriptedProtocol p(Script{{0, 1}});
+    Engine engine;
+    const RunResult r = engine.run(g, p, Rng(1));
+    EXPECT_TRUE(p.deliveries.empty());
+    EXPECT_TRUE(p.collisions.empty());
+    EXPECT_EQ(r.ledger.total_deliveries, 0u);
+  }
+  {
+    ScriptedProtocol p(Script{{0, 1}});
+    RunOptions o;
+    o.half_duplex = false;
+    Engine engine;
+    (void)engine.run(g, p, Rng(1), o);
+    EXPECT_EQ(p.deliveries.size(), 2u);
+  }
+}
+
+TEST(EngineTest, ThreeTransmittersStillCollide) {
+  const Digraph g(4, {{0, 3}, {1, 3}, {2, 3}});
+  ScriptedProtocol p(Script{{0, 1, 2}});
+  Engine engine;
+  const RunResult r = engine.run(g, p, Rng(1));
+  EXPECT_TRUE(p.deliveries.empty());
+  EXPECT_EQ(r.ledger.total_collisions, 1u);
+}
+
+TEST(EngineTest, MultiRoundScriptAndLedger) {
+  const Digraph g = graph::path(4);  // 0-1-2-3 bidirectional
+  // Round 0: 0 transmits (1 hears). Round 1: 1 transmits (0 and 2 hear).
+  // Round 2: 2 transmits (1 and 3 hear).
+  ScriptedProtocol p(Script{{0}, {1}, {2}});
+  Engine engine;
+  const RunResult r = engine.run(g, p, Rng(1));
+  EXPECT_EQ(r.ledger.total_transmissions, 3u);
+  EXPECT_EQ(r.ledger.total_deliveries, 5u);
+  EXPECT_EQ(r.ledger.tx_per_node[0], 1u);
+  EXPECT_EQ(r.ledger.tx_per_node[3], 0u);
+  EXPECT_EQ(r.ledger.max_tx_per_node(), 1u);
+  EXPECT_DOUBLE_EQ(r.ledger.mean_tx_per_node(), 0.75);
+  EXPECT_EQ(r.rounds_executed, 3u);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.completion_round, 3u);
+}
+
+TEST(EngineTest, TraceRecordsRounds) {
+  const Digraph g(3, {{0, 1}, {0, 2}, {1, 2}});
+  ScriptedProtocol p(Script{{0}, {0, 1}});
+  Engine engine;
+  const RunResult r = engine.run(g, p, Rng(1), trace_options());
+  ASSERT_EQ(r.trace.rounds.size(), 2u);
+  EXPECT_EQ(r.trace.rounds[0].transmitters, (std::vector<NodeId>{0}));
+  EXPECT_EQ(r.trace.rounds[0].deliveries.size(), 2u);
+  EXPECT_EQ(r.trace.rounds[1].transmitters, (std::vector<NodeId>{0, 1}));
+  // Round 1: node 2 hears both 0 and 1 -> collision; node 1 is transmitting
+  // (half duplex) so hears nothing.
+  EXPECT_EQ(r.trace.rounds[1].collisions, (std::vector<NodeId>{2}));
+  EXPECT_TRUE(r.trace.rounds[1].deliveries.empty());
+  EXPECT_FALSE(r.trace.summary().empty());
+}
+
+TEST(EngineTest, MaxRoundsStopsIncompleteProtocol) {
+  const Digraph g(2, {{0, 1}});
+  ScriptedProtocol p(Script{{}, {}, {}, {}, {}});  // five silent rounds
+  RunOptions o;
+  o.max_rounds = 2;
+  Engine engine;
+  const RunResult r = engine.run(g, p, Rng(1), o);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.rounds_executed, 2u);
+}
+
+TEST(EngineTest, RoundObserverSeesEveryRound) {
+  const Digraph g(2, {{0, 1}});
+  ScriptedProtocol p(Script{{0}, {0}, {0}});
+  RunOptions o;
+  std::vector<Round> seen;
+  o.round_observer = [&](Round r) { seen.push_back(r); };
+  Engine engine;
+  (void)engine.run(g, p, Rng(1), o);
+  EXPECT_EQ(seen, (std::vector<Round>{0, 1, 2}));
+}
+
+TEST(EngineTest, NodeRoundsAccounting) {
+  const Digraph g(4, {{0, 1}});
+  ScriptedProtocol p(Script{{0}, {0}});
+  Engine engine;
+  const RunResult r = engine.run(g, p, Rng(1));
+  EXPECT_EQ(r.ledger.node_rounds, 8u);  // 4 nodes * 2 rounds
+}
+
+TEST(EngineTest, EmptyGraphRejected) {
+  const Digraph g;
+  ScriptedProtocol p(Script{});
+  Engine engine;
+  EXPECT_THROW((void)engine.run(g, p, Rng(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace radnet::sim

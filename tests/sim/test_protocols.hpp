@@ -1,0 +1,142 @@
+// Small protocols used only by the simulator tests.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace radnet::sim::testing {
+
+/// Transmits exactly the scripted node sets, round by round, and records
+/// every delivery and collision it observes. Completion is "script
+/// exhausted" so the engine runs precisely the scripted rounds.
+class ScriptedProtocol final : public Protocol {
+ public:
+  explicit ScriptedProtocol(std::vector<std::vector<graph::NodeId>> script)
+      : script_(std::move(script)) {}
+
+  void reset(graph::NodeId num_nodes, Rng /*rng*/) override {
+    n_ = num_nodes;
+    all_.resize(n_);
+    for (graph::NodeId v = 0; v < n_; ++v) all_[v] = v;
+    deliveries.clear();
+    collisions.clear();
+    rounds_seen_ = 0;
+  }
+
+  [[nodiscard]] std::span<const graph::NodeId> candidates() const override {
+    return {all_.data(), all_.size()};
+  }
+
+  [[nodiscard]] bool wants_transmit(graph::NodeId v, Round r) override {
+    if (r >= script_.size()) return false;
+    const auto& round_set = script_[r];
+    return std::find(round_set.begin(), round_set.end(), v) != round_set.end();
+  }
+
+  void on_delivered(graph::NodeId receiver, graph::NodeId sender,
+                    Round r) override {
+    deliveries.push_back({r, receiver, sender});
+  }
+
+  void on_collision(graph::NodeId receiver, Round r) override {
+    collisions.push_back({r, receiver});
+  }
+
+  void end_round(Round /*r*/) override { ++rounds_seen_; }
+
+  [[nodiscard]] bool is_complete() const override {
+    return rounds_seen_ >= script_.size();
+  }
+
+  [[nodiscard]] std::string name() const override { return "scripted"; }
+
+  struct DeliveryEvent {
+    Round round;
+    graph::NodeId receiver;
+    graph::NodeId sender;
+    friend bool operator==(const DeliveryEvent&, const DeliveryEvent&) = default;
+  };
+  struct CollisionEvent {
+    Round round;
+    graph::NodeId receiver;
+    friend bool operator==(const CollisionEvent&, const CollisionEvent&) = default;
+  };
+  std::vector<DeliveryEvent> deliveries;
+  std::vector<CollisionEvent> collisions;
+
+ private:
+  std::vector<std::vector<graph::NodeId>> script_;
+  std::vector<graph::NodeId> all_;
+  graph::NodeId n_ = 0;
+  std::size_t rounds_seen_ = 0;
+};
+
+/// Every node transmits independently with probability q each round, for a
+/// fixed number of rounds; records a digest of everything it sees. Used by
+/// the engine-equivalence property tests: both engines must produce the
+/// exact same digest for the same seed.
+class NoisyProtocol final : public Protocol {
+ public:
+  NoisyProtocol(double q, Round rounds) : q_(q), rounds_(rounds) {}
+
+  void reset(graph::NodeId num_nodes, Rng rng) override {
+    n_ = num_nodes;
+    rng_ = rng;
+    all_.resize(n_);
+    for (graph::NodeId v = 0; v < n_; ++v) all_[v] = v;
+    digest_ = 1469598103934665603ull;
+    rounds_seen_ = 0;
+  }
+
+  [[nodiscard]] std::span<const graph::NodeId> candidates() const override {
+    return {all_.data(), all_.size()};
+  }
+
+  [[nodiscard]] bool wants_transmit(graph::NodeId /*v*/, Round /*r*/) override {
+    return rng_.bernoulli(q_);
+  }
+
+  void on_delivered(graph::NodeId receiver, graph::NodeId sender,
+                    Round r) override {
+    mix(0x11);
+    mix(r);
+    mix(receiver);
+    mix(sender);
+  }
+
+  void on_collision(graph::NodeId receiver, Round r) override {
+    mix(0x22);
+    mix(r);
+    mix(receiver);
+  }
+
+  void end_round(Round /*r*/) override { ++rounds_seen_; }
+
+  [[nodiscard]] bool is_complete() const override {
+    return rounds_seen_ >= rounds_;
+  }
+
+  [[nodiscard]] std::string name() const override { return "noisy"; }
+
+  [[nodiscard]] std::uint64_t digest() const { return digest_; }
+
+ private:
+  void mix(std::uint64_t x) {
+    digest_ ^= x + 0x9e3779b97f4a7c15ull;
+    digest_ *= 1099511628211ull;
+  }
+
+  double q_;
+  Round rounds_;
+  graph::NodeId n_ = 0;
+  Rng rng_;
+  std::vector<graph::NodeId> all_;
+  std::uint64_t digest_ = 0;
+  std::size_t rounds_seen_ = 0;
+};
+
+}  // namespace radnet::sim::testing

@@ -1,0 +1,54 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace radnet::sim {
+namespace {
+
+Trace make_trace(std::size_t rounds, std::size_t transmitters_per_round) {
+  Trace t;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    RoundTrace rt;
+    rt.round = static_cast<std::uint32_t>(r);
+    for (std::size_t i = 0; i < transmitters_per_round; ++i)
+      rt.transmitters.push_back(static_cast<graph::NodeId>(i));
+    rt.deliveries.push_back({1, 0});
+    t.rounds.push_back(std::move(rt));
+  }
+  return t;
+}
+
+TEST(TraceTest, EmptyTrace) {
+  Trace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.summary().empty());
+  t.rounds.push_back({});
+  EXPECT_FALSE(t.empty());
+  t.clear();
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(TraceTest, SummaryListsRounds) {
+  const Trace t = make_trace(3, 2);
+  const std::string s = t.summary();
+  EXPECT_NE(s.find("round 0"), std::string::npos);
+  EXPECT_NE(s.find("round 2"), std::string::npos);
+  EXPECT_NE(s.find("delivered=1"), std::string::npos);
+}
+
+TEST(TraceTest, SummaryTruncatesLongTraces) {
+  const Trace t = make_trace(100, 1);
+  const std::string s = t.summary(5);
+  EXPECT_NE(s.find("round 4"), std::string::npos);
+  EXPECT_EQ(s.find("round 50"), std::string::npos);
+  EXPECT_NE(s.find("95 more rounds"), std::string::npos);
+}
+
+TEST(TraceTest, SummaryElidesWideTransmitterLists) {
+  const Trace t = make_trace(1, 40);
+  const std::string s = t.summary();
+  EXPECT_NE(s.find("...(40)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace radnet::sim

@@ -1,0 +1,88 @@
+#include "support/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace radnet {
+namespace {
+
+TEST(MathTest, Ilog2FloorPowersOfTwo) {
+  EXPECT_EQ(ilog2_floor(1), 0u);
+  EXPECT_EQ(ilog2_floor(2), 1u);
+  EXPECT_EQ(ilog2_floor(4), 2u);
+  EXPECT_EQ(ilog2_floor(1024), 10u);
+  EXPECT_EQ(ilog2_floor(std::uint64_t{1} << 63), 63u);
+}
+
+TEST(MathTest, Ilog2FloorNonPowers) {
+  EXPECT_EQ(ilog2_floor(3), 1u);
+  EXPECT_EQ(ilog2_floor(5), 2u);
+  EXPECT_EQ(ilog2_floor(1023), 9u);
+  EXPECT_EQ(ilog2_floor(1025), 10u);
+}
+
+TEST(MathTest, Ilog2CeilMatchesFloorOnPowers) {
+  for (std::uint32_t e = 0; e <= 40; ++e) {
+    const std::uint64_t x = std::uint64_t{1} << e;
+    EXPECT_EQ(ilog2_ceil(x), e) << "x=" << x;
+    EXPECT_EQ(ilog2_floor(x), e) << "x=" << x;
+  }
+}
+
+TEST(MathTest, Ilog2CeilRoundsUp) {
+  EXPECT_EQ(ilog2_ceil(3), 2u);
+  EXPECT_EQ(ilog2_ceil(5), 3u);
+  EXPECT_EQ(ilog2_ceil(1025), 11u);
+}
+
+TEST(MathTest, Ilog2RejectsZero) {
+  EXPECT_THROW((void)ilog2_floor(0), std::invalid_argument);
+  EXPECT_THROW((void)ilog2_ceil(0), std::invalid_argument);
+}
+
+TEST(MathTest, Phase1RoundsMatchesPaperDefinition) {
+  // T = floor(log n / log d).
+  EXPECT_EQ(phase1_rounds(1u << 16, 16.0), 4u);   // 16 / 4
+  EXPECT_EQ(phase1_rounds(1u << 16, 256.0), 2u);  // 16 / 8
+  // Very dense graphs saturate at one round.
+  EXPECT_EQ(phase1_rounds(1024, 2048.0), 1u);
+}
+
+TEST(MathTest, Phase1RoundsRejectsDegenerateDegree) {
+  EXPECT_THROW((void)phase1_rounds(100, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)phase1_rounds(100, 0.5), std::invalid_argument);
+}
+
+TEST(MathTest, LambdaClampsToValidRange) {
+  // lambda = log2(n / D).
+  EXPECT_DOUBLE_EQ(lambda_of(1024, 1), 10.0);
+  EXPECT_DOUBLE_EQ(lambda_of(1024, 4), 8.0);
+  // D = n gives lambda = 0 raw; clamped to 1.
+  EXPECT_DOUBLE_EQ(lambda_of(1024, 1024), 1.0);
+}
+
+TEST(MathTest, IpowSaturates) {
+  EXPECT_EQ(ipow_sat(2, 10), 1024u);
+  EXPECT_EQ(ipow_sat(10, 3), 1000u);
+  EXPECT_EQ(ipow_sat(2, 64), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(ipow_sat(0, 5), 0u);
+  EXPECT_EQ(ipow_sat(7, 0), 1u);
+}
+
+TEST(MathTest, Pow2Neg) {
+  EXPECT_DOUBLE_EQ(pow2_neg(0), 1.0);
+  EXPECT_DOUBLE_EQ(pow2_neg(1), 0.5);
+  EXPECT_DOUBLE_EQ(pow2_neg(10), 1.0 / 1024.0);
+  EXPECT_DOUBLE_EQ(pow2_neg(2000), 0.0);
+}
+
+TEST(MathTest, LnAndLog2RejectNonPositive) {
+  EXPECT_THROW((void)ln(0.0), std::invalid_argument);
+  EXPECT_THROW((void)log2d(-1.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(log2d(8.0), 3.0);
+  EXPECT_NEAR(ln(std::exp(1.0)), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace radnet

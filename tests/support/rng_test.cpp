@@ -1,0 +1,208 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace radnet {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentAndStable) {
+  const Rng root(7);
+  Rng s1 = root.split(0);
+  Rng s1_again = root.split(0);
+  Rng s2 = root.split(1);
+  EXPECT_EQ(s1.next_u64(), s1_again.next_u64());
+  // Streams from distinct paths should not collide in their prefixes.
+  Rng s1b = root.split(0);
+  std::set<std::uint64_t> prefix;
+  for (int i = 0; i < 16; ++i) prefix.insert(s1b.next_u64());
+  for (int i = 0; i < 16; ++i) EXPECT_FALSE(prefix.count(s2.next_u64()));
+}
+
+TEST(RngTest, MultiComponentSplitDistinguishesPaths) {
+  const Rng root(9);
+  // (a=1, b=2) and (a=2, b=1) must give different streams.
+  Rng x = root.split(1, 2);
+  Rng y = root.split(2, 1);
+  EXPECT_NE(x.next_u64(), y.next_u64());
+  Rng z1 = root.split(1, 2, 3);
+  Rng z2 = root.split(1, 2, 4);
+  EXPECT_NE(z1.next_u64(), z2.next_u64());
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.next_double();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(6);
+  const double p = 0.3;
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(p) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01);
+}
+
+TEST(RngTest, UniformBelowRangeAndCoverage) {
+  Rng rng(8);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.uniform_below(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  for (const int c : counts) EXPECT_GT(c, 800);  // each ~1000 expected
+  EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(10);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(RngTest, GeometricMeanMatchesOneOverP) {
+  Rng rng(11);
+  const double p = 0.125;
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t g = rng.geometric(p);
+    ASSERT_GE(g, 1u);
+    sum += static_cast<double>(g);
+  }
+  EXPECT_NEAR(sum / n, 1.0 / p, 0.15);
+}
+
+TEST(RngTest, GeometricWithPOneIsAlwaysOne) {
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric(1.0), 1u);
+}
+
+TEST(RngTest, BinomialMoments) {
+  Rng rng(13);
+  const std::uint64_t n = 40;
+  const double p = 0.25;
+  double sum = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t b = rng.binomial(n, p);
+    ASSERT_LE(b, n);
+    sum += static_cast<double>(b);
+  }
+  EXPECT_NEAR(sum / trials, static_cast<double>(n) * p, 0.15);
+}
+
+TEST(RngTest, BinomialLargeUsesApproximationSanely) {
+  Rng rng(14);
+  const std::uint64_t n = 1000000;
+  const double p = 0.01;  // np = 10^4, normal path
+  double sum = 0.0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i)
+    sum += static_cast<double>(rng.binomial(n, p));
+  EXPECT_NEAR(sum / trials, 10000.0, 50.0);
+}
+
+TEST(RngTest, BinomialEdgeCases) {
+  Rng rng(15);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+}
+
+TEST(RngTest, SampleCdfRespectsWeightsAndMiss) {
+  Rng rng(16);
+  // Mass 0.5 total: {0.2, 0.5} cumulative; 50% misses.
+  const double cdf[] = {0.2, 0.5};
+  int c0 = 0, c1 = 0, miss = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t v = rng.sample_cdf(cdf, 2, 99);
+    if (v == 0)
+      ++c0;
+    else if (v == 1)
+      ++c1;
+    else if (v == 99)
+      ++miss;
+    else
+      FAIL() << "unexpected sample " << v;
+  }
+  EXPECT_NEAR(static_cast<double>(c0) / n, 0.2, 0.01);
+  EXPECT_NEAR(static_cast<double>(c1) / n, 0.3, 0.01);
+  EXPECT_NEAR(static_cast<double>(miss) / n, 0.5, 0.01);
+}
+
+TEST(RngTest, Mix64AvalanchesSingleBit) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  const int cases = 64;
+  for (int b = 0; b < cases; ++b) {
+    const std::uint64_t x = 0x123456789abcdef0ull;
+    const std::uint64_t y = x ^ (std::uint64_t{1} << b);
+    total_flips += __builtin_popcountll(mix64(x) ^ mix64(y));
+  }
+  const double mean_flips = static_cast<double>(total_flips) / cases;
+  EXPECT_GT(mean_flips, 24.0);
+  EXPECT_LT(mean_flips, 40.0);
+}
+
+TEST(RngTest, RejectsInvalidArguments) {
+  Rng rng(17);
+  EXPECT_THROW(rng.uniform_below(0), std::invalid_argument);
+  EXPECT_THROW(rng.uniform_int(3, 2), std::invalid_argument);
+  EXPECT_THROW(rng.uniform_real(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.geometric(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.geometric(1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace radnet

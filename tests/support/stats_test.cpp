@@ -1,0 +1,148 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace radnet {
+namespace {
+
+TEST(OnlineStatsTest, KnownValues) {
+  OnlineStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, EmptyAndSingle) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, MergeMatchesSequential) {
+  Rng rng(1);
+  OnlineStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double() * 10.0;
+    whole.add(v);
+    (i < 400 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineStatsTest, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(b);  // no-op
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);  // adopt
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(SampleTest, QuantilesInterpolate) {
+  Sample s;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0 / 3.0), 2.0);
+}
+
+TEST(SampleTest, SingleElement) {
+  Sample s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.median(), 7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SampleTest, EmptyThrows) {
+  Sample s;
+  EXPECT_THROW((void)s.mean(), std::invalid_argument);
+  EXPECT_THROW((void)s.quantile(0.5), std::invalid_argument);
+  EXPECT_THROW((void)s.min(), std::invalid_argument);
+}
+
+TEST(SampleTest, BootstrapCiCoversTrueMean) {
+  Rng data_rng(2);
+  Sample s;
+  for (int i = 0; i < 500; ++i) s.add(data_rng.next_double());  // mean 0.5
+  Rng boot_rng(3);
+  const auto ci = s.bootstrap_mean_ci(boot_rng, 0.95, 500);
+  EXPECT_LT(ci.lo, 0.5);
+  EXPECT_GT(ci.hi, 0.5);
+  EXPECT_LT(ci.hi - ci.lo, 0.2);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamped to bin 0
+  h.add(42.0);   // clamped to bin 9
+  h.add(5.0);    // bin 5
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(5), 6.0);
+}
+
+TEST(HistogramTest, RenderMentionsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string r = h.render(10);
+  EXPECT_NE(r.find('#'), std::string::npos);
+  EXPECT_NE(r.find('2'), std::string::npos);
+}
+
+TEST(LinearFitTest, ExactLine) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{3, 5, 7, 9, 11};  // y = 1 + 2x
+  const auto fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyLineStillRecovered) {
+  Rng rng(4);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    const double xv = static_cast<double>(i) / 10.0;
+    x.push_back(xv);
+    y.push_back(0.5 + 3.0 * xv + (rng.next_double() - 0.5) * 0.1);
+  }
+  const auto fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.05);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(LinearFitTest, RejectsTooFewPoints) {
+  EXPECT_THROW((void)fit_linear({1.0}, {2.0}), std::invalid_argument);
+  EXPECT_THROW((void)fit_linear({1.0, 2.0}, {2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace radnet

@@ -1,0 +1,84 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace radnet {
+namespace {
+
+TEST(TableTest, BuildsAndRenders) {
+  Table t({"n", "rounds", "note"});
+  t.row().add(std::uint64_t{1024}).add(12.345, 2).add("ok");
+  t.row().add(std::uint64_t{2048}).add(13.0, 2).add("ok");
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.cell(0, 0), "1024");
+  EXPECT_EQ(t.cell(0, 1), "12.35");  // fixed precision, rounded
+  const std::string s = t.str();
+  EXPECT_NE(s.find("rounds"), std::string::npos);
+  EXPECT_NE(s.find("2048"), std::string::npos);
+}
+
+TEST(TableTest, CaptionAppearsInOutput) {
+  Table t({"a"});
+  t.set_caption("Table 1: example");
+  t.row().add(1);
+  EXPECT_NE(t.str().find("Table 1: example"), std::string::npos);
+}
+
+TEST(TableTest, PlusMinusCell) {
+  Table t({"x"});
+  t.row().add_pm(3.14159, 0.25, 2);
+  EXPECT_EQ(t.cell(0, 0), "3.14 ± 0.25");
+}
+
+TEST(TableTest, CsvRoundTripStructure) {
+  Table t({"a", "b"});
+  t.row().add(1).add(2);
+  t.row().add(3).add(4);
+  const std::string csv = t.csv();
+  EXPECT_EQ(csv, "a,b\n1,2\n3,4\n");
+}
+
+TEST(TableTest, WriteCsvCreatesFile) {
+  Table t({"k", "v"});
+  t.row().add(1).add("x");
+  const std::string path = ::testing::TempDir() + "radnet_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "k,v");
+  in.close();
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, MisuseThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add(1), std::invalid_argument);  // add before row
+  t.row().add(1).add(2);
+  EXPECT_THROW(t.add(3), std::invalid_argument);  // row overfull
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  EXPECT_THROW((void)t.cell(5, 0), std::invalid_argument);
+}
+
+TEST(TableTest, AlignmentPadsColumns) {
+  Table t({"col", "x"});
+  t.row().add("short").add(1);
+  t.row().add("a-much-longer-cell").add(2);
+  std::istringstream lines(t.str());
+  std::string header, sep, r1, r2;
+  std::getline(lines, header);
+  std::getline(lines, sep);
+  std::getline(lines, r1);
+  std::getline(lines, r2);
+  EXPECT_EQ(r1.size(), r2.size());
+  EXPECT_EQ(header.size(), r1.size());
+}
+
+}  // namespace
+}  // namespace radnet

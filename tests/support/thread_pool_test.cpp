@@ -1,0 +1,83 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace radnet {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::uint64_t n = 10007;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for_index(n, [&](std::uint64_t i) { ++hits[i]; });
+  for (std::uint64_t i = 0; i < n; ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ZeroAndOneElement) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for_index(0, [&](std::uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> one{0};
+  pool.parallel_for_index(1, [&](std::uint64_t i) {
+    EXPECT_EQ(i, 0u);
+    ++one;
+  });
+  EXPECT_EQ(one.load(), 1);
+}
+
+TEST(ThreadPoolTest, ResultsIndependentOfThreadCount) {
+  const std::uint64_t n = 5000;
+  const auto compute = [n](unsigned threads) {
+    ThreadPool pool(threads);
+    std::vector<std::uint64_t> out(n);
+    pool.parallel_for_index(n, [&](std::uint64_t i) { out[i] = i * i + 1; });
+    return out;
+  };
+  EXPECT_EQ(compute(1), compute(7));
+}
+
+TEST(ThreadPoolTest, ExceptionPropagates) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for_index(100,
+                                       [](std::uint64_t i) {
+                                         if (i == 42)
+                                           throw std::runtime_error("boom");
+                                       }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolSurvivesExceptionAndRunsAgain) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for_index(
+        10, [](std::uint64_t) { throw std::runtime_error("first"); });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for_index(100, [&](std::uint64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPoolTest, ManyMoreItemsThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> sum{0};
+  const std::uint64_t n = 100000;
+  pool.parallel_for_index(n, [&](std::uint64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsUsable) {
+  std::atomic<int> count{0};
+  global_pool().parallel_for_index(64, [&](std::uint64_t) { ++count; });
+  EXPECT_EQ(count.load(), 64);
+}
+
+}  // namespace
+}  // namespace radnet

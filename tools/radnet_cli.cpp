@@ -1,0 +1,217 @@
+// radnet_cli — run any protocol on any topology from the command line.
+//
+//   radnet_cli --protocol alg1 --topology gnp --n 4096 --delta 8 --trials 16
+//   radnet_cli --protocol alg3 --topology grid --n 256 --trials 8
+//   radnet_cli --protocol decay --topology obs43 --n 64
+//   radnet_cli --protocol alg2 --topology rgg --n 512 --radius-mult 3
+//   radnet_cli --protocol fixed --q 0.5 --topology thm44 --n 64 --diameter 40
+//
+// Protocols: alg1 alg2 alg3 cr decay eg2005 flooding fixed tdma
+// Topologies: gnp ugnp rgg path cycle grid star complete cluster obs43 thm44
+//
+// Common flags: --n --trials --seed --max-rounds --source --quiescence
+// Topology flags: --p | --delta (p = delta ln n / n), --radius-mult,
+//                 --cluster-size, --diameter (thm44; also overrides the
+//                 measured D used by alg3/cr), --q (fixed), --lambda (alg3)
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "baselines/czumaj_rytter.hpp"
+#include "baselines/decay.hpp"
+#include "baselines/elsasser_gasieniec.hpp"
+#include "baselines/fixed_prob.hpp"
+#include "baselines/flooding.hpp"
+#include "baselines/gossip_baselines.hpp"
+#include "core/broadcast_general.hpp"
+#include "core/broadcast_random.hpp"
+#include "core/gossip_random.hpp"
+#include "graph/generators.hpp"
+#include "graph/lower_bound_nets.hpp"
+#include "graph/metrics.hpp"
+#include "harness/monte_carlo.hpp"
+#include "support/cli_args.hpp"
+#include "support/math.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace radnet;
+
+graph::Digraph build_topology(const CliArgs& args, graph::NodeId n, double p,
+                              Rng& rng, graph::NodeId* source_out) {
+  const std::string topo = args.get_string("topology", "gnp");
+  *source_out = static_cast<graph::NodeId>(args.get_u64("source", 0));
+  if (topo == "gnp") return graph::gnp_directed(n, p, rng);
+  if (topo == "ugnp") return graph::gnp_undirected(n, p, rng);
+  if (topo == "rgg") {
+    const double mult = args.get_double("radius-mult", 2.0);
+    return graph::random_geometric(n, graph::rgg_threshold_radius(n, mult), rng);
+  }
+  if (topo == "path") return graph::path(n);
+  if (topo == "cycle") return graph::cycle(n);
+  if (topo == "grid") {
+    const auto side = static_cast<graph::NodeId>(std::lround(std::sqrt(n)));
+    return graph::grid(side, side);
+  }
+  if (topo == "star") return graph::star(n);
+  if (topo == "complete") return graph::complete(n);
+  if (topo == "cluster") {
+    const auto cs = static_cast<graph::NodeId>(args.get_u64("cluster-size", 16));
+    return graph::cluster_chain(cs, std::max<graph::NodeId>(1, n / cs));
+  }
+  if (topo == "obs43") {
+    auto net = graph::obs43_network(n);
+    *source_out = net.source;
+    return std::move(net.graph);
+  }
+  if (topo == "thm44") {
+    const std::uint64_t D = args.get_u64(
+        "diameter", 2ull * ilog2_floor(n) + 8);
+    auto net = graph::thm44_network(n, D);
+    *source_out = net.source;
+    return std::move(net.graph);
+  }
+  throw std::invalid_argument("unknown topology: " + topo);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv,
+                       {"protocol", "topology", "n", "p", "delta", "trials",
+                        "seed", "max-rounds", "source", "radius-mult",
+                        "cluster-size", "diameter", "q", "lambda",
+                        "quiescence", "help"});
+    if (args.get_bool("help", false) || argc == 1) {
+      std::cout << "usage: radnet_cli --protocol <alg1|alg2|alg3|cr|decay|"
+                   "eg2005|flooding|fixed|tdma>\n"
+                   "                  --topology <gnp|ugnp|rgg|path|cycle|grid|"
+                   "star|complete|cluster|obs43|thm44>\n"
+                   "                  [--n N] [--p P | --delta D] [--trials T]"
+                   " [--seed S]\n"
+                   "                  [--diameter D] [--q Q] [--lambda L]"
+                   " [--max-rounds R] [--quiescence]\n";
+      return 0;
+    }
+
+    const auto n = static_cast<graph::NodeId>(args.get_u64("n", 1024));
+    const double p = args.has("p")
+                         ? args.get_double("p", 0.0)
+                         : args.get_double("delta", 8.0) *
+                               std::log(static_cast<double>(n)) / n;
+    const std::uint32_t trials =
+        static_cast<std::uint32_t>(args.get_u64("trials", 8));
+    const std::uint64_t seed = args.get_u64("seed", 0x5eed);
+    const std::string proto_name = args.get_string("protocol", "alg1");
+
+    // One representative instance for the measured columns (degree, D).
+    Rng probe_rng(seed);
+    graph::NodeId source = 0;
+    const graph::Digraph sample = build_topology(args, n, p, probe_rng, &source);
+    const auto deg = graph::degree_stats(sample);
+    const auto measured_d = graph::diameter_sampled(sample, 4, seed + 1);
+    const std::uint64_t diameter =
+        args.get_u64("diameter", measured_d ? *measured_d : sample.num_nodes());
+    const double eff_p = deg.mean_out / sample.num_nodes();
+
+    std::cout << "topology " << args.get_string("topology", "gnp") << ": "
+              << sample.num_nodes() << " nodes, " << sample.num_edges()
+              << " edges, mean degree " << deg.mean_out << ", diameter "
+              << (measured_d ? std::to_string(*measured_d) : "unreachable")
+              << "\n";
+
+    const std::uint64_t nn = sample.num_nodes();
+    const auto make_protocol =
+        [&]() -> std::unique_ptr<sim::Protocol> {
+      if (proto_name == "alg1")
+        return std::make_unique<core::BroadcastRandomProtocol>(
+            core::BroadcastRandomParams{.p = eff_p, .source = source});
+      if (proto_name == "alg2")
+        return std::make_unique<core::GossipRandomProtocol>(
+            core::GossipRandomParams{.p = eff_p});
+      if (proto_name == "alg3") {
+        const double lambda =
+            args.get_double("lambda", lambda_of(nn, diameter));
+        return std::make_unique<core::GeneralBroadcastProtocol>(
+            core::GeneralBroadcastParams{
+                .distribution =
+                    core::SequenceDistribution::alpha_with_lambda(nn, lambda),
+                .window = core::general_window(nn, 4.0),
+                .source = source,
+                .label = "alg3"});
+      }
+      if (proto_name == "cr")
+        return baselines::czumaj_rytter(nn, diameter, 4.0, source);
+      if (proto_name == "decay")
+        return std::make_unique<baselines::DecayProtocol>(
+            baselines::DecayParams{.source = source});
+      if (proto_name == "eg2005")
+        return std::make_unique<baselines::ElsasserGasieniecProtocol>(
+            baselines::ElsasserGasieniecParams{.p = eff_p, .source = source});
+      if (proto_name == "flooding")
+        return std::make_unique<baselines::FloodingProtocol>(source);
+      if (proto_name == "fixed")
+        return std::make_unique<baselines::FixedProbProtocol>(
+            baselines::FixedProbParams{.q = args.get_double("q", 0.5),
+                                       .source = source});
+      if (proto_name == "tdma")
+        return std::make_unique<baselines::TdmaGossipProtocol>();
+      throw std::invalid_argument("unknown protocol: " + proto_name);
+    };
+
+    harness::McSpec spec;
+    spec.trials = trials;
+    spec.seed = seed;
+    const bool random_topo = args.get_string("topology", "gnp") == "gnp" ||
+                             args.get_string("topology", "gnp") == "ugnp" ||
+                             args.get_string("topology", "gnp") == "rgg";
+    if (random_topo) {
+      spec.make_graph = [&args, n, p](std::uint32_t, Rng rng) {
+        graph::NodeId src = 0;
+        return std::make_shared<const graph::Digraph>(
+            build_topology(args, n, p, rng, &src));
+      };
+    } else {
+      spec.make_graph = harness::shared_graph(graph::Digraph(sample));
+    }
+    spec.make_protocol = [&make_protocol](const graph::Digraph&, std::uint32_t) {
+      return make_protocol();
+    };
+    const double log2nn = std::log2(static_cast<double>(nn));
+    const auto default_budget = static_cast<sim::Round>(
+        64.0 * (static_cast<double>(diameter) * std::max(1.0, log2nn) +
+                log2nn * log2nn));
+    spec.run_options.max_rounds = static_cast<sim::Round>(
+        args.get_u64("max-rounds", default_budget));
+    spec.run_options.stop_on_empty_candidates = true;
+    spec.run_options.run_to_quiescence = args.get_bool("quiescence", false);
+
+    const auto result = harness::run_monte_carlo(spec);
+    const auto rounds = result.rounds_sample();
+
+    Table t({"protocol", "trials", "success", "rounds", "total_tx",
+             "mean_tx/node", "max_tx/node", "collisions"});
+    t.row()
+        .add(proto_name)
+        .add(static_cast<std::uint64_t>(trials))
+        .add(result.success_rate(), 3)
+        .add_pm(rounds.empty() ? 0.0 : rounds.mean(),
+                rounds.empty() ? 0.0 : rounds.stddev(), 1)
+        .add_pm(result.total_tx_sample().mean(),
+                result.total_tx_sample().stddev(), 0)
+        .add(result.mean_tx_sample().mean(), 3)
+        .add(result.max_tx_sample().max(), 0);
+    {
+      double coll = 0;
+      for (const auto& o : result.outcomes) coll += static_cast<double>(o.collisions);
+      t.add(coll / trials, 0);
+    }
+    t.print(std::cout);
+    return result.success_rate() > 0.0 ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::cerr << "radnet_cli: " << e.what() << "\n";
+    return 1;
+  }
+}
