@@ -8,6 +8,7 @@
 
 #include <cmath>
 
+#include "core/broadcast_random.hpp"
 #include "core/gossip_random.hpp"
 #include "graph/generators.hpp"
 #include "sim/engine.hpp"
@@ -82,6 +83,64 @@ void BM_ReferenceEngineRounds(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
 }
 BENCHMARK(BM_ReferenceEngineRounds)->Arg(1 << 10)->Arg(1 << 12);
+
+void BM_ImplicitEngineRounds(benchmark::State& state) {
+  // Same load as BM_EngineRounds, but over the implicit G(n,p) backend —
+  // no graph is ever built; each round is sampled from the transmitter
+  // count alone.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const double p = 8.0 * std::log(n) / n;
+  radnet::sim::Engine engine;
+  radnet::sim::RunOptions options;
+  options.max_rounds = 64;
+  for (auto _ : state) {
+    const radnet::sim::ImplicitGnp gnp{n, p, Rng(n)};
+    LoadProtocol proto(0.1);
+    benchmark::DoNotOptimize(engine.run(gnp, proto, Rng(1), options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+  state.counters["nodes"] = n;
+}
+BENCHMARK(BM_ImplicitEngineRounds)->Arg(1 << 10)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_BroadcastEndToEndCsr(benchmark::State& state) {
+  // Graph build + full Algorithm 1 run: the quantity the implicit backend
+  // attacks (compare BM_BroadcastEndToEndImplicit at equal n).
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const double p = 16.0 / n;
+  radnet::sim::Engine engine;
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    Rng rng(trial++);
+    const Digraph g = radnet::graph::gnp_directed(n, p, rng);
+    radnet::core::BroadcastRandomProtocol proto(
+        radnet::core::BroadcastRandomParams{.p = p});
+    proto.reset(n, Rng(0));
+    radnet::sim::RunOptions options;
+    options.max_rounds = proto.round_budget();
+    benchmark::DoNotOptimize(engine.run(g, proto, Rng(trial), options));
+  }
+  state.counters["nodes"] = n;
+}
+BENCHMARK(BM_BroadcastEndToEndCsr)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_BroadcastEndToEndImplicit(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const double p = 16.0 / n;
+  radnet::sim::Engine engine;
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    const radnet::sim::ImplicitGnp gnp{n, p, Rng(trial++)};
+    radnet::core::BroadcastRandomProtocol proto(
+        radnet::core::BroadcastRandomParams{.p = p});
+    proto.reset(n, Rng(0));
+    radnet::sim::RunOptions options;
+    options.max_rounds = proto.round_budget();
+    benchmark::DoNotOptimize(engine.run(gnp, proto, Rng(trial), options));
+  }
+  state.counters["nodes"] = n;
+}
+BENCHMARK(BM_BroadcastEndToEndImplicit)->Arg(1 << 14)->Arg(1 << 16)->Arg(1 << 20);
 
 void BM_GnpGeneration(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));

@@ -1,0 +1,217 @@
+// E15 — implicit-vs-CSR topology backend comparison.
+//
+// The headline experiments all run Algorithm 1 on G(n,p); this bench prices
+// the two ways the engine can realise that topology:
+//
+//   csr      — sample the graph, build the CSR Digraph, run (the seed path):
+//              O(n^2 p) build time and O(m) memory per trial;
+//   implicit — never build the graph: each round's deliveries are sampled
+//              from the transmitter count (sim/topology.hpp): O(n) per
+//              round, zero graph memory, exact for Algorithm 1.
+//
+// Reports per-trial wall time (build + run, medians), the CSR graph's
+// resident bytes, and the end-to-end speedup. With --full it also runs an
+// n = 10^7 implicit trial and demonstrates — in a forked child under a
+// 2 GiB RLIMIT_AS, a production-container-sized budget — that the CSR path
+// cannot even allocate that graph while the implicit path completes inside
+// the same limit.
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+
+#include "core/broadcast_random.hpp"
+#include "graph/generators.hpp"
+#include "harness/experiment.hpp"
+#include "sim/engine.hpp"
+#include "support/cli_args.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using radnet::Rng;
+using radnet::Sample;
+using radnet::core::BroadcastRandomParams;
+using radnet::core::BroadcastRandomProtocol;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+radnet::sim::RunOptions options_for(std::uint32_t n, double p) {
+  BroadcastRandomProtocol probe(BroadcastRandomParams{.p = p});
+  probe.reset(n, Rng(0));
+  radnet::sim::RunOptions options;
+  options.max_rounds = probe.round_budget();
+  return options;
+}
+
+struct CsrTimings {
+  Sample build_ms, run_ms, total_ms;
+  std::uint64_t edges = 0;
+  std::uint64_t bytes = 0;
+};
+
+CsrTimings time_csr(std::uint32_t n, double p, std::uint32_t trials,
+                    std::uint64_t seed) {
+  CsrTimings t;
+  const auto options = options_for(n, p);
+  radnet::sim::Engine engine;
+  const Rng root(seed);
+  for (std::uint32_t trial = 0; trial < trials; ++trial) {
+    Rng grng = root.split(trial, 0);
+    const double t0 = now_ms();
+    const radnet::graph::Digraph g = radnet::graph::gnp_directed(n, p, grng);
+    const double t1 = now_ms();
+    BroadcastRandomProtocol proto(BroadcastRandomParams{.p = p});
+    (void)engine.run(g, proto, root.split(trial, 1), options);
+    const double t2 = now_ms();
+    t.build_ms.add(t1 - t0);
+    t.run_ms.add(t2 - t1);
+    t.total_ms.add(t2 - t0);
+    t.edges = g.num_edges();
+    // Steady-state CSR footprint: out- and in-adjacency (4 B per edge each)
+    // plus two offset arrays; the transient edge list peaks higher.
+    t.bytes = t.edges * 8 + static_cast<std::uint64_t>(n + 1) * 16;
+  }
+  return t;
+}
+
+Sample time_implicit(std::uint32_t n, double p, std::uint32_t trials,
+                     std::uint64_t seed) {
+  Sample total_ms;
+  const auto options = options_for(n, p);
+  radnet::sim::Engine engine;
+  const Rng root(seed);
+  for (std::uint32_t trial = 0; trial < trials; ++trial) {
+    const double t0 = now_ms();
+    const radnet::sim::ImplicitGnp gnp{n, p, root.split(trial, 0)};
+    BroadcastRandomProtocol proto(BroadcastRandomParams{.p = p});
+    (void)engine.run(gnp, proto, root.split(trial, 1), options);
+    total_ms.add(now_ms() - t0);
+  }
+  return total_ms;
+}
+
+/// Runs `attempt` in a forked child under an RLIMIT_AS of `limit_bytes`.
+/// Returns 0 if the child finished, 1 if it died on allocation failure.
+int run_memory_limited(std::uint64_t limit_bytes, int (*attempt)()) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    rlimit lim{limit_bytes, limit_bytes};
+    setrlimit(RLIMIT_AS, &lim);
+    int rc;
+    try {
+      rc = attempt();
+    } catch (const std::bad_alloc&) {
+      _exit(1);
+    } catch (...) {
+      _exit(2);
+    }
+    _exit(rc);
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  return 3;  // killed (e.g. OOM before bad_alloc could propagate)
+}
+
+constexpr std::uint32_t kHugeN = 10'000'000;
+constexpr double kHugeP = 16.0 / kHugeN;
+
+int attempt_csr_huge() {
+  Rng rng(1);
+  const radnet::graph::Digraph g =
+      radnet::graph::gnp_directed(kHugeN, kHugeP, rng);
+  return g.num_edges() > 0 ? 0 : 2;
+}
+
+int attempt_implicit_huge() {
+  radnet::sim::Engine engine;
+  const radnet::sim::ImplicitGnp gnp{kHugeN, kHugeP, Rng(1)};
+  BroadcastRandomProtocol proto(BroadcastRandomParams{.p = kHugeP});
+  const auto run =
+      engine.run(gnp, proto, Rng(2), options_for(kHugeN, kHugeP));
+  return run.ledger.total_transmissions > 0 ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  radnet::CliArgs args = [&] {
+    try {
+      return radnet::CliArgs(argc, argv, {"full"});
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << '\n';
+      std::exit(2);
+    }
+  }();
+  const bool full = args.get_bool("full", false);
+
+  const auto env = radnet::harness::bench_env();
+  radnet::harness::banner(
+      "E15 (topology backends)",
+      "Implicit G(n,p) vs materialised CSR: end-to-end trial cost "
+      "(graph build + Algorithm 1 run) and memory.");
+
+  const std::uint32_t trials = env.trials(5);
+  const std::uint32_t sizes[] = {
+      static_cast<std::uint32_t>(env.scaled(1u << 18)),
+      static_cast<std::uint32_t>(env.scaled(1u << 20)),
+  };
+
+  radnet::Table t({"n", "p", "edges", "csr graph MB", "csr build ms",
+                   "csr run ms", "csr total ms", "implicit ms", "speedup"});
+  t.set_caption("E15: per-trial medians over " + std::to_string(trials) +
+                " trials, p = 16/n");
+  for (const std::uint32_t n : sizes) {
+    const double p = 16.0 / n;
+    const CsrTimings csr = time_csr(n, p, trials, env.seed);
+    const Sample imp = time_implicit(n, p, trials, env.seed);
+    t.row()
+        .add(static_cast<std::uint64_t>(n))
+        .add(p, 8)
+        .add(csr.edges)
+        .add(static_cast<double>(csr.bytes) / (1024.0 * 1024.0), 1)
+        .add(csr.build_ms.median(), 1)
+        .add(csr.run_ms.median(), 1)
+        .add(csr.total_ms.median(), 1)
+        .add(imp.median(), 1)
+        .add(csr.total_ms.median() / imp.median(), 1);
+  }
+  radnet::harness::emit_table(env, "e15", "speedup", t);
+
+  if (full) {
+    std::cout << "\n--- n = 10^7 under a 2 GiB memory budget ---\n";
+    const std::uint64_t limit = 2ull << 30;
+    const double t0 = now_ms();
+    const int imp_rc = run_memory_limited(limit, attempt_implicit_huge);
+    const double imp_ms = now_ms() - t0;
+    const double t1 = now_ms();
+    const int csr_rc = run_memory_limited(limit, attempt_csr_huge);
+    const double csr_ms = now_ms() - t1;
+    std::cout << "implicit trial (n=10^7, p=16/n): "
+              << (imp_rc == 0 ? "completed" : "FAILED") << " in " << imp_ms
+              << " ms\n"
+              << "csr graph build (same size):     "
+              << (csr_rc == 0 ? "unexpectedly fit" : "failed to allocate")
+              << " after " << csr_ms << " ms (exit " << csr_rc << ")\n";
+    if (imp_rc != 0 || csr_rc == 0) return 1;
+  } else {
+    std::cout << "\n(run with --full for the n = 10^7 memory-budget "
+                 "demonstration)\n";
+  }
+
+  std::cout << "\nShape check: the implicit column is flat-in-d cheap and the\n"
+               "speedup grows with n; the CSR column pays O(n^2 p) build and\n"
+               "O(m) memory every trial for a graph the protocol never reads\n"
+               "twice.\n";
+  return 0;
+}

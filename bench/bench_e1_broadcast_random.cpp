@@ -15,6 +15,7 @@
 #include "harness/experiment.hpp"
 #include "harness/monte_carlo.hpp"
 #include "harness/scaling.hpp"
+#include "support/cli_args.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -32,12 +33,31 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  radnet::CliArgs args = [&] {
+    try {
+      return radnet::CliArgs(argc, argv, {"topology"});
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << '\n';
+      std::exit(2);
+    }
+  }();
+  // Algorithm 1 transmits at most once per node, so the implicit backend is
+  // exactly G(n,p) (see sim/topology.hpp) and is the default; --topology=csr
+  // materialises the graphs as the reference oracle.
+  const std::string topology = args.get_string("topology", "implicit");
+  const bool implicit = topology == "implicit";
+  if (!implicit && topology != "csr") {
+    std::cerr << "unknown --topology '" << topology
+              << "' (expected implicit|csr)\n";
+    return 2;
+  }
+
   const auto env = radnet::harness::bench_env();
   radnet::harness::banner(
       "E1 (Theorem 2.1)",
       "Algorithm 1 on G(n,p): O(log n) time, <=1 transmission per node, "
-      "O(log n / p) total transmissions.");
+      "O(log n / p) total transmissions. [topology=" + topology + "]");
 
   const std::uint32_t trials = env.trials(24);
 
@@ -72,10 +92,14 @@ int main() {
     radnet::harness::McSpec spec;
     spec.trials = trials;
     spec.seed = env.seed;
-    spec.make_graph = [n, p](std::uint32_t, Rng rng) {
-      return std::make_shared<const radnet::graph::Digraph>(
-          radnet::graph::gnp_directed(n, p, rng));
-    };
+    if (implicit) {
+      spec.implicit_gnp = radnet::harness::ImplicitGnpParams{n, p};
+    } else {
+      spec.make_graph = [n, p](std::uint32_t, Rng rng) {
+        return std::make_shared<const radnet::graph::Digraph>(
+            radnet::graph::gnp_directed(n, p, rng));
+      };
+    }
     spec.make_protocol = [p](const radnet::graph::Digraph&, std::uint32_t) {
       return std::make_unique<BroadcastRandomProtocol>(
           BroadcastRandomParams{.p = p});

@@ -13,6 +13,7 @@
 #include "graph/generators.hpp"
 #include "harness/experiment.hpp"
 #include "sim/engine.hpp"
+#include "support/cli_args.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
@@ -26,12 +27,31 @@ using radnet::core::BroadcastRandomProtocol;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  radnet::CliArgs args = [&] {
+    try {
+      return radnet::CliArgs(argc, argv, {"topology"});
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << '\n';
+      std::exit(2);
+    }
+  }();
+  // Phase 1 is entirely within Algorithm 1's at-most-one-transmission
+  // regime, so the implicit backend samples the same growth process exactly.
+  const std::string topology = args.get_string("topology", "implicit");
+  const bool implicit = topology == "implicit";
+  if (!implicit && topology != "csr") {
+    std::cerr << "unknown --topology '" << topology
+              << "' (expected implicit|csr)\n";
+    return 2;
+  }
+
   const auto env = radnet::harness::bench_env();
   radnet::harness::banner(
       "E2 (Lemmas 2.3/2.4)",
       "Phase-1 active-set growth on G(n,p): |U_{t+1}| / |U_t| ~ Theta(d) per "
-      "round; |U_{T+1}| / d^T concentrated in a constant band.");
+      "round; |U_{T+1}| / d^T concentrated in a constant band. [topology=" +
+          topology + "]");
 
   const std::uint32_t trials = env.trials(16);
   const auto n = static_cast<std::uint32_t>(env.scaled(32768));
@@ -49,7 +69,6 @@ int main() {
   for (std::uint32_t trial = 0; trial < trials; ++trial) {
     Rng root(env.seed);
     Rng grng = root.split(trial, 0);
-    const auto g = radnet::graph::gnp_directed(n, p, grng);
 
     BroadcastRandomProtocol proto(BroadcastRandomParams{.p = p});
     radnet::sim::Engine engine;
@@ -60,7 +79,13 @@ int main() {
     options.round_observer = [&](radnet::sim::Round r) {
       if (r < T) active_at.push_back(static_cast<double>(proto.active_count()));
     };
-    (void)engine.run(g, proto, root.split(trial, 1), options);
+    if (implicit) {
+      const radnet::sim::ImplicitGnp gnp{n, p, grng};
+      (void)engine.run(gnp, proto, root.split(trial, 1), options);
+    } else {
+      const auto g = radnet::graph::gnp_directed(n, p, grng);
+      (void)engine.run(g, proto, root.split(trial, 1), options);
+    }
 
     for (std::uint32_t t = 0; t < T && t + 1 < active_at.size(); ++t)
       if (active_at[t] > 0.0)

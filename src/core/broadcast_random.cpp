@@ -67,6 +67,45 @@ bool BroadcastRandomProtocol::wants_transmit(NodeId v, sim::Round r) {
   return false;
 }
 
+bool BroadcastRandomProtocol::sample_transmitters(sim::Round r,
+                                                  std::vector<NodeId>& out) {
+  const std::span<const NodeId> active = state_.active();
+  // Resolve the round's common transmit probability; mirrors wants_transmit
+  // exactly (the per-node path remains the reference semantics).
+  double prob;
+  bool deactivate_on_tx = true;
+  if (r < t_) {
+    prob = 1.0;
+    deactivate_on_tx = !params_.phase1_repeat;
+  } else if (use_phase2_ && r == t_) {
+    prob = phase2_prob_;
+  } else if (r >= round_budget()) {
+    // Budget exhausted: everyone goes passive for good, nobody transmits.
+    for (const NodeId v : active) state_.deactivate(v);
+    return true;
+  } else {
+    prob = phase3_prob_;
+  }
+
+  if (prob >= 1.0) {
+    for (const NodeId v : active) {
+      if (deactivate_on_tx) state_.deactivate(v);
+      out.push_back(v);
+    }
+    return true;
+  }
+  // Independent Bernoulli(prob) per active node == geometric skip-sampling
+  // of the active list: O(transmitters) instead of O(active) coin flips.
+  const double inv_log1m = 1.0 / std::log1p(-prob);
+  for (std::uint64_t i = rng_.geometric_inv(inv_log1m) - 1; i < active.size();
+       i += rng_.geometric_inv(inv_log1m)) {
+    const NodeId v = active[static_cast<std::size_t>(i)];
+    state_.deactivate(v);
+    out.push_back(v);
+  }
+  return true;
+}
+
 void BroadcastRandomProtocol::on_delivered(NodeId receiver, NodeId /*sender*/,
                                            sim::Round r) {
   // Activation clauses exist only in Phases 1 and 2 of the paper's

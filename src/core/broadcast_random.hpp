@@ -36,6 +36,12 @@
 // holds well above the threshold (e.g. p >= 0.2), so completion probability
 // degrades in the crossover band p ~ n^{-2/5}; the benches report this
 // honestly via their success-rate column (see EXPERIMENTS.md).
+//
+// Topology note: because every node transmits at most once, no ordered
+// pair of nodes is ever examined twice, so running this protocol on the
+// implicit G(n,p) backend (sim/topology.hpp) is *exactly* distributed as a
+// run on a materialised G(n,p) graph — the backend of choice for large-n
+// sweeps (asserted by tests/sim/topology_equivalence_test.cpp).
 #pragma once
 
 #include <cstdint>
@@ -80,6 +86,19 @@ class BroadcastRandomProtocol final : public sim::Protocol {
   void reset(NodeId num_nodes, Rng rng) override;
   [[nodiscard]] std::span<const NodeId> candidates() const override;
   [[nodiscard]] bool wants_transmit(NodeId v, sim::Round r) override;
+  /// Bulk path: every phase is "transmit independently with a common
+  /// probability, passive iff transmitted", so the transmitter subset is
+  /// skip-sampled in O(transmitters) instead of one coin flip per active
+  /// node — this is what keeps sparse Phase-3 tail rounds cheap at n ~ 10^7.
+  [[nodiscard]] bool sample_transmitters(sim::Round r,
+                                         std::vector<NodeId>& out) override;
+  /// Only uninformed nodes react to deliveries (informed nodes ignore
+  /// repeats and collisions are ignored everywhere), so sampling backends
+  /// may account for every other listener in aggregate.
+  [[nodiscard]] std::optional<std::span<const NodeId>> attentive_listeners()
+      const override {
+    return state_.uninformed();
+  }
   void on_delivered(NodeId receiver, NodeId sender, sim::Round r) override;
   void end_round(sim::Round r) override;
   [[nodiscard]] bool is_complete() const override;

@@ -20,6 +20,16 @@ void BroadcastState::reset(NodeId n, NodeId source) {
   informed_count_ = 1;
   informed_time_[source] = 0;
   active_.push_back(source);
+
+  uninformed_.clear();
+  uninformed_.reserve(n - 1);
+  uninformed_pos_.assign(n, 0);
+  newly_informed_.clear();
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == source) continue;
+    uninformed_pos_[v] = static_cast<NodeId>(uninformed_.size());
+    uninformed_.push_back(v);
+  }
 }
 
 bool BroadcastState::deliver(NodeId v, Round round, bool activate) {
@@ -28,6 +38,7 @@ bool BroadcastState::deliver(NodeId v, Round round, bool activate) {
   informed_[v] = 1;
   ++informed_count_;
   informed_time_[v] = round + 1;
+  newly_informed_.push_back(v);
   if (activate) pending_active_.push_back(v);
   return true;
 }
@@ -48,6 +59,14 @@ void BroadcastState::commit() {
   for (const NodeId v : pending_active_)
     if (!deactivated_[v]) active_.push_back(v);
   pending_active_.clear();
+  for (const NodeId v : newly_informed_) {
+    const NodeId pos = uninformed_pos_[v];
+    const NodeId last = uninformed_.back();
+    uninformed_[pos] = last;
+    uninformed_pos_[last] = pos;
+    uninformed_.pop_back();
+  }
+  newly_informed_.clear();
 }
 
 }  // namespace radnet::core

@@ -44,6 +44,14 @@ class BroadcastState {
     return static_cast<NodeId>(active_.size());
   }
 
+  /// Nodes not yet informed, in a deterministic (but unspecified) order.
+  /// Stable within a round: removals are deferred to commit(), matching the
+  /// contract of Protocol::attentive_listeners — these are the only nodes
+  /// whose delivery callbacks still change protocol state.
+  [[nodiscard]] std::span<const NodeId> uninformed() const noexcept {
+    return {uninformed_.data(), uninformed_.size()};
+  }
+
   /// Marks v informed (if new) and, when `activate` is true, schedules
   /// activation for the next round. Algorithm 1's Phase 3 passes
   /// activate = false: its pseudocode has no activation clause, so nodes
@@ -65,6 +73,11 @@ class BroadcastState {
   std::vector<Round> informed_time_;
   std::vector<NodeId> active_;
   std::vector<NodeId> pending_active_;
+  // Uninformed set with O(1) swap-removal; removals deferred to commit()
+  // so the uninformed() span stays valid across a whole round.
+  std::vector<NodeId> uninformed_;
+  std::vector<NodeId> uninformed_pos_;  // position of v in uninformed_
+  std::vector<NodeId> newly_informed_;
   bool has_deactivations_ = false;
 };
 

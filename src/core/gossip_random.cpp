@@ -40,6 +40,17 @@ bool GossipRandomProtocol::wants_transmit(NodeId /*v*/, sim::Round r) {
   return rng_.bernoulli(tx_prob_);
 }
 
+bool GossipRandomProtocol::sample_transmitters(sim::Round r,
+                                               std::vector<NodeId>& out) {
+  if (r >= budget_) return true;  // out stays empty
+  // tx_prob_ = 1/d < 1 always (reset enforces d > 1).
+  const double inv_log1m = 1.0 / std::log1p(-tx_prob_);
+  for (std::uint64_t i = rng_.geometric_inv(inv_log1m) - 1;
+       i < everyone_.size(); i += rng_.geometric_inv(inv_log1m))
+    out.push_back(everyone_[static_cast<std::size_t>(i)]);
+  return true;
+}
+
 void GossipRandomProtocol::on_delivered(NodeId receiver, NodeId sender,
                                         sim::Round /*r*/) {
   // Half-duplex semantics (engine default) guarantee the sender received

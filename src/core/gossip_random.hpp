@@ -14,6 +14,13 @@
 // Rumor sets are bitsets of size n; delivery merges are word-parallel. The
 // protocol tracks the global count of (node, rumor) pairs known so the
 // engine's completion check is O(1).
+//
+// Topology note: gossip nodes transmit repeatedly, so on the implicit
+// G(n,p) backend (sim/topology.hpp) the same ordered pair can be examined
+// in several rounds and is resampled each time — the run then models the
+// per-round-resampled G(n,p) (the churn = 1 mobility model of
+// graph/dynamics.hpp), not one fixed graph. Use the CSR path when the
+// fixed-graph reading of Theorem 3.2 is the point of the experiment.
 #pragma once
 
 #include <cstdint>
@@ -43,6 +50,11 @@ class GossipRandomProtocol final : public sim::Protocol {
   void reset(NodeId num_nodes, Rng rng) override;
   [[nodiscard]] std::span<const NodeId> candidates() const override;
   [[nodiscard]] bool wants_transmit(NodeId v, sim::Round r) override;
+  /// Bulk path: every node transmits independently with probability 1/d
+  /// every round, so the transmitter subset is skip-sampled in
+  /// O(transmitters) instead of n coin flips per round.
+  [[nodiscard]] bool sample_transmitters(sim::Round r,
+                                         std::vector<NodeId>& out) override;
   void on_delivered(NodeId receiver, NodeId sender, sim::Round r) override;
   [[nodiscard]] bool is_complete() const override;
   [[nodiscard]] std::string name() const override { return "alg2"; }

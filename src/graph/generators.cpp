@@ -26,17 +26,28 @@ void skip_sample(std::uint64_t total, double p, Rng& rng, F&& f) {
   }
 }
 
+/// Reserve hint for Bernoulli(p) pair sampling: expected selected pairs plus
+/// 10% headroom, capped at the exact maximum `pairs` so huge-n / near-1 p
+/// inputs can neither overflow the size_t cast nor over-allocate, times
+/// `edges_per_pair` entries pushed per selected pair.
+std::size_t edge_reserve_hint(std::uint64_t pairs, double p,
+                              std::uint64_t edges_per_pair) {
+  if (p <= 0.0 || pairs == 0) return 0;
+  const double expected = static_cast<double>(pairs) * p * 1.1 + 16.0;
+  const auto capped = static_cast<std::uint64_t>(
+      std::min(expected, static_cast<double>(pairs)));
+  return static_cast<std::size_t>(capped * edges_per_pair);
+}
+
 }  // namespace
 
 Digraph gnp_directed(NodeId n, double p, Rng& rng) {
   RADNET_REQUIRE(n >= 1, "gnp_directed needs n >= 1");
   RADNET_REQUIRE(p >= 0.0 && p <= 1.0, "p must be in [0,1]");
   std::vector<Edge> edges;
-  if (p > 0.0)
-    edges.reserve(static_cast<std::size_t>(
-        static_cast<double>(n) * static_cast<double>(n) * p * 1.1 + 16));
   const std::uint64_t pairs =
       static_cast<std::uint64_t>(n) * (static_cast<std::uint64_t>(n) - 1);
+  edges.reserve(edge_reserve_hint(pairs, p, 1));
   skip_sample(pairs, p, rng, [&](std::uint64_t idx) {
     // Ordered pairs without the diagonal: row u has n-1 slots.
     const NodeId u = static_cast<NodeId>(idx / (n - 1));
@@ -53,8 +64,7 @@ Digraph gnp_undirected(NodeId n, double p, Rng& rng) {
   std::vector<Edge> edges;
   const std::uint64_t pairs =
       static_cast<std::uint64_t>(n) * (static_cast<std::uint64_t>(n) - 1) / 2;
-  if (p > 0.0)
-    edges.reserve(static_cast<std::size_t>(static_cast<double>(pairs) * p * 2.2 + 16));
+  edges.reserve(edge_reserve_hint(pairs, p, 2));
   skip_sample(pairs, p, rng, [&](std::uint64_t idx) {
     // Unrank idx into the strictly-lower-triangular pair (u, v), u > v.
     // Row u contains u entries; find u with u(u-1)/2 <= idx < u(u+1)/2.

@@ -37,28 +37,45 @@ Sample McResult::mean_tx_sample() const {
 
 McResult run_monte_carlo(const McSpec& spec) {
   RADNET_REQUIRE(spec.trials >= 1, "need at least one trial");
-  RADNET_REQUIRE(static_cast<bool>(spec.make_graph), "make_graph is required");
+  RADNET_REQUIRE(spec.implicit_gnp.has_value() ||
+                     static_cast<bool>(spec.make_graph),
+                 "make_graph is required unless implicit_gnp is set");
   RADNET_REQUIRE(static_cast<bool>(spec.make_protocol),
                  "make_protocol is required");
 
   McResult result;
   result.outcomes.resize(spec.trials);
   const Rng root(spec.seed);
+  // Handed to make_protocol for implicit trials; protocols are oblivious
+  // and must not read the topology from it.
+  static const graph::Digraph placeholder;
 
   const auto run_trial = [&](std::uint64_t t) {
     const auto trial = static_cast<std::uint32_t>(t);
     Rng graph_rng = root.split(t, 0);
     const Rng protocol_rng = root.split(t, 1);
-    const std::shared_ptr<const graph::Digraph> g =
-        spec.make_graph(trial, graph_rng);
-    RADNET_CHECK(g != nullptr, "make_graph returned null");
-    const std::unique_ptr<sim::Protocol> protocol =
-        spec.make_protocol(*g, trial);
-    RADNET_CHECK(protocol != nullptr, "make_protocol returned null");
 
     sim::Engine engine;
-    const sim::RunResult run =
-        engine.run(*g, *protocol, protocol_rng, spec.run_options);
+    sim::RunResult run;
+    graph::NodeId nodes = 0;
+    if (spec.implicit_gnp.has_value()) {
+      const sim::ImplicitGnp gnp{spec.implicit_gnp->n, spec.implicit_gnp->p,
+                                 graph_rng};
+      const std::unique_ptr<sim::Protocol> protocol =
+          spec.make_protocol(placeholder, trial);
+      RADNET_CHECK(protocol != nullptr, "make_protocol returned null");
+      run = engine.run(gnp, *protocol, protocol_rng, spec.run_options);
+      nodes = gnp.n;
+    } else {
+      const std::shared_ptr<const graph::Digraph> g =
+          spec.make_graph(trial, graph_rng);
+      RADNET_CHECK(g != nullptr, "make_graph returned null");
+      const std::unique_ptr<sim::Protocol> protocol =
+          spec.make_protocol(*g, trial);
+      RADNET_CHECK(protocol != nullptr, "make_protocol returned null");
+      run = engine.run(*g, *protocol, protocol_rng, spec.run_options);
+      nodes = g->num_nodes();
+    }
 
     TrialOutcome& out = result.outcomes[trial];
     out.completed = run.completed;
@@ -68,7 +85,7 @@ McResult run_monte_carlo(const McSpec& spec) {
     out.mean_tx_node = run.ledger.mean_tx_per_node();
     out.deliveries = run.ledger.total_deliveries;
     out.collisions = run.ledger.total_collisions;
-    out.nodes = g->num_nodes();
+    out.nodes = nodes;
   };
 
   if (spec.serial) {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "graph/digraph.hpp"
 #include "sim/engine.hpp"
@@ -31,15 +32,28 @@ struct TrialOutcome {
   graph::NodeId nodes = 0;
 };
 
+/// Trial topology for the implicit G(n,p) backend (see sim/topology.hpp):
+/// the graph is never materialised, each trial's edge randomness is the
+/// same (seed, trial, 0) stream make_graph would have received — so an
+/// implicit spec and a CSR spec with identical seeds form paired trials.
+struct ImplicitGnpParams {
+  graph::NodeId n = 0;
+  double p = 0.0;
+};
+
 struct McSpec {
   /// Number of independent trials.
   std::uint32_t trials = 32;
   /// Root seed; the entire experiment is a function of this.
   std::uint64_t seed = 1;
   /// Produces (or shares) the network for a trial. Called once per trial
-  /// with that trial's private graph RNG.
+  /// with that trial's private graph RNG. Ignored when implicit_gnp is set.
   std::function<std::shared_ptr<const graph::Digraph>(std::uint32_t trial, Rng rng)>
       make_graph;
+  /// When set, trials run on the implicit G(n,p) backend instead of a
+  /// materialised graph; make_protocol then receives an empty placeholder
+  /// Digraph (protocols are oblivious and never look at it anyway).
+  std::optional<ImplicitGnpParams> implicit_gnp;
   /// Produces a fresh protocol object for a trial (trials may run
   /// concurrently, so protocols cannot be shared).
   std::function<std::unique_ptr<sim::Protocol>(const graph::Digraph& g,

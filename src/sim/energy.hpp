@@ -39,6 +39,8 @@ struct EnergyLedger {
 
   /// Total energy under `model`.
   [[nodiscard]] double energy(const EnergyModel& model) const;
+
+  friend bool operator==(const EnergyLedger&, const EnergyLedger&) = default;
 };
 
 }  // namespace radnet::sim

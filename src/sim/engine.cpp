@@ -1,7 +1,6 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
-#include <functional>
 
 #include "support/require.hpp"
 
@@ -9,24 +8,53 @@ namespace radnet::sim {
 
 namespace {
 
-/// The shared round loop. `graph_for` yields the topology in force during a
-/// given round (constant for static runs). Node count must not change.
-RunResult run_loop(graph::NodeId n,
-                   const std::function<const graph::Digraph&(Round)>& graph_for,
-                   Protocol& protocol, Rng protocol_rng,
+/// Receives the backend's per-receiver events and fans them out to the
+/// ledger, the optional trace and the protocol.
+struct EngineSink {
+  Protocol& protocol;
+  RunResult& result;
+  RoundTrace* rt;
+  Round round;
+
+  void deliver(graph::NodeId receiver, graph::NodeId sender) {
+    ++result.ledger.total_deliveries;
+    if (rt != nullptr) rt->deliveries.push_back({receiver, sender});
+    protocol.on_delivered(receiver, sender, round);
+  }
+
+  void collide(graph::NodeId receiver) {
+    ++result.ledger.total_collisions;
+    if (rt != nullptr) rt->collisions.push_back(receiver);
+    protocol.on_collision(receiver, round);
+  }
+
+  // Aggregate accounting for listeners the protocol declared non-attentive
+  // (see Protocol::attentive_listeners): ledger totals only, no callbacks.
+  // Backends may only use these when no trace is being recorded.
+  void deliver_bulk(std::uint64_t count) {
+    result.ledger.total_deliveries += count;
+  }
+
+  void collide_bulk(std::uint64_t count) {
+    result.ledger.total_collisions += count;
+  }
+};
+
+/// The shared round loop, statically specialised per topology backend (no
+/// per-round virtual or std::function indirection on the hot path). The
+/// backend yields each round's delivery outcomes; everything else — the
+/// transmit decisions, energy ledger, trace, completion logic — is
+/// backend-independent.
+template <typename Topology>
+RunResult run_loop(Topology& topo, Protocol& protocol, Rng protocol_rng,
                    const RunOptions& options) {
+  const graph::NodeId n = topo.num_nodes();
   RADNET_REQUIRE(n >= 1, "cannot simulate an empty network");
 
   RunResult result;
   result.ledger.reset(n);
   protocol.reset(n, std::move(protocol_rng));
 
-  // Per-node scratch: number of transmissions heard this round, and the
-  // sender when that number is exactly one. `touched` lists nodes whose
-  // hit-counter is non-zero so clearing is proportional to activity.
-  std::vector<std::uint32_t> hits(n, 0);
-  std::vector<graph::NodeId> heard_from(n, 0);
-  std::vector<graph::NodeId> touched;
   std::vector<graph::NodeId> transmitters;
   std::vector<char> is_tx(n, 0);
 
@@ -47,39 +75,21 @@ RunResult run_loop(graph::NodeId n,
         (options.stop_on_empty_candidates ||
          (options.run_to_quiescence && result.completed)))
       break;
-    for (const graph::NodeId v : candidates) {
-      RADNET_CHECK(v < n, "protocol candidate out of range");
-      if (protocol.wants_transmit(v, r)) transmitters.push_back(v);
-    }
-
-    // Phase B: propagate over this round's topology.
-    const graph::Digraph& g = graph_for(r);
-    RADNET_CHECK(g.num_nodes() == n, "topology changed its node count");
-    for (const graph::NodeId u : transmitters) {
-      result.ledger.record_transmission(u);
-      is_tx[u] = 1;
-      for (const graph::NodeId w : g.out_neighbors(u)) {
-        if (hits[w] == 0) {
-          heard_from[w] = u;
-          touched.push_back(w);
-        }
-        ++hits[w];
+    if (!protocol.sample_transmitters(r, transmitters)) {
+      for (const graph::NodeId v : candidates) {
+        RADNET_CHECK(v < n, "protocol candidate out of range");
+        if (protocol.wants_transmit(v, r)) transmitters.push_back(v);
       }
     }
-
-    // Phase C: deliveries and collisions. `touched` is filled in transmitter
-    // adjacency order; callbacks must run in ascending receiver id for
-    // determinism. For sparse rounds sort the touched list; for dense rounds
-    // (more than ~1/8 of all nodes heard something) a linear scan over the
-    // hit array is cheaper than the O(k log k) sort and yields the same
-    // order.
-    if (touched.size() > n / 8) {
-      touched.clear();
-      for (graph::NodeId w = 0; w < n; ++w)
-        if (hits[w] != 0) touched.push_back(w);
-    } else {
-      std::sort(touched.begin(), touched.end());
+    for (const graph::NodeId u : transmitters) {
+      RADNET_CHECK(u < n, "protocol transmitter out of range");
+      result.ledger.record_transmission(u);
+      is_tx[u] = 1;
     }
+
+    // Phase B/C: this round's topology decides who hears what; events fire
+    // in ascending receiver order (see topology.hpp).
+    topo.begin_round(r);
     RoundTrace* rt = nullptr;
     if (options.record_trace) {
       result.trace.rounds.push_back({});
@@ -88,23 +98,13 @@ RunResult run_loop(graph::NodeId n,
       rt->transmitters = transmitters;
       std::sort(rt->transmitters.begin(), rt->transmitters.end());
     }
-    for (const graph::NodeId w : touched) {
-      if (options.half_duplex && is_tx[w]) {
-        hits[w] = 0;
-        continue;  // a transmitting radio hears nothing
-      }
-      if (hits[w] == 1) {
-        ++result.ledger.total_deliveries;
-        if (rt != nullptr) rt->deliveries.push_back({w, heard_from[w]});
-        protocol.on_delivered(w, heard_from[w], r);
-      } else {
-        ++result.ledger.total_collisions;
-        if (rt != nullptr) rt->collisions.push_back(w);
-        protocol.on_collision(w, r);
-      }
-      hits[w] = 0;
-    }
-    touched.clear();
+    EngineSink sink{protocol, result, rt, r};
+    // The attentive hint enables aggregate accounting in sampling backends;
+    // a recorded trace needs every event, so the hint is dropped then.
+    const std::optional<std::span<const graph::NodeId>> attentive =
+        options.record_trace ? std::nullopt : protocol.attentive_listeners();
+    topo.deliver({transmitters.data(), transmitters.size()}, is_tx,
+                 options.half_duplex, options.delivery_path, attentive, sink);
     for (const graph::NodeId u : transmitters) is_tx[u] = 0;
 
     protocol.end_round(r);
@@ -127,17 +127,20 @@ RunResult run_loop(graph::NodeId n,
 
 RunResult Engine::run(const graph::Digraph& g, Protocol& protocol,
                       Rng protocol_rng, const RunOptions& options) {
-  return run_loop(
-      g.num_nodes(), [&g](Round) -> const graph::Digraph& { return g; },
-      protocol, std::move(protocol_rng), options);
+  CsrTopology topo(g);
+  return run_loop(topo, protocol, std::move(protocol_rng), options);
 }
 
 RunResult Engine::run(graph::TopologySequence& topology, Protocol& protocol,
                       Rng protocol_rng, const RunOptions& options) {
-  return run_loop(
-      topology.num_nodes(),
-      [&topology](Round r) -> const graph::Digraph& { return topology.at(r); },
-      protocol, std::move(protocol_rng), options);
+  DynamicCsrTopology topo(topology);
+  return run_loop(topo, protocol, std::move(protocol_rng), options);
+}
+
+RunResult Engine::run(const ImplicitGnp& gnp, Protocol& protocol,
+                      Rng protocol_rng, const RunOptions& options) {
+  ImplicitGnpTopology topo(gnp);
+  return run_loop(topo, protocol, std::move(protocol_rng), options);
 }
 
 }  // namespace radnet::sim

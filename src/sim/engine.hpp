@@ -7,11 +7,14 @@
 //   3. Edges are directed: u -> v means v hears u, not necessarily
 //      vice versa (asymmetric communication ranges).
 //
-// Cost per round is O(sum of out-degrees of this round's transmitters) plus
-// O(|candidates|), achieved with a hit-counter array that is cleared through
-// a touched list — never a full O(n) sweep. The engine is a pure function of
-// (graph, protocol state, options); reproducibility is tested against the
-// naive reference engine in reference_engine.hpp.
+// The round loop is statically specialised per topology backend (see
+// sim/topology.hpp): explicit CSR graphs cost O(sum of out-degrees of this
+// round's transmitters) — or O(receivers) via in-neighbour bitset scans in
+// very dense rounds — while the implicit G(n,p) backend costs O(n) per
+// round (O(expected hits) when sparse) with no materialised graph at all.
+// The engine is a pure function of (topology, protocol state, options);
+// reproducibility is tested against the naive reference engine in
+// reference_engine.hpp and across delivery paths by the parity tests.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +25,7 @@
 #include "graph/dynamics.hpp"
 #include "sim/energy.hpp"
 #include "sim/protocol.hpp"
+#include "sim/topology.hpp"
 #include "sim/trace.hpp"
 
 namespace radnet::sim {
@@ -47,6 +51,10 @@ struct RunOptions {
   bool run_to_quiescence = false;
   /// Record a full per-round trace (costly; for tests/examples/E2).
   bool record_trace = false;
+  /// Delivery strategy for explicit-CSR topologies. kAuto picks per round;
+  /// the forced values exist for path-parity tests and microbenchmarks.
+  /// Ignored by the implicit backend.
+  DeliveryPath delivery_path = DeliveryPath::kAuto;
   /// Invoked after every round with the round just executed; used by the
   /// Phase-1 growth experiment to snapshot protocol counters.
   std::function<void(Round)> round_observer;
@@ -79,6 +87,14 @@ class Engine {
   [[nodiscard]] RunResult run(graph::TopologySequence& topology,
                               Protocol& protocol, Rng protocol_rng,
                               const RunOptions& options = {});
+
+  /// Runs `protocol` on an implicit directed G(n,p): delivery outcomes are
+  /// sampled per round from the transmitter count and the graph is never
+  /// materialised. Exactly equivalent to a fixed G(n,p) whenever each node
+  /// transmits at most once (see topology.hpp for the general conditions).
+  /// The spec's rng is copied, so the same spec replays identically.
+  [[nodiscard]] RunResult run(const ImplicitGnp& gnp, Protocol& protocol,
+                              Rng protocol_rng, const RunOptions& options = {});
 };
 
 }  // namespace radnet::sim

@@ -15,8 +15,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "graph/digraph.hpp"
 #include "support/rng.hpp"
@@ -48,6 +50,43 @@ class Protocol {
   /// Whether node v transmits in round r. Called once per candidate per
   /// round, in candidates() order.
   [[nodiscard]] virtual bool wants_transmit(NodeId v, Round r) = 0;
+
+  /// Optional bulk transmitter selection for rounds whose rule is "each
+  /// candidate transmits independently with a common probability tau":
+  /// querying wants_transmit per candidate costs O(|candidates|) coin flips,
+  /// while geometric skip-sampling the transmitter subset costs
+  /// O(|transmitters|) — the engine hot-loop win that makes sparse Phase-3
+  /// tails cheap. Overrides fill `out` (passed in empty) with the
+  /// transmitting nodes in candidates() order, apply exactly the state
+  /// updates wants_transmit would have applied to those nodes, and return
+  /// true; the default returns false and the engine falls back to
+  /// per-candidate wants_transmit. The sampled transmit-set law must equal
+  /// the per-candidate one (randomness *consumption* may differ). Both
+  /// Engine and ReferenceEngine honour the hook, so cross-engine runs stay
+  /// comparable.
+  [[nodiscard]] virtual bool sample_transmitters(Round r,
+                                                 std::vector<NodeId>& out) {
+    (void)r;
+    (void)out;
+    return false;
+  }
+
+  /// Optional: the listeners whose delivery/collision callbacks can still
+  /// change protocol state. A protocol where events at some nodes are
+  /// provably no-ops (broadcast: already-informed nodes ignore further
+  /// deliveries, and collisions are ignored everywhere) can expose the
+  /// complement here; sampling backends (the implicit G(n,p) topology) then
+  /// enumerate per-listener events only for these nodes and account for the
+  /// rest in aggregate — ledger totals stay exactly distributed, but the
+  /// skipped listeners receive no callbacks and per-event order follows the
+  /// span's order rather than ascending node id. std::nullopt (the default)
+  /// means every listener matters. The span must stay valid and unchanged
+  /// until end_round returns; explicit-graph backends and trace-recording
+  /// runs ignore the hint entirely.
+  [[nodiscard]] virtual std::optional<std::span<const NodeId>>
+  attentive_listeners() const {
+    return std::nullopt;
+  }
 
   /// Node `receiver` heard exactly one transmitter, `sender`, in round r.
   virtual void on_delivered(NodeId receiver, NodeId sender, Round r) = 0;

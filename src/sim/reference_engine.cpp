@@ -32,8 +32,9 @@ RunResult ReferenceEngine::run(const graph::Digraph& g, Protocol& protocol,
         (options.stop_on_empty_candidates ||
          (options.run_to_quiescence && result.completed)))
       break;
-    for (const graph::NodeId v : candidates)
-      if (protocol.wants_transmit(v, r)) transmitters.push_back(v);
+    if (!protocol.sample_transmitters(r, transmitters))
+      for (const graph::NodeId v : candidates)
+        if (protocol.wants_transmit(v, r)) transmitters.push_back(v);
 
     std::fill(is_tx.begin(), is_tx.end(), 0);
     for (const graph::NodeId u : transmitters) {

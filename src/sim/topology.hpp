@@ -1,0 +1,544 @@
+// Topology backends for the simulation engine.
+//
+// The engine's round loop is templated over a *topology backend*: the object
+// that knows which receivers hear which transmitters. Two families exist:
+//
+//   * Explicit CSR backends (CsrTopology / DynamicCsrTopology) walk a
+//     materialised graph::Digraph. Cost per round is O(sum of transmitter
+//     out-degrees) via per-edge hit counters, or — for very dense rounds —
+//     O(receivers scanned) via per-receiver in-neighbour scans against a
+//     transmitter bitset with early exit at the second hit.
+//
+//   * The implicit backend (ImplicitGnpTopology) never materialises the
+//     graph at all. For directed G(n,p) the number of transmissions a
+//     listener hears, given k transmitters, is Binomial(k, p) independently
+//     per listener (with k-1 for a listener that is itself a transmitter:
+//     self-loops do not exist), and conditioned on hearing exactly one, the
+//     sender is uniform over the eligible transmitters. A round therefore
+//     costs O(n) — or O(expected hits) in sparse rounds via geometric
+//     skip-sampling over the transmitter x listener pair grid — with zero
+//     graph memory.
+//
+// Exactness of the implicit backend: it resamples the pair states it touches
+// each round, so it is *exactly* G(n,p) whenever no ordered pair is examined
+// twice — in particular for any protocol in which each node transmits at
+// most once (Algorithm 1: Theorem 2.1's at-most-one-transmission property).
+// For protocols with repeated transmitters (gossip) it instead simulates the
+// memoryless per-round-resampled G(n,p) — the stationary link-churn mobility
+// model of graph/dynamics.hpp with churn = 1 — which is the paper's
+// motivating dynamic setting rather than a fixed graph.
+//
+// Backends expose:
+//   NodeId num_nodes() const;
+//   void   begin_round(std::uint32_t r);          // refresh per-round state
+//   template <class Sink>
+//   void   deliver(std::span<const NodeId> transmitters,
+//                  const std::vector<char>& is_tx, bool half_duplex,
+//                  DeliveryPath path,
+//                  const std::optional<std::span<const NodeId>>& attentive,
+//                  Sink& sink);
+// where the sink receives deliver(receiver, sender) / collide(receiver)
+// callbacks in ascending receiver order, exactly once per receiver that
+// heard at least one transmitter (transmitters themselves excluded under
+// half-duplex). `attentive` is the optional protocol hint from
+// Protocol::attentive_listeners: sampling backends may then restrict
+// per-event callbacks to those listeners and fold everyone else's outcome
+// counts into the sink's deliver_bulk/collide_bulk aggregates (ledger
+// totals stay exactly distributed; event order follows the hint's order).
+// Explicit-graph backends ignore the hint.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/dynamics.hpp"
+#include "support/bitset.hpp"
+#include "support/require.hpp"
+#include "support/rng.hpp"
+
+namespace radnet::sim {
+
+using graph::NodeId;
+
+/// How an explicit-CSR backend turns the round's transmitter set into
+/// receiver events. kAuto picks per round; the forced values exist for the
+/// path-parity tests and for benchmarking the individual strategies.
+enum class DeliveryPath : std::uint8_t {
+  kAuto,            ///< heuristic choice per round (default)
+  kSortedTouch,     ///< per-edge hit counters, sort the touched list
+  kLinearScan,      ///< per-edge hit counters, linear sweep of the hit array
+  kInNeighborScan,  ///< per-receiver in-neighbour scan vs a transmitter bitset
+};
+
+/// Parameters of an implicit (never materialised) directed G(n,p) topology.
+/// `rng` is the private edge-randomness stream; a run consumes a copy, so
+/// the same spec replays identically.
+struct ImplicitGnp {
+  NodeId n = 0;
+  double p = 0.0;
+  Rng rng{};
+};
+
+namespace detail {
+
+/// Shared delivery machinery for explicit CSR graphs: scratch arrays plus
+/// the three delivery strategies. Owned by the backend objects below.
+class CsrDelivery {
+ public:
+  void attach(NodeId n) {
+    hits_.assign(n, 0);
+    heard_from_.assign(n, 0);
+    touched_.clear();
+    tx_bits_ = Bitset(n);
+  }
+
+  template <class Sink>
+  void deliver(const graph::Digraph& g, std::span<const NodeId> transmitters,
+               const std::vector<char>& is_tx, bool half_duplex,
+               DeliveryPath path, Sink& sink) {
+    const NodeId n = g.num_nodes();
+    if (path == DeliveryPath::kInNeighborScan) {
+      in_neighbor_scan(g, transmitters, is_tx, half_duplex, sink);
+      return;
+    }
+    if (path == DeliveryPath::kAuto) {
+      // The in-neighbour scan wins when most receivers hear >= 2
+      // transmitters quickly: a receiver stops after ~2/f scanned
+      // neighbours (f = transmitting fraction), vs ~f*degree counter
+      // writes on the counter path — cheaper when f^2 * degree > C, i.e.
+      // k * load > C * n^2 with load = sum of transmitter out-degrees.
+      std::uint64_t load = 0;
+      for (const NodeId u : transmitters) load += g.out_degree(u);
+      if (transmitters.size() * load >
+          4u * static_cast<std::uint64_t>(n) * n) {
+        in_neighbor_scan(g, transmitters, is_tx, half_duplex, sink);
+        return;
+      }
+    }
+    counter_paths(g, transmitters, is_tx, half_duplex, path, sink);
+  }
+
+ private:
+  template <class Sink>
+  void counter_paths(const graph::Digraph& g,
+                     std::span<const NodeId> transmitters,
+                     const std::vector<char>& is_tx, bool half_duplex,
+                     DeliveryPath path, Sink& sink) {
+    const NodeId n = g.num_nodes();
+    for (const NodeId u : transmitters) {
+      for (const NodeId w : g.out_neighbors(u)) {
+        if (hits_[w] == 0) {
+          heard_from_[w] = u;
+          touched_.push_back(w);
+        }
+        ++hits_[w];
+      }
+    }
+    // `touched_` fills in transmitter-adjacency order; events must fire in
+    // ascending receiver order. Sparse rounds sort the touched list; dense
+    // rounds (> n/8 receivers) linear-scan the hit array, which yields the
+    // same order cheaper than the O(k log k) sort.
+    const bool scan = path == DeliveryPath::kLinearScan ||
+                      (path == DeliveryPath::kAuto && touched_.size() > n / 8);
+    if (scan) {
+      touched_.clear();
+      for (NodeId w = 0; w < n; ++w)
+        if (hits_[w] != 0) touched_.push_back(w);
+    } else {
+      std::sort(touched_.begin(), touched_.end());
+    }
+    for (const NodeId w : touched_) {
+      if (half_duplex && is_tx[w]) {
+        hits_[w] = 0;
+        continue;  // a transmitting radio hears nothing
+      }
+      if (hits_[w] == 1)
+        sink.deliver(w, heard_from_[w]);
+      else
+        sink.collide(w);
+      hits_[w] = 0;
+    }
+    touched_.clear();
+  }
+
+  template <class Sink>
+  void in_neighbor_scan(const graph::Digraph& g,
+                        std::span<const NodeId> transmitters,
+                        const std::vector<char>& is_tx, bool half_duplex,
+                        Sink& sink) {
+    const NodeId n = g.num_nodes();
+    for (const NodeId u : transmitters) tx_bits_.set(u);
+    for (NodeId w = 0; w < n; ++w) {
+      if (half_duplex && is_tx[w]) continue;
+      std::uint32_t c = 0;
+      NodeId sender = 0;
+      for (const NodeId v : g.in_neighbors(w)) {
+        if (tx_bits_.test(v)) {
+          sender = v;
+          if (++c == 2) break;
+        }
+      }
+      if (c == 1)
+        sink.deliver(w, sender);
+      else if (c >= 2)
+        sink.collide(w);
+    }
+    for (const NodeId u : transmitters) tx_bits_.reset(u);
+  }
+
+  std::vector<std::uint32_t> hits_;
+  std::vector<NodeId> heard_from_;
+  std::vector<NodeId> touched_;
+  Bitset tx_bits_;
+};
+
+}  // namespace detail
+
+/// Backend over one fixed, materialised graph.
+class CsrTopology {
+ public:
+  explicit CsrTopology(const graph::Digraph& g) : g_(&g) {
+    delivery_.attach(g.num_nodes());
+  }
+
+  [[nodiscard]] NodeId num_nodes() const { return g_->num_nodes(); }
+  void begin_round(std::uint32_t /*round*/) {}
+
+  template <class Sink>
+  void deliver(std::span<const NodeId> transmitters,
+               const std::vector<char>& is_tx, bool half_duplex,
+               DeliveryPath path,
+               const std::optional<std::span<const NodeId>>& /*attentive*/,
+               Sink& sink) {
+    delivery_.deliver(*g_, transmitters, is_tx, half_duplex, path, sink);
+  }
+
+ private:
+  const graph::Digraph* g_;
+  detail::CsrDelivery delivery_;
+};
+
+/// Backend over a changing topology: round r uses sequence.at(r).
+class DynamicCsrTopology {
+ public:
+  explicit DynamicCsrTopology(graph::TopologySequence& sequence)
+      : sequence_(&sequence), n_(sequence.num_nodes()) {
+    delivery_.attach(n_);
+  }
+
+  [[nodiscard]] NodeId num_nodes() const { return n_; }
+
+  void begin_round(std::uint32_t round) {
+    g_ = &sequence_->at(round);
+    RADNET_CHECK(g_->num_nodes() == n_, "topology changed its node count");
+  }
+
+  template <class Sink>
+  void deliver(std::span<const NodeId> transmitters,
+               const std::vector<char>& is_tx, bool half_duplex,
+               DeliveryPath path,
+               const std::optional<std::span<const NodeId>>& /*attentive*/,
+               Sink& sink) {
+    delivery_.deliver(*g_, transmitters, is_tx, half_duplex, path, sink);
+  }
+
+ private:
+  graph::TopologySequence* sequence_;
+  NodeId n_;
+  const graph::Digraph* g_ = nullptr;
+  detail::CsrDelivery delivery_;
+};
+
+/// The implicit G(n,p) backend: per-round delivery outcomes are sampled
+/// directly from the transmitter count, the graph never exists. See the
+/// file comment for the model and exactness conditions.
+class ImplicitGnpTopology {
+ public:
+  explicit ImplicitGnpTopology(const ImplicitGnp& spec)
+      : n_(spec.n), p_(spec.p), rng_(spec.rng) {
+    RADNET_REQUIRE(n_ >= 1, "implicit G(n,p) needs n >= 1");
+    RADNET_REQUIRE(p_ >= 0.0 && p_ <= 1.0, "p must be in [0,1]");
+    if (p_ > 0.0 && p_ < 1.0) inv_log1m_p_ = 1.0 / std::log1p(-p_);
+  }
+
+  [[nodiscard]] NodeId num_nodes() const { return n_; }
+  void begin_round(std::uint32_t /*round*/) {}
+
+  template <class Sink>
+  void deliver(std::span<const NodeId> transmitters,
+               const std::vector<char>& is_tx, bool half_duplex,
+               DeliveryPath /*path*/,
+               const std::optional<std::span<const NodeId>>& attentive,
+               Sink& sink) {
+    const std::uint64_t k = transmitters.size();
+    if (k == 0 || p_ <= 0.0) return;
+    const double expected_events =
+        static_cast<double>(n_) *
+        std::min(1.0, static_cast<double>(k) * p_);  // ~ listeners with hits
+    // When the protocol has declared most listeners inert and enumerating
+    // just those is cheaper than enumerating every hit listener, classify
+    // the attentive listeners individually and fold the rest into exact
+    // aggregate counts: O(|attentive| + k) per round.
+    if (attentive.has_value() &&
+        static_cast<double>(attentive->size()) < expected_events) {
+      attentive_round(transmitters, is_tx, half_duplex, *attentive, sink);
+      return;
+    }
+    // Expected hits per listener is k*p. Sparse rounds (well under one hit
+    // per listener) enumerate the Bernoulli(p) pair grid by geometric
+    // skipping — O(expected hits). Dense rounds classify each listener as
+    // silent / single / collided straight from the round's Binomial outcome
+    // probabilities — O(event listeners) via a skip-walk, O(n) at worst.
+    if (static_cast<double>(k) * p_ < 0.25)
+      pair_grid_round(transmitters, is_tx, half_duplex, sink);
+    else
+      binomial_round(transmitters, is_tx, half_duplex, sink);
+  }
+
+ private:
+  /// Per-round listener outcome probabilities for a common eligible
+  /// transmitter count c: P[hear nothing] = (1-p)^c, P[hear exactly one] =
+  /// c p (1-p)^{c-1}, everything else collides. The engine's semantics only
+  /// distinguish these three classes, so the exact hit count never needs to
+  /// be drawn in dense rounds.
+  struct OutcomeProbs {
+    double silent = 1.0;  ///< P[X = 0]
+    double single = 0.0;  ///< P[X = 1]
+
+    [[nodiscard]] double hit() const { return 1.0 - silent; }
+    /// P[exactly one | at least one].
+    [[nodiscard]] double single_given_hit() const {
+      const double q = hit();
+      return q > 0.0 ? single / q : 0.0;
+    }
+  };
+
+  [[nodiscard]] OutcomeProbs outcome_probs(std::uint64_t count) const {
+    OutcomeProbs probs;
+    if (count == 0) return probs;
+    if (p_ >= 1.0) {  // degenerate complete graph
+      probs.silent = 0.0;
+      probs.single = count == 1 ? 1.0 : 0.0;
+      return probs;
+    }
+    const double cd = static_cast<double>(count);
+    probs.silent = std::exp(cd * std::log1p(-p_));
+    probs.single = cd * p_ * std::exp((cd - 1.0) * std::log1p(-p_));
+    return probs;
+  }
+
+  /// Skip-samples the k x n grid of (transmitter, listener) ordered pairs,
+  /// each present with probability p; pairs pointing at the transmitter
+  /// itself (self-loops) or, under half-duplex, at any transmitter (their
+  /// radio cannot hear) are discarded. Expected cost O(k * n * p).
+  [[nodiscard]] std::uint64_t skip(double inv_log1m) {
+    return rng_.geometric_inv(inv_log1m);
+  }
+
+  [[nodiscard]] std::uint64_t next_skip() { return skip(inv_log1m_p_); }
+
+  /// Skip-samples the listener-major grid of (listener, transmitter)
+  /// ordered pairs, each present with probability p; pairs whose
+  /// transmitter is the listener itself (self-loops) or, under half-duplex,
+  /// whose listener transmits (its radio cannot hear) are discarded.
+  /// Listener-major layout groups a listener's pair samples consecutively,
+  /// so events stream out in ascending listener order with no counter
+  /// arrays and no sort. Expected cost O(k * n * p).
+  template <class Sink>
+  void pair_grid_round(std::span<const NodeId> transmitters,
+                       const std::vector<char>& is_tx, bool half_duplex,
+                       Sink& sink) {
+    const std::uint64_t k = transmitters.size();
+    const std::uint64_t total = k * static_cast<std::uint64_t>(n_);
+    if (p_ >= 1.0) {  // degenerate: every pair present
+      binomial_round(transmitters, is_tx, half_duplex, sink);
+      return;
+    }
+    NodeId cur = n_;  // listener whose hits are being accumulated
+    std::uint32_t cur_hits = 0;
+    NodeId cur_sender = 0;
+    const auto flush = [&] {
+      if (cur_hits == 0) return;
+      if (cur_hits == 1)
+        sink.deliver(cur, cur_sender);
+      else
+        sink.collide(cur);
+      cur_hits = 0;
+    };
+    for (std::uint64_t idx = next_skip() - 1; idx < total;
+         idx += next_skip()) {
+      const NodeId v = static_cast<NodeId>(idx / k);
+      const NodeId t = transmitters[static_cast<std::size_t>(idx % k)];
+      if (v == t || (half_duplex && is_tx[v])) continue;
+      if (v != cur) {
+        flush();
+        cur = v;
+      }
+      ++cur_hits;
+      cur_sender = t;
+    }
+    flush();
+  }
+
+  /// Aggregate outcome accounting for `count` exchangeable listeners the
+  /// protocol declared inert: the number of single-hit listeners is
+  /// Binomial(count, P1) and, conditioned on it, the number of collided
+  /// listeners is Binomial(count - singles, P2 / (1 - P1)) — exactly the
+  /// marginal the per-listener enumeration would produce, in two draws.
+  template <class Sink>
+  void aggregate_group(std::uint64_t count, const OutcomeProbs& probs,
+                       Sink& sink) {
+    if (count == 0 || probs.hit() <= 0.0) return;
+    const std::uint64_t singles = rng_.binomial(count, probs.single);
+    const double collide_given_not_single =
+        probs.single >= 1.0
+            ? 0.0
+            : std::min(1.0, (1.0 - probs.silent - probs.single) /
+                                (1.0 - probs.single));
+    const std::uint64_t collisions =
+        rng_.binomial(count - singles, collide_given_not_single);
+    sink.deliver_bulk(singles);
+    sink.collide_bulk(collisions);
+  }
+
+  /// O(|attentive| + k) round: classify each attentive listener
+  /// individually (in the hint's order) and fold every other listener's
+  /// outcome into the two-draw aggregate above.
+  template <class Sink>
+  void attentive_round(std::span<const NodeId> transmitters,
+                       const std::vector<char>& is_tx, bool half_duplex,
+                       std::span<const NodeId> attentive, Sink& sink) {
+    const std::uint64_t k = transmitters.size();
+    const OutcomeProbs probs = outcome_probs(k);
+    const OutcomeProbs probs_tx =
+        half_duplex ? OutcomeProbs{} : outcome_probs(k - 1);
+
+    std::uint64_t att_nontx = 0, att_tx = 0;
+    for (const NodeId v : attentive) {
+      const bool tx = is_tx[v] != 0;
+      if (tx && half_duplex) continue;
+      ++(tx ? att_tx : att_nontx);
+      classify(v, tx, probs, probs_tx, transmitters, sink);
+    }
+    // The silent majority: all non-attentive listeners, by eligible
+    // transmitter count.
+    aggregate_group(static_cast<std::uint64_t>(n_) - k - att_nontx, probs,
+                    sink);
+    if (!half_duplex) aggregate_group(k - att_tx, probs_tx, sink);
+  }
+
+
+  /// Draws one listener's outcome from its three-way distribution and
+  /// emits the matching event (nothing / delivery / collision). The single
+  /// classification step shared by the attentive path and the dense sweep.
+  template <class Sink>
+  void classify(NodeId v, bool tx, const OutcomeProbs& probs,
+                const OutcomeProbs& probs_tx,
+                std::span<const NodeId> transmitters, Sink& sink) {
+    const OutcomeProbs& pr = tx ? probs_tx : probs;
+    const double u = rng_.next_double();
+    if (u < pr.silent) return;
+    if (u < pr.silent + pr.single)
+      deliver_uniform(v, tx, transmitters, sink);
+    else
+      sink.collide(v);
+  }
+
+  /// Delivers to listener v from a uniformly chosen eligible transmitter
+  /// (by symmetry, conditioned on exactly one hit the sender is uniform).
+  /// A full-duplex transmitter listener excludes itself by swapping the
+  /// last slot in for a draw that lands on v.
+  template <class Sink>
+  void deliver_uniform(NodeId v, bool tx, std::span<const NodeId> transmitters,
+                       Sink& sink) {
+    const std::uint64_t k = transmitters.size();
+    const std::uint64_t eligible = k - (tx ? 1u : 0u);
+    const std::uint64_t j = rng_.uniform_below(eligible);
+    NodeId sender = transmitters[static_cast<std::size_t>(j)];
+    if (tx && sender == v) sender = transmitters[static_cast<std::size_t>(k - 1)];
+    sink.deliver(v, sender);
+  }
+
+  /// Classifies each listener as silent / single-hit / collided directly
+  /// from Binomial(k', p) outcome probabilities, where k' excludes the
+  /// listener itself when it is transmitting (no self-loops). When most
+  /// listeners hear nothing, the listeners with >= 1 hit are themselves
+  /// geometric-skip-sampled at rate q = 1 - P[X=0], making the round
+  /// O(event listeners) instead of O(n); per event the only randomness is
+  /// one classification uniform (plus the sender draw on delivery).
+  template <class Sink>
+  void binomial_round(std::span<const NodeId> transmitters,
+                      const std::vector<char>& is_tx, bool half_duplex,
+                      Sink& sink) {
+    const std::uint64_t k = transmitters.size();
+    if (p_ >= 1.0) {
+      // Degenerate complete graph: every listener hears every eligible
+      // transmitter deterministically.
+      for (NodeId v = 0; v < n_; ++v) {
+        const bool tx = is_tx[v] != 0;
+        if (half_duplex && tx) continue;
+        const std::uint64_t eligible = k - (tx ? 1u : 0u);
+        if (eligible == 0) continue;
+        if (eligible >= 2) {
+          sink.collide(v);
+          continue;
+        }
+        NodeId sender = transmitters[0];
+        if (tx && sender == v) sender = transmitters[k - 1];
+        sink.deliver(v, sender);
+      }
+      return;
+    }
+    const OutcomeProbs probs = outcome_probs(k);
+    // Full-duplex transmitter listeners hear one fewer candidate sender.
+    const OutcomeProbs probs_tx =
+        half_duplex ? OutcomeProbs{} : outcome_probs(k - 1);
+    const double q = probs.hit();
+
+    if (q > 0.5) {
+      // Most listeners hear something: a plain sweep is cheaper than
+      // skip-sampling (and the round is O(events) either way).
+      for (NodeId v = 0; v < n_; ++v) {
+        const bool tx = is_tx[v] != 0;
+        if (half_duplex && tx) continue;
+        classify(v, tx, probs, probs_tx, transmitters, sink);
+      }
+      return;
+    }
+
+    // Skip-walk the listeners that hear >= 1 transmitter. A transmitter
+    // listener's true hit probability q' (from Binomial(k-1, p)) is below
+    // the walk's rate q, so those landings are thinned by q'/q — exact
+    // rejection, preserving per-listener independence.
+    const double q_tx = probs_tx.hit();
+    const double single_given_hit = probs.single_given_hit();
+    const double single_given_hit_tx = probs_tx.single_given_hit();
+    const double inv_log1m_q = 1.0 / std::log1p(-q);
+    for (std::uint64_t v = skip(inv_log1m_q) - 1; v < n_;
+         v += skip(inv_log1m_q)) {
+      const bool tx = is_tx[v] != 0;
+      double single_prob = single_given_hit;
+      if (tx) {
+        if (half_duplex) continue;
+        if (rng_.next_double() * q >= q_tx) continue;
+        single_prob = single_given_hit_tx;
+      }
+      if (rng_.next_double() < single_prob)
+        deliver_uniform(static_cast<NodeId>(v), tx, transmitters, sink);
+      else
+        sink.collide(static_cast<NodeId>(v));
+    }
+  }
+
+  NodeId n_;
+  double p_;
+  double inv_log1m_p_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace radnet::sim

@@ -28,6 +28,8 @@ struct RoundTrace {
   std::vector<graph::NodeId> transmitters;   // ascending node id
   std::vector<Delivery> deliveries;          // ascending receiver id
   std::vector<graph::NodeId> collisions;     // receivers that heard noise
+
+  friend bool operator==(const RoundTrace&, const RoundTrace&) = default;
 };
 
 struct Trace {
@@ -38,6 +40,8 @@ struct Trace {
 
   /// Compact multi-line rendering for small runs (examples / debugging).
   [[nodiscard]] std::string summary(std::size_t max_rounds = 32) const;
+
+  friend bool operator==(const Trace&, const Trace&) = default;
 };
 
 }  // namespace radnet::sim

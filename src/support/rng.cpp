@@ -100,11 +100,9 @@ double Rng::uniform_real(double lo, double hi) {
 std::uint64_t Rng::geometric(double p) {
   RADNET_REQUIRE(p > 0.0 && p <= 1.0, "geometric needs p in (0,1]");
   if (p >= 1.0) return 1;
-  // Inversion: ceil(log(U) / log(1-p)) has the right distribution.
-  const double u = 1.0 - next_double();  // u in (0,1]
-  const double g = std::ceil(std::log(u) / std::log1p(-p));
-  if (g < 1.0) return 1;
-  return static_cast<std::uint64_t>(g);
+  // Single source of truth for the inversion: callers with a round-constant
+  // p precompute the inverse log themselves and call geometric_inv directly.
+  return geometric_inv(1.0 / std::log1p(-p));
 }
 
 std::uint64_t Rng::binomial(std::uint64_t n, double p) {
@@ -127,18 +125,45 @@ std::uint64_t Rng::binomial(std::uint64_t n, double p) {
     for (std::uint64_t i = 0; i < n; ++i) count += bernoulli(p) ? 1u : 0u;
     return count;
   }
-  // Normal approximation for large n*p; used only in graph-generator fast
-  // paths where the error is far below sampling noise.
-  const double sd = std::sqrt(np * (1.0 - p));
-  const double u1 = 1.0 - next_double();
-  const double u2 = next_double();
-  const double z =
-      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
-  double v = std::round(np + sd * z);
-  if (v < 0.0) v = 0.0;
+  // Mode-centred inversion for large n*p: exact for any (n, p), expected
+  // O(sqrt(n p (1-p))) steps. Start at the mode, walk outward alternately
+  // above/below, subtracting pmf mass until the uniform is consumed; the
+  // pmf is advanced by its two-term recurrences from a single lgamma-based
+  // evaluation at the mode.
+  const double q = 1.0 - p;
   const double nd = static_cast<double>(n);
-  if (v > nd) v = nd;
-  return static_cast<std::uint64_t>(v);
+  std::uint64_t m = static_cast<std::uint64_t>((nd + 1.0) * p);
+  if (m > n) m = n;
+  const double md = static_cast<double>(m);
+  const double log_pm = std::lgamma(nd + 1.0) - std::lgamma(md + 1.0) -
+                        std::lgamma(nd - md + 1.0) + md * std::log(p) +
+                        (nd - md) * std::log1p(-p);
+  const double pm = std::exp(log_pm);
+  const double up_ratio = p / q;
+  const double down_ratio = q / p;
+  double u = next_double();
+  u -= pm;
+  if (u < 0.0) return m;
+  std::uint64_t lo = m, hi = m;
+  double lo_p = pm, hi_p = pm;
+  while (lo > 0 || hi < n) {
+    if (hi < n) {
+      hi_p *= static_cast<double>(n - hi) / static_cast<double>(hi + 1) *
+              up_ratio;
+      ++hi;
+      u -= hi_p;
+      if (u < 0.0) return hi;
+    }
+    if (lo > 0) {
+      lo_p *= static_cast<double>(lo) / static_cast<double>(n - lo + 1) *
+              down_ratio;
+      --lo;
+      u -= lo_p;
+      if (u < 0.0) return lo;
+    }
+  }
+  // Floating-point leftovers (mass ~1e-16) land on the mode.
+  return m;
 }
 
 std::uint64_t Rng::sample_cdf(const double* cdf, std::uint64_t size,

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 
 namespace radnet {
@@ -65,9 +66,22 @@ class Rng {
   /// success, i.e. support {1, 2, ...}. Requires 0 < p <= 1.
   std::uint64_t geometric(double p);
 
-  /// Binomial(n, p) sample. Exact inversion for small n*p, otherwise a
-  /// normal approximation with continuity correction clamped to [0, n]
-  /// (used only in generator fast paths where n is huge).
+  /// Geometric draw with the 1 / log1p(-p) constant precomputed by the
+  /// caller — skip-sampling loops draw millions of these per run with a
+  /// fixed p, and hoisting the log out of the draw is the dominant win of
+  /// the sparse paths (see sim/topology.hpp and the bulk transmitter
+  /// samplers). Requires inv_log1m_p = 1.0 / log1p(-p) for p in (0, 1).
+  std::uint64_t geometric_inv(double inv_log1m_p) {
+    const double u = 1.0 - next_double();  // (0, 1]
+    const double g = std::ceil(std::log(u) * inv_log1m_p);
+    return g < 1.0 ? 1u : static_cast<std::uint64_t>(g);
+  }
+
+  /// Binomial(n, p) sample, exact for all (n, p): geometric skipping /
+  /// direct simulation for small n*p, mode-centred inversion (expected
+  /// O(sqrt(n p (1-p))) steps) otherwise. The implicit G(n,p) topology
+  /// backend draws one of these per listener per dense round, so both
+  /// exactness and speed matter here.
   std::uint64_t binomial(std::uint64_t n, double p);
 
   /// Samples an index from a discrete distribution given cumulative weights

@@ -188,4 +188,23 @@ LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y)
   return fit;
 }
 
+double ks_statistic(std::vector<double> a, std::vector<double> b) {
+  RADNET_REQUIRE(!a.empty() && !b.empty(),
+                 "ks_statistic needs two non-empty samples");
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  std::size_t i = 0, j = 0;
+  double d = 0.0;
+  while (i < a.size() && j < b.size()) {
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na -
+                             static_cast<double>(j) / nb));
+  }
+  return d;
+}
+
 }  // namespace radnet

@@ -104,4 +104,11 @@ struct LinearFit {
 [[nodiscard]] LinearFit fit_linear(const std::vector<double>& x,
                                    const std::vector<double>& y);
 
+/// Two-sample Kolmogorov–Smirnov statistic sup_x |F_a(x) - F_b(x)| of the
+/// empirical CDFs. Used by the implicit-vs-CSR topology equivalence tests
+/// to compare completion-round and transmission-count distributions; for
+/// discrete samples the statistic is conservative. Requires both samples
+/// non-empty.
+[[nodiscard]] double ks_statistic(std::vector<double> a, std::vector<double> b);
+
 }  // namespace radnet

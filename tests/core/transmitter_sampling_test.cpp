@@ -1,0 +1,141 @@
+// Bulk-vs-per-node transmitter sampling parity.
+//
+// BroadcastRandomProtocol and GossipRandomProtocol override
+// Protocol::sample_transmitters (geometric skip-sampling, O(transmitters)),
+// which both engines take in preference to per-candidate wants_transmit —
+// so nothing else would catch the two paths drifting apart. These tests
+// force the per-node path through a suppressing wrapper and assert the two
+// samplers produce the same execution distribution (KS on completion
+// rounds and transmission totals over paired Monte-Carlo populations); the
+// per-candidate wants_transmit remains the reference semantics.
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/broadcast_random.hpp"
+#include "core/gossip_random.hpp"
+#include "graph/generators.hpp"
+#include "harness/monte_carlo.hpp"
+#include "support/stats.hpp"
+
+namespace radnet::core {
+namespace {
+
+/// Forwards everything to the wrapped protocol but suppresses the bulk
+/// sampler, forcing the engine down the per-candidate wants_transmit path.
+class PerNodeOnly final : public sim::Protocol {
+ public:
+  explicit PerNodeOnly(std::unique_ptr<sim::Protocol> inner)
+      : inner_(std::move(inner)) {}
+
+  void reset(NodeId n, Rng rng) override { inner_->reset(n, std::move(rng)); }
+  void begin_round(sim::Round r) override { inner_->begin_round(r); }
+  [[nodiscard]] std::span<const NodeId> candidates() const override {
+    return inner_->candidates();
+  }
+  [[nodiscard]] bool wants_transmit(NodeId v, sim::Round r) override {
+    return inner_->wants_transmit(v, r);
+  }
+  [[nodiscard]] bool sample_transmitters(sim::Round,
+                                         std::vector<NodeId>&) override {
+    return false;  // the point of the wrapper
+  }
+  [[nodiscard]] std::optional<std::span<const NodeId>> attentive_listeners()
+      const override {
+    return inner_->attentive_listeners();
+  }
+  void on_delivered(NodeId r, NodeId s, sim::Round round) override {
+    inner_->on_delivered(r, s, round);
+  }
+  void on_collision(NodeId r, sim::Round round) override {
+    inner_->on_collision(r, round);
+  }
+  void end_round(sim::Round r) override { inner_->end_round(r); }
+  [[nodiscard]] bool is_complete() const override {
+    return inner_->is_complete();
+  }
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+ private:
+  std::unique_ptr<sim::Protocol> inner_;
+};
+
+using ProtocolFactory = std::function<std::unique_ptr<sim::Protocol>()>;
+
+harness::McResult run_population(std::uint32_t n, double p,
+                                 std::uint32_t trials, sim::Round max_rounds,
+                                 const ProtocolFactory& make,
+                                 bool per_node_only) {
+  harness::McSpec spec;
+  spec.trials = trials;
+  spec.seed = 0x5a3317ull;
+  spec.make_graph = [n, p](std::uint32_t, Rng rng) {
+    return std::make_shared<const graph::Digraph>(
+        graph::gnp_directed(n, p, rng));
+  };
+  spec.make_protocol = [&make, per_node_only](const graph::Digraph&,
+                                              std::uint32_t)
+      -> std::unique_ptr<sim::Protocol> {
+    if (per_node_only) return std::make_unique<PerNodeOnly>(make());
+    return make();
+  };
+  spec.run_options.max_rounds = max_rounds;
+  return harness::run_monte_carlo(spec);
+}
+
+// Two-sample KS critical value at alpha ~ 0.001 for 96 vs 96 is ~0.28.
+constexpr std::uint32_t kTrials = 96;
+constexpr double kKsBound = 0.28;
+
+TEST(TransmitterSamplingTest, BroadcastBulkMatchesPerNode) {
+  const std::uint32_t n = 2048;
+  const double p = 8.0 * std::log(n) / n;
+  BroadcastRandomProtocol probe(BroadcastRandomParams{.p = p});
+  probe.reset(n, Rng(0));
+  const auto budget = probe.round_budget();
+  const ProtocolFactory make = [p] {
+    return std::make_unique<BroadcastRandomProtocol>(
+        BroadcastRandomParams{.p = p});
+  };
+  const auto bulk = run_population(n, p, kTrials, budget, make, false);
+  const auto per_node = run_population(n, p, kTrials, budget, make, true);
+
+  EXPECT_NEAR(bulk.success_rate(), per_node.success_rate(), 0.1);
+  EXPECT_LT(ks_statistic(bulk.rounds_sample().values(),
+                         per_node.rounds_sample().values()),
+            kKsBound);
+  EXPECT_LT(ks_statistic(bulk.total_tx_sample().values(),
+                         per_node.total_tx_sample().values()),
+            kKsBound);
+  // The paper's per-node invariant must hold on both samplers.
+  EXPECT_LE(bulk.max_tx_sample().max(), 1.0);
+  EXPECT_LE(per_node.max_tx_sample().max(), 1.0);
+}
+
+TEST(TransmitterSamplingTest, GossipBulkMatchesPerNode) {
+  const std::uint32_t n = 192;
+  const double p = 8.0 * std::log(n) / n;
+  GossipRandomProtocol probe(GossipRandomParams{.p = p});
+  probe.reset(n, Rng(0));
+  const auto budget = probe.round_budget();
+  const ProtocolFactory make = [p] {
+    return std::make_unique<GossipRandomProtocol>(GossipRandomParams{.p = p});
+  };
+  const std::uint32_t trials = 48;
+  const auto bulk = run_population(n, p, trials, budget, make, false);
+  const auto per_node = run_population(n, p, trials, budget, make, true);
+
+  ASSERT_EQ(bulk.success_rate(), 1.0);
+  ASSERT_EQ(per_node.success_rate(), 1.0);
+  // 48 vs 48 KS critical value at alpha ~ 0.001 is ~0.40.
+  EXPECT_LT(ks_statistic(bulk.rounds_sample().values(),
+                         per_node.rounds_sample().values()),
+            0.4);
+  EXPECT_LT(ks_statistic(bulk.total_tx_sample().values(),
+                         per_node.total_tx_sample().values()),
+            0.4);
+}
+
+}  // namespace
+}  // namespace radnet::core

@@ -141,15 +141,43 @@ TEST(RngTest, BinomialMoments) {
   EXPECT_NEAR(sum / trials, static_cast<double>(n) * p, 0.15);
 }
 
-TEST(RngTest, BinomialLargeUsesApproximationSanely) {
+TEST(RngTest, BinomialLargeModeInversionMoments) {
   Rng rng(14);
   const std::uint64_t n = 1000000;
-  const double p = 0.01;  // np = 10^4, normal path
+  const double p = 0.01;  // np = 10^4, mode-centred inversion path
   double sum = 0.0;
   const int trials = 2000;
   for (int i = 0; i < trials; ++i)
     sum += static_cast<double>(rng.binomial(n, p));
   EXPECT_NEAR(sum / trials, 10000.0, 50.0);
+}
+
+TEST(RngTest, BinomialLargeMatchesExactCdf) {
+  // The implicit-topology backend relies on binomial() being *exact* in the
+  // large-np regime (the old normal approximation would bias collision
+  // counts). One-sample KS against the true Binomial(400, 0.1) CDF; the
+  // 20k-draw critical value at alpha ~ 0.001 is 1.95/sqrt(20000) ~ 0.014.
+  Rng rng(99);
+  const std::uint64_t n = 400;
+  const double p = 0.1;  // np = 40 > 16: inversion-from-the-mode path
+  const int draws = 20000;
+  std::vector<std::uint32_t> counts(n + 1, 0);
+  for (int i = 0; i < draws; ++i) ++counts[rng.binomial(n, p)];
+
+  // Exact pmf by the same recurrence the sampler uses, seeded at k = 0.
+  std::vector<double> pmf(n + 1, 0.0);
+  pmf[0] = std::pow(1.0 - p, static_cast<double>(n));
+  for (std::uint64_t k = 0; k < n; ++k)
+    pmf[k + 1] = pmf[k] * static_cast<double>(n - k) /
+                 static_cast<double>(k + 1) * (p / (1.0 - p));
+
+  double cdf = 0.0, ecdf = 0.0, d = 0.0;
+  for (std::uint64_t k = 0; k <= n; ++k) {
+    cdf += pmf[k];
+    ecdf += static_cast<double>(counts[k]) / draws;
+    d = std::max(d, std::abs(ecdf - cdf));
+  }
+  EXPECT_LT(d, 0.014);
 }
 
 TEST(RngTest, BinomialEdgeCases) {

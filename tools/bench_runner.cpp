@@ -1,0 +1,214 @@
+// Perf-trajectory runner: times the engine's hot paths and writes
+// BENCH_engine.json so CI can track regressions from one PR to the next.
+//
+// Covers the same ground as bench_e13_engine_micro (rounds/second of the
+// CSR engine under a fixed-probability load) plus the implicit-vs-CSR
+// end-to-end comparison of bench_e15_topology, in-process and without the
+// google-benchmark dependency so it can run as a ctest (`ctest -L
+// bench_smoke`). Medians of ns/round at several n are emitted as JSON:
+//
+//   { "schema": "radnet-bench-engine-v1",
+//     "benchmarks": [ {"name": ..., "n": ..., "ns_per_round": ...}, ... ],
+//     "comparison": {"n": ..., "p": ..., "csr_ms": ..., "implicit_ms": ...,
+//                    "speedup": ...} }
+//
+// Flags: --quick shrinks sizes/repetitions for smoke runs; --out overrides
+// the output path (default BENCH_engine.json in the working directory).
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/broadcast_random.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+#include "support/cli_args.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using radnet::Rng;
+using radnet::Sample;
+using radnet::core::BroadcastRandomParams;
+using radnet::core::BroadcastRandomProtocol;
+using radnet::graph::Digraph;
+using radnet::graph::NodeId;
+
+double now_ns() {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Everybody transmits with fixed probability; never completes. The same
+/// pure-throughput load bench_e13_engine_micro uses.
+class LoadProtocol final : public radnet::sim::Protocol {
+ public:
+  explicit LoadProtocol(double q) : q_(q) {}
+
+  void reset(NodeId n, Rng rng) override {
+    rng_ = rng;
+    all_.resize(n);
+    for (NodeId v = 0; v < n; ++v) all_[v] = v;
+  }
+  [[nodiscard]] std::span<const NodeId> candidates() const override {
+    return {all_.data(), all_.size()};
+  }
+  [[nodiscard]] bool wants_transmit(NodeId, radnet::sim::Round) override {
+    return rng_.bernoulli(q_);
+  }
+  void on_delivered(NodeId, NodeId, radnet::sim::Round) override {}
+  [[nodiscard]] bool is_complete() const override { return false; }
+  [[nodiscard]] std::string name() const override { return "load"; }
+
+ private:
+  double q_;
+  Rng rng_;
+  std::vector<NodeId> all_;
+};
+
+struct Entry {
+  std::string name;
+  std::uint32_t n;
+  double ns_per_round;
+};
+
+constexpr radnet::sim::Round kRounds = 64;
+
+double median_ns_per_round(std::uint32_t reps,
+                           const std::function<void()>& run_rounds) {
+  Sample ns;
+  for (std::uint32_t rep = 0; rep < reps; ++rep) {
+    const double t0 = now_ns();
+    run_rounds();
+    ns.add((now_ns() - t0) / kRounds);
+  }
+  return ns.median();
+}
+
+Entry time_csr_engine(std::uint32_t n, std::uint32_t reps) {
+  Rng grng(n);
+  const Digraph g =
+      radnet::graph::gnp_directed(n, 8.0 * std::log(n) / n, grng);
+  radnet::sim::Engine engine;
+  radnet::sim::RunOptions options;
+  options.max_rounds = kRounds;
+  const double ns = median_ns_per_round(reps, [&] {
+    LoadProtocol proto(0.1);
+    (void)engine.run(g, proto, Rng(1), options);
+  });
+  return {"csr_engine_rounds", n, ns};
+}
+
+Entry time_implicit_engine(std::uint32_t n, std::uint32_t reps) {
+  const double p = 8.0 * std::log(n) / n;
+  radnet::sim::Engine engine;
+  radnet::sim::RunOptions options;
+  options.max_rounds = kRounds;
+  const double ns = median_ns_per_round(reps, [&] {
+    const radnet::sim::ImplicitGnp gnp{n, p, Rng(n)};
+    LoadProtocol proto(0.1);
+    (void)engine.run(gnp, proto, Rng(1), options);
+  });
+  return {"implicit_engine_rounds", n, ns};
+}
+
+struct Comparison {
+  std::uint32_t n = 0;
+  double p = 0.0;
+  double csr_ms = 0.0;
+  double implicit_ms = 0.0;
+  double speedup = 0.0;
+};
+
+Comparison compare_broadcast(std::uint32_t n, std::uint32_t reps) {
+  Comparison c;
+  c.n = n;
+  c.p = 16.0 / n;
+  BroadcastRandomProtocol probe(BroadcastRandomParams{.p = c.p});
+  probe.reset(n, Rng(0));
+  radnet::sim::RunOptions options;
+  options.max_rounds = probe.round_budget();
+  radnet::sim::Engine engine;
+
+  Sample csr_ms, implicit_ms;
+  for (std::uint32_t rep = 0; rep < reps; ++rep) {
+    {
+      const double t0 = now_ns();
+      Rng grng(rep);
+      const Digraph g = radnet::graph::gnp_directed(n, c.p, grng);
+      BroadcastRandomProtocol proto(BroadcastRandomParams{.p = c.p});
+      (void)engine.run(g, proto, Rng(rep + 1), options);
+      csr_ms.add((now_ns() - t0) / 1e6);
+    }
+    {
+      const double t0 = now_ns();
+      const radnet::sim::ImplicitGnp gnp{n, c.p, Rng(rep)};
+      BroadcastRandomProtocol proto(BroadcastRandomParams{.p = c.p});
+      (void)engine.run(gnp, proto, Rng(rep + 1), options);
+      implicit_ms.add((now_ns() - t0) / 1e6);
+    }
+  }
+  c.csr_ms = csr_ms.median();
+  c.implicit_ms = implicit_ms.median();
+  c.speedup = c.csr_ms / c.implicit_ms;
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  radnet::CliArgs args = [&] {
+    try {
+      return radnet::CliArgs(argc, argv, {"quick", "out"});
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << '\n';
+      std::exit(2);
+    }
+  }();
+  const bool quick = args.get_bool("quick", false);
+  const std::string out_path = args.get_string("out", "BENCH_engine.json");
+
+  const std::vector<std::uint32_t> sizes =
+      quick ? std::vector<std::uint32_t>{1u << 10, 1u << 12}
+            : std::vector<std::uint32_t>{1u << 12, 1u << 14, 1u << 16};
+  const std::uint32_t reps = quick ? 5 : 15;
+  const std::uint32_t compare_n = quick ? (1u << 14) : (1u << 20);
+  const std::uint32_t compare_reps = quick ? 3 : 5;
+
+  std::vector<Entry> entries;
+  for (const std::uint32_t n : sizes) {
+    entries.push_back(time_csr_engine(n, reps));
+    entries.push_back(time_implicit_engine(n, reps));
+    std::cout << entries[entries.size() - 2].name << " n=" << n << ": "
+              << entries[entries.size() - 2].ns_per_round << " ns/round\n"
+              << entries.back().name << " n=" << n << ": "
+              << entries.back().ns_per_round << " ns/round\n";
+  }
+
+  const Comparison cmp = compare_broadcast(compare_n, compare_reps);
+  std::cout << "broadcast end-to-end n=" << cmp.n << ": csr " << cmp.csr_ms
+            << " ms, implicit " << cmp.implicit_ms << " ms, speedup "
+            << cmp.speedup << "x\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << '\n';
+    return 1;
+  }
+  out << "{\n  \"schema\": \"radnet-bench-engine-v1\",\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out << "    {\"name\": \"" << entries[i].name << "\", \"n\": "
+        << entries[i].n << ", \"ns_per_round\": " << entries[i].ns_per_round
+        << (i + 1 < entries.size() ? "},\n" : "}\n");
+  }
+  out << "  ],\n  \"comparison\": {\"n\": " << cmp.n << ", \"p\": " << cmp.p
+      << ", \"csr_ms\": " << cmp.csr_ms
+      << ", \"implicit_ms\": " << cmp.implicit_ms
+      << ", \"speedup\": " << cmp.speedup << "}\n}\n";
+  std::cout << "wrote " << out_path << '\n';
+  return 0;
+}

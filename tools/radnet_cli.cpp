@@ -1,6 +1,7 @@
 // radnet_cli — run any protocol on any topology from the command line.
 //
 //   radnet_cli --protocol alg1 --topology gnp --n 4096 --delta 8 --trials 16
+//   radnet_cli --protocol alg1 --topology ignp --n 10000000 --p 0.0000016
 //   radnet_cli --protocol alg3 --topology grid --n 256 --trials 8
 //   radnet_cli --protocol decay --topology obs43 --n 64
 //   radnet_cli --protocol alg2 --topology rgg --n 512 --radius-mult 3
@@ -8,6 +9,8 @@
 //
 // Protocols: alg1 alg2 alg3 cr decay eg2005 flooding fixed tdma
 // Topologies: gnp ugnp rgg path cycle grid star complete cluster obs43 thm44
+//             ignp (implicit G(n,p): never materialised, O(n) memory —
+//             the only topology that reaches n ~ 10^7; see sim/topology.hpp)
 //
 // Common flags: --n --trials --seed --max-rounds --source --quiescence
 // Topology flags: --p | --delta (p = delta ln n / n), --radius-mult,
@@ -105,24 +108,40 @@ int main(int argc, char** argv) {
         static_cast<std::uint32_t>(args.get_u64("trials", 8));
     const std::uint64_t seed = args.get_u64("seed", 0x5eed);
     const std::string proto_name = args.get_string("protocol", "alg1");
+    const std::string topo_name = args.get_string("topology", "gnp");
+    const bool implicit = topo_name == "ignp";
 
-    // One representative instance for the measured columns (degree, D).
-    Rng probe_rng(seed);
     graph::NodeId source = 0;
-    const graph::Digraph sample = build_topology(args, n, p, probe_rng, &source);
-    const auto deg = graph::degree_stats(sample);
-    const auto measured_d = graph::diameter_sampled(sample, 4, seed + 1);
-    const std::uint64_t diameter =
-        args.get_u64("diameter", measured_d ? *measured_d : sample.num_nodes());
-    const double eff_p = deg.mean_out / sample.num_nodes();
+    std::uint64_t nn = n;
+    double eff_p = p;
+    std::uint64_t diameter = 0;
+    graph::Digraph sample;
+    if (implicit) {
+      // No graph to probe: the topology exists only as (n, p).
+      source = static_cast<graph::NodeId>(args.get_u64("source", 0));
+      diameter = args.get_u64("diameter", 2ull * ilog2_floor(n) + 8);
+      std::cout << "topology ignp: " << n << " nodes, implicit G(n,p) with p="
+                << p << " (never materialised)\n"
+                << "note: exact for single-shot protocols (alg1); protocols "
+                   "that transmit repeatedly\nsee per-round-resampled links "
+                   "(the churn=1 mobility model), not one fixed graph\n";
+    } else {
+      // One representative instance for the measured columns (degree, D).
+      Rng probe_rng(seed);
+      sample = build_topology(args, n, p, probe_rng, &source);
+      const auto deg = graph::degree_stats(sample);
+      const auto measured_d = graph::diameter_sampled(sample, 4, seed + 1);
+      diameter = args.get_u64("diameter",
+                              measured_d ? *measured_d : sample.num_nodes());
+      eff_p = deg.mean_out / sample.num_nodes();
+      nn = sample.num_nodes();
 
-    std::cout << "topology " << args.get_string("topology", "gnp") << ": "
-              << sample.num_nodes() << " nodes, " << sample.num_edges()
-              << " edges, mean degree " << deg.mean_out << ", diameter "
-              << (measured_d ? std::to_string(*measured_d) : "unreachable")
-              << "\n";
-
-    const std::uint64_t nn = sample.num_nodes();
+      std::cout << "topology " << topo_name << ": " << sample.num_nodes()
+                << " nodes, " << sample.num_edges() << " edges, mean degree "
+                << deg.mean_out << ", diameter "
+                << (measured_d ? std::to_string(*measured_d) : "unreachable")
+                << "\n";
+    }
     const auto make_protocol =
         [&]() -> std::unique_ptr<sim::Protocol> {
       if (proto_name == "alg1")
@@ -164,10 +183,11 @@ int main(int argc, char** argv) {
     harness::McSpec spec;
     spec.trials = trials;
     spec.seed = seed;
-    const bool random_topo = args.get_string("topology", "gnp") == "gnp" ||
-                             args.get_string("topology", "gnp") == "ugnp" ||
-                             args.get_string("topology", "gnp") == "rgg";
-    if (random_topo) {
+    const bool random_topo =
+        topo_name == "gnp" || topo_name == "ugnp" || topo_name == "rgg";
+    if (implicit) {
+      spec.implicit_gnp = harness::ImplicitGnpParams{n, p};
+    } else if (random_topo) {
       spec.make_graph = [&args, n, p](std::uint32_t, Rng rng) {
         graph::NodeId src = 0;
         return std::make_shared<const graph::Digraph>(
