@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_linear_time.dir/bench/bench_e10_linear_time.cpp.o"
+  "CMakeFiles/bench_e10_linear_time.dir/bench/bench_e10_linear_time.cpp.o.d"
+  "bench_e10_linear_time"
+  "bench_e10_linear_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_linear_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_geometric.dir/bench/bench_e12_geometric.cpp.o"
+  "CMakeFiles/bench_e12_geometric.dir/bench/bench_e12_geometric.cpp.o.d"
+  "bench_e12_geometric"
+  "bench_e12_geometric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_geometric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_dynamic.dir/bench/bench_e14_dynamic.cpp.o"
+  "CMakeFiles/bench_e14_dynamic.dir/bench/bench_e14_dynamic.cpp.o.d"
+  "bench_e14_dynamic"
+  "bench_e14_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_topology.dir/bench/bench_e15_topology.cpp.o"
+  "CMakeFiles/bench_e15_topology.dir/bench/bench_e15_topology.cpp.o.d"
+  "bench_e15_topology"
+  "bench_e15_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_broadcast_random.dir/bench/bench_e1_broadcast_random.cpp.o"
+  "CMakeFiles/bench_e1_broadcast_random.dir/bench/bench_e1_broadcast_random.cpp.o.d"
+  "bench_e1_broadcast_random"
+  "bench_e1_broadcast_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_broadcast_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_phase1_growth.dir/bench/bench_e2_phase1_growth.cpp.o"
+  "CMakeFiles/bench_e2_phase1_growth.dir/bench/bench_e2_phase1_growth.cpp.o.d"
+  "bench_e2_phase1_growth"
+  "bench_e2_phase1_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_phase1_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

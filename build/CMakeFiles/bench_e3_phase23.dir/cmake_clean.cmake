@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_phase23.dir/bench/bench_e3_phase23.cpp.o"
+  "CMakeFiles/bench_e3_phase23.dir/bench/bench_e3_phase23.cpp.o.d"
+  "bench_e3_phase23"
+  "bench_e3_phase23.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_phase23.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_diameter.dir/bench/bench_e4_diameter.cpp.o"
+  "CMakeFiles/bench_e4_diameter.dir/bench/bench_e4_diameter.cpp.o.d"
+  "bench_e4_diameter"
+  "bench_e4_diameter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_diameter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_gossip.dir/bench/bench_e5_gossip.cpp.o"
+  "CMakeFiles/bench_e5_gossip.dir/bench/bench_e5_gossip.cpp.o.d"
+  "bench_e5_gossip"
+  "bench_e5_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

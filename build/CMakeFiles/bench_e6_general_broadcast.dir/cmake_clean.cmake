@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_general_broadcast.dir/bench/bench_e6_general_broadcast.cpp.o"
+  "CMakeFiles/bench_e6_general_broadcast.dir/bench/bench_e6_general_broadcast.cpp.o.d"
+  "bench_e6_general_broadcast"
+  "bench_e6_general_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_general_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

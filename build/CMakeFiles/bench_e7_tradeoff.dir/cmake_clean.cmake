@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_tradeoff.dir/bench/bench_e7_tradeoff.cpp.o"
+  "CMakeFiles/bench_e7_tradeoff.dir/bench/bench_e7_tradeoff.cpp.o.d"
+  "bench_e7_tradeoff"
+  "bench_e7_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_lb_observation.dir/bench/bench_e8_lb_observation.cpp.o"
+  "CMakeFiles/bench_e8_lb_observation.dir/bench/bench_e8_lb_observation.cpp.o.d"
+  "bench_e8_lb_observation"
+  "bench_e8_lb_observation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_lb_observation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_lb_layered.dir/bench/bench_e9_lb_layered.cpp.o"
+  "CMakeFiles/bench_e9_lb_layered.dir/bench/bench_e9_lb_layered.cpp.o.d"
+  "bench_e9_lb_layered"
+  "bench_e9_lb_layered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_lb_layered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

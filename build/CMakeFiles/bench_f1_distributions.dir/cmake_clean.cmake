@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_distributions.dir/bench/bench_f1_distributions.cpp.o"
+  "CMakeFiles/bench_f1_distributions.dir/bench/bench_f1_distributions.cpp.o.d"
+  "bench_f1_distributions"
+  "bench_f1_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

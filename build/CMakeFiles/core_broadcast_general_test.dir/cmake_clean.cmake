@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_broadcast_general_test.dir/tests/core/broadcast_general_test.cpp.o"
+  "CMakeFiles/core_broadcast_general_test.dir/tests/core/broadcast_general_test.cpp.o.d"
+  "core_broadcast_general_test"
+  "core_broadcast_general_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_broadcast_general_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

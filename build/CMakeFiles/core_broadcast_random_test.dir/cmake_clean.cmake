@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_broadcast_random_test.dir/tests/core/broadcast_random_test.cpp.o"
+  "CMakeFiles/core_broadcast_random_test.dir/tests/core/broadcast_random_test.cpp.o.d"
+  "core_broadcast_random_test"
+  "core_broadcast_random_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_broadcast_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_distributions_test.dir/tests/core/distributions_test.cpp.o"
+  "CMakeFiles/core_distributions_test.dir/tests/core/distributions_test.cpp.o.d"
+  "core_distributions_test"
+  "core_distributions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_distributions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dynamic_gossip_test.dir/tests/core/dynamic_gossip_test.cpp.o"
+  "CMakeFiles/core_dynamic_gossip_test.dir/tests/core/dynamic_gossip_test.cpp.o.d"
+  "core_dynamic_gossip_test"
+  "core_dynamic_gossip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dynamic_gossip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

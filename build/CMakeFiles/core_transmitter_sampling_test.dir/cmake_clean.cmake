@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_transmitter_sampling_test.dir/tests/core/transmitter_sampling_test.cpp.o"
+  "CMakeFiles/core_transmitter_sampling_test.dir/tests/core/transmitter_sampling_test.cpp.o.d"
+  "core_transmitter_sampling_test"
+  "core_transmitter_sampling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_transmitter_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_energy_tradeoff.dir/examples/energy_tradeoff.cpp.o"
+  "CMakeFiles/example_energy_tradeoff.dir/examples/energy_tradeoff.cpp.o.d"
+  "example_energy_tradeoff"
+  "example_energy_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_energy_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gossip_swarm.dir/examples/gossip_swarm.cpp.o"
+  "CMakeFiles/example_gossip_swarm.dir/examples/gossip_swarm.cpp.o.d"
+  "example_gossip_swarm"
+  "example_gossip_swarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gossip_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mobile_field.dir/examples/mobile_field.cpp.o"
+  "CMakeFiles/example_mobile_field.dir/examples/mobile_field.cpp.o.d"
+  "example_mobile_field"
+  "example_mobile_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mobile_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sensor_field.dir/examples/sensor_field.cpp.o"
+  "CMakeFiles/example_sensor_field.dir/examples/sensor_field.cpp.o.d"
+  "example_sensor_field"
+  "example_sensor_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sensor_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

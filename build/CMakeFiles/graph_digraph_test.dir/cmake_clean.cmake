@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_digraph_test.dir/tests/graph/digraph_test.cpp.o"
+  "CMakeFiles/graph_digraph_test.dir/tests/graph/digraph_test.cpp.o.d"
+  "graph_digraph_test"
+  "graph_digraph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_digraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_lower_bound_nets_test.dir/tests/graph/lower_bound_nets_test.cpp.o"
+  "CMakeFiles/graph_lower_bound_nets_test.dir/tests/graph/lower_bound_nets_test.cpp.o.d"
+  "graph_lower_bound_nets_test"
+  "graph_lower_bound_nets_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_lower_bound_nets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_monte_carlo_test.dir/tests/harness/monte_carlo_test.cpp.o"
+  "CMakeFiles/harness_monte_carlo_test.dir/tests/harness/monte_carlo_test.cpp.o.d"
+  "harness_monte_carlo_test"
+  "harness_monte_carlo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_monte_carlo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

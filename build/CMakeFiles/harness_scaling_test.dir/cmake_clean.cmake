@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_scaling_test.dir/tests/harness/scaling_test.cpp.o"
+  "CMakeFiles/harness_scaling_test.dir/tests/harness/scaling_test.cpp.o.d"
+  "harness_scaling_test"
+  "harness_scaling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_scaling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_gnp_concentration_test.dir/tests/integration/gnp_concentration_test.cpp.o"
+  "CMakeFiles/integration_gnp_concentration_test.dir/tests/integration/gnp_concentration_test.cpp.o.d"
+  "integration_gnp_concentration_test"
+  "integration_gnp_concentration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_gnp_concentration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_properties_test.dir/tests/integration/properties_test.cpp.o"
+  "CMakeFiles/integration_properties_test.dir/tests/integration/properties_test.cpp.o.d"
+  "integration_properties_test"
+  "integration_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/czumaj_rytter.cpp" "CMakeFiles/radnet.dir/src/baselines/czumaj_rytter.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/baselines/czumaj_rytter.cpp.o.d"
+  "/root/repo/src/baselines/decay.cpp" "CMakeFiles/radnet.dir/src/baselines/decay.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/baselines/decay.cpp.o.d"
+  "/root/repo/src/baselines/elsasser_gasieniec.cpp" "CMakeFiles/radnet.dir/src/baselines/elsasser_gasieniec.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/baselines/elsasser_gasieniec.cpp.o.d"
+  "/root/repo/src/baselines/fixed_prob.cpp" "CMakeFiles/radnet.dir/src/baselines/fixed_prob.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/baselines/fixed_prob.cpp.o.d"
+  "/root/repo/src/baselines/flooding.cpp" "CMakeFiles/radnet.dir/src/baselines/flooding.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/baselines/flooding.cpp.o.d"
+  "/root/repo/src/baselines/gossip_baselines.cpp" "CMakeFiles/radnet.dir/src/baselines/gossip_baselines.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/baselines/gossip_baselines.cpp.o.d"
+  "/root/repo/src/core/broadcast_general.cpp" "CMakeFiles/radnet.dir/src/core/broadcast_general.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/core/broadcast_general.cpp.o.d"
+  "/root/repo/src/core/broadcast_random.cpp" "CMakeFiles/radnet.dir/src/core/broadcast_random.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/core/broadcast_random.cpp.o.d"
+  "/root/repo/src/core/broadcast_state.cpp" "CMakeFiles/radnet.dir/src/core/broadcast_state.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/core/broadcast_state.cpp.o.d"
+  "/root/repo/src/core/distributions.cpp" "CMakeFiles/radnet.dir/src/core/distributions.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/core/distributions.cpp.o.d"
+  "/root/repo/src/core/dynamic_gossip.cpp" "CMakeFiles/radnet.dir/src/core/dynamic_gossip.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/core/dynamic_gossip.cpp.o.d"
+  "/root/repo/src/core/gossip_random.cpp" "CMakeFiles/radnet.dir/src/core/gossip_random.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/core/gossip_random.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "CMakeFiles/radnet.dir/src/graph/digraph.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/graph/digraph.cpp.o.d"
+  "/root/repo/src/graph/dynamics.cpp" "CMakeFiles/radnet.dir/src/graph/dynamics.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/graph/dynamics.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "CMakeFiles/radnet.dir/src/graph/generators.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "CMakeFiles/radnet.dir/src/graph/io.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/graph/io.cpp.o.d"
+  "/root/repo/src/graph/lower_bound_nets.cpp" "CMakeFiles/radnet.dir/src/graph/lower_bound_nets.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/graph/lower_bound_nets.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "CMakeFiles/radnet.dir/src/graph/metrics.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/graph/metrics.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "CMakeFiles/radnet.dir/src/harness/experiment.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/harness/experiment.cpp.o.d"
+  "/root/repo/src/harness/monte_carlo.cpp" "CMakeFiles/radnet.dir/src/harness/monte_carlo.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/harness/monte_carlo.cpp.o.d"
+  "/root/repo/src/harness/scaling.cpp" "CMakeFiles/radnet.dir/src/harness/scaling.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/harness/scaling.cpp.o.d"
+  "/root/repo/src/sim/energy.cpp" "CMakeFiles/radnet.dir/src/sim/energy.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/sim/energy.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "CMakeFiles/radnet.dir/src/sim/engine.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/reference_engine.cpp" "CMakeFiles/radnet.dir/src/sim/reference_engine.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/sim/reference_engine.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "CMakeFiles/radnet.dir/src/sim/trace.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/sim/trace.cpp.o.d"
+  "/root/repo/src/support/bitset.cpp" "CMakeFiles/radnet.dir/src/support/bitset.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/support/bitset.cpp.o.d"
+  "/root/repo/src/support/cli_args.cpp" "CMakeFiles/radnet.dir/src/support/cli_args.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/support/cli_args.cpp.o.d"
+  "/root/repo/src/support/math.cpp" "CMakeFiles/radnet.dir/src/support/math.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/support/math.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "CMakeFiles/radnet.dir/src/support/rng.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/support/rng.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "CMakeFiles/radnet.dir/src/support/stats.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/support/stats.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "CMakeFiles/radnet.dir/src/support/table.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/support/table.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "CMakeFiles/radnet.dir/src/support/thread_pool.cpp.o" "gcc" "CMakeFiles/radnet.dir/src/support/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

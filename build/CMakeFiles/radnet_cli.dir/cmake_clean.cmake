@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radnet_cli.dir/tools/radnet_cli.cpp.o"
+  "CMakeFiles/radnet_cli.dir/tools/radnet_cli.cpp.o.d"
+  "radnet_cli"
+  "radnet_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radnet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

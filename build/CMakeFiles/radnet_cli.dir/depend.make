@@ -1,0 +1,2 @@
+# Empty dependencies file for radnet_cli.
+# This may be replaced when dependencies are built.

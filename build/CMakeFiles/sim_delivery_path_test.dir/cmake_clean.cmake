@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_delivery_path_test.dir/tests/sim/delivery_path_test.cpp.o"
+  "CMakeFiles/sim_delivery_path_test.dir/tests/sim/delivery_path_test.cpp.o.d"
+  "sim_delivery_path_test"
+  "sim_delivery_path_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_delivery_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_energy_test.dir/tests/sim/energy_test.cpp.o"
+  "CMakeFiles/sim_energy_test.dir/tests/sim/energy_test.cpp.o.d"
+  "sim_energy_test"
+  "sim_energy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_energy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

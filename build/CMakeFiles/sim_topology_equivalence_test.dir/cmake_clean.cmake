@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_topology_equivalence_test.dir/tests/sim/topology_equivalence_test.cpp.o"
+  "CMakeFiles/sim_topology_equivalence_test.dir/tests/sim/topology_equivalence_test.cpp.o.d"
+  "sim_topology_equivalence_test"
+  "sim_topology_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_topology_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_bitset_test.dir/tests/support/bitset_test.cpp.o"
+  "CMakeFiles/support_bitset_test.dir/tests/support/bitset_test.cpp.o.d"
+  "support_bitset_test"
+  "support_bitset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_bitset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

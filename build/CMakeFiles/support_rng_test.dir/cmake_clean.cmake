@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_rng_test.dir/tests/support/rng_test.cpp.o"
+  "CMakeFiles/support_rng_test.dir/tests/support/rng_test.cpp.o.d"
+  "support_rng_test"
+  "support_rng_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
