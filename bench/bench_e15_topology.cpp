@@ -15,10 +15,6 @@
 // 2 GiB RLIMIT_AS, a production-container-sized budget — that the CSR path
 // cannot even allocate that graph while the implicit path completes inside
 // the same limit.
-#include <sys/resource.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -100,29 +96,6 @@ Sample time_implicit(std::uint32_t n, double p, std::uint32_t trials,
   return total_ms;
 }
 
-/// Runs `attempt` in a forked child under an RLIMIT_AS of `limit_bytes`.
-/// Returns 0 if the child finished, 1 if it died on allocation failure.
-int run_memory_limited(std::uint64_t limit_bytes, int (*attempt)()) {
-  const pid_t pid = fork();
-  if (pid == 0) {
-    rlimit lim{limit_bytes, limit_bytes};
-    setrlimit(RLIMIT_AS, &lim);
-    int rc;
-    try {
-      rc = attempt();
-    } catch (const std::bad_alloc&) {
-      _exit(1);
-    } catch (...) {
-      _exit(2);
-    }
-    _exit(rc);
-  }
-  int status = 0;
-  waitpid(pid, &status, 0);
-  if (WIFEXITED(status)) return WEXITSTATUS(status);
-  return 3;  // killed (e.g. OOM before bad_alloc could propagate)
-}
-
 constexpr std::uint32_t kHugeN = 10'000'000;
 constexpr double kHugeP = 16.0 / kHugeN;
 
@@ -192,10 +165,10 @@ int main(int argc, char** argv) {
     std::cout << "\n--- n = 10^7 under a 2 GiB memory budget ---\n";
     const std::uint64_t limit = 2ull << 30;
     const double t0 = now_ms();
-    const int imp_rc = run_memory_limited(limit, attempt_implicit_huge);
+    const int imp_rc = radnet::harness::run_memory_limited(limit, attempt_implicit_huge);
     const double imp_ms = now_ms() - t0;
     const double t1 = now_ms();
-    const int csr_rc = run_memory_limited(limit, attempt_csr_huge);
+    const int csr_rc = radnet::harness::run_memory_limited(limit, attempt_csr_huge);
     const double csr_ms = now_ms() - t1;
     std::cout << "implicit trial (n=10^7, p=16/n): "
               << (imp_rc == 0 ? "completed" : "FAILED") << " in " << imp_ms

@@ -15,7 +15,6 @@
 #include "harness/experiment.hpp"
 #include "harness/monte_carlo.hpp"
 #include "harness/scaling.hpp"
-#include "support/cli_args.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -34,24 +33,12 @@ struct Row {
 }  // namespace
 
 int main(int argc, char** argv) {
-  radnet::CliArgs args = [&] {
-    try {
-      return radnet::CliArgs(argc, argv, {"topology"});
-    } catch (const std::exception& e) {
-      std::cerr << e.what() << '\n';
-      std::exit(2);
-    }
-  }();
   // Algorithm 1 transmits at most once per node, so the implicit backend is
   // exactly G(n,p) (see sim/topology.hpp) and is the default; --topology=csr
   // materialises the graphs as the reference oracle.
-  const std::string topology = args.get_string("topology", "implicit");
-  const bool implicit = topology == "implicit";
-  if (!implicit && topology != "csr") {
-    std::cerr << "unknown --topology '" << topology
-              << "' (expected implicit|csr)\n";
-    return 2;
-  }
+  std::string topology;
+  const bool implicit =
+      radnet::harness::parse_topology_flag(argc, argv, &topology, "implicit");
 
   const auto env = radnet::harness::bench_env();
   radnet::harness::banner(

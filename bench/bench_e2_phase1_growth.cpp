@@ -13,7 +13,6 @@
 #include "graph/generators.hpp"
 #include "harness/experiment.hpp"
 #include "sim/engine.hpp"
-#include "support/cli_args.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
@@ -28,23 +27,11 @@ using radnet::core::BroadcastRandomProtocol;
 }  // namespace
 
 int main(int argc, char** argv) {
-  radnet::CliArgs args = [&] {
-    try {
-      return radnet::CliArgs(argc, argv, {"topology"});
-    } catch (const std::exception& e) {
-      std::cerr << e.what() << '\n';
-      std::exit(2);
-    }
-  }();
   // Phase 1 is entirely within Algorithm 1's at-most-one-transmission
   // regime, so the implicit backend samples the same growth process exactly.
-  const std::string topology = args.get_string("topology", "implicit");
-  const bool implicit = topology == "implicit";
-  if (!implicit && topology != "csr") {
-    std::cerr << "unknown --topology '" << topology
-              << "' (expected implicit|csr)\n";
-    return 2;
-  }
+  std::string topology;
+  const bool implicit =
+      radnet::harness::parse_topology_flag(argc, argv, &topology, "implicit");
 
   const auto env = radnet::harness::bench_env();
   radnet::harness::banner(

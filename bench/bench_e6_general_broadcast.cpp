@@ -7,6 +7,12 @@
 //   alg3 ~ log^2 n / lambda   <   CR ~ log^2 n   <~  Decay (unbounded)
 // with lambda = log2(n/D). Columns normalise energy by log^2 n / lambda so
 // alg3's column is flat ~constant while CR's grows like lambda.
+//
+// --topology=csr (default) materialises every network. --topology=implicit
+// swaps the gnp row onto the graph-free implicit dynamic backend at
+// churn = 1 (these protocols retransmit, so the implicit family models the
+// per-round-resampled G(n,p) — exact at churn = 1; the structured
+// topologies have no implicit counterpart and stay explicit).
 #include <cmath>
 #include <cstdint>
 #include <iostream>
@@ -32,6 +38,16 @@ struct Topology {
   std::string name;
   Digraph graph;
   std::uint64_t diameter;
+  /// Run this row graph-free on the implicit dynamic backend (gnp only).
+  bool implicit = false;
+  radnet::graph::NodeId n = 0;
+  double p = 0.0;
+
+  /// Node count regardless of backend (the implicit rows carry an empty
+  /// placeholder Digraph whose num_nodes() is 0).
+  [[nodiscard]] radnet::graph::NodeId nodes() const {
+    return implicit ? n : graph.num_nodes();
+  }
 };
 
 void run_protocol_row(Table& t, const radnet::harness::BenchEnv& env,
@@ -42,7 +58,15 @@ void run_protocol_row(Table& t, const radnet::harness::BenchEnv& env,
   radnet::harness::McSpec spec;
   spec.trials = trials;
   spec.seed = env.seed + 6;
-  spec.make_graph = radnet::harness::shared_graph(Digraph(topo.graph));
+  if (topo.implicit) {
+    radnet::sim::ImplicitDynamicGnp params;
+    params.n = topo.n;
+    params.p = topo.p;
+    params.churn = 1.0;
+    spec.implicit_dynamic = std::move(params);
+  } else {
+    spec.make_graph = radnet::harness::shared_graph(Digraph(topo.graph));
+  }
   spec.make_protocol = [&factory](const Digraph&, std::uint32_t) {
     return factory();
   };
@@ -54,8 +78,8 @@ void run_protocol_row(Table& t, const radnet::harness::BenchEnv& env,
 
   const auto result = radnet::harness::run_monte_carlo(spec);
   const auto rounds = result.rounds_sample();
-  const double n = topo.graph.num_nodes();
-  const double lambda = radnet::lambda_of(topo.graph.num_nodes(), topo.diameter);
+  const double n = topo.nodes();
+  const double lambda = radnet::lambda_of(topo.nodes(), topo.diameter);
   const double log2n = std::log2(n);
   const double energy_unit = log2n * log2n / lambda;
   const double time_unit =
@@ -76,13 +100,17 @@ void run_protocol_row(Table& t, const radnet::harness::BenchEnv& env,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string topology;
+  const bool implicit =
+      radnet::harness::parse_topology_flag(argc, argv, &topology, "csr");
+
   const auto env = radnet::harness::bench_env();
   radnet::harness::banner(
       "E6 (Theorem 4.1)",
       "Algorithm 3 vs Czumaj-Rytter(alpha') vs Decay on general networks "
       "with known diameter D: same time envelope, alg3 saves a "
-      "Theta(log(n/D)) factor of energy.");
+      "Theta(log(n/D)) factor of energy. [topology=" + topology + "]");
 
   const std::uint32_t trials = env.trials(10);
 
@@ -105,10 +133,24 @@ int main() {
   }
   {
     const auto n = static_cast<radnet::graph::NodeId>(env.scaled(1024));
-    Rng grng(env.seed + 5);
-    auto g = radnet::graph::gnp_directed(n, 10.0 * std::log(n) / n, grng);
-    const auto dia = radnet::graph::diameter_sampled(g, 4, 11);
-    topologies.push_back({"gnp", std::move(g), dia ? *dia : 3});
+    const double p = 10.0 * std::log(n) / n;
+    if (implicit) {
+      // Graph-free row: D from the Lemma 3.1 prediction (the protocol only
+      // needs an upper bound on the diameter).
+      const auto D = static_cast<std::uint64_t>(std::ceil(
+                         std::log(static_cast<double>(n)) / std::log(n * p))) +
+                     1;
+      Topology topo{"gnp(implicit)", Digraph(), D};
+      topo.implicit = true;
+      topo.n = n;
+      topo.p = p;
+      topologies.push_back(std::move(topo));
+    } else {
+      Rng grng(env.seed + 5);
+      auto g = radnet::graph::gnp_directed(n, p, grng);
+      const auto dia = radnet::graph::diameter_sampled(g, 4, 11);
+      topologies.push_back({"gnp", std::move(g), dia ? *dia : 3});
+    }
   }
   {
     const auto n = static_cast<radnet::graph::NodeId>(env.scaled(512));
@@ -125,7 +167,7 @@ int main() {
                 std::to_string(trials) + " trials/cell");
 
   for (const auto& topo : topologies) {
-    const std::uint64_t n = topo.graph.num_nodes();
+    const std::uint64_t n = topo.nodes();
     const double lambda = radnet::lambda_of(n, topo.diameter);
     const auto budget =
         radnet::core::general_round_budget(n, topo.diameter, lambda, 96.0);

@@ -69,4 +69,66 @@ std::size_t GossipRandomProtocol::rumors_known(NodeId v) const {
   return rumors_[v].count();
 }
 
+GossipRumorMarginalProtocol::GossipRumorMarginalProtocol(
+    GossipRumorMarginalParams params)
+    : params_(params) {
+  RADNET_REQUIRE(params_.p > 0.0 && params_.p <= 1.0, "p must be in (0,1]");
+  RADNET_REQUIRE(params_.round_factor > 0.0, "round_factor must be positive");
+}
+
+void GossipRumorMarginalProtocol::reset(NodeId num_nodes, Rng rng) {
+  RADNET_REQUIRE(num_nodes >= 2, "Algorithm 2 needs n >= 2");
+  RADNET_REQUIRE(params_.rumor_source < num_nodes, "rumor_source out of range");
+  n_ = num_nodes;
+  rng_ = rng;
+  const double d = static_cast<double>(n_) * params_.p;
+  RADNET_REQUIRE(d > 1.0, "Algorithm 2 needs expected degree d = np > 1");
+  tx_prob_ = 1.0 / d;
+  budget_ = static_cast<sim::Round>(std::ceil(
+      params_.round_factor * d * log2d(static_cast<double>(n_))));
+  everyone_.resize(n_);
+  std::iota(everyone_.begin(), everyone_.end(), NodeId{0});
+  state_.reset(n_, params_.rumor_source);
+}
+
+std::span<const NodeId> GossipRumorMarginalProtocol::candidates() const {
+  return {everyone_.data(), everyone_.size()};
+}
+
+bool GossipRumorMarginalProtocol::wants_transmit(NodeId /*v*/, sim::Round r) {
+  if (r >= budget_) return false;
+  return rng_.bernoulli(tx_prob_);
+}
+
+bool GossipRumorMarginalProtocol::sample_transmitters(
+    sim::Round r, std::vector<NodeId>& out) {
+  if (r >= budget_) return true;  // out stays empty
+  // tx_prob_ = 1/d < 1 always (reset enforces d > 1).
+  const double inv_log1m = 1.0 / std::log1p(-tx_prob_);
+  for (std::uint64_t i = rng_.geometric_inv(inv_log1m) - 1;
+       i < everyone_.size(); i += rng_.geometric_inv(inv_log1m))
+    out.push_back(everyone_[static_cast<std::size_t>(i)]);
+  return true;
+}
+
+std::optional<std::span<const NodeId>>
+GossipRumorMarginalProtocol::attentive_listeners() const {
+  return state_.uninformed();
+}
+
+void GossipRumorMarginalProtocol::on_delivered(NodeId receiver, NodeId sender,
+                                               sim::Round r) {
+  // Half-duplex semantics (engine default) guarantee the sender received
+  // nothing this round, so informed(sender) is its transmitted state.
+  if (state_.informed(sender)) (void)state_.deliver(receiver, r, false);
+}
+
+void GossipRumorMarginalProtocol::end_round(sim::Round /*r*/) {
+  state_.commit();
+}
+
+bool GossipRumorMarginalProtocol::is_complete() const {
+  return state_.all_informed();
+}
+
 }  // namespace radnet::core

@@ -19,14 +19,18 @@
 // G(n,p) backend (sim/topology.hpp) the same ordered pair can be examined
 // in several rounds and is resampled each time — the run then models the
 // per-round-resampled G(n,p) (the churn = 1 mobility model of
-// graph/dynamics.hpp), not one fixed graph. Use the CSR path when the
-// fixed-graph reading of Theorem 3.2 is the point of the experiment.
+// graph/dynamics.hpp), not one fixed graph. sim::ImplicitDynamicGnp
+// extends this to partial churn (persistent pair-state sketches), node
+// failures and p(t) schedules; use the CSR path when the fixed-graph
+// reading of Theorem 3.2 is the point of the experiment.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/broadcast_state.hpp"
 #include "sim/protocol.hpp"
 #include "support/bitset.hpp"
 
@@ -80,6 +84,63 @@ class GossipRandomProtocol final : public sim::Protocol {
   std::vector<NodeId> everyone_;
   std::vector<Bitset> rumors_;
   std::uint64_t known_ = 0;
+};
+
+/// The single-rumor *marginal* of Algorithm 2, for graph-free scaling runs.
+///
+/// In Algorithm 2, whether a node transmits never depends on its rumor set,
+/// so the spread of any one fixed rumor is a Markov chain on its knower
+/// set alone: a clean delivery teaches the listener the rumor iff the
+/// sender already knew it. Simulating that marginal needs O(n) state
+/// instead of Algorithm 2's n^2-bit rumor matrix, which is what lets a
+/// gossip trial run at n = 10^7 (bench E16). Under the engine's default
+/// half-duplex semantics the marginal is *exactly* the law of
+/// `rumor_source`'s rumor inside a full Algorithm 2 execution: a
+/// transmitting node cannot simultaneously receive, so no intra-round
+/// relay chain exists and a sender's knowledge is its start-of-round state.
+/// Full-gossip completion is the maximum of the n per-rumor marginals.
+struct GossipRumorMarginalParams {
+  /// Edge probability the protocol is tuned for (tx prob = 1/(np)).
+  double p = 0.0;
+  /// Whose rumor the marginal follows.
+  NodeId rumor_source = 0;
+  /// Round budget factor, as in GossipRandomParams.
+  double round_factor = 128.0;
+};
+
+class GossipRumorMarginalProtocol final : public sim::Protocol {
+ public:
+  explicit GossipRumorMarginalProtocol(GossipRumorMarginalParams params);
+
+  void reset(NodeId num_nodes, Rng rng) override;
+  [[nodiscard]] std::span<const NodeId> candidates() const override;
+  [[nodiscard]] bool wants_transmit(NodeId v, sim::Round r) override;
+  [[nodiscard]] bool sample_transmitters(sim::Round r,
+                                         std::vector<NodeId>& out) override;
+  /// Deliveries only matter at nodes that do not know the rumor yet.
+  [[nodiscard]] std::optional<std::span<const NodeId>> attentive_listeners()
+      const override;
+  void on_delivered(NodeId receiver, NodeId sender, sim::Round r) override;
+  void end_round(sim::Round r) override;
+  [[nodiscard]] bool is_complete() const override;
+  [[nodiscard]] std::string name() const override { return "alg2-marginal"; }
+
+  /// ceil(round_factor * d * log2 n): pass to RunOptions::max_rounds.
+  [[nodiscard]] sim::Round round_budget() const noexcept { return budget_; }
+
+  /// Nodes currently knowing the tracked rumor.
+  [[nodiscard]] NodeId knowers() const noexcept {
+    return state_.informed_count();
+  }
+
+ private:
+  GossipRumorMarginalParams params_;
+  Rng rng_;
+  NodeId n_ = 0;
+  double tx_prob_ = 0.0;
+  sim::Round budget_ = 0;
+  std::vector<NodeId> everyone_;
+  BroadcastState state_;
 };
 
 }  // namespace radnet::core

@@ -30,6 +30,11 @@ ChurnGnp::ChurnGnp(NodeId n, double p, double churn, Rng rng)
   RADNET_REQUIRE(pairs < (1ull << 32),
                  "ChurnGnp maintains dense pair state; n too large");
   present_.assign(pairs, 0);
+  // The rebuild buffer is refilled every round and the churned edge count
+  // fluctuates around pairs * p with stddev sqrt(pairs * p (1-p)); the
+  // sigma-aware hint reserves once instead of letting vector doubling peak
+  // near 2x the steady footprint (see generators.hpp).
+  edges_.reserve(edge_reserve_hint(pairs, p_, 1));
   // Initial state: exact G(n,p) via skip sampling.
   if (p_ > 0.0) {
     std::uint64_t i = rng_.geometric(std::min(1.0, p_)) - 1;

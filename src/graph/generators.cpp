@@ -26,20 +26,24 @@ void skip_sample(std::uint64_t total, double p, Rng& rng, F&& f) {
   }
 }
 
-/// Reserve hint for Bernoulli(p) pair sampling: expected selected pairs plus
-/// 10% headroom, capped at the exact maximum `pairs` so huge-n / near-1 p
-/// inputs can neither overflow the size_t cast nor over-allocate, times
-/// `edges_per_pair` entries pushed per selected pair.
+}  // namespace
+
+// See generators.hpp: expected count + max(10%, 4 sigma) headroom, capped
+// at the exact maximum so huge-n / near-1 p inputs can neither overflow the
+// size_t cast nor over-allocate. The old mean-only (+10%) formula
+// under-reserved small-expectation dynamic rebuilds — a churned trial's
+// per-round count fluctuates by sigma, tripping vector doubling and a ~2x
+// peak footprint (the regression the counting-allocator test pins).
 std::size_t edge_reserve_hint(std::uint64_t pairs, double p,
                               std::uint64_t edges_per_pair) {
   if (p <= 0.0 || pairs == 0) return 0;
-  const double expected = static_cast<double>(pairs) * p * 1.1 + 16.0;
+  const double expected = static_cast<double>(pairs) * p;
+  const double sigma = std::sqrt(expected * (1.0 - std::min(p, 1.0)));
+  const double slack = std::max(0.1 * expected, 4.0 * sigma);
   const auto capped = static_cast<std::uint64_t>(
-      std::min(expected, static_cast<double>(pairs)));
+      std::min(expected + slack + 16.0, static_cast<double>(pairs)));
   return static_cast<std::size_t>(capped * edges_per_pair);
 }
-
-}  // namespace
 
 Digraph gnp_directed(NodeId n, double p, Rng& rng) {
   RADNET_REQUIRE(n >= 1, "gnp_directed needs n >= 1");

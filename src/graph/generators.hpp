@@ -22,6 +22,21 @@
 
 namespace radnet::graph {
 
+/// Reserve hint for a Bernoulli(p) subset of `pairs` ordered pairs, each
+/// selected pair contributing `edges_per_pair` edge-list entries: expected
+/// count plus max(10%, 4 sigma) headroom (sigma = sqrt(pairs * p * (1-p))),
+/// capped at the exact maximum. The sigma term matters for *dynamic*
+/// topologies (graph/dynamics.hpp): a churned G(n,p) re-samples its pair
+/// states every round, so the per-round edge count fluctuates around the
+/// mean with standard deviation sigma — a mean-only reserve forces the
+/// rebuild buffer through a doubling growth that peaks near 2x the steady
+/// footprint. A 4-sigma reserve covers every round's count with
+/// probability ~1 - 3e-5 per round while staying within ~1.1x of the mean
+/// for the large sparse graphs. Pinned by the counting-allocator
+/// regression in tests/graph/generators_test.cpp.
+[[nodiscard]] std::size_t edge_reserve_hint(std::uint64_t pairs, double p,
+                                            std::uint64_t edges_per_pair);
+
 /// Directed G(n,p): every ordered pair (u,v), u != v, becomes a transmission
 /// edge independently with probability p. Uses geometric skipping, so the
 /// cost is O(n + m), not O(n^2).

@@ -1,10 +1,16 @@
 #include "harness/experiment.hpp"
 
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <new>
 
+#include "support/cli_args.hpp"
 #include "support/require.hpp"
 
 namespace radnet::harness {
@@ -47,6 +53,25 @@ void emit_table(const BenchEnv& env, const std::string& bench,
   }
 }
 
+bool parse_topology_flag(int argc, char** argv, std::string* label_out,
+                         const char* default_value) {
+  std::string topology;
+  try {
+    const CliArgs args(argc, argv, {"topology"});
+    topology = args.get_string("topology", default_value);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    std::exit(2);
+  }
+  if (topology != "implicit" && topology != "csr") {
+    std::cerr << "unknown --topology '" << topology
+              << "' (expected implicit|csr)\n";
+    std::exit(2);
+  }
+  if (label_out != nullptr) *label_out = topology;
+  return topology == "implicit";
+}
+
 void banner(const std::string& bench_id, const std::string& claim) {
   std::cout << "==============================================================\n"
             << bench_id << '\n'
@@ -64,6 +89,27 @@ double wilson_half_width(double rate, std::uint64_t trials, double z) {
       z * std::sqrt(rate * (1.0 - rate) / n + z2 / (4.0 * n * n)) / denom;
   (void)center;
   return half;
+}
+
+int run_memory_limited(std::uint64_t limit_bytes, int (*attempt)()) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    rlimit lim{limit_bytes, limit_bytes};
+    setrlimit(RLIMIT_AS, &lim);
+    int rc;
+    try {
+      rc = attempt();
+    } catch (const std::bad_alloc&) {
+      _exit(1);
+    } catch (...) {
+      _exit(2);
+    }
+    _exit(rc);
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  return 3;  // killed (e.g. OOM before bad_alloc could propagate)
 }
 
 }  // namespace radnet::harness

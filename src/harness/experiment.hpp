@@ -33,6 +33,14 @@ struct BenchEnv {
 /// Reads the RADNET_* environment variables.
 [[nodiscard]] BenchEnv bench_env();
 
+/// Parses the benches' shared `--topology=implicit|csr` flag (the only
+/// command-line flag the topology-switchable bench binaries take). Returns
+/// true for implicit; fills `label_out` (when non-null) with the value for
+/// banners. Unknown flags or values print a message and exit 2.
+[[nodiscard]] bool parse_topology_flag(int argc, char** argv,
+                                       std::string* label_out,
+                                       const char* default_value = "csr");
+
 /// Prints the table to stdout and, when env.csv_dir is set, writes
 /// "<env.csv_dir>/<bench>_<table>.csv".
 void emit_table(const BenchEnv& env, const std::string& bench,
@@ -45,5 +53,13 @@ void banner(const std::string& bench_id, const std::string& claim);
 /// success-probability columns with sampling error).
 [[nodiscard]] double wilson_half_width(double rate, std::uint64_t trials,
                                        double z = 1.96);
+
+/// Runs `attempt` in a forked child under an RLIMIT_AS of `limit_bytes` —
+/// the memory-budget demonstrations of bench_e15_topology and
+/// bench_e16_dynamic_scale. Returns the child's exit code: 0 success,
+/// 1 allocation failure (std::bad_alloc), 2 other exception, 3 killed
+/// before an exception could propagate (e.g. OOM).
+[[nodiscard]] int run_memory_limited(std::uint64_t limit_bytes,
+                                     int (*attempt)());
 
 }  // namespace radnet::harness

@@ -38,8 +38,11 @@ Sample McResult::mean_tx_sample() const {
 McResult run_monte_carlo(const McSpec& spec) {
   RADNET_REQUIRE(spec.trials >= 1, "need at least one trial");
   RADNET_REQUIRE(spec.implicit_gnp.has_value() ||
+                     spec.implicit_dynamic.has_value() ||
+                     static_cast<bool>(spec.make_sequence) ||
                      static_cast<bool>(spec.make_graph),
-                 "make_graph is required unless implicit_gnp is set");
+                 "a topology source is required: make_graph, make_sequence, "
+                 "implicit_gnp or implicit_dynamic");
   RADNET_REQUIRE(static_cast<bool>(spec.make_protocol),
                  "make_protocol is required");
 
@@ -58,7 +61,15 @@ McResult run_monte_carlo(const McSpec& spec) {
     sim::Engine engine;
     sim::RunResult run;
     graph::NodeId nodes = 0;
-    if (spec.implicit_gnp.has_value()) {
+    if (spec.implicit_dynamic.has_value()) {
+      sim::ImplicitDynamicGnp gnp = *spec.implicit_dynamic;
+      gnp.rng = graph_rng;
+      const std::unique_ptr<sim::Protocol> protocol =
+          spec.make_protocol(placeholder, trial);
+      RADNET_CHECK(protocol != nullptr, "make_protocol returned null");
+      run = engine.run(gnp, *protocol, protocol_rng, spec.run_options);
+      nodes = gnp.n;
+    } else if (spec.implicit_gnp.has_value()) {
       const sim::ImplicitGnp gnp{spec.implicit_gnp->n, spec.implicit_gnp->p,
                                  graph_rng};
       const std::unique_ptr<sim::Protocol> protocol =
@@ -66,6 +77,15 @@ McResult run_monte_carlo(const McSpec& spec) {
       RADNET_CHECK(protocol != nullptr, "make_protocol returned null");
       run = engine.run(gnp, *protocol, protocol_rng, spec.run_options);
       nodes = gnp.n;
+    } else if (spec.make_sequence) {
+      const std::unique_ptr<graph::TopologySequence> seq =
+          spec.make_sequence(trial, graph_rng);
+      RADNET_CHECK(seq != nullptr, "make_sequence returned null");
+      const std::unique_ptr<sim::Protocol> protocol =
+          spec.make_protocol(placeholder, trial);
+      RADNET_CHECK(protocol != nullptr, "make_protocol returned null");
+      run = engine.run(*seq, *protocol, protocol_rng, spec.run_options);
+      nodes = seq->num_nodes();
     } else {
       const std::shared_ptr<const graph::Digraph> g =
           spec.make_graph(trial, graph_rng);

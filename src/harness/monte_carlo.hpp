@@ -47,13 +47,27 @@ struct McSpec {
   /// Root seed; the entire experiment is a function of this.
   std::uint64_t seed = 1;
   /// Produces (or shares) the network for a trial. Called once per trial
-  /// with that trial's private graph RNG. Ignored when implicit_gnp is set.
+  /// with that trial's private graph RNG. Ignored when implicit_gnp /
+  /// implicit_dynamic / make_sequence is set.
   std::function<std::shared_ptr<const graph::Digraph>(std::uint32_t trial, Rng rng)>
       make_graph;
+  /// Produces a *changing* topology (churn / mobility) for a trial, run on
+  /// the explicit dynamic-CSR backend. Called once per trial with that
+  /// trial's private graph RNG; takes precedence over make_graph.
+  std::function<std::unique_ptr<graph::TopologySequence>(std::uint32_t trial,
+                                                         Rng rng)>
+      make_sequence;
   /// When set, trials run on the implicit G(n,p) backend instead of a
   /// materialised graph; make_protocol then receives an empty placeholder
   /// Digraph (protocols are oblivious and never look at it anyway).
   std::optional<ImplicitGnpParams> implicit_gnp;
+  /// When set, trials run on the implicit dynamic G(n,p) backend (wins
+  /// over implicit_gnp and the explicit factories); set the model fields
+  /// (n, p, churn, fail_prob, p_of_round, sketch_capacity) only — the
+  /// spec's rng is overwritten per trial with the (seed, trial, 0) stream,
+  /// so an implicit-dynamic spec and a make_sequence ChurnGnp spec form
+  /// paired experiments.
+  std::optional<sim::ImplicitDynamicGnp> implicit_dynamic;
   /// Produces a fresh protocol object for a trial (trials may run
   /// concurrently, so protocols cannot be shared).
   std::function<std::unique_ptr<sim::Protocol>(const graph::Digraph& g,

@@ -143,4 +143,10 @@ RunResult Engine::run(const ImplicitGnp& gnp, Protocol& protocol,
   return run_loop(topo, protocol, std::move(protocol_rng), options);
 }
 
+RunResult Engine::run(const ImplicitDynamicGnp& gnp, Protocol& protocol,
+                      Rng protocol_rng, const RunOptions& options) {
+  ImplicitDynamicGnpTopology topo(gnp);
+  return run_loop(topo, protocol, std::move(protocol_rng), options);
+}
+
 }  // namespace radnet::sim

@@ -95,6 +95,15 @@ class Engine {
   /// The spec's rng is copied, so the same spec replays identically.
   [[nodiscard]] RunResult run(const ImplicitGnp& gnp, Protocol& protocol,
                               Rng protocol_rng, const RunOptions& options = {});
+
+  /// Runs `protocol` on the implicit *dynamic* G(n,p) family — link churn,
+  /// node failures and density schedules without a materialised graph
+  /// (graph-free counterpart of ChurnGnp; see topology.hpp for which
+  /// regimes are exact vs modelled). The spec's rng is copied, so the same
+  /// spec replays identically.
+  [[nodiscard]] RunResult run(const ImplicitDynamicGnp& gnp,
+                              Protocol& protocol, Rng protocol_rng,
+                              const RunOptions& options = {});
 };
 
 }  // namespace radnet::sim

@@ -1,7 +1,7 @@
 // Topology backends for the simulation engine.
 //
 // The engine's round loop is templated over a *topology backend*: the object
-// that knows which receivers hear which transmitters. Two families exist:
+// that knows which receivers hear which transmitters. Three families exist:
 //
 //   * Explicit CSR backends (CsrTopology / DynamicCsrTopology) walk a
 //     materialised graph::Digraph. Cost per round is O(sum of transmitter
@@ -19,14 +19,37 @@
 //     skip-sampling over the transmitter x listener pair grid — with zero
 //     graph memory.
 //
-// Exactness of the implicit backend: it resamples the pair states it touches
-// each round, so it is *exactly* G(n,p) whenever no ordered pair is examined
-// twice — in particular for any protocol in which each node transmits at
-// most once (Algorithm 1: Theorem 2.1's at-most-one-transmission property).
-// For protocols with repeated transmitters (gossip) it instead simulates the
-// memoryless per-round-resampled G(n,p) — the stationary link-churn mobility
-// model of graph/dynamics.hpp with churn = 1 — which is the paper's
-// motivating dynamic setting rather than a fixed graph.
+//   * The implicit *dynamic* backend (ImplicitDynamicGnpTopology) extends
+//     the sampling family to the full dynamic model set of
+//     graph/dynamics.hpp: per-round link churn on a stationary G(n,p)
+//     (churn in (0,1]), permanent node failures, and density schedules
+//     p(t) (mobility read as density change). Pair states are tracked
+//     *lazily*: only pairs whose state was individually resolved — a clean
+//     delivery identifies its (sender, listener) pair; the sparse path
+//     enumerates every present pair it touches — enter a bounded
+//     per-sender sketch; everything else stays at its exact Bernoulli(p)
+//     marginal. On re-examination after g rounds a sketched pair keeps its
+//     recorded state with probability (1 - churn)^g (the probability no
+//     re-sample hit it) and is re-drawn fresh otherwise — exactly the
+//     ChurnGnp process for tracked pairs.
+//
+// Exactness of the implicit family (see README for the full table):
+//   - fixed G(n,p), protocols transmitting at most once per node
+//     (Algorithm 1): exact, at *any* churn — no ordered pair is ever
+//     examined twice, and under churn the first examination of a pair is
+//     still Bernoulli(p) by stationarity.
+//   - churn = 1 (memoryless per-round re-sampled G(n,p)) and p(t)
+//     schedules at churn = 1: exact for every protocol; this is what the
+//     static ImplicitGnpTopology simulates for repeated transmitters.
+//   - node failures: exact (independent per-node Bernoulli per round).
+//   - churn < 1 with repeated transmitters (gossip, Algorithm 3):
+//     *modelled* — positive pair persistence is tracked through the
+//     sketch, but negatively-resolved pairs and the unidentified members
+//     of collisions fall back to the fresh Bernoulli(p) marginal, so the
+//     process sits between the true churn-rho graph and the churn = 1
+//     limit. tests/sim/dynamic_topology_equivalence_test.cpp pins the
+//     exact regimes against the explicit ChurnGnp oracle statistically
+//     and bands the modelled regime.
 //
 // Backends expose:
 //   NodeId num_nodes() const;
@@ -51,8 +74,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/digraph.hpp"
@@ -82,6 +107,51 @@ struct ImplicitGnp {
   NodeId n = 0;
   double p = 0.0;
   Rng rng{};
+};
+
+/// Parameters of the implicit *dynamic* G(n,p) family: per-round link churn
+/// with persistence, permanent node failures, and density schedules p(t).
+/// The graph is never materialised; memory is O(sketch_capacity) at worst.
+/// See the file comment for which regimes are exact vs modelled.
+struct ImplicitDynamicGnp {
+  NodeId n = 0;
+  /// Stationary edge probability (fresh pair draws use the round's p).
+  double p = 0.0;
+  /// Fraction of ordered-pair states re-sampled per round, in (0, 1].
+  /// churn = 1 is the memoryless per-round-resampled G(n,p) of
+  /// graph/dynamics.hpp; churn < 1 persists pair states between rounds,
+  /// tracked lazily through the pair sketch.
+  double churn = 1.0;
+  /// Per-node, per-round probability of permanent radio failure. A failed
+  /// node neither delivers nor hears from its failure round on; its
+  /// transmit attempts still spend ledger energy (the node cannot know its
+  /// radio died). Must be in [0, 1). Note the honest consequence: goals of
+  /// the form "every node informed" become unreachable once any uninformed
+  /// node fails, so run failure scenarios with a fixed horizon (or read
+  /// the incompletion as the result, as the failure-injection tests do).
+  double fail_prob = 0.0;
+  /// Optional density schedule: the edge probability in force during round
+  /// r is clamp(p_of_round(r), 0, 1). Empty means constant p. Models
+  /// mobility as density change (devices drifting apart / together);
+  /// exact at churn = 1, modelled otherwise.
+  std::function<double(std::uint32_t)> p_of_round;
+  /// Bound on the pair-state sketch, in entries (~12 B each). When full,
+  /// new positive resolutions are forgotten instead of tracked (modelled
+  /// fallback); stale entries are recycled continuously.
+  std::uint32_t sketch_capacity = 1u << 22;
+  /// Root of the backend's private randomness, split into the sub-streams
+  /// below; a run consumes a copy, so the same spec replays identically.
+  Rng rng{};
+
+  /// Sub-stream derivation constants. The backend draws edge/classification
+  /// randomness from rng.split(kEdgeStream), sketch persistence draws from
+  /// rng.split(kChurnStream) and failure draws from rng.split(kFailStream),
+  /// so the three consumers can never interleave-collide with each other or
+  /// with the harness's (seed, trial, phase) streams — audited by
+  /// tests/support/rng_test.cpp.
+  static constexpr std::uint64_t kEdgeStream = 0xed6eull;
+  static constexpr std::uint64_t kChurnStream = 0xc4a7ull;
+  static constexpr std::uint64_t kFailStream = 0xfa11ull;
 };
 
 namespace detail {
@@ -197,6 +267,447 @@ class CsrDelivery {
   Bitset tx_bits_;
 };
 
+/// No listener is excluded from a sampled round (the static backends).
+struct SkipNone {
+  bool operator()(NodeId) const noexcept { return false; }
+};
+
+/// No pair resolution is remembered (the static backends).
+struct RecordNone {
+  void operator()(NodeId, NodeId) const noexcept {}
+};
+
+/// The shared sampling core of the implicit G(n,p) family: per-listener
+/// outcome laws and the sparse / dense / attentive round strategies. Both
+/// implicit backends delegate here; the dynamic backend adds two hooks —
+///   Skip:   bool skip(listener)  — listeners handled elsewhere this round
+///           (sketch-pinned) or unable to hear (failed); sampled paths
+///           reject them, aggregate universes exclude them by count.
+///   Record: record(sender, listener) — called for every ordered pair
+///           individually resolved *present* (a clean delivery's sender,
+///           every hit the sparse pair grid enumerates); the dynamic
+///           backend persists these in its sketch.
+class GnpSampler {
+ public:
+  void init(NodeId n, double p, Rng rng) {
+    RADNET_REQUIRE(n >= 1, "implicit G(n,p) needs n >= 1");
+    RADNET_REQUIRE(p >= 0.0 && p <= 1.0, "p must be in [0,1]");
+    n_ = n;
+    rng_ = rng;
+    set_p(p);
+  }
+
+  void set_p(double p) {
+    p_ = p;
+    inv_log1m_p_ = (p_ > 0.0 && p_ < 1.0) ? 1.0 / std::log1p(-p_) : 0.0;
+  }
+
+  [[nodiscard]] NodeId n() const noexcept { return n_; }
+  [[nodiscard]] double p() const noexcept { return p_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+  /// Per-round listener outcome probabilities for a common eligible
+  /// transmitter count c: P[hear nothing] = (1-p)^c, P[hear exactly one] =
+  /// c p (1-p)^{c-1}, everything else collides. The engine's semantics only
+  /// distinguish these three classes, so the exact hit count never needs to
+  /// be drawn in dense rounds.
+  struct OutcomeProbs {
+    double silent = 1.0;  ///< P[X = 0]
+    double single = 0.0;  ///< P[X = 1]
+
+    [[nodiscard]] double hit() const { return 1.0 - silent; }
+    /// P[exactly one | at least one].
+    [[nodiscard]] double single_given_hit() const {
+      const double q = hit();
+      return q > 0.0 ? single / q : 0.0;
+    }
+  };
+
+  [[nodiscard]] OutcomeProbs outcome_probs(std::uint64_t count) const {
+    OutcomeProbs probs;
+    if (count == 0 || p_ <= 0.0) return probs;
+    if (p_ >= 1.0) {  // degenerate complete graph
+      probs.silent = 0.0;
+      probs.single = count == 1 ? 1.0 : 0.0;
+      return probs;
+    }
+    const double cd = static_cast<double>(count);
+    probs.silent = std::exp(cd * std::log1p(-p_));
+    probs.single = cd * p_ * std::exp((cd - 1.0) * std::log1p(-p_));
+    return probs;
+  }
+
+  /// The full static-backend round: attentive fast path when the protocol
+  /// declared few listeners attentive, sparse pair grid or dense binomial
+  /// classification otherwise. `universe_nontx` / `universe_tx` size the
+  /// aggregate groups of the attentive path (the static backend passes
+  /// n - k and k; the dynamic backend subtracts failed and pinned nodes).
+  template <class Sink, class Skip, class Record>
+  void round(std::span<const NodeId> transmitters,
+             const std::vector<char>& is_tx, bool half_duplex,
+             const std::optional<std::span<const NodeId>>& attentive,
+             Sink& sink, Skip&& skip, Record&& record,
+             std::uint64_t universe_nontx, std::uint64_t universe_tx) {
+    const std::uint64_t k = transmitters.size();
+    if (k == 0 || p_ <= 0.0) return;
+    const double expected_events =
+        static_cast<double>(n_) *
+        std::min(1.0, static_cast<double>(k) * p_);  // ~ listeners with hits
+    // When the protocol has declared most listeners inert and enumerating
+    // just those is cheaper than enumerating every hit listener, classify
+    // the attentive listeners individually and fold the rest into exact
+    // aggregate counts: O(|attentive| + k) per round.
+    if (attentive.has_value() &&
+        static_cast<double>(attentive->size()) < expected_events) {
+      attentive_round(transmitters, is_tx, half_duplex, *attentive, sink,
+                      skip, record, universe_nontx, universe_tx);
+      return;
+    }
+    sweep(transmitters, is_tx, half_duplex, sink, skip, record);
+  }
+
+  /// Per-listener enumeration in ascending listener order: the sparse pair
+  /// grid when well under one expected hit per listener, the binomial
+  /// classification otherwise.
+  template <class Sink, class Skip, class Record>
+  void sweep(std::span<const NodeId> transmitters,
+             const std::vector<char>& is_tx, bool half_duplex, Sink& sink,
+             Skip&& skip, Record&& record) {
+    const std::uint64_t k = transmitters.size();
+    if (k == 0 || p_ <= 0.0) return;
+    // Expected hits per listener is k*p. Sparse rounds (well under one hit
+    // per listener) enumerate the Bernoulli(p) pair grid by geometric
+    // skipping — O(expected hits). Dense rounds classify each listener as
+    // silent / single / collided straight from the round's Binomial outcome
+    // probabilities — O(event listeners) via a skip-walk, O(n) at worst.
+    if (static_cast<double>(k) * p_ < 0.25)
+      pair_grid_round(transmitters, is_tx, half_duplex, sink, skip, record);
+    else
+      binomial_round(transmitters, is_tx, half_duplex, sink, skip, record);
+  }
+
+  /// O(|attentive| + k) round: classify each attentive listener
+  /// individually (in the hint's order) and fold every other listener's
+  /// outcome into the two-draw aggregate below.
+  template <class Sink, class Skip, class Record>
+  void attentive_round(std::span<const NodeId> transmitters,
+                       const std::vector<char>& is_tx, bool half_duplex,
+                       std::span<const NodeId> attentive, Sink& sink,
+                       Skip&& skip, Record&& record,
+                       std::uint64_t universe_nontx,
+                       std::uint64_t universe_tx) {
+    const std::uint64_t k = transmitters.size();
+    const OutcomeProbs probs = outcome_probs(k);
+    const OutcomeProbs probs_tx =
+        half_duplex ? OutcomeProbs{} : outcome_probs(k - 1);
+
+    std::uint64_t att_nontx = 0, att_tx = 0;
+    for (const NodeId v : attentive) {
+      if (skip(v)) continue;
+      const bool tx = is_tx[v] != 0;
+      if (tx && half_duplex) continue;
+      ++(tx ? att_tx : att_nontx);
+      classify(v, tx, probs, probs_tx, transmitters, sink, record);
+    }
+    // The silent majority: all remaining listeners, by eligible
+    // transmitter count.
+    RADNET_CHECK(att_nontx <= universe_nontx,
+                 "attentive span exceeds the listener universe");
+    aggregate_group(universe_nontx - att_nontx, probs, sink);
+    if (!half_duplex) {
+      RADNET_CHECK(att_tx <= universe_tx,
+                   "attentive span exceeds the transmitter universe");
+      aggregate_group(universe_tx - att_tx, probs_tx, sink);
+    }
+  }
+
+  /// Aggregate outcome accounting for `count` exchangeable listeners the
+  /// protocol declared inert: the number of single-hit listeners is
+  /// Binomial(count, P1) and, conditioned on it, the number of collided
+  /// listeners is Binomial(count - singles, P2 / (1 - P1)) — exactly the
+  /// marginal the per-listener enumeration would produce, in two draws.
+  template <class Sink>
+  void aggregate_group(std::uint64_t count, const OutcomeProbs& probs,
+                       Sink& sink) {
+    if (count == 0 || probs.hit() <= 0.0) return;
+    const std::uint64_t singles = rng_.binomial(count, probs.single);
+    const double collide_given_not_single =
+        probs.single >= 1.0
+            ? 0.0
+            : std::min(1.0, (1.0 - probs.silent - probs.single) /
+                                (1.0 - probs.single));
+    const std::uint64_t collisions =
+        rng_.binomial(count - singles, collide_given_not_single);
+    sink.deliver_bulk(singles);
+    sink.collide_bulk(collisions);
+  }
+
+  /// Draws one listener's outcome from its three-way distribution and
+  /// emits the matching event (nothing / delivery / collision). The single
+  /// classification step shared by the attentive path and the dense sweep.
+  template <class Sink, class Record>
+  void classify(NodeId v, bool tx, const OutcomeProbs& probs,
+                const OutcomeProbs& probs_tx,
+                std::span<const NodeId> transmitters, Sink& sink,
+                Record&& record) {
+    const OutcomeProbs& pr = tx ? probs_tx : probs;
+    const double u = rng_.next_double();
+    if (u < pr.silent) return;
+    if (u < pr.silent + pr.single)
+      deliver_uniform(v, tx, transmitters, sink, record);
+    else
+      sink.collide(v);
+  }
+
+  /// Delivers to listener v from a uniformly chosen eligible transmitter
+  /// (by symmetry, conditioned on exactly one hit the sender is uniform).
+  /// A full-duplex transmitter listener excludes itself by swapping the
+  /// last slot in for a draw that lands on v.
+  template <class Sink, class Record>
+  void deliver_uniform(NodeId v, bool tx, std::span<const NodeId> transmitters,
+                       Sink& sink, Record&& record) {
+    const std::uint64_t k = transmitters.size();
+    const std::uint64_t eligible = k - (tx ? 1u : 0u);
+    const std::uint64_t j = rng_.uniform_below(eligible);
+    NodeId sender = transmitters[static_cast<std::size_t>(j)];
+    if (tx && sender == v) sender = transmitters[static_cast<std::size_t>(k - 1)];
+    record(sender, v);
+    sink.deliver(v, sender);
+  }
+
+  [[nodiscard]] std::uint64_t skip_draw(double inv_log1m) {
+    return rng_.geometric_inv(inv_log1m);
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t next_skip() { return skip_draw(inv_log1m_p_); }
+
+  /// Skip-samples the listener-major grid of (listener, transmitter)
+  /// ordered pairs, each present with probability p; pairs whose
+  /// transmitter is the listener itself (self-loops) or, under half-duplex,
+  /// whose listener transmits (its radio cannot hear) are discarded.
+  /// Listener-major layout groups a listener's pair samples consecutively,
+  /// so events stream out in ascending listener order with no counter
+  /// arrays and no sort. Expected cost O(k * n * p). Every retained hit is
+  /// an individually resolved present pair and is passed to `record`.
+  template <class Sink, class Skip, class Record>
+  void pair_grid_round(std::span<const NodeId> transmitters,
+                       const std::vector<char>& is_tx, bool half_duplex,
+                       Sink& sink, Skip&& skip, Record&& record) {
+    const std::uint64_t k = transmitters.size();
+    const std::uint64_t total = k * static_cast<std::uint64_t>(n_);
+    if (p_ >= 1.0) {  // degenerate: every pair present
+      binomial_round(transmitters, is_tx, half_duplex, sink, skip, record);
+      return;
+    }
+    NodeId cur = n_;  // listener whose hits are being accumulated
+    std::uint32_t cur_hits = 0;
+    NodeId cur_sender = 0;
+    const auto flush = [&] {
+      if (cur_hits == 0) return;
+      if (cur_hits == 1)
+        sink.deliver(cur, cur_sender);
+      else
+        sink.collide(cur);
+      cur_hits = 0;
+    };
+    for (std::uint64_t idx = next_skip() - 1; idx < total;
+         idx += next_skip()) {
+      const NodeId v = static_cast<NodeId>(idx / k);
+      const NodeId t = transmitters[static_cast<std::size_t>(idx % k)];
+      if (v == t || (half_duplex && is_tx[v]) || skip(v)) continue;
+      if (v != cur) {
+        flush();
+        cur = v;
+      }
+      record(t, v);
+      ++cur_hits;
+      cur_sender = t;
+    }
+    flush();
+  }
+
+  /// Classifies each listener as silent / single-hit / collided directly
+  /// from Binomial(k', p) outcome probabilities, where k' excludes the
+  /// listener itself when it is transmitting (no self-loops). When most
+  /// listeners hear nothing, the listeners with >= 1 hit are themselves
+  /// geometric-skip-sampled at rate q = 1 - P[X=0], making the round
+  /// O(event listeners) instead of O(n); per event the only randomness is
+  /// one classification uniform (plus the sender draw on delivery).
+  template <class Sink, class Skip, class Record>
+  void binomial_round(std::span<const NodeId> transmitters,
+                      const std::vector<char>& is_tx, bool half_duplex,
+                      Sink& sink, Skip&& skip, Record&& record) {
+    const std::uint64_t k = transmitters.size();
+    if (p_ >= 1.0) {
+      // Degenerate complete graph: every listener hears every eligible
+      // transmitter deterministically.
+      for (NodeId v = 0; v < n_; ++v) {
+        const bool tx = is_tx[v] != 0;
+        if ((half_duplex && tx) || skip(v)) continue;
+        const std::uint64_t eligible = k - (tx ? 1u : 0u);
+        if (eligible == 0) continue;
+        if (eligible >= 2) {
+          sink.collide(v);
+          continue;
+        }
+        NodeId sender = transmitters[0];
+        if (tx && sender == v) sender = transmitters[k - 1];
+        sink.deliver(v, sender);
+      }
+      return;
+    }
+    const OutcomeProbs probs = outcome_probs(k);
+    // Full-duplex transmitter listeners hear one fewer candidate sender.
+    const OutcomeProbs probs_tx =
+        half_duplex ? OutcomeProbs{} : outcome_probs(k - 1);
+    const double q = probs.hit();
+
+    if (q > 0.5) {
+      // Most listeners hear something: a plain sweep is cheaper than
+      // skip-sampling (and the round is O(events) either way).
+      for (NodeId v = 0; v < n_; ++v) {
+        const bool tx = is_tx[v] != 0;
+        if ((half_duplex && tx) || skip(v)) continue;
+        classify(v, tx, probs, probs_tx, transmitters, sink, record);
+      }
+      return;
+    }
+
+    // Skip-walk the listeners that hear >= 1 transmitter. A transmitter
+    // listener's true hit probability q' (from Binomial(k-1, p)) is below
+    // the walk's rate q, so those landings are thinned by q'/q — exact
+    // rejection, preserving per-listener independence.
+    const double q_tx = probs_tx.hit();
+    const double single_given_hit = probs.single_given_hit();
+    const double single_given_hit_tx = probs_tx.single_given_hit();
+    const double inv_log1m_q = 1.0 / std::log1p(-q);
+    for (std::uint64_t v = skip_draw(inv_log1m_q) - 1; v < n_;
+         v += skip_draw(inv_log1m_q)) {
+      if (skip(static_cast<NodeId>(v))) continue;
+      const bool tx = is_tx[v] != 0;
+      double single_prob = single_given_hit;
+      if (tx) {
+        if (half_duplex) continue;
+        if (rng_.next_double() * q >= q_tx) continue;
+        single_prob = single_given_hit_tx;
+      }
+      if (rng_.next_double() < single_prob)
+        deliver_uniform(static_cast<NodeId>(v), tx, transmitters, sink,
+                        record);
+      else
+        sink.collide(static_cast<NodeId>(v));
+    }
+  }
+
+  NodeId n_ = 0;
+  double p_ = 0.0;
+  double inv_log1m_p_ = 0.0;
+  Rng rng_;
+};
+
+/// Bounded store of individually resolved *present* ordered pairs, indexed
+/// by sender so a round touches exactly the entries whose sender transmits.
+/// Entries live in a pooled free-list (12 B each); when the pool is full,
+/// new resolutions are dropped (the modelled fallback) until stale entries
+/// are recycled.
+class PairSketch {
+ public:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  void reset(std::size_t capacity) {
+    pool_.clear();
+    heads_.clear();
+    free_head_ = kNil;
+    size_ = 0;
+    capacity_ = capacity;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  void insert(NodeId sender, NodeId listener, std::uint32_t round) {
+    if (size_ >= capacity_) return;  // full: forget (modelled fallback)
+    std::uint32_t idx;
+    if (free_head_ != kNil) {
+      idx = free_head_;
+      free_head_ = pool_[idx].next;
+    } else {
+      idx = static_cast<std::uint32_t>(pool_.size());
+      pool_.push_back({});
+    }
+    auto [it, fresh] = heads_.try_emplace(sender, idx);
+    Entry& e = pool_[idx];
+    e.listener = listener;
+    e.round = round;
+    if (fresh) {
+      e.next = kNil;
+    } else {
+      e.next = it->second;
+      it->second = idx;
+    }
+    ++size_;
+  }
+
+  /// Walks sender's entries in insertion order (most recent first), calling
+  /// f(listener, round&); f returns whether to keep the entry (it may
+  /// update the round in place). Erased entries go back to the free list.
+  template <class F>
+  void visit(NodeId sender, F&& f) {
+    const auto it = heads_.find(sender);
+    if (it == heads_.end()) return;
+    std::uint32_t* link = &it->second;
+    while (*link != kNil) {
+      Entry& e = pool_[*link];
+      if (f(e.listener, e.round)) {
+        link = &e.next;
+      } else {
+        const std::uint32_t idx = *link;
+        *link = e.next;
+        e.next = free_head_;
+        free_head_ = idx;
+        --size_;
+      }
+    }
+    if (it->second == kNil) heads_.erase(it);
+  }
+
+  /// Drops every entry older than `horizon` rounds — reclaims the slots of
+  /// senders that stopped transmitting. Only the *set* of dropped entries
+  /// is observable (free-list order never is), so iterating the unordered
+  /// map here cannot perturb reproducibility.
+  void drop_stale(std::uint32_t round, std::uint64_t horizon) {
+    for (auto it = heads_.begin(); it != heads_.end();) {
+      std::uint32_t* link = &it->second;
+      while (*link != kNil) {
+        Entry& e = pool_[*link];
+        if (round - e.round > horizon) {
+          const std::uint32_t idx = *link;
+          *link = e.next;
+          e.next = free_head_;
+          free_head_ = idx;
+          --size_;
+        } else {
+          link = &e.next;
+        }
+      }
+      it = it->second == kNil ? heads_.erase(it) : std::next(it);
+    }
+  }
+
+ private:
+  struct Entry {
+    NodeId listener = 0;
+    std::uint32_t round = 0;
+    std::uint32_t next = kNil;
+  };
+
+  std::vector<Entry> pool_;
+  std::unordered_map<NodeId, std::uint32_t> heads_;
+  std::uint32_t free_head_ = kNil;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
 }  // namespace detail
 
 /// Backend over one fixed, materialised graph.
@@ -259,14 +770,11 @@ class DynamicCsrTopology {
 /// file comment for the model and exactness conditions.
 class ImplicitGnpTopology {
  public:
-  explicit ImplicitGnpTopology(const ImplicitGnp& spec)
-      : n_(spec.n), p_(spec.p), rng_(spec.rng) {
-    RADNET_REQUIRE(n_ >= 1, "implicit G(n,p) needs n >= 1");
-    RADNET_REQUIRE(p_ >= 0.0 && p_ <= 1.0, "p must be in [0,1]");
-    if (p_ > 0.0 && p_ < 1.0) inv_log1m_p_ = 1.0 / std::log1p(-p_);
+  explicit ImplicitGnpTopology(const ImplicitGnp& spec) {
+    sampler_.init(spec.n, spec.p, spec.rng);
   }
 
-  [[nodiscard]] NodeId num_nodes() const { return n_; }
+  [[nodiscard]] NodeId num_nodes() const { return sampler_.n(); }
   void begin_round(std::uint32_t /*round*/) {}
 
   template <class Sink>
@@ -276,269 +784,339 @@ class ImplicitGnpTopology {
                const std::optional<std::span<const NodeId>>& attentive,
                Sink& sink) {
     const std::uint64_t k = transmitters.size();
-    if (k == 0 || p_ <= 0.0) return;
-    const double expected_events =
-        static_cast<double>(n_) *
-        std::min(1.0, static_cast<double>(k) * p_);  // ~ listeners with hits
-    // When the protocol has declared most listeners inert and enumerating
-    // just those is cheaper than enumerating every hit listener, classify
-    // the attentive listeners individually and fold the rest into exact
-    // aggregate counts: O(|attentive| + k) per round.
-    if (attentive.has_value() &&
-        static_cast<double>(attentive->size()) < expected_events) {
-      attentive_round(transmitters, is_tx, half_duplex, *attentive, sink);
-      return;
-    }
-    // Expected hits per listener is k*p. Sparse rounds (well under one hit
-    // per listener) enumerate the Bernoulli(p) pair grid by geometric
-    // skipping — O(expected hits). Dense rounds classify each listener as
-    // silent / single / collided straight from the round's Binomial outcome
-    // probabilities — O(event listeners) via a skip-walk, O(n) at worst.
-    if (static_cast<double>(k) * p_ < 0.25)
-      pair_grid_round(transmitters, is_tx, half_duplex, sink);
-    else
-      binomial_round(transmitters, is_tx, half_duplex, sink);
+    sampler_.round(transmitters, is_tx, half_duplex, attentive, sink,
+                   detail::SkipNone{}, detail::RecordNone{},
+                   static_cast<std::uint64_t>(sampler_.n()) - k, k);
   }
 
  private:
-  /// Per-round listener outcome probabilities for a common eligible
-  /// transmitter count c: P[hear nothing] = (1-p)^c, P[hear exactly one] =
-  /// c p (1-p)^{c-1}, everything else collides. The engine's semantics only
-  /// distinguish these three classes, so the exact hit count never needs to
-  /// be drawn in dense rounds.
-  struct OutcomeProbs {
-    double silent = 1.0;  ///< P[X = 0]
-    double single = 0.0;  ///< P[X = 1]
+  detail::GnpSampler sampler_;
+};
 
-    [[nodiscard]] double hit() const { return 1.0 - silent; }
-    /// P[exactly one | at least one].
-    [[nodiscard]] double single_given_hit() const {
-      const double q = hit();
-      return q > 0.0 ? single / q : 0.0;
+/// The implicit *dynamic* G(n,p) backend: link churn with lazy pair-state
+/// tracking, permanent node failures and density schedules, all without
+/// ever materialising a graph. See the file comment for the model and the
+/// exact-vs-modelled regimes; statistically pinned against the explicit
+/// ChurnGnp oracle by tests/sim/dynamic_topology_equivalence_test.cpp.
+class ImplicitDynamicGnpTopology {
+ public:
+  explicit ImplicitDynamicGnpTopology(const ImplicitDynamicGnp& spec)
+      : churn_(spec.churn),
+        fail_prob_(spec.fail_prob),
+        p_of_round_(spec.p_of_round) {
+    RADNET_REQUIRE(spec.churn > 0.0 && spec.churn <= 1.0,
+                   "churn must be in (0, 1]");
+    RADNET_REQUIRE(spec.fail_prob >= 0.0 && spec.fail_prob < 1.0,
+                   "fail_prob must be in [0, 1)");
+    sampler_.init(spec.n, spec.p, spec.rng.split(ImplicitDynamicGnp::kEdgeStream));
+    churn_rng_ = spec.rng.split(ImplicitDynamicGnp::kChurnStream);
+    fail_rng_ = spec.rng.split(ImplicitDynamicGnp::kFailStream);
+    if (churn_ < 1.0) {
+      log1m_churn_ = std::log1p(-churn_);
+      // Beyond the horizon a pair survives un-resampled with probability
+      // < 1e-12: its recorded state is numerically indistinguishable from
+      // a fresh Bernoulli(p), so the entry can be recycled.
+      horizon_ = static_cast<std::uint64_t>(
+          std::ceil(std::log(1e-12) / log1m_churn_));
+      sketch_.reset(spec.sketch_capacity);
+      // Start reclaiming stale entries once the pool is three-quarters
+      // full (never at zero capacity).
+      sketch_watermark_ =
+          std::max<std::size_t>(1, spec.sketch_capacity / 4u * 3u);
+      marks_.assign(spec.n, 0);
     }
+    if (fail_prob_ > 0.0) {
+      inv_log1m_fail_ = 1.0 / std::log1p(-fail_prob_);
+      failed_.assign(spec.n, 0);
+    }
+  }
+
+  [[nodiscard]] NodeId num_nodes() const { return sampler_.n(); }
+
+  /// Number of live pair-state sketch entries (for tests / diagnostics).
+  [[nodiscard]] std::size_t sketch_size() const { return sketch_.size(); }
+
+  /// Number of permanently failed nodes so far.
+  [[nodiscard]] NodeId failed_count() const { return failed_count_; }
+
+  void begin_round(std::uint32_t round) {
+    round_ = round;
+    if (p_of_round_)
+      sampler_.set_p(std::clamp(p_of_round_(round), 0.0, 1.0));
+    if (fail_prob_ > 0.0) draw_failures();
+    // Lazily reclaim entries of senders that stopped transmitting once the
+    // pool fills up; at most one linear sweep per horizon window.
+    if (churn_ < 1.0 && sketch_.size() >= sketch_watermark_ &&
+        round_ - last_sweep_round_ > horizon_) {
+      sketch_.drop_stale(round_, horizon_);
+      last_sweep_round_ = round_;
+    }
+  }
+
+  template <class Sink>
+  void deliver(std::span<const NodeId> transmitters,
+               const std::vector<char>& is_tx, bool half_duplex,
+               DeliveryPath /*path*/,
+               const std::optional<std::span<const NodeId>>& attentive,
+               Sink& sink) {
+    // Dead radios transmit into the void: filter them out of the round.
+    std::span<const NodeId> tx = transmitters;
+    if (failed_count_ > 0) {
+      live_tx_.clear();
+      for (const NodeId u : transmitters)
+        if (!failed_[u]) live_tx_.push_back(u);
+      tx = {live_tx_.data(), live_tx_.size()};
+    }
+    const std::uint64_t k = tx.size();
+    if (k == 0) return;
+    const bool sampling = sampler_.p() > 0.0;
+    const bool tracking = churn_ < 1.0;
+    if (!sampling && (!tracking || sketch_.size() == 0)) return;
+
+    // Phase 1: resolve every sketched pair whose sender transmits — these
+    // listeners ("pinned") have conditioned, non-exchangeable hit laws and
+    // are classified individually below.
+    pinned_.clear();
+    if (tracking && sketch_.size() > 0)
+      gather_pinned(tx, is_tx, half_duplex);
+
+    const auto record = [&](NodeId sender, NodeId listener) {
+      if (tracking) sketch_.insert(sender, listener, round_);
+    };
+    const auto skip = [&](NodeId v) {
+      return (tracking && marks_[v] != 0) ||
+             (failed_count_ > 0 && failed_[v] != 0);
+    };
+
+    std::uint64_t pinned_nontx = 0, pinned_tx = 0;
+    pinned_events_.clear();
+    classify_pinned(tx, is_tx, half_duplex, &pinned_nontx, &pinned_tx,
+                    record);
+
+    if (sampling) {
+      const std::uint64_t live = sampler_.n() - failed_count_;
+      RADNET_CHECK(live >= k + pinned_nontx,
+                   "pinned listeners exceed the live universe");
+      const std::uint64_t universe_nontx = live - k - pinned_nontx;
+      const std::uint64_t universe_tx = k - pinned_tx;
+      const double expected_events =
+          static_cast<double>(sampler_.n()) *
+          std::min(1.0, static_cast<double>(k) * sampler_.p());
+      if (attentive.has_value() &&
+          static_cast<double>(attentive->size()) < expected_events) {
+        // Attentive mode: pinned events first (ascending listener), then
+        // the hint's listeners in hint order, then the aggregates.
+        for (const PinnedEvent& e : pinned_events_) emit(e, sink);
+        sampler_.attentive_round(tx, is_tx, half_duplex, *attentive, sink,
+                                 skip, record, universe_nontx, universe_tx);
+      } else {
+        // Sweep mode: merge the pre-drawn pinned events into the sweep's
+        // ascending listener order.
+        MergeSink<Sink> merged{sink, pinned_events_, 0, this};
+        sampler_.sweep(tx, is_tx, half_duplex, merged, skip, record);
+        merged.flush_all();
+      }
+    } else {
+      // p(t) == 0 this round: only persisted pairs can deliver.
+      for (const PinnedEvent& e : pinned_events_) emit(e, sink);
+    }
+
+    if (tracking)
+      for (const PinnedTouch& t : pinned_) marks_[t.listener] = 0;
+  }
+
+ private:
+  struct PinnedTouch {
+    NodeId listener;
+    NodeId sender;
+    bool present;
+  };
+  struct PinnedEvent {
+    NodeId listener;
+    NodeId sender;  // meaningful only for deliveries
+    bool is_delivery;
   };
 
-  [[nodiscard]] OutcomeProbs outcome_probs(std::uint64_t count) const {
-    OutcomeProbs probs;
-    if (count == 0) return probs;
-    if (p_ >= 1.0) {  // degenerate complete graph
-      probs.silent = 0.0;
-      probs.single = count == 1 ? 1.0 : 0.0;
-      return probs;
-    }
-    const double cd = static_cast<double>(count);
-    probs.silent = std::exp(cd * std::log1p(-p_));
-    probs.single = cd * p_ * std::exp((cd - 1.0) * std::log1p(-p_));
-    return probs;
-  }
-
-  /// Skip-samples the k x n grid of (transmitter, listener) ordered pairs,
-  /// each present with probability p; pairs pointing at the transmitter
-  /// itself (self-loops) or, under half-duplex, at any transmitter (their
-  /// radio cannot hear) are discarded. Expected cost O(k * n * p).
-  [[nodiscard]] std::uint64_t skip(double inv_log1m) {
-    return rng_.geometric_inv(inv_log1m);
-  }
-
-  [[nodiscard]] std::uint64_t next_skip() { return skip(inv_log1m_p_); }
-
-  /// Skip-samples the listener-major grid of (listener, transmitter)
-  /// ordered pairs, each present with probability p; pairs whose
-  /// transmitter is the listener itself (self-loops) or, under half-duplex,
-  /// whose listener transmits (its radio cannot hear) are discarded.
-  /// Listener-major layout groups a listener's pair samples consecutively,
-  /// so events stream out in ascending listener order with no counter
-  /// arrays and no sort. Expected cost O(k * n * p).
   template <class Sink>
-  void pair_grid_round(std::span<const NodeId> transmitters,
-                       const std::vector<char>& is_tx, bool half_duplex,
-                       Sink& sink) {
-    const std::uint64_t k = transmitters.size();
-    const std::uint64_t total = k * static_cast<std::uint64_t>(n_);
-    if (p_ >= 1.0) {  // degenerate: every pair present
-      binomial_round(transmitters, is_tx, half_duplex, sink);
-      return;
-    }
-    NodeId cur = n_;  // listener whose hits are being accumulated
-    std::uint32_t cur_hits = 0;
-    NodeId cur_sender = 0;
-    const auto flush = [&] {
-      if (cur_hits == 0) return;
-      if (cur_hits == 1)
-        sink.deliver(cur, cur_sender);
-      else
-        sink.collide(cur);
-      cur_hits = 0;
-    };
-    for (std::uint64_t idx = next_skip() - 1; idx < total;
-         idx += next_skip()) {
-      const NodeId v = static_cast<NodeId>(idx / k);
-      const NodeId t = transmitters[static_cast<std::size_t>(idx % k)];
-      if (v == t || (half_duplex && is_tx[v])) continue;
-      if (v != cur) {
-        flush();
-        cur = v;
-      }
-      ++cur_hits;
-      cur_sender = t;
-    }
-    flush();
-  }
-
-  /// Aggregate outcome accounting for `count` exchangeable listeners the
-  /// protocol declared inert: the number of single-hit listeners is
-  /// Binomial(count, P1) and, conditioned on it, the number of collided
-  /// listeners is Binomial(count - singles, P2 / (1 - P1)) — exactly the
-  /// marginal the per-listener enumeration would produce, in two draws.
-  template <class Sink>
-  void aggregate_group(std::uint64_t count, const OutcomeProbs& probs,
-                       Sink& sink) {
-    if (count == 0 || probs.hit() <= 0.0) return;
-    const std::uint64_t singles = rng_.binomial(count, probs.single);
-    const double collide_given_not_single =
-        probs.single >= 1.0
-            ? 0.0
-            : std::min(1.0, (1.0 - probs.silent - probs.single) /
-                                (1.0 - probs.single));
-    const std::uint64_t collisions =
-        rng_.binomial(count - singles, collide_given_not_single);
-    sink.deliver_bulk(singles);
-    sink.collide_bulk(collisions);
-  }
-
-  /// O(|attentive| + k) round: classify each attentive listener
-  /// individually (in the hint's order) and fold every other listener's
-  /// outcome into the two-draw aggregate above.
-  template <class Sink>
-  void attentive_round(std::span<const NodeId> transmitters,
-                       const std::vector<char>& is_tx, bool half_duplex,
-                       std::span<const NodeId> attentive, Sink& sink) {
-    const std::uint64_t k = transmitters.size();
-    const OutcomeProbs probs = outcome_probs(k);
-    const OutcomeProbs probs_tx =
-        half_duplex ? OutcomeProbs{} : outcome_probs(k - 1);
-
-    std::uint64_t att_nontx = 0, att_tx = 0;
-    for (const NodeId v : attentive) {
-      const bool tx = is_tx[v] != 0;
-      if (tx && half_duplex) continue;
-      ++(tx ? att_tx : att_nontx);
-      classify(v, tx, probs, probs_tx, transmitters, sink);
-    }
-    // The silent majority: all non-attentive listeners, by eligible
-    // transmitter count.
-    aggregate_group(static_cast<std::uint64_t>(n_) - k - att_nontx, probs,
-                    sink);
-    if (!half_duplex) aggregate_group(k - att_tx, probs_tx, sink);
-  }
-
-
-  /// Draws one listener's outcome from its three-way distribution and
-  /// emits the matching event (nothing / delivery / collision). The single
-  /// classification step shared by the attentive path and the dense sweep.
-  template <class Sink>
-  void classify(NodeId v, bool tx, const OutcomeProbs& probs,
-                const OutcomeProbs& probs_tx,
-                std::span<const NodeId> transmitters, Sink& sink) {
-    const OutcomeProbs& pr = tx ? probs_tx : probs;
-    const double u = rng_.next_double();
-    if (u < pr.silent) return;
-    if (u < pr.silent + pr.single)
-      deliver_uniform(v, tx, transmitters, sink);
+  void emit(const PinnedEvent& e, Sink& sink) const {
+    if (e.is_delivery)
+      sink.deliver(e.listener, e.sender);
     else
-      sink.collide(v);
+      sink.collide(e.listener);
   }
 
-  /// Delivers to listener v from a uniformly chosen eligible transmitter
-  /// (by symmetry, conditioned on exactly one hit the sender is uniform).
-  /// A full-duplex transmitter listener excludes itself by swapping the
-  /// last slot in for a draw that lands on v.
+  /// Forwards sweep events to the engine sink, flushing buffered pinned
+  /// events whose listener precedes the sweep's current listener so the
+  /// combined stream stays in ascending receiver order. Pinned listeners
+  /// are marked and therefore never also produced by the sweep.
   template <class Sink>
-  void deliver_uniform(NodeId v, bool tx, std::span<const NodeId> transmitters,
-                       Sink& sink) {
-    const std::uint64_t k = transmitters.size();
-    const std::uint64_t eligible = k - (tx ? 1u : 0u);
-    const std::uint64_t j = rng_.uniform_below(eligible);
-    NodeId sender = transmitters[static_cast<std::size_t>(j)];
-    if (tx && sender == v) sender = transmitters[static_cast<std::size_t>(k - 1)];
-    sink.deliver(v, sender);
-  }
+  struct MergeSink {
+    Sink& inner;
+    const std::vector<PinnedEvent>& pending;
+    std::size_t next;
+    const ImplicitDynamicGnpTopology* self;
 
-  /// Classifies each listener as silent / single-hit / collided directly
-  /// from Binomial(k', p) outcome probabilities, where k' excludes the
-  /// listener itself when it is transmitting (no self-loops). When most
-  /// listeners hear nothing, the listeners with >= 1 hit are themselves
-  /// geometric-skip-sampled at rate q = 1 - P[X=0], making the round
-  /// O(event listeners) instead of O(n); per event the only randomness is
-  /// one classification uniform (plus the sender draw on delivery).
-  template <class Sink>
-  void binomial_round(std::span<const NodeId> transmitters,
-                      const std::vector<char>& is_tx, bool half_duplex,
-                      Sink& sink) {
-    const std::uint64_t k = transmitters.size();
-    if (p_ >= 1.0) {
-      // Degenerate complete graph: every listener hears every eligible
-      // transmitter deterministically.
-      for (NodeId v = 0; v < n_; ++v) {
-        const bool tx = is_tx[v] != 0;
-        if (half_duplex && tx) continue;
-        const std::uint64_t eligible = k - (tx ? 1u : 0u);
-        if (eligible == 0) continue;
-        if (eligible >= 2) {
-          sink.collide(v);
-          continue;
+    void flush_upto(NodeId v) {
+      while (next < pending.size() && pending[next].listener < v)
+        self->emit(pending[next++], inner);
+    }
+    void flush_all() {
+      while (next < pending.size()) self->emit(pending[next++], inner);
+    }
+    void deliver(NodeId receiver, NodeId sender) {
+      flush_upto(receiver);
+      inner.deliver(receiver, sender);
+    }
+    void collide(NodeId receiver) {
+      flush_upto(receiver);
+      inner.collide(receiver);
+    }
+    void deliver_bulk(std::uint64_t count) { inner.deliver_bulk(count); }
+    void collide_bulk(std::uint64_t count) { inner.collide_bulk(count); }
+  };
+
+  /// Walks the sketch lists of this round's transmitters and resolves each
+  /// touched pair's persistence: the recorded present state survives with
+  /// probability (1-churn)^age (no re-sample hit it — memoryless, so the
+  /// entry's clock restarts at this round), otherwise the pair re-draws
+  /// fresh Bernoulli(p). Negative outcomes drop the entry (absence is not
+  /// stored — the modelled fallback). Pairs whose listener cannot hear
+  /// this round (failed, or transmitting under half-duplex) are left
+  /// untouched: their state is unobservable, so it just keeps ageing.
+  void gather_pinned(std::span<const NodeId> tx,
+                     const std::vector<char>& is_tx, bool half_duplex) {
+    for (const NodeId t : tx) {
+      sketch_.visit(t, [&](NodeId w, std::uint32_t& entry_round) {
+        const std::uint64_t age = round_ - entry_round;
+        if (age > horizon_) return false;  // numerically fresh again
+        if (failed_count_ > 0 && failed_[w] != 0) return true;
+        if (half_duplex && is_tx[w]) return true;
+        bool present = true;
+        if (age > 0) {
+          const double survive =
+              std::exp(static_cast<double>(age) * log1m_churn_);
+          if (churn_rng_.next_double() >= survive)
+            present = churn_rng_.bernoulli(sampler_.p());
         }
-        NodeId sender = transmitters[0];
-        if (tx && sender == v) sender = transmitters[k - 1];
-        sink.deliver(v, sender);
-      }
-      return;
+        if (present) entry_round = round_;
+        pinned_.push_back({w, t, present});
+        return present;
+      });
     }
-    const OutcomeProbs probs = outcome_probs(k);
-    // Full-duplex transmitter listeners hear one fewer candidate sender.
-    const OutcomeProbs probs_tx =
-        half_duplex ? OutcomeProbs{} : outcome_probs(k - 1);
-    const double q = probs.hit();
+    std::stable_sort(pinned_.begin(), pinned_.end(),
+                     [](const PinnedTouch& a, const PinnedTouch& b) {
+                       return a.listener < b.listener;
+                     });
+    for (const PinnedTouch& t : pinned_) marks_[t.listener] = 1;
+  }
 
-    if (q > 0.5) {
-      // Most listeners hear something: a plain sweep is cheaper than
-      // skip-sampling (and the round is O(events) either way).
-      for (NodeId v = 0; v < n_; ++v) {
-        const bool tx = is_tx[v] != 0;
-        if (half_duplex && tx) continue;
-        classify(v, tx, probs, probs_tx, transmitters, sink);
+  /// Classifies each pinned listener: total hits = resolved sketch hits +
+  /// Binomial(k_unknown, p) over its untracked pairs, collapsed to the
+  /// silent / single / collided classes the engine distinguishes. Events
+  /// are buffered (already in ascending listener order) for the caller to
+  /// emit or merge.
+  template <class Record>
+  void classify_pinned(std::span<const NodeId> tx,
+                       const std::vector<char>& is_tx, bool half_duplex,
+                       std::uint64_t* pinned_nontx, std::uint64_t* pinned_tx,
+                       Record&& record) {
+    const std::uint64_t k = tx.size();
+    std::size_t i = 0;
+    while (i < pinned_.size()) {
+      std::size_t j = i;
+      std::uint32_t hits_known = 0;
+      NodeId stored_sender = 0;
+      const NodeId w = pinned_[i].listener;
+      for (; j < pinned_.size() && pinned_[j].listener == w; ++j) {
+        if (pinned_[j].present) {
+          ++hits_known;
+          stored_sender = pinned_[j].sender;
+        }
       }
-      return;
-    }
-
-    // Skip-walk the listeners that hear >= 1 transmitter. A transmitter
-    // listener's true hit probability q' (from Binomial(k-1, p)) is below
-    // the walk's rate q, so those landings are thinned by q'/q — exact
-    // rejection, preserving per-listener independence.
-    const double q_tx = probs_tx.hit();
-    const double single_given_hit = probs.single_given_hit();
-    const double single_given_hit_tx = probs_tx.single_given_hit();
-    const double inv_log1m_q = 1.0 / std::log1p(-q);
-    for (std::uint64_t v = skip(inv_log1m_q) - 1; v < n_;
-         v += skip(inv_log1m_q)) {
-      const bool tx = is_tx[v] != 0;
-      double single_prob = single_given_hit;
-      if (tx) {
-        if (half_duplex) continue;
-        if (rng_.next_double() * q >= q_tx) continue;
-        single_prob = single_given_hit_tx;
+      const std::uint64_t cnt_known = j - i;
+      const bool wtx = is_tx[w] != 0;
+      ++(wtx ? *pinned_tx : *pinned_nontx);
+      const std::uint64_t eligible =
+          k - cnt_known - (wtx && !half_duplex ? 1u : 0u);
+      if (hits_known >= 2) {
+        pinned_events_.push_back({w, 0, false});
+      } else {
+        const auto probs = sampler_.outcome_probs(eligible);
+        const double u = churn_rng_.next_double();
+        if (hits_known == 1) {
+          // One tracked hit: collision iff any untracked pair also hits.
+          if (u < probs.silent)
+            pinned_events_.push_back({w, stored_sender, true});
+          else
+            pinned_events_.push_back({w, 0, false});
+        } else if (u >= probs.silent) {
+          if (u < probs.silent + probs.single) {
+            const NodeId sender = pick_unknown_sender(tx, w, wtx, i, j);
+            record(sender, w);
+            pinned_events_.push_back({w, sender, true});
+          } else {
+            pinned_events_.push_back({w, 0, false});
+          }
+        }
       }
-      if (rng_.next_double() < single_prob)
-        deliver_uniform(static_cast<NodeId>(v), tx, transmitters, sink);
-      else
-        sink.collide(static_cast<NodeId>(v));
+      i = j;
     }
   }
 
-  NodeId n_;
-  double p_;
-  double inv_log1m_p_ = 0.0;
-  Rng rng_;
+  /// Uniform draw over the transmitters whose pair to `w` is untracked
+  /// (rejecting w itself and the listeners' resolved senders — a handful
+  /// at most, so rejection terminates fast; probs.single > 0 guarantees
+  /// the untracked set is non-empty).
+  NodeId pick_unknown_sender(std::span<const NodeId> tx, NodeId w, bool wtx,
+                             std::size_t begin, std::size_t end) {
+    for (;;) {
+      const NodeId cand = tx[static_cast<std::size_t>(
+          churn_rng_.uniform_below(tx.size()))];
+      if (wtx && cand == w) continue;
+      bool tracked = false;
+      for (std::size_t s = begin; s < end; ++s)
+        if (pinned_[s].sender == cand) {
+          tracked = true;
+          break;
+        }
+      if (!tracked) return cand;
+    }
+  }
+
+  /// Each live node fails independently with fail_prob per round; landing
+  /// on an already-failed node is a no-op, so one skip-sampled sweep of
+  /// [0, n) is exact.
+  void draw_failures() {
+    const std::uint64_t n = sampler_.n();
+    for (std::uint64_t v = fail_rng_.geometric_inv(inv_log1m_fail_) - 1;
+         v < n; v += fail_rng_.geometric_inv(inv_log1m_fail_)) {
+      if (!failed_[v]) {
+        failed_[v] = 1;
+        ++failed_count_;
+      }
+    }
+  }
+
+  detail::GnpSampler sampler_;
+  double churn_;
+  double fail_prob_;
+  std::function<double(std::uint32_t)> p_of_round_;
+  Rng churn_rng_;
+  Rng fail_rng_;
+  double log1m_churn_ = 0.0;
+  double inv_log1m_fail_ = 0.0;
+  std::uint64_t horizon_ = 0;
+  std::uint32_t round_ = 0;
+  std::uint32_t last_sweep_round_ = 0;
+  std::size_t sketch_watermark_ = 0;
+
+  detail::PairSketch sketch_;
+  std::vector<char> marks_;
+  std::vector<char> failed_;
+  NodeId failed_count_ = 0;
+  std::vector<NodeId> live_tx_;
+  std::vector<PinnedTouch> pinned_;
+  std::vector<PinnedEvent> pinned_events_;
 };
 
 }  // namespace radnet::sim

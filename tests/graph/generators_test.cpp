@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "graph/dynamics.hpp"
 #include "graph/metrics.hpp"
 
 namespace radnet::graph {
@@ -153,6 +156,115 @@ TEST(GeneratorsTest, InvalidArgumentsThrow) {
   EXPECT_THROW(random_geometric(10, 0.0, rng), std::invalid_argument);
   EXPECT_THROW(cycle(2), std::invalid_argument);
   EXPECT_THROW(star(1), std::invalid_argument);
+}
+
+// ---- edge_reserve_hint: peak-allocation regression ------------------------
+//
+// The hint must (a) cover the sampled edge count of essentially every trial
+// and every churned round, so the edge buffer is allocated exactly once and
+// never doubles through a ~2x transient peak, while (b) staying within a
+// small factor of the expected count, so dynamic trials don't over-reserve.
+
+/// Minimal counting allocator: tracks live bytes, peak bytes and the number
+/// of allocations through a shared tally (vector rebinds copies).
+struct AllocTally {
+  std::size_t live = 0;
+  std::size_t peak = 0;
+  std::size_t allocations = 0;
+};
+
+template <typename T>
+struct CountingAllocator {
+  using value_type = T;
+  AllocTally* tally;
+
+  explicit CountingAllocator(AllocTally* t) : tally(t) {}
+  template <typename U>
+  explicit CountingAllocator(const CountingAllocator<U>& other)
+      : tally(other.tally) {}
+
+  T* allocate(std::size_t count) {
+    tally->live += count * sizeof(T);
+    tally->peak = std::max(tally->peak, tally->live);
+    ++tally->allocations;
+    return static_cast<T*>(::operator new(count * sizeof(T)));
+  }
+  void deallocate(T* ptr, std::size_t count) {
+    tally->live -= count * sizeof(T);
+    ::operator delete(ptr);
+  }
+  template <typename U>
+  bool operator==(const CountingAllocator<U>& other) const {
+    return tally == other.tally;
+  }
+};
+
+TEST(EdgeReserveHint, OneAllocationCoversStaticAndChurnedSampling) {
+  const NodeId n = 512;
+  const std::uint64_t pairs = static_cast<std::uint64_t>(n) * (n - 1);
+  for (const double p : {0.002, 0.01, 0.05}) {
+    const std::size_t hint = edge_reserve_hint(pairs, p, 1);
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      AllocTally tally;
+      {
+        std::vector<Edge, CountingAllocator<Edge>> edges{
+            CountingAllocator<Edge>(&tally)};
+        edges.reserve(hint);
+        // The exact fill pattern of gnp_directed / ChurnGnp::rebuild: one
+        // push per selected pair, repeated across churned re-samples (each
+        // round is a fresh Bernoulli(p) draw of the pair set, clear() keeps
+        // capacity exactly like ChurnGnp's rebuild buffer).
+        Rng rng(seed);
+        for (int round = 0; round < 16; ++round) {
+          edges.clear();
+          std::uint64_t i = rng.geometric(p) - 1;
+          while (i < pairs) {
+            edges.push_back({static_cast<NodeId>(i / (n - 1)),
+                             static_cast<NodeId>(i % (n - 1))});
+            i += rng.geometric(p);
+          }
+          ASSERT_LE(edges.size(), hint)
+              << "p=" << p << " seed=" << seed << " round=" << round;
+        }
+      }
+      EXPECT_EQ(tally.allocations, 1u) << "p=" << p << " seed=" << seed;
+      EXPECT_EQ(tally.peak, hint * sizeof(Edge));
+    }
+  }
+}
+
+TEST(EdgeReserveHint, StaysNearExpectationAndRespectsCaps) {
+  // No over-reserve: within ~1.35x of the mean once the mean dominates the
+  // sigma term (the ~2x doubling peak this replaced is well outside).
+  const std::uint64_t pairs = 1u << 20;
+  for (const double p : {0.01, 0.1, 0.5}) {
+    const double expected = static_cast<double>(pairs) * p;
+    const std::size_t hint = edge_reserve_hint(pairs, p, 1);
+    EXPECT_GE(hint, static_cast<std::size_t>(expected));
+    EXPECT_LE(hint, static_cast<std::size_t>(1.35 * expected));
+  }
+  // Caps at the exact maximum; scales by edges_per_pair; empty cases are 0.
+  EXPECT_EQ(edge_reserve_hint(100, 1.0, 1), 100u);
+  EXPECT_EQ(edge_reserve_hint(100, 0.999, 2), 200u);
+  EXPECT_EQ(edge_reserve_hint(0, 0.5, 1), 0u);
+  EXPECT_EQ(edge_reserve_hint(100, 0.0, 1), 0u);
+}
+
+TEST(EdgeReserveHint, ChurnGnpEdgeCountStaysWithinReserve) {
+  // End-to-end: a churned topology's per-round edge count must stay inside
+  // the ctor's reserve across many re-sampled rounds (so rebuild() never
+  // reallocates its buffer mid-trial).
+  const NodeId n = 128;
+  const double p = 0.05;
+  const std::uint64_t pairs = static_cast<std::uint64_t>(n) * (n - 1);
+  const std::size_t hint = edge_reserve_hint(pairs, p, 1);
+  for (const double churn : {0.1, 0.5, 1.0}) {
+    ChurnGnp topo(n, p, churn, Rng(99));
+    for (std::uint32_t r = 0; r < 64; ++r) {
+      (void)topo.at(r);
+      ASSERT_LE(topo.edge_count(), hint) << "churn=" << churn << " r=" << r;
+    }
+  }
 }
 
 }  // namespace

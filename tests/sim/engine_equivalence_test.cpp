@@ -3,8 +3,12 @@
 // over random graphs, random protocols and many seeds is the main evidence
 // that Engine implements the paper's reception rule (exactly one
 // transmitting in-neighbour) correctly.
+#include <cmath>
+
 #include <gtest/gtest.h>
 
+#include "core/broadcast_general.hpp"
+#include "core/gossip_random.hpp"
 #include "graph/generators.hpp"
 #include "sim/engine.hpp"
 #include "sim/reference_engine.hpp"
@@ -58,6 +62,82 @@ INSTANTIATE_TEST_SUITE_P(
         EquivCase{15, 0.05, 0.5, true}, EquivCase{16, 0.05, 0.5, false},
         EquivCase{17, 0.1, 0.9, true}, EquivCase{18, 0.001, 0.01, true},
         EquivCase{19, 0.2, 0.3, false}, EquivCase{20, 0.5, 0.05, true}));
+
+void expect_same_run(const RunResult& r1, const RunResult& r2) {
+  EXPECT_EQ(r1.ledger.total_transmissions, r2.ledger.total_transmissions);
+  EXPECT_EQ(r1.ledger.total_deliveries, r2.ledger.total_deliveries);
+  EXPECT_EQ(r1.ledger.total_collisions, r2.ledger.total_collisions);
+  EXPECT_EQ(r1.ledger.tx_per_node, r2.ledger.tx_per_node);
+  EXPECT_EQ(r1.rounds_executed, r2.rounds_executed);
+  EXPECT_EQ(r1.completed, r2.completed);
+  EXPECT_EQ(r1.completion_round, r2.completion_round);
+}
+
+// Gossip (Algorithm 2) exercises paths broadcast never does: every node a
+// candidate forever, the bulk sample_transmitters hook, rumor-set joins on
+// delivery. Both engines must agree bit-for-bit, protocol state included.
+TEST(EngineEquivalenceProtocols, GossipAgreesWithReferenceEngine) {
+  for (const std::uint64_t seed : {31ull, 32ull, 33ull}) {
+    Rng graph_rng(seed);
+    const std::uint32_t n = 96;
+    const double p = 8.0 * std::log(n) / n;
+    const Digraph g = graph::gnp_directed(n, p, graph_rng);
+
+    core::GossipRandomProtocol p1(core::GossipRandomParams{.p = p});
+    core::GossipRandomProtocol p2(core::GossipRandomParams{.p = p});
+    RunOptions options;
+    options.max_rounds = 4096;
+
+    Engine fast;
+    const RunResult r1 = fast.run(g, p1, Rng(seed + 1), options);
+    ReferenceEngine slow;
+    const RunResult r2 = slow.run(g, p2, Rng(seed + 1), options);
+
+    expect_same_run(r1, r2);
+    EXPECT_EQ(p1.pairs_known(), p2.pairs_known());
+    for (graph::NodeId v = 0; v < n; ++v)
+      ASSERT_EQ(p1.rumors_known(v), p2.rumors_known(v)) << "node " << v;
+  }
+}
+
+// General broadcast (Algorithm 3) draws a *shared* per-round coin in
+// begin_round and walks nodes through informed/active windows — a third
+// randomness-consumption pattern. Cross-check on a cluster chain (the
+// known-diameter topology family it is designed for) and a sparse G(n,p).
+TEST(EngineEquivalenceProtocols, GeneralBroadcastAgreesWithReferenceEngine) {
+  std::vector<std::pair<Digraph, std::uint64_t>> cases;
+  cases.emplace_back(graph::cluster_chain(8, 8), 9);
+  {
+    Rng grng(41);
+    cases.emplace_back(graph::gnp_directed(128, 0.06, grng), 4);
+  }
+  for (std::uint64_t seed = 51; const auto& [g, diameter] : cases) {
+    const std::uint64_t n = g.num_nodes();
+    const auto make = [&] {
+      return core::GeneralBroadcastProtocol(core::GeneralBroadcastParams{
+          .distribution = core::SequenceDistribution::alpha(n, diameter),
+          .window = core::general_window(n, 4.0),
+          .source = 0,
+          .label = ""});
+    };
+    RunOptions options;
+    options.max_rounds = 4096;
+    options.stop_on_empty_candidates = true;
+    options.run_to_quiescence = true;  // the honest-energy configuration
+
+    auto p1 = make();
+    Engine fast;
+    const RunResult r1 = fast.run(g, p1, Rng(seed), options);
+    auto p2 = make();
+    ReferenceEngine slow;
+    const RunResult r2 = slow.run(g, p2, Rng(seed), options);
+
+    expect_same_run(r1, r2);
+    EXPECT_EQ(p1.informed_count(), p2.informed_count());
+    EXPECT_TRUE(r1.completed);
+    ++seed;
+  }
+}
 
 TEST(EngineEquivalenceTraces, TracesIdenticalOnStar) {
   const Digraph g = graph::star(30);

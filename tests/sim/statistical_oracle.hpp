@@ -1,0 +1,173 @@
+// Statistical oracle helpers shared by the backend-equivalence tests.
+//
+// Dynamic-process reproductions live or die by distributional correctness:
+// a fast backend that is "roughly right" silently invalidates every
+// experiment built on it. These helpers give the equivalence tests two
+// classical two-sample homogeneity checks — Kolmogorov–Smirnov on the raw
+// samples and a chi-square over pooled quantile bins — with explicit
+// critical values, so a failure prints the statistic against its threshold
+// instead of an opaque boolean.
+//
+// Everything here is deterministic: no randomness is drawn, thresholds are
+// closed-form (asymptotic KS inverse; Wilson–Hilferty chi-square inverse
+// via an Acklam normal quantile). Trial counts honour the
+// RADNET_STAT_TRIALS environment variable so CI can run a fast fixed-seed
+// mode (< 10 s, label tier1_stat) while overnight sweeps crank the
+// resolution up.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace radnet::sim::testing {
+
+/// Per-point trial count: `fallback` unless RADNET_STAT_TRIALS overrides
+/// (clamped to >= 8 so the asymptotic thresholds stay meaningful).
+inline std::uint32_t stat_trials(std::uint32_t fallback) {
+  if (const char* s = std::getenv("RADNET_STAT_TRIALS")) {
+    const long v = std::strtol(s, nullptr, 10);
+    if (v > 0) return std::max(8u, static_cast<std::uint32_t>(v));
+  }
+  return fallback;
+}
+
+/// Standard normal quantile (Acklam's rational approximation, |err| <
+/// 1.2e-9 over (0,1)) — used to invert the chi-square CDF below.
+inline double normal_quantile(double p) {
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double lo = 0.02425;
+  if (p < lo) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - lo) return -normal_quantile(1.0 - p);
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+/// Asymptotic two-sample KS critical value at level alpha:
+/// c(alpha) * sqrt((na + nb) / (na * nb)) with c = sqrt(-ln(alpha/2) / 2).
+/// For discrete samples (round counts) the KS statistic is conservative,
+/// so comparing against this threshold only ever under-rejects.
+inline double ks_critical(std::size_t na, std::size_t nb, double alpha) {
+  const double c = std::sqrt(-0.5 * std::log(alpha / 2.0));
+  return c * std::sqrt(static_cast<double>(na + nb) /
+                       (static_cast<double>(na) * static_cast<double>(nb)));
+}
+
+struct KsCheck {
+  double stat = 0.0;
+  double critical = 0.0;
+  [[nodiscard]] bool pass() const { return stat < critical; }
+  [[nodiscard]] std::string describe(const std::string& what) const {
+    return what + ": KS = " + std::to_string(stat) +
+           " (critical = " + std::to_string(critical) + ")";
+  }
+};
+
+inline KsCheck ks_two_sample(const std::vector<double>& a,
+                             const std::vector<double>& b, double alpha) {
+  KsCheck check;
+  check.stat = ks_statistic(a, b);
+  check.critical = ks_critical(a.size(), b.size(), alpha);
+  return check;
+}
+
+/// Chi-square upper quantile via the Wilson–Hilferty cube approximation —
+/// accurate to a few percent for df >= 3, far tighter than the margins the
+/// tests run with.
+inline double chi_square_critical(std::uint32_t df, double alpha) {
+  const double z = normal_quantile(1.0 - alpha);
+  const double t = 2.0 / (9.0 * static_cast<double>(df));
+  const double base = 1.0 - t + z * std::sqrt(t);
+  return static_cast<double>(df) * base * base * base;
+}
+
+struct ChiSquareCheck {
+  double stat = 0.0;
+  std::uint32_t df = 0;
+  double critical = 0.0;
+  [[nodiscard]] bool pass() const { return stat < critical; }
+  [[nodiscard]] std::string describe(const std::string& what) const {
+    return what + ": chi2 = " + std::to_string(stat) +
+           " (df = " + std::to_string(df) +
+           ", critical = " + std::to_string(critical) + ")";
+  }
+};
+
+/// Two-sample chi-square homogeneity test over quantile bins of the pooled
+/// sample. Bin edges come from pooled quantiles so expected counts are
+/// roughly balanced; duplicate edges (heavily discrete data) collapse, and
+/// `bins` shrinks automatically until every bin's pooled count is >= 8.
+inline ChiSquareCheck chi_square_two_sample(const std::vector<double>& a,
+                                            const std::vector<double>& b,
+                                            std::uint32_t bins, double alpha) {
+  ChiSquareCheck check;
+  std::vector<double> pooled(a);
+  pooled.insert(pooled.end(), b.begin(), b.end());
+  std::sort(pooled.begin(), pooled.end());
+  const std::size_t total = pooled.size();
+  if (total == 0) return check;
+  bins = std::max<std::uint32_t>(
+      2, std::min<std::uint32_t>(bins, static_cast<std::uint32_t>(total / 8)));
+
+  // Upper edges of bins 0..bins-2 (the last bin is unbounded); collapse
+  // duplicates produced by discrete data.
+  std::vector<double> edges;
+  for (std::uint32_t i = 1; i < bins; ++i) {
+    const double e = pooled[total * i / bins];
+    if (edges.empty() || e > edges.back()) edges.push_back(e);
+  }
+  const std::size_t nb = edges.size() + 1;
+  if (nb < 2) return check;  // degenerate data: everything identical
+
+  const auto bin_of = [&](double x) {
+    return static_cast<std::size_t>(
+        std::upper_bound(edges.begin(), edges.end(), x) - edges.begin());
+  };
+  std::vector<double> ca(nb, 0.0), cb(nb, 0.0);
+  for (const double x : a) ca[bin_of(x)] += 1.0;
+  for (const double x : b) cb[bin_of(x)] += 1.0;
+
+  const double na = static_cast<double>(a.size());
+  const double nbs = static_cast<double>(b.size());
+  double stat = 0.0;
+  std::uint32_t used = 0;
+  for (std::size_t i = 0; i < nb; ++i) {
+    const double pooled_count = ca[i] + cb[i];
+    if (pooled_count <= 0.0) continue;
+    ++used;
+    const double ea = pooled_count * na / (na + nbs);
+    const double eb = pooled_count * nbs / (na + nbs);
+    stat += (ca[i] - ea) * (ca[i] - ea) / ea;
+    stat += (cb[i] - eb) * (cb[i] - eb) / eb;
+  }
+  check.stat = stat;
+  check.df = used > 1 ? used - 1 : 1;
+  check.critical = chi_square_critical(check.df, alpha);
+  return check;
+}
+
+}  // namespace radnet::sim::testing

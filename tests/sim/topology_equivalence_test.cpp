@@ -8,6 +8,7 @@
 // backends at the same root seed and compare the completion-round and
 // total-transmission distributions with a two-sample KS statistic, plus the
 // paper's per-node invariant (max one transmission per node) on both paths.
+// Trial counts honour RADNET_STAT_TRIALS (ctest label: tier1_stat).
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -15,6 +16,7 @@
 #include "core/broadcast_random.hpp"
 #include "graph/generators.hpp"
 #include "harness/monte_carlo.hpp"
+#include "statistical_oracle.hpp"
 #include "support/stats.hpp"
 
 namespace radnet::sim {
@@ -44,7 +46,7 @@ struct PairedRuns {
   McResult implicit_gnp;
 };
 
-PairedRuns run_paired(std::uint32_t n, double p, std::uint32_t trials = 96) {
+PairedRuns run_paired(std::uint32_t n, double p, std::uint32_t trials) {
   McSpec csr_spec = base_spec(n, p, trials);
   csr_spec.make_graph = [n, p](std::uint32_t, Rng rng) {
     return std::make_shared<const graph::Digraph>(
@@ -59,10 +61,9 @@ PairedRuns run_paired(std::uint32_t n, double p, std::uint32_t trials = 96) {
           harness::run_monte_carlo(implicit_spec)};
 }
 
-// Two-sample KS critical value at alpha ~ 0.001 for 96 vs 96 samples is
-// 1.95 * sqrt(2/96) ~ 0.28; discreteness of the round counts only makes the
-// statistic smaller.
-constexpr double kKsBound = 0.28;
+// KS at alpha = 0.001 (discreteness of the round counts only makes the
+// statistic smaller, so the threshold is conservative).
+constexpr double kKsAlpha = 0.001;
 
 void expect_distributionally_equal(const PairedRuns& runs,
                                    double min_success = 0.9) {
@@ -73,13 +74,17 @@ void expect_distributionally_equal(const PairedRuns& runs,
   EXPECT_GE(runs.implicit_gnp.success_rate(), min_success);
   EXPECT_NEAR(runs.csr.success_rate(), runs.implicit_gnp.success_rate(), 0.15);
 
-  const double ks_rounds = ks_statistic(runs.csr.rounds_sample().values(),
-                                        runs.implicit_gnp.rounds_sample().values());
-  EXPECT_LT(ks_rounds, kKsBound) << "completion-round distributions diverge";
+  const auto ks_rounds = testing::ks_two_sample(
+      runs.csr.rounds_sample().values(),
+      runs.implicit_gnp.rounds_sample().values(), kKsAlpha);
+  EXPECT_TRUE(ks_rounds.pass())
+      << ks_rounds.describe("completion-round distributions diverge");
 
-  const double ks_tx = ks_statistic(runs.csr.total_tx_sample().values(),
-                                    runs.implicit_gnp.total_tx_sample().values());
-  EXPECT_LT(ks_tx, kKsBound) << "total-transmission distributions diverge";
+  const auto ks_tx = testing::ks_two_sample(
+      runs.csr.total_tx_sample().values(),
+      runs.implicit_gnp.total_tx_sample().values(), kKsAlpha);
+  EXPECT_TRUE(ks_tx.pass())
+      << ks_tx.describe("total-transmission distributions diverge");
 
   const double csr_tx = runs.csr.total_tx_sample().mean();
   const double imp_tx = runs.implicit_gnp.total_tx_sample().mean();
@@ -93,7 +98,7 @@ void expect_distributionally_equal(const PairedRuns& runs,
 TEST(TopologyEquivalenceTest, SparseRegime) {
   const std::uint32_t n = 4096;
   const double p = 8.0 * std::log(n) / n;  // d ~ 66, Phase-2 regime
-  expect_distributionally_equal(run_paired(n, p));
+  expect_distributionally_equal(run_paired(n, p, testing::stat_trials(96)));
 }
 
 TEST(TopologyEquivalenceTest, SparserLongerPhase1) {
@@ -103,7 +108,7 @@ TEST(TopologyEquivalenceTest, SparserLongerPhase1) {
   // larger trial count to keep the comparison sharp.
   const std::uint32_t n = 8192;
   const double p = 3.0 * std::log(n) / n;
-  expect_distributionally_equal(run_paired(n, p, /*trials=*/256),
+  expect_distributionally_equal(run_paired(n, p, testing::stat_trials(256)),
                                 /*min_success=*/0.4);
 }
 

@@ -6,6 +6,8 @@
 #include <set>
 #include <vector>
 
+#include "sim/topology.hpp"
+
 namespace radnet {
 namespace {
 
@@ -207,6 +209,38 @@ TEST(RngTest, SampleCdfRespectsWeightsAndMiss) {
   EXPECT_NEAR(static_cast<double>(c0) / n, 0.2, 0.01);
   EXPECT_NEAR(static_cast<double>(c1) / n, 0.3, 0.01);
   EXPECT_NEAR(static_cast<double>(miss) / n, 0.5, 0.01);
+}
+
+TEST(RngTest, DynamicBackendStreamPathsDoNotCollide) {
+  // Stream-path audit for the implicit dynamic topology. The harness
+  // derives the per-trial streams (seed, trial, 0) for edge randomness and
+  // (seed, trial, 1) for the protocol; the dynamic backend further splits
+  // the former into edge-classification, pair-sketch (churn) and failure
+  // sub-streams. Every draw in a run comes from one of these four stream
+  // families, consumed along (node, phase, round) — so no two families may
+  // ever share output prefixes, or a sketch persistence draw could silently
+  // correlate with a binomial edge draw of another consumer. The audit
+  // checks pairwise-distinct prefixes across many trials.
+  const Rng root(0x5eed);
+  std::set<std::uint64_t> seen;
+  std::size_t inserted = 0;
+  const auto drain = [&](Rng rng) {
+    for (int i = 0; i < 64; ++i) {
+      seen.insert(rng.next_u64());
+      ++inserted;
+    }
+  };
+  for (std::uint64_t trial = 0; trial < 16; ++trial) {
+    const Rng graph_stream = root.split(trial, 0);
+    drain(graph_stream.split(radnet::sim::ImplicitDynamicGnp::kEdgeStream));
+    drain(graph_stream.split(radnet::sim::ImplicitDynamicGnp::kChurnStream));
+    drain(graph_stream.split(radnet::sim::ImplicitDynamicGnp::kFailStream));
+    drain(root.split(trial, 1));  // the protocol stream
+    drain(graph_stream);          // the static implicit backend's stream
+  }
+  // Any collision between any two of the 16 * 5 streams' 64-value prefixes
+  // would deduplicate the set.
+  EXPECT_EQ(seen.size(), inserted);
 }
 
 TEST(RngTest, Mix64AvalanchesSingleBit) {

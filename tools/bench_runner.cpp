@@ -10,7 +10,12 @@
 //   { "schema": "radnet-bench-engine-v1",
 //     "benchmarks": [ {"name": ..., "n": ..., "ns_per_round": ...}, ... ],
 //     "comparison": {"n": ..., "p": ..., "csr_ms": ..., "implicit_ms": ...,
-//                    "speedup": ...} }
+//                    "speedup": ...},
+//     "dynamic": {"n": ..., "churn": ..., "trial_ms": ..., "rounds": ...} }
+//
+// The "dynamic" object tracks E16 (bench_e16_dynamic_scale): one churned
+// gossip trial (single-rumor marginal of Algorithm 2) on the graph-free
+// implicit dynamic backend.
 //
 // Flags: --quick shrinks sizes/repetitions for smoke runs; --out overrides
 // the output path (default BENCH_engine.json in the working directory).
@@ -23,6 +28,7 @@
 #include <vector>
 
 #include "core/broadcast_random.hpp"
+#include "core/gossip_random.hpp"
 #include "graph/generators.hpp"
 #include "sim/engine.hpp"
 #include "support/cli_args.hpp"
@@ -158,6 +164,46 @@ Comparison compare_broadcast(std::uint32_t n, std::uint32_t reps) {
   return c;
 }
 
+struct DynamicNumbers {
+  std::uint32_t n = 0;
+  double churn = 0.5;
+  double trial_ms = 0.0;
+  double rounds = 0.0;
+};
+
+/// One E16-style churned-gossip trial per rep on the implicit dynamic
+/// backend; medians across reps.
+DynamicNumbers time_dynamic_gossip(std::uint32_t n, std::uint32_t reps) {
+  DynamicNumbers d;
+  d.n = n;
+  const double p = 16.0 / n;
+  radnet::core::GossipRumorMarginalProtocol probe(
+      radnet::core::GossipRumorMarginalParams{.p = p});
+  probe.reset(n, Rng(0));
+  radnet::sim::RunOptions options;
+  options.max_rounds = probe.round_budget();
+  radnet::sim::Engine engine;
+  Sample ms, rounds;
+  for (std::uint32_t rep = 0; rep < reps; ++rep) {
+    const double t0 = now_ns();
+    radnet::sim::ImplicitDynamicGnp spec;
+    spec.n = n;
+    spec.p = p;
+    spec.churn = d.churn;
+    spec.rng = Rng(rep + 1);
+    radnet::core::GossipRumorMarginalProtocol proto(
+        radnet::core::GossipRumorMarginalParams{.p = p});
+    const auto run = engine.run(spec, proto, Rng(rep + 100), options);
+    ms.add((now_ns() - t0) / 1e6);
+    // completion_round is only meaningful for completed runs; a failed rep
+    // must not push a 0 into the tracked median.
+    if (run.completed) rounds.add(static_cast<double>(run.completion_round));
+  }
+  d.trial_ms = ms.median();
+  d.rounds = rounds.empty() ? 0.0 : rounds.median();
+  return d;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -194,6 +240,12 @@ int main(int argc, char** argv) {
             << " ms, implicit " << cmp.implicit_ms << " ms, speedup "
             << cmp.speedup << "x\n";
 
+  const DynamicNumbers dyn =
+      time_dynamic_gossip(quick ? (1u << 14) : (1u << 17), compare_reps);
+  std::cout << "churned gossip (E16) n=" << dyn.n << " churn=" << dyn.churn
+            << ": " << dyn.trial_ms << " ms/trial, " << dyn.rounds
+            << " rounds\n";
+
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "cannot write " << out_path << '\n';
@@ -208,7 +260,10 @@ int main(int argc, char** argv) {
   out << "  ],\n  \"comparison\": {\"n\": " << cmp.n << ", \"p\": " << cmp.p
       << ", \"csr_ms\": " << cmp.csr_ms
       << ", \"implicit_ms\": " << cmp.implicit_ms
-      << ", \"speedup\": " << cmp.speedup << "}\n}\n";
+      << ", \"speedup\": " << cmp.speedup << "},\n"
+      << "  \"dynamic\": {\"n\": " << dyn.n << ", \"churn\": " << dyn.churn
+      << ", \"trial_ms\": " << dyn.trial_ms
+      << ", \"rounds\": " << dyn.rounds << "}\n}\n";
   std::cout << "wrote " << out_path << '\n';
   return 0;
 }

@@ -2,20 +2,29 @@
 //
 //   radnet_cli --protocol alg1 --topology gnp --n 4096 --delta 8 --trials 16
 //   radnet_cli --protocol alg1 --topology ignp --n 10000000 --p 0.0000016
+//   radnet_cli --protocol alg2m --topology idgnp --n 1000000 --delta 16
+//              --churn 0.5 --fail-prob 0.00001  (one command line)
 //   radnet_cli --protocol alg3 --topology grid --n 256 --trials 8
 //   radnet_cli --protocol decay --topology obs43 --n 64
 //   radnet_cli --protocol alg2 --topology rgg --n 512 --radius-mult 3
 //   radnet_cli --protocol fixed --q 0.5 --topology thm44 --n 64 --diameter 40
 //
-// Protocols: alg1 alg2 alg3 cr decay eg2005 flooding fixed tdma
+// Protocols: alg1 alg2 alg2m alg3 cr decay eg2005 flooding fixed tdma
+//            (alg2m = single-rumor marginal of Algorithm 2: O(n) state,
+//            the gossip that scales to n ~ 10^7)
 // Topologies: gnp ugnp rgg path cycle grid star complete cluster obs43 thm44
-//             ignp (implicit G(n,p): never materialised, O(n) memory —
-//             the only topology that reaches n ~ 10^7; see sim/topology.hpp)
+//             churn (explicit ChurnGnp link-churn sequence; --churn)
+//             ignp (implicit G(n,p): never materialised, O(n) memory)
+//             idgnp (implicit *dynamic* G(n,p): --churn link churn,
+//             --fail-prob permanent radio failures, --p-amp/--p-period
+//             sinusoidal density schedule — the graph-free dynamic family;
+//             see sim/topology.hpp for exact-vs-modelled regimes)
 //
 // Common flags: --n --trials --seed --max-rounds --source --quiescence
 // Topology flags: --p | --delta (p = delta ln n / n), --radius-mult,
 //                 --cluster-size, --diameter (thm44; also overrides the
-//                 measured D used by alg3/cr), --q (fixed), --lambda (alg3)
+//                 measured D used by alg3/cr), --q (fixed), --lambda (alg3),
+//                 --churn, --fail-prob, --p-amp, --p-period (idgnp/churn)
 #include <cmath>
 #include <iostream>
 #include <memory>
@@ -29,6 +38,7 @@
 #include "core/broadcast_general.hpp"
 #include "core/broadcast_random.hpp"
 #include "core/gossip_random.hpp"
+#include "graph/dynamics.hpp"
 #include "graph/generators.hpp"
 #include "graph/lower_bound_nets.hpp"
 #include "graph/metrics.hpp"
@@ -85,17 +95,20 @@ int main(int argc, char** argv) {
     const CliArgs args(argc, argv,
                        {"protocol", "topology", "n", "p", "delta", "trials",
                         "seed", "max-rounds", "source", "radius-mult",
-                        "cluster-size", "diameter", "q", "lambda",
-                        "quiescence", "help"});
+                        "cluster-size", "diameter", "q", "lambda", "churn",
+                        "fail-prob", "p-amp", "p-period", "quiescence",
+                        "help"});
     if (args.get_bool("help", false) || argc == 1) {
-      std::cout << "usage: radnet_cli --protocol <alg1|alg2|alg3|cr|decay|"
-                   "eg2005|flooding|fixed|tdma>\n"
+      std::cout << "usage: radnet_cli --protocol <alg1|alg2|alg2m|alg3|cr|"
+                   "decay|eg2005|flooding|fixed|tdma>\n"
                    "                  --topology <gnp|ugnp|rgg|path|cycle|grid|"
-                   "star|complete|cluster|obs43|thm44>\n"
+                   "star|complete|cluster|obs43|thm44|churn|ignp|idgnp>\n"
                    "                  [--n N] [--p P | --delta D] [--trials T]"
                    " [--seed S]\n"
                    "                  [--diameter D] [--q Q] [--lambda L]"
-                   " [--max-rounds R] [--quiescence]\n";
+                   " [--max-rounds R] [--quiescence]\n"
+                   "                  [--churn C] [--fail-prob F] [--p-amp A"
+                   " --p-period R]\n";
       return 0;
     }
 
@@ -110,21 +123,41 @@ int main(int argc, char** argv) {
     const std::string proto_name = args.get_string("protocol", "alg1");
     const std::string topo_name = args.get_string("topology", "gnp");
     const bool implicit = topo_name == "ignp";
+    const bool implicit_dynamic = topo_name == "idgnp";
+    const bool churn_topo = topo_name == "churn";
+    const double churn = args.get_double("churn", implicit_dynamic ? 1.0 : 0.1);
+    const double fail_prob = args.get_double("fail-prob", 0.0);
+    const double p_amp = args.get_double("p-amp", 0.0);
+    const auto p_period = args.get_u64("p-period", 64);
+    RADNET_REQUIRE(p_amp == 0.0 || p_period >= 1,
+                   "--p-period must be >= 1 when --p-amp is set");
 
     graph::NodeId source = 0;
     std::uint64_t nn = n;
     double eff_p = p;
     std::uint64_t diameter = 0;
     graph::Digraph sample;
-    if (implicit) {
-      // No graph to probe: the topology exists only as (n, p).
+    if (implicit || implicit_dynamic) {
+      // No graph to probe: the topology exists only as (n, p, dynamics).
       source = static_cast<graph::NodeId>(args.get_u64("source", 0));
       diameter = args.get_u64("diameter", 2ull * ilog2_floor(n) + 8);
-      std::cout << "topology ignp: " << n << " nodes, implicit G(n,p) with p="
-                << p << " (never materialised)\n"
-                << "note: exact for single-shot protocols (alg1); protocols "
-                   "that transmit repeatedly\nsee per-round-resampled links "
-                   "(the churn=1 mobility model), not one fixed graph\n";
+      std::cout << "topology " << topo_name << ": " << n
+                << " nodes, implicit G(n,p) with p=" << p
+                << " (never materialised)\n";
+      if (implicit_dynamic)
+        std::cout << "dynamics: churn=" << churn << " fail-prob=" << fail_prob
+                  << (p_amp > 0.0 ? " sinusoidal p(t) schedule" : "") << "\n";
+      else
+        std::cout << "note: exact for single-shot protocols (alg1); "
+                     "protocols that transmit repeatedly\nsee "
+                     "per-round-resampled links (the churn=1 mobility "
+                     "model), not one fixed graph\n";
+    } else if (churn_topo) {
+      source = static_cast<graph::NodeId>(args.get_u64("source", 0));
+      diameter = args.get_u64("diameter", 2ull * ilog2_floor(n) + 8);
+      std::cout << "topology churn: " << n
+                << " nodes, explicit ChurnGnp with p=" << p
+                << ", churn=" << churn << " per round\n";
     } else {
       // One representative instance for the measured columns (degree, D).
       Rng probe_rng(seed);
@@ -150,6 +183,10 @@ int main(int argc, char** argv) {
       if (proto_name == "alg2")
         return std::make_unique<core::GossipRandomProtocol>(
             core::GossipRandomParams{.p = eff_p});
+      if (proto_name == "alg2m")
+        return std::make_unique<core::GossipRumorMarginalProtocol>(
+            core::GossipRumorMarginalParams{.p = eff_p,
+                                            .rumor_source = source});
       if (proto_name == "alg3") {
         const double lambda =
             args.get_double("lambda", lambda_of(nn, diameter));
@@ -185,8 +222,28 @@ int main(int argc, char** argv) {
     spec.seed = seed;
     const bool random_topo =
         topo_name == "gnp" || topo_name == "ugnp" || topo_name == "rgg";
-    if (implicit) {
+    if (implicit_dynamic) {
+      sim::ImplicitDynamicGnp params;
+      params.n = n;
+      params.p = p;
+      params.churn = churn;
+      params.fail_prob = fail_prob;
+      if (p_amp > 0.0) {
+        // Mobility as density: p(t) = p * (1 + amp * sin(2 pi t / period)),
+        // clamped into [0, 1] by the backend.
+        params.p_of_round = [p, p_amp, p_period](sim::Round r) {
+          return p * (1.0 + p_amp * std::sin(2.0 * 3.141592653589793 *
+                                             static_cast<double>(r) /
+                                             static_cast<double>(p_period)));
+        };
+      }
+      spec.implicit_dynamic = std::move(params);
+    } else if (implicit) {
       spec.implicit_gnp = harness::ImplicitGnpParams{n, p};
+    } else if (churn_topo) {
+      spec.make_sequence = [n, p, churn](std::uint32_t, Rng rng) {
+        return std::make_unique<graph::ChurnGnp>(n, p, churn, rng);
+      };
     } else if (random_topo) {
       spec.make_graph = [&args, n, p](std::uint32_t, Rng rng) {
         graph::NodeId src = 0;
