@@ -99,6 +99,9 @@ class BroadcastRandomProtocol final : public sim::Protocol {
       const override {
     return state_.uninformed();
   }
+  /// The paper's nodes cannot detect collisions; backends may bulk-count
+  /// them (block-mergeable sink aggregation).
+  [[nodiscard]] bool collisions_inert() const override { return true; }
   void on_delivered(NodeId receiver, NodeId sender, sim::Round r) override;
   void end_round(sim::Round r) override;
   [[nodiscard]] bool is_complete() const override;

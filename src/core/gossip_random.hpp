@@ -120,6 +120,8 @@ class GossipRumorMarginalProtocol final : public sim::Protocol {
   /// Deliveries only matter at nodes that do not know the rumor yet.
   [[nodiscard]] std::optional<std::span<const NodeId>> attentive_listeners()
       const override;
+  /// Nodes cannot detect collisions; backends may bulk-count them.
+  [[nodiscard]] bool collisions_inert() const override { return true; }
   void on_delivered(NodeId receiver, NodeId sender, sim::Round r) override;
   void end_round(sim::Round r) override;
   [[nodiscard]] bool is_complete() const override;

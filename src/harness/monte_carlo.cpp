@@ -53,6 +53,25 @@ McResult run_monte_carlo(const McSpec& spec) {
   // and must not read the topology from it.
   static const graph::Digraph placeholder;
 
+  // Trial- vs round-parallelism: with at least one trial per pool thread,
+  // independent trials saturate the machine, so each trial runs its round
+  // sweeps serially. With fewer trials than threads (the single-huge-trial
+  // regime), trials run sequentially on the calling thread and each trial
+  // fans its block-sharded round sweeps out over the whole pool instead —
+  // only worthwhile on the implicit backends, the ones whose sweeps
+  // actually shard (explicit-CSR delivery is serial, so those specs keep
+  // trial-parallelism at any trial count). Results are identical either
+  // way — within-trial randomness is counter-keyed per (round, block),
+  // not scheduled — so this is purely a utilisation choice. An explicit
+  // RunOptions::threads (!= 1) wins.
+  sim::RunOptions run_options = spec.run_options;
+  const bool sharded_backend =
+      spec.implicit_gnp.has_value() || spec.implicit_dynamic.has_value();
+  const bool round_parallel =
+      !spec.serial && sharded_backend && run_options.threads == 1 &&
+      spec.trials < global_pool().size();
+  if (round_parallel) run_options.threads = 0;
+
   const auto run_trial = [&](std::uint64_t t) {
     const auto trial = static_cast<std::uint32_t>(t);
     Rng graph_rng = root.split(t, 0);
@@ -67,7 +86,7 @@ McResult run_monte_carlo(const McSpec& spec) {
       const std::unique_ptr<sim::Protocol> protocol =
           spec.make_protocol(placeholder, trial);
       RADNET_CHECK(protocol != nullptr, "make_protocol returned null");
-      run = engine.run(gnp, *protocol, protocol_rng, spec.run_options);
+      run = engine.run(gnp, *protocol, protocol_rng, run_options);
       nodes = gnp.n;
     } else if (spec.implicit_gnp.has_value()) {
       const sim::ImplicitGnp gnp{spec.implicit_gnp->n, spec.implicit_gnp->p,
@@ -75,7 +94,7 @@ McResult run_monte_carlo(const McSpec& spec) {
       const std::unique_ptr<sim::Protocol> protocol =
           spec.make_protocol(placeholder, trial);
       RADNET_CHECK(protocol != nullptr, "make_protocol returned null");
-      run = engine.run(gnp, *protocol, protocol_rng, spec.run_options);
+      run = engine.run(gnp, *protocol, protocol_rng, run_options);
       nodes = gnp.n;
     } else if (spec.make_sequence) {
       const std::unique_ptr<graph::TopologySequence> seq =
@@ -84,7 +103,7 @@ McResult run_monte_carlo(const McSpec& spec) {
       const std::unique_ptr<sim::Protocol> protocol =
           spec.make_protocol(placeholder, trial);
       RADNET_CHECK(protocol != nullptr, "make_protocol returned null");
-      run = engine.run(*seq, *protocol, protocol_rng, spec.run_options);
+      run = engine.run(*seq, *protocol, protocol_rng, run_options);
       nodes = seq->num_nodes();
     } else {
       const std::shared_ptr<const graph::Digraph> g =
@@ -93,7 +112,7 @@ McResult run_monte_carlo(const McSpec& spec) {
       const std::unique_ptr<sim::Protocol> protocol =
           spec.make_protocol(*g, trial);
       RADNET_CHECK(protocol != nullptr, "make_protocol returned null");
-      run = engine.run(*g, *protocol, protocol_rng, spec.run_options);
+      run = engine.run(*g, *protocol, protocol_rng, run_options);
       nodes = g->num_nodes();
     }
 
@@ -108,7 +127,10 @@ McResult run_monte_carlo(const McSpec& spec) {
     out.nodes = nodes;
   };
 
-  if (spec.serial) {
+  if (spec.serial || round_parallel) {
+    // Sequential trials: either truly serial (spec.serial) or because each
+    // trial's round sweeps own the pool (round_parallel — launching trials
+    // through the pool here would inline the nested sweeps instead).
     for (std::uint32_t t = 0; t < spec.trials; ++t) run_trial(t);
   } else {
     global_pool().parallel_for_index(spec.trials, run_trial);

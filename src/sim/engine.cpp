@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/require.hpp"
+#include "support/thread_pool.hpp"
 
 namespace radnet::sim {
 
@@ -54,9 +55,20 @@ RunResult run_loop(Topology& topo, Protocol& protocol, Rng protocol_rng,
   RunResult result;
   result.ledger.reset(n);
   protocol.reset(n, std::move(protocol_rng));
+  // Sharding backends fan each round sweep out over this pool (nullptr =
+  // serial); results are thread-count-invariant by construction, so this
+  // only picks a schedule.
+  topo.set_parallelism(resolve_pool(options.threads));
 
   std::vector<graph::NodeId> transmitters;
   std::vector<char> is_tx(n, 0);
+
+  // Block-mergeable collision accounting: when the protocol declared
+  // on_collision a no-op and no trace wants the per-listener events,
+  // sampling backends may fold collisions into bulk ledger counts (one
+  // merge per shard block instead of one callback per listener).
+  const bool collisions_inert =
+      !options.record_trace && protocol.collisions_inert();
 
   if (protocol.is_complete()) {
     result.completed = true;
@@ -104,7 +116,8 @@ RunResult run_loop(Topology& topo, Protocol& protocol, Rng protocol_rng,
     const std::optional<std::span<const graph::NodeId>> attentive =
         options.record_trace ? std::nullopt : protocol.attentive_listeners();
     topo.deliver({transmitters.data(), transmitters.size()}, is_tx,
-                 options.half_duplex, options.delivery_path, attentive, sink);
+                 options.half_duplex, options.delivery_path, attentive,
+                 collisions_inert, sink);
     for (const graph::NodeId u : transmitters) is_tx[u] = 0;
 
     protocol.end_round(r);

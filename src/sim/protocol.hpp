@@ -99,6 +99,17 @@ class Protocol {
     (void)r;
   }
 
+  /// Declares that on_collision is a no-op for this protocol, so backends
+  /// may fold collision events into exact bulk ledger counts instead of
+  /// per-receiver callbacks — the block-mergeable sink aggregation the
+  /// sharded sweeps use to keep their serial merge O(deliveries) rather
+  /// than O(all events). The paper's nodes cannot detect collisions, so
+  /// this is true for every model-faithful protocol; the conservative
+  /// default is false for the sake of diagnostic probes that do override
+  /// on_collision (e.g. the test protocols). Trace-recording runs always
+  /// get per-event collisions regardless.
+  [[nodiscard]] virtual bool collisions_inert() const { return false; }
+
   /// End-of-round hook, called after all deliveries of round r.
   virtual void end_round(Round r) { (void)r; }
 

@@ -59,7 +59,7 @@
 //                  const std::vector<char>& is_tx, bool half_duplex,
 //                  DeliveryPath path,
 //                  const std::optional<std::span<const NodeId>>& attentive,
-//                  Sink& sink);
+//                  bool collisions_inert, Sink& sink);
 // where the sink receives deliver(receiver, sender) / collide(receiver)
 // callbacks in ascending receiver order, exactly once per receiver that
 // heard at least one transmitter (transmitters themselves excluded under
@@ -68,7 +68,24 @@
 // per-event callbacks to those listeners and fold everyone else's outcome
 // counts into the sink's deliver_bulk/collide_bulk aggregates (ledger
 // totals stay exactly distributed; event order follows the hint's order).
-// Explicit-graph backends ignore the hint.
+// `collisions_inert` (Protocol::collisions_inert && no trace) additionally
+// lets sampling backends report collisions through collide_bulk counts
+// instead of per-receiver callbacks. Explicit-graph backends ignore both
+// hints. Backends additionally expose set_parallelism(ThreadPool*) (no-op
+// for the explicit family).
+//
+// Within-trial parallelism (the implicit family): listener outcomes are
+// independent across listeners (and the pair grid independent across
+// pairs), so a round sweep decomposes exactly into contiguous listener
+// blocks of kShardBlockSize. Each (round, block) derives a private Rng by
+// counter keying (StreamKey in support/rng.hpp) — never from a shared
+// sequential stream — so blocks can execute on the thread pool in any
+// order and still produce bit-identical results for any thread count.
+// Blocks buffer their events (and resolved-pair records) locally; the
+// buffers are then merged serially in ascending listener order into the
+// engine sink, which also keeps the protocol single-threaded. The dynamic
+// backend's failure injection shards the same way; its sketch phases
+// (gather/classify pinned pairs) stay serial on per-round keyed streams.
 #pragma once
 
 #include <algorithm>
@@ -77,6 +94,7 @@
 #include <functional>
 #include <optional>
 #include <span>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -85,6 +103,7 @@
 #include "support/bitset.hpp"
 #include "support/require.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace radnet::sim {
 
@@ -277,24 +296,141 @@ struct RecordNone {
   void operator()(NodeId, NodeId) const noexcept {}
 };
 
+/// A collision event's sender marker in the shard buffers (valid node ids
+/// are < n <= 2^32 - 1).
+inline constexpr NodeId kNoSender = 0xffffffffu;
+
+/// One listener block's privately accumulated round output: delivery /
+/// collision events (ascending listener within the block), the ordered
+/// pairs individually resolved present (for the dynamic backend's sketch)
+/// and — when the protocol declared collisions inert — a bare collision
+/// count instead of per-listener collision events. Buffers are merged
+/// serially in block order after the parallel sweep, so the engine sink
+/// and the sketch observe exactly the event and record order a serial
+/// sweep would have produced (bulk counts are order-free by definition).
+struct ShardBuffer {
+  std::vector<std::pair<NodeId, NodeId>> events;   ///< (listener, sender|kNoSender)
+  std::vector<std::pair<NodeId, NodeId>> records;  ///< (sender, listener)
+  std::uint64_t collide_count = 0;  ///< bulk-merged collisions (inert mode)
+
+  void clear() {
+    events.clear();
+    records.clear();
+    collide_count = 0;
+  }
+};
+
+/// Emitter writing into a block's private buffer — the only output channel
+/// of block code running on pool workers. `want_records` is off for the
+/// static backend (its Record hook is RecordNone, so buffering pairs would
+/// be pure overhead); `inert_collisions` folds collisions into the block
+/// count (see Protocol::collisions_inert).
+struct BufferEmitter {
+  ShardBuffer& buf;
+  bool want_records;
+  bool inert_collisions;
+
+  void on_record(NodeId sender, NodeId listener) {
+    if (want_records) buf.records.emplace_back(sender, listener);
+  }
+  void on_deliver(NodeId listener, NodeId sender) {
+    buf.events.emplace_back(listener, sender);
+  }
+  void on_collide(NodeId listener) {
+    if (inert_collisions)
+      ++buf.collide_count;
+    else
+      buf.events.emplace_back(listener, kNoSender);
+  }
+};
+
+/// Emitter for the serial schedule (pool == nullptr): blocks already run
+/// in ascending order on one thread, so events flow straight to the sink
+/// and records straight to the hook — zero buffering, exactly the event /
+/// record sequence the buffered merge would replay (inert collisions
+/// accumulate per block and flush as one bulk count, mirroring the
+/// buffered path's per-block bulk call).
+template <class Sink, class Record>
+struct DirectEmitter {
+  Sink& sink;
+  Record& record;
+  bool inert_collisions;
+  std::uint64_t collide_count = 0;
+
+  void on_record(NodeId sender, NodeId listener) { record(sender, listener); }
+  void on_deliver(NodeId listener, NodeId sender) {
+    sink.deliver(listener, sender);
+  }
+  void on_collide(NodeId listener) {
+    if (inert_collisions)
+      ++collide_count;
+    else
+      sink.collide(listener);
+  }
+  /// Call at each block boundary (matches the buffered merge's one bulk
+  /// call per block).
+  void flush_block() {
+    if (collide_count > 0) {
+      sink.collide_bulk(collide_count);
+      collide_count = 0;
+    }
+  }
+};
+
 /// The shared sampling core of the implicit G(n,p) family: per-listener
 /// outcome laws and the sparse / dense / attentive round strategies. Both
 /// implicit backends delegate here; the dynamic backend adds two hooks —
 ///   Skip:   bool skip(listener)  — listeners handled elsewhere this round
 ///           (sketch-pinned) or unable to hear (failed); sampled paths
-///           reject them, aggregate universes exclude them by count.
+///           reject them, aggregate universes exclude them by count. Must
+///           be safe to call concurrently (it only reads per-round state).
 ///   Record: record(sender, listener) — called for every ordered pair
 ///           individually resolved *present* (a clean delivery's sender,
 ///           every hit the sparse pair grid enumerates); the dynamic
-///           backend persists these in its sketch.
+///           backend persists these in its sketch. Only invoked serially,
+///           during buffer merge.
+///
+/// Randomness is counter-keyed, never sequential: begin_round(r) forks a
+/// per-round key, every sweep block b draws from fork(r).fork(b), and the
+/// serial attentive/aggregate path from a reserved lane of the same round
+/// key. A draw is a pure function of (backend seed, round, block), so the
+/// sweep is bit-identical for any thread count and any block execution
+/// order.
 class GnpSampler {
  public:
+  /// Listeners per shard block. Fixed — part of the randomness contract:
+  /// results depend on the block decomposition, never on thread count.
+  static constexpr NodeId kShardBlockSize = 1u << 16;
+
+  /// Reserved fork counters: kAuxLane feeds the serial aggregate draws,
+  /// kAttentiveLane roots the attentive path's per-chunk streams. Sweep
+  /// block indices stay below 2^32, so lanes >= 2^32 can never collide.
+  static constexpr std::uint64_t kAuxLane = 0x1'0000'0001ull;
+  static constexpr std::uint64_t kAttentiveLane = 0x1'0000'0002ull;
+
   void init(NodeId n, double p, Rng rng) {
     RADNET_REQUIRE(n >= 1, "implicit G(n,p) needs n >= 1");
     RADNET_REQUIRE(p >= 0.0 && p <= 1.0, "p must be in [0,1]");
     n_ = n;
-    rng_ = rng;
+    key_ = StreamKey::from_rng(rng);
+    begin_round(0);
     set_p(p);
+  }
+
+  /// Serial blocks when null (the default); sharded sweeps on `pool`
+  /// otherwise. Either way the output is bit-identical.
+  void set_parallelism(ThreadPool* pool) { pool_ = pool; }
+
+  /// The dynamic backend turns this off when it is not tracking pair
+  /// states (churn == 1): its Record hook is then a runtime no-op, and
+  /// buffering resolutions for it would be pure overhead. Purely a
+  /// buffering knob — the serial path calls the hook either way.
+  void set_records_enabled(bool enabled) { records_enabled_ = enabled; }
+
+  /// Forks the round's key; must be called once per round before deliver.
+  void begin_round(std::uint32_t round) {
+    round_key_ = key_.fork(round);
+    lane_rng_ = round_key_.fork(kAuxLane).make_rng();
   }
 
   void set_p(double p) {
@@ -304,7 +440,6 @@ class GnpSampler {
 
   [[nodiscard]] NodeId n() const noexcept { return n_; }
   [[nodiscard]] double p() const noexcept { return p_; }
-  [[nodiscard]] Rng& rng() noexcept { return rng_; }
 
   /// Per-round listener outcome probabilities for a common eligible
   /// transmitter count c: P[hear nothing] = (1-p)^c, P[hear exactly one] =
@@ -346,7 +481,7 @@ class GnpSampler {
   void round(std::span<const NodeId> transmitters,
              const std::vector<char>& is_tx, bool half_duplex,
              const std::optional<std::span<const NodeId>>& attentive,
-             Sink& sink, Skip&& skip, Record&& record,
+             bool collisions_inert, Sink& sink, Skip&& skip, Record&& record,
              std::uint64_t universe_nontx, std::uint64_t universe_tx) {
     const std::uint64_t k = transmitters.size();
     if (k == 0 || p_ <= 0.0) return;
@@ -359,20 +494,28 @@ class GnpSampler {
     // aggregate counts: O(|attentive| + k) per round.
     if (attentive.has_value() &&
         static_cast<double>(attentive->size()) < expected_events) {
-      attentive_round(transmitters, is_tx, half_duplex, *attentive, sink,
-                      skip, record, universe_nontx, universe_tx);
+      attentive_round(transmitters, is_tx, half_duplex, *attentive,
+                      collisions_inert, sink, skip, record, universe_nontx,
+                      universe_tx);
       return;
     }
-    sweep(transmitters, is_tx, half_duplex, sink, skip, record);
+    sweep(transmitters, is_tx, half_duplex, collisions_inert, sink, skip,
+          record);
   }
 
-  /// Per-listener enumeration in ascending listener order: the sparse pair
-  /// grid when well under one expected hit per listener, the binomial
-  /// classification otherwise.
+  /// Per-listener enumeration in ascending listener order, block-sharded:
+  /// the listener range splits into kShardBlockSize blocks, each drawing
+  /// from its own (round, block) counter-keyed Rng into a private buffer;
+  /// blocks run on the pool (or serially — same bits either way) and the
+  /// buffers merge into the sink in block order. Per block, the sparse
+  /// pair grid runs when well under one expected hit per listener, the
+  /// binomial classification otherwise (the strategy choice depends only
+  /// on round-global quantities, so all blocks agree).
   template <class Sink, class Skip, class Record>
   void sweep(std::span<const NodeId> transmitters,
-             const std::vector<char>& is_tx, bool half_duplex, Sink& sink,
-             Skip&& skip, Record&& record) {
+             const std::vector<char>& is_tx, bool half_duplex,
+             bool collisions_inert, Sink& sink, Skip&& skip,
+             Record&& record) {
     const std::uint64_t k = transmitters.size();
     if (k == 0 || p_ <= 0.0) return;
     // Expected hits per listener is k*p. Sparse rounds (well under one hit
@@ -380,34 +523,114 @@ class GnpSampler {
     // skipping — O(expected hits). Dense rounds classify each listener as
     // silent / single / collided straight from the round's Binomial outcome
     // probabilities — O(event listeners) via a skip-walk, O(n) at worst.
-    if (static_cast<double>(k) * p_ < 0.25)
-      pair_grid_round(transmitters, is_tx, half_duplex, sink, skip, record);
-    else
-      binomial_round(transmitters, is_tx, half_duplex, sink, skip, record);
+    // Both laws are independent across listeners (and pairs), so the block
+    // decomposition is exact, not approximate.
+    const bool sparse = p_ < 1.0 && static_cast<double>(k) * p_ < 0.25;
+    const std::uint64_t blocks =
+        (static_cast<std::uint64_t>(n_) + kShardBlockSize - 1) /
+        kShardBlockSize;
+    const auto run_block = [&](std::uint64_t b, auto& em, Rng& rng) {
+      const NodeId lo = static_cast<NodeId>(b * kShardBlockSize);
+      const NodeId hi = static_cast<NodeId>(std::min<std::uint64_t>(
+          n_, (b + 1) * static_cast<std::uint64_t>(kShardBlockSize)));
+      if (sparse)
+        pair_grid_block(lo, hi, rng, transmitters, is_tx, half_duplex, em,
+                        skip);
+      else
+        binomial_block(lo, hi, rng, transmitters, is_tx, half_duplex, em,
+                       skip);
+    };
+    if (pool_ != nullptr && blocks > 1) {
+      const bool want_records = wants_records<Record>();
+      if (buffers_.size() < blocks) buffers_.resize(blocks);
+      pool_->parallel_for_index(blocks, [&](std::uint64_t b) {
+        ShardBuffer& buf = buffers_[b];
+        buf.clear();
+        BufferEmitter em{buf, want_records, collisions_inert};
+        Rng rng = round_key_.fork(b).make_rng();
+        run_block(b, em, rng);
+      });
+      merge_buffers(blocks, sink, record);
+    } else {
+      // Serial schedule: same blocks, same per-block keyed streams, but
+      // events flow straight to the sink — no buffering, no replay.
+      DirectEmitter<Sink, std::remove_reference_t<Record>> em{
+          sink, record, collisions_inert};
+      for (std::uint64_t b = 0; b < blocks; ++b) {
+        Rng rng = round_key_.fork(b).make_rng();
+        run_block(b, em, rng);
+        em.flush_block();
+      }
+    }
   }
 
-  /// O(|attentive| + k) round: classify each attentive listener
-  /// individually (in the hint's order) and fold every other listener's
-  /// outcome into the two-draw aggregate below.
+  /// O(|attentive| + k) round, block-sharded over the hint's span:
+  /// contiguous chunks of kShardBlockSize attentive listeners classify on
+  /// their own (round, attentive-lane, chunk) counter-keyed streams, the
+  /// buffers merge in chunk order (preserving the hint-order event
+  /// contract), and every other listener's outcome folds into the two-draw
+  /// aggregate below. For Algorithm-1-style protocols the heavy
+  /// mid-broadcast rounds live here, so this path shards exactly like the
+  /// full sweep.
   template <class Sink, class Skip, class Record>
   void attentive_round(std::span<const NodeId> transmitters,
                        const std::vector<char>& is_tx, bool half_duplex,
-                       std::span<const NodeId> attentive, Sink& sink,
-                       Skip&& skip, Record&& record,
-                       std::uint64_t universe_nontx,
+                       std::span<const NodeId> attentive,
+                       bool collisions_inert, Sink& sink, Skip&& skip,
+                       Record&& record, std::uint64_t universe_nontx,
                        std::uint64_t universe_tx) {
     const std::uint64_t k = transmitters.size();
     const OutcomeProbs probs = outcome_probs(k);
     const OutcomeProbs probs_tx =
         half_duplex ? OutcomeProbs{} : outcome_probs(k - 1);
 
+    const std::uint64_t m = attentive.size();
+    const std::uint64_t blocks = (m + kShardBlockSize - 1) / kShardBlockSize;
     std::uint64_t att_nontx = 0, att_tx = 0;
-    for (const NodeId v : attentive) {
-      if (skip(v)) continue;
-      const bool tx = is_tx[v] != 0;
-      if (tx && half_duplex) continue;
-      ++(tx ? att_tx : att_nontx);
-      classify(v, tx, probs, probs_tx, transmitters, sink, record);
+    if (m > 0) {
+      const StreamKey att_key = round_key_.fork(kAttentiveLane);
+      const auto run_chunk = [&](std::uint64_t b, auto& em, Rng& rng) {
+        const std::uint64_t lo = b * kShardBlockSize;
+        const std::uint64_t hi =
+            std::min<std::uint64_t>(m, lo + kShardBlockSize);
+        std::uint64_t nontx = 0, txc = 0;
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          const NodeId v = attentive[static_cast<std::size_t>(i)];
+          if (skip(v)) continue;
+          const bool tx = is_tx[v] != 0;
+          if (tx && half_duplex) continue;
+          ++(tx ? txc : nontx);
+          classify(v, tx, probs, probs_tx, transmitters, em, rng);
+        }
+        return std::pair<std::uint64_t, std::uint64_t>{nontx, txc};
+      };
+      if (pool_ != nullptr && blocks > 1) {
+        const bool want_records = wants_records<Record>();
+        if (buffers_.size() < blocks) buffers_.resize(blocks);
+        if (att_counts_.size() < blocks) att_counts_.resize(blocks);
+        pool_->parallel_for_index(blocks, [&](std::uint64_t b) {
+          ShardBuffer& buf = buffers_[b];
+          buf.clear();
+          BufferEmitter em{buf, want_records, collisions_inert};
+          Rng rng = att_key.fork(b).make_rng();
+          att_counts_[b] = run_chunk(b, em, rng);
+        });
+        merge_buffers(blocks, sink, record);
+        for (std::uint64_t b = 0; b < blocks; ++b) {
+          att_nontx += att_counts_[b].first;
+          att_tx += att_counts_[b].second;
+        }
+      } else {
+        DirectEmitter<Sink, std::remove_reference_t<Record>> em{
+            sink, record, collisions_inert};
+        for (std::uint64_t b = 0; b < blocks; ++b) {
+          Rng rng = att_key.fork(b).make_rng();
+          const auto counts = run_chunk(b, em, rng);
+          em.flush_block();
+          att_nontx += counts.first;
+          att_tx += counts.second;
+        }
+      }
     }
     // The silent majority: all remaining listeners, by eligible
     // transmitter count.
@@ -425,94 +648,120 @@ class GnpSampler {
   /// protocol declared inert: the number of single-hit listeners is
   /// Binomial(count, P1) and, conditioned on it, the number of collided
   /// listeners is Binomial(count - singles, P2 / (1 - P1)) — exactly the
-  /// marginal the per-listener enumeration would produce, in two draws.
+  /// marginal the per-listener enumeration would produce, in two draws
+  /// from the round's reserved lane.
   template <class Sink>
   void aggregate_group(std::uint64_t count, const OutcomeProbs& probs,
                        Sink& sink) {
     if (count == 0 || probs.hit() <= 0.0) return;
-    const std::uint64_t singles = rng_.binomial(count, probs.single);
+    const std::uint64_t singles = lane_rng_.binomial(count, probs.single);
     const double collide_given_not_single =
         probs.single >= 1.0
             ? 0.0
             : std::min(1.0, (1.0 - probs.silent - probs.single) /
                                 (1.0 - probs.single));
     const std::uint64_t collisions =
-        rng_.binomial(count - singles, collide_given_not_single);
+        lane_rng_.binomial(count - singles, collide_given_not_single);
     sink.deliver_bulk(singles);
     sink.collide_bulk(collisions);
   }
 
+ private:
+  /// Whether `Record` actually stores resolutions: RecordNone never does
+  /// (the static backend), and the dynamic backend declares its hook a
+  /// no-op via set_records_enabled(false) at churn == 1. Blocks then skip
+  /// buffering pairs entirely.
+  template <class Record>
+  [[nodiscard]] bool wants_records() const {
+    return records_enabled_ &&
+           !std::is_same_v<std::remove_cvref_t<Record>, RecordNone>;
+  }
+
+  /// Serial merge of the first `blocks` buffers in block order: records
+  /// into the Record hook (sketch insertion order = enumeration order),
+  /// events into the sink in ascending listener order, inert-collision
+  /// counts as one bulk call per block. The protocol, trace and sketch
+  /// stay single-threaded.
+  template <class Sink, class Record>
+  void merge_buffers(std::uint64_t blocks, Sink& sink, Record&& record) {
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      const ShardBuffer& buf = buffers_[b];
+      for (const auto& [sender, listener] : buf.records)
+        record(sender, listener);
+      for (const auto& [listener, sender] : buf.events) {
+        if (sender == kNoSender)
+          sink.collide(listener);
+        else
+          sink.deliver(listener, sender);
+      }
+      if (buf.collide_count > 0) sink.collide_bulk(buf.collide_count);
+    }
+  }
+
   /// Draws one listener's outcome from its three-way distribution and
   /// emits the matching event (nothing / delivery / collision). The single
-  /// classification step shared by the attentive path and the dense sweep.
-  template <class Sink, class Record>
+  /// classification step shared by the attentive path and the dense sweep;
+  /// the caller supplies the stream (a block rng or the serial lane).
+  template <class Emitter>
   void classify(NodeId v, bool tx, const OutcomeProbs& probs,
                 const OutcomeProbs& probs_tx,
-                std::span<const NodeId> transmitters, Sink& sink,
-                Record&& record) {
+                std::span<const NodeId> transmitters, Emitter& em, Rng& rng) {
     const OutcomeProbs& pr = tx ? probs_tx : probs;
-    const double u = rng_.next_double();
+    const double u = rng.next_double();
     if (u < pr.silent) return;
     if (u < pr.silent + pr.single)
-      deliver_uniform(v, tx, transmitters, sink, record);
+      deliver_uniform(v, tx, transmitters, em, rng);
     else
-      sink.collide(v);
+      em.on_collide(v);
   }
 
   /// Delivers to listener v from a uniformly chosen eligible transmitter
   /// (by symmetry, conditioned on exactly one hit the sender is uniform).
   /// A full-duplex transmitter listener excludes itself by swapping the
   /// last slot in for a draw that lands on v.
-  template <class Sink, class Record>
+  template <class Emitter>
   void deliver_uniform(NodeId v, bool tx, std::span<const NodeId> transmitters,
-                       Sink& sink, Record&& record) {
+                       Emitter& em, Rng& rng) {
     const std::uint64_t k = transmitters.size();
     const std::uint64_t eligible = k - (tx ? 1u : 0u);
-    const std::uint64_t j = rng_.uniform_below(eligible);
+    const std::uint64_t j = rng.uniform_below(eligible);
     NodeId sender = transmitters[static_cast<std::size_t>(j)];
     if (tx && sender == v) sender = transmitters[static_cast<std::size_t>(k - 1)];
-    record(sender, v);
-    sink.deliver(v, sender);
+    em.on_record(sender, v);
+    em.on_deliver(v, sender);
   }
 
-  [[nodiscard]] std::uint64_t skip_draw(double inv_log1m) {
-    return rng_.geometric_inv(inv_log1m);
-  }
-
- private:
-  [[nodiscard]] std::uint64_t next_skip() { return skip_draw(inv_log1m_p_); }
-
-  /// Skip-samples the listener-major grid of (listener, transmitter)
-  /// ordered pairs, each present with probability p; pairs whose
-  /// transmitter is the listener itself (self-loops) or, under half-duplex,
-  /// whose listener transmits (its radio cannot hear) are discarded.
-  /// Listener-major layout groups a listener's pair samples consecutively,
-  /// so events stream out in ascending listener order with no counter
-  /// arrays and no sort. Expected cost O(k * n * p). Every retained hit is
-  /// an individually resolved present pair and is passed to `record`.
-  template <class Sink, class Skip, class Record>
-  void pair_grid_round(std::span<const NodeId> transmitters,
+  /// Skip-samples one block's slice of the listener-major grid of
+  /// (listener, transmitter) ordered pairs — pair indices
+  /// [lo * k, hi * k) — each present with probability p; pairs whose
+  /// transmitter is the listener itself (self-loops) or, under
+  /// half-duplex, whose listener transmits (its radio cannot hear) are
+  /// discarded. Listener-major layout groups a listener's pair samples
+  /// consecutively, so events stream out in ascending listener order with
+  /// no counter arrays and no sort, and a listener never spans two blocks.
+  /// Expected cost O(k * (hi - lo) * p). Every retained hit is an
+  /// individually resolved present pair and is passed to on_record.
+  template <class Emitter, class Skip>
+  void pair_grid_block(NodeId lo, NodeId hi, Rng& rng,
+                       std::span<const NodeId> transmitters,
                        const std::vector<char>& is_tx, bool half_duplex,
-                       Sink& sink, Skip&& skip, Record&& record) {
+                       Emitter& em, Skip&& skip) {
     const std::uint64_t k = transmitters.size();
-    const std::uint64_t total = k * static_cast<std::uint64_t>(n_);
-    if (p_ >= 1.0) {  // degenerate: every pair present
-      binomial_round(transmitters, is_tx, half_duplex, sink, skip, record);
-      return;
-    }
-    NodeId cur = n_;  // listener whose hits are being accumulated
+    const std::uint64_t limit = static_cast<std::uint64_t>(hi) * k;
+    NodeId cur = hi;  // listener whose hits are being accumulated
     std::uint32_t cur_hits = 0;
     NodeId cur_sender = 0;
     const auto flush = [&] {
       if (cur_hits == 0) return;
       if (cur_hits == 1)
-        sink.deliver(cur, cur_sender);
+        em.on_deliver(cur, cur_sender);
       else
-        sink.collide(cur);
+        em.on_collide(cur);
       cur_hits = 0;
     };
-    for (std::uint64_t idx = next_skip() - 1; idx < total;
-         idx += next_skip()) {
+    for (std::uint64_t idx = static_cast<std::uint64_t>(lo) * k +
+                             rng.geometric_inv(inv_log1m_p_) - 1;
+         idx < limit; idx += rng.geometric_inv(inv_log1m_p_)) {
       const NodeId v = static_cast<NodeId>(idx / k);
       const NodeId t = transmitters[static_cast<std::size_t>(idx % k)];
       if (v == t || (half_duplex && is_tx[v]) || skip(v)) continue;
@@ -520,40 +769,42 @@ class GnpSampler {
         flush();
         cur = v;
       }
-      record(t, v);
+      em.on_record(t, v);
       ++cur_hits;
       cur_sender = t;
     }
     flush();
   }
 
-  /// Classifies each listener as silent / single-hit / collided directly
-  /// from Binomial(k', p) outcome probabilities, where k' excludes the
-  /// listener itself when it is transmitting (no self-loops). When most
-  /// listeners hear nothing, the listeners with >= 1 hit are themselves
-  /// geometric-skip-sampled at rate q = 1 - P[X=0], making the round
-  /// O(event listeners) instead of O(n); per event the only randomness is
-  /// one classification uniform (plus the sender draw on delivery).
-  template <class Sink, class Skip, class Record>
-  void binomial_round(std::span<const NodeId> transmitters,
+  /// Classifies one block's listeners as silent / single-hit / collided
+  /// directly from Binomial(k', p) outcome probabilities, where k'
+  /// excludes the listener itself when it is transmitting (no self-loops).
+  /// When most listeners hear nothing, the listeners with >= 1 hit are
+  /// themselves geometric-skip-sampled at rate q = 1 - P[X=0], making the
+  /// block O(event listeners) instead of O(hi - lo); per event the only
+  /// randomness is one classification uniform (plus the sender draw on
+  /// delivery).
+  template <class Emitter, class Skip>
+  void binomial_block(NodeId lo, NodeId hi, Rng& rng,
+                      std::span<const NodeId> transmitters,
                       const std::vector<char>& is_tx, bool half_duplex,
-                      Sink& sink, Skip&& skip, Record&& record) {
+                      Emitter& em, Skip&& skip) {
     const std::uint64_t k = transmitters.size();
     if (p_ >= 1.0) {
       // Degenerate complete graph: every listener hears every eligible
       // transmitter deterministically.
-      for (NodeId v = 0; v < n_; ++v) {
+      for (NodeId v = lo; v < hi; ++v) {
         const bool tx = is_tx[v] != 0;
         if ((half_duplex && tx) || skip(v)) continue;
         const std::uint64_t eligible = k - (tx ? 1u : 0u);
         if (eligible == 0) continue;
         if (eligible >= 2) {
-          sink.collide(v);
+          em.on_collide(v);
           continue;
         }
         NodeId sender = transmitters[0];
         if (tx && sender == v) sender = transmitters[k - 1];
-        sink.deliver(v, sender);
+        em.on_deliver(v, sender);
       }
       return;
     }
@@ -565,45 +816,54 @@ class GnpSampler {
 
     if (q > 0.5) {
       // Most listeners hear something: a plain sweep is cheaper than
-      // skip-sampling (and the round is O(events) either way).
-      for (NodeId v = 0; v < n_; ++v) {
+      // skip-sampling (and the block is O(events) either way).
+      for (NodeId v = lo; v < hi; ++v) {
         const bool tx = is_tx[v] != 0;
         if ((half_duplex && tx) || skip(v)) continue;
-        classify(v, tx, probs, probs_tx, transmitters, sink, record);
+        classify(v, tx, probs, probs_tx, transmitters, em, rng);
       }
       return;
     }
 
-    // Skip-walk the listeners that hear >= 1 transmitter. A transmitter
-    // listener's true hit probability q' (from Binomial(k-1, p)) is below
-    // the walk's rate q, so those landings are thinned by q'/q — exact
-    // rejection, preserving per-listener independence.
+    // Skip-walk the block's listeners that hear >= 1 transmitter. A
+    // transmitter listener's true hit probability q' (from
+    // Binomial(k-1, p)) is below the walk's rate q, so those landings are
+    // thinned by q'/q — exact rejection, preserving per-listener
+    // independence.
     const double q_tx = probs_tx.hit();
     const double single_given_hit = probs.single_given_hit();
     const double single_given_hit_tx = probs_tx.single_given_hit();
     const double inv_log1m_q = 1.0 / std::log1p(-q);
-    for (std::uint64_t v = skip_draw(inv_log1m_q) - 1; v < n_;
-         v += skip_draw(inv_log1m_q)) {
-      if (skip(static_cast<NodeId>(v))) continue;
+    const std::uint64_t span = static_cast<std::uint64_t>(hi) - lo;
+    for (std::uint64_t o = rng.geometric_inv(inv_log1m_q) - 1; o < span;
+         o += rng.geometric_inv(inv_log1m_q)) {
+      const NodeId v = lo + static_cast<NodeId>(o);
+      if (skip(v)) continue;
       const bool tx = is_tx[v] != 0;
       double single_prob = single_given_hit;
       if (tx) {
         if (half_duplex) continue;
-        if (rng_.next_double() * q >= q_tx) continue;
+        if (rng.next_double() * q >= q_tx) continue;
         single_prob = single_given_hit_tx;
       }
-      if (rng_.next_double() < single_prob)
-        deliver_uniform(static_cast<NodeId>(v), tx, transmitters, sink,
-                        record);
+      if (rng.next_double() < single_prob)
+        deliver_uniform(v, tx, transmitters, em, rng);
       else
-        sink.collide(static_cast<NodeId>(v));
+        em.on_collide(v);
     }
   }
 
   NodeId n_ = 0;
   double p_ = 0.0;
   double inv_log1m_p_ = 0.0;
-  Rng rng_;
+  StreamKey key_;        ///< backend randomness root (from the spec's rng)
+  StreamKey round_key_;  ///< key_.fork(round), re-forked every begin_round
+  Rng lane_rng_;         ///< serial attentive/aggregate stream for the round
+  ThreadPool* pool_ = nullptr;
+  bool records_enabled_ = true;
+  std::vector<ShardBuffer> buffers_;  ///< per-block scratch, reused per round
+  /// Per-chunk (non-tx, tx) attentive-listener counts, merged serially.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> att_counts_;
 };
 
 /// Bounded store of individually resolved *present* ordered pairs, indexed
@@ -719,13 +979,16 @@ class CsrTopology {
 
   [[nodiscard]] NodeId num_nodes() const { return g_->num_nodes(); }
   void begin_round(std::uint32_t /*round*/) {}
+  /// Explicit-graph delivery is not sharded (yet — see ROADMAP); accepted
+  /// so the engine treats every backend uniformly.
+  void set_parallelism(ThreadPool* /*pool*/) {}
 
   template <class Sink>
   void deliver(std::span<const NodeId> transmitters,
                const std::vector<char>& is_tx, bool half_duplex,
                DeliveryPath path,
                const std::optional<std::span<const NodeId>>& /*attentive*/,
-               Sink& sink) {
+               bool /*collisions_inert*/, Sink& sink) {
     delivery_.deliver(*g_, transmitters, is_tx, half_duplex, path, sink);
   }
 
@@ -743,6 +1006,7 @@ class DynamicCsrTopology {
   }
 
   [[nodiscard]] NodeId num_nodes() const { return n_; }
+  void set_parallelism(ThreadPool* /*pool*/) {}
 
   void begin_round(std::uint32_t round) {
     g_ = &sequence_->at(round);
@@ -754,7 +1018,7 @@ class DynamicCsrTopology {
                const std::vector<char>& is_tx, bool half_duplex,
                DeliveryPath path,
                const std::optional<std::span<const NodeId>>& /*attentive*/,
-               Sink& sink) {
+               bool /*collisions_inert*/, Sink& sink) {
     delivery_.deliver(*g_, transmitters, is_tx, half_duplex, path, sink);
   }
 
@@ -775,17 +1039,19 @@ class ImplicitGnpTopology {
   }
 
   [[nodiscard]] NodeId num_nodes() const { return sampler_.n(); }
-  void begin_round(std::uint32_t /*round*/) {}
+  void begin_round(std::uint32_t round) { sampler_.begin_round(round); }
+  void set_parallelism(ThreadPool* pool) { sampler_.set_parallelism(pool); }
 
   template <class Sink>
   void deliver(std::span<const NodeId> transmitters,
                const std::vector<char>& is_tx, bool half_duplex,
                DeliveryPath /*path*/,
                const std::optional<std::span<const NodeId>>& attentive,
-               Sink& sink) {
+               bool collisions_inert, Sink& sink) {
     const std::uint64_t k = transmitters.size();
-    sampler_.round(transmitters, is_tx, half_duplex, attentive, sink,
-                   detail::SkipNone{}, detail::RecordNone{},
+    sampler_.round(transmitters, is_tx, half_duplex, attentive,
+                   collisions_inert, sink, detail::SkipNone{},
+                   detail::RecordNone{},
                    static_cast<std::uint64_t>(sampler_.n()) - k, k);
   }
 
@@ -809,8 +1075,14 @@ class ImplicitDynamicGnpTopology {
     RADNET_REQUIRE(spec.fail_prob >= 0.0 && spec.fail_prob < 1.0,
                    "fail_prob must be in [0, 1)");
     sampler_.init(spec.n, spec.p, spec.rng.split(ImplicitDynamicGnp::kEdgeStream));
-    churn_rng_ = spec.rng.split(ImplicitDynamicGnp::kChurnStream);
-    fail_rng_ = spec.rng.split(ImplicitDynamicGnp::kFailStream);
+    churn_key_ =
+        StreamKey::from_rng(spec.rng.split(ImplicitDynamicGnp::kChurnStream));
+    fail_key_ =
+        StreamKey::from_rng(spec.rng.split(ImplicitDynamicGnp::kFailStream));
+    churn_rng_ = churn_key_.fork(0).make_rng();
+    // At churn = 1 nothing is tracked: the record hook is a no-op, so the
+    // sharded sweeps need not buffer resolved pairs.
+    sampler_.set_records_enabled(churn_ < 1.0);
     if (churn_ < 1.0) {
       log1m_churn_ = std::log1p(-churn_);
       // Beyond the horizon a pair survives un-resampled with probability
@@ -839,8 +1111,20 @@ class ImplicitDynamicGnpTopology {
   /// Number of permanently failed nodes so far.
   [[nodiscard]] NodeId failed_count() const { return failed_count_; }
 
+  /// Accepted for the sharded sweep and failure injection; the sketch
+  /// phases stay serial regardless.
+  void set_parallelism(ThreadPool* pool) {
+    pool_ = pool;
+    sampler_.set_parallelism(pool);
+  }
+
   void begin_round(std::uint32_t round) {
     round_ = round;
+    sampler_.begin_round(round);
+    // The sketch and failure streams re-key per round too: every draw this
+    // round is a pure function of (spec seed, round, position), never of
+    // how many draws earlier rounds consumed.
+    churn_rng_ = churn_key_.fork(round).make_rng();
     if (p_of_round_)
       sampler_.set_p(std::clamp(p_of_round_(round), 0.0, 1.0));
     if (fail_prob_ > 0.0) draw_failures();
@@ -858,7 +1142,7 @@ class ImplicitDynamicGnpTopology {
                const std::vector<char>& is_tx, bool half_duplex,
                DeliveryPath /*path*/,
                const std::optional<std::span<const NodeId>>& attentive,
-               Sink& sink) {
+               bool collisions_inert, Sink& sink) {
     // Dead radios transmit into the void: filter them out of the round.
     std::span<const NodeId> tx = transmitters;
     if (failed_count_ > 0) {
@@ -907,13 +1191,15 @@ class ImplicitDynamicGnpTopology {
         // Attentive mode: pinned events first (ascending listener), then
         // the hint's listeners in hint order, then the aggregates.
         for (const PinnedEvent& e : pinned_events_) emit(e, sink);
-        sampler_.attentive_round(tx, is_tx, half_duplex, *attentive, sink,
-                                 skip, record, universe_nontx, universe_tx);
+        sampler_.attentive_round(tx, is_tx, half_duplex, *attentive,
+                                 collisions_inert, sink, skip, record,
+                                 universe_nontx, universe_tx);
       } else {
         // Sweep mode: merge the pre-drawn pinned events into the sweep's
         // ascending listener order.
         MergeSink<Sink> merged{sink, pinned_events_, 0, this};
-        sampler_.sweep(tx, is_tx, half_duplex, merged, skip, record);
+        sampler_.sweep(tx, is_tx, half_duplex, collisions_inert, merged, skip,
+                       record);
         merged.flush_all();
       }
     } else {
@@ -1084,25 +1370,50 @@ class ImplicitDynamicGnpTopology {
   }
 
   /// Each live node fails independently with fail_prob per round; landing
-  /// on an already-failed node is a no-op, so one skip-sampled sweep of
-  /// [0, n) is exact.
+  /// on an already-failed node is a no-op, so a skip-sampled sweep of
+  /// [0, n) is exact — and because failures are independent per node, the
+  /// sweep shards into the same counter-keyed listener blocks as the round
+  /// sweep (disjoint failed_ ranges; per-block new-failure counts summed
+  /// serially).
   void draw_failures() {
     const std::uint64_t n = sampler_.n();
-    for (std::uint64_t v = fail_rng_.geometric_inv(inv_log1m_fail_) - 1;
-         v < n; v += fail_rng_.geometric_inv(inv_log1m_fail_)) {
-      if (!failed_[v]) {
-        failed_[v] = 1;
-        ++failed_count_;
+    const StreamKey round_key = fail_key_.fork(round_);
+    const std::uint64_t blocks =
+        (n + detail::GnpSampler::kShardBlockSize - 1) /
+        detail::GnpSampler::kShardBlockSize;
+    fail_counts_.assign(blocks, 0);
+    const auto run_block = [&](std::uint64_t b) {
+      Rng rng = round_key.fork(b).make_rng();
+      const std::uint64_t lo = b * detail::GnpSampler::kShardBlockSize;
+      const std::uint64_t span =
+          std::min<std::uint64_t>(n, lo + detail::GnpSampler::kShardBlockSize) -
+          lo;
+      NodeId fresh = 0;
+      for (std::uint64_t o = rng.geometric_inv(inv_log1m_fail_) - 1; o < span;
+           o += rng.geometric_inv(inv_log1m_fail_)) {
+        if (!failed_[lo + o]) {
+          failed_[lo + o] = 1;
+          ++fresh;
+        }
       }
-    }
+      fail_counts_[b] = fresh;
+    };
+    if (pool_ != nullptr && blocks > 1)
+      pool_->parallel_for_index(blocks, run_block);
+    else
+      for (std::uint64_t b = 0; b < blocks; ++b) run_block(b);
+    for (const NodeId fresh : fail_counts_) failed_count_ += fresh;
   }
 
   detail::GnpSampler sampler_;
   double churn_;
   double fail_prob_;
   std::function<double(std::uint32_t)> p_of_round_;
-  Rng churn_rng_;
-  Rng fail_rng_;
+  StreamKey churn_key_;  ///< per-round sketch stream root
+  StreamKey fail_key_;   ///< per-(round, block) failure stream root
+  Rng churn_rng_;        ///< re-keyed from churn_key_ every begin_round
+  ThreadPool* pool_ = nullptr;
+  std::vector<NodeId> fail_counts_;  ///< per-block new failures, merged serially
   double log1m_churn_ = 0.0;
   double inv_log1m_fail_ = 0.0;
   std::uint64_t horizon_ = 0;

@@ -166,6 +166,15 @@ std::uint64_t Rng::binomial(std::uint64_t n, double p) {
   return m;
 }
 
+StreamKey StreamKey::from_rng(const Rng& rng) {
+  const std::array<std::uint64_t, 4> s = rng.state();
+  std::uint64_t k = mix64(s[0] ^ 0x517cc1b727220a95ull);
+  k = mix64(k ^ s[1]);
+  k = mix64(k ^ s[2]);
+  k = mix64(k ^ s[3]);
+  return StreamKey(k);
+}
+
 std::uint64_t Rng::sample_cdf(const double* cdf, std::uint64_t size,
                               std::uint64_t miss) {
   RADNET_REQUIRE(size >= 1, "sample_cdf needs a non-empty cdf");

@@ -1,11 +1,35 @@
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
 
 #include "support/require.hpp"
 
 namespace radnet {
+
+namespace {
+
+/// Stack of pools whose chunks this thread is currently executing (as a
+/// worker or as a participating caller) — a linked list of stack frames,
+/// one per active parallel_for_index. A nested parallel_for_index on any
+/// pool in the chain runs inline instead of waiting on workers that may
+/// all be busy with outer jobs — the re-entrancy guarantee the
+/// nested-sweep paths rely on, including A-inside-B-inside-A chains.
+struct BusyFrame {
+  const ThreadPool* pool;
+  const BusyFrame* prev;
+};
+thread_local const BusyFrame* tl_busy_chain = nullptr;
+
+bool busy_on(const ThreadPool* pool) {
+  for (const BusyFrame* f = tl_busy_chain; f != nullptr; f = f->prev)
+    if (f->pool == pool) return true;
+  return false;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   unsigned n = threads;
@@ -20,91 +44,133 @@ ThreadPool::~ThreadPool() {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  wake_cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::run_chunks(Job& job) {
   for (;;) {
-    Task task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
-      task = std::move(queue_.front());
-      queue_.pop_front();
+    // Once any chunk has thrown, the job is abandoned: stop claiming work
+    // (already-running chunks finish, the first exception is rethrown on
+    // the owner).
+    if (job.failed.load(std::memory_order_relaxed)) return;
+    const std::uint64_t begin =
+        job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+    if (begin >= job.n) return;
+    const std::uint64_t end = std::min(job.n, begin + job.chunk);
+    try {
+      for (std::uint64_t i = begin; i < end; ++i) (*job.body)(i);
+    } catch (...) {
+      job.failed.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!job.first_error) job.first_error = std::current_exception();
     }
-    task.fn();
   }
 }
 
-void ThreadPool::submit(std::function<void()> fn) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    RADNET_CHECK(!stopping_, "submit after shutdown");
-    queue_.push_back(Task{std::move(fn)});
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_gen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    wake_cv_.wait(lock, [&] {
+      return stopping_ || (job_ != nullptr && job_gen_ != seen_gen);
+    });
+    if (stopping_) return;
+    seen_gen = job_gen_;
+    Job& job = *job_;
+    ++job.active;
+    lock.unlock();
+    const BusyFrame frame{this, tl_busy_chain};
+    tl_busy_chain = &frame;
+    run_chunks(job);
+    tl_busy_chain = frame.prev;
+    lock.lock();
+    // The owner's completion predicate reads `active` under mu_, so this
+    // decrement-and-notify cannot race with the job being destroyed. An
+    // abandoned job (failed) completes without next ever reaching n.
+    if (--job.active == 0 &&
+        (job.failed.load(std::memory_order_relaxed) ||
+         job.next.load(std::memory_order_relaxed) >= job.n))
+      done_cv_.notify_all();
   }
-  cv_.notify_one();
 }
 
 void ThreadPool::parallel_for_index(
     std::uint64_t n, const std::function<void(std::uint64_t)>& body) {
   if (n == 0) return;
-  const std::uint64_t workers = size() + 1;  // workers plus the calling thread
-  const std::uint64_t chunk = std::max<std::uint64_t>(1, (n + workers - 1) / workers);
-
-  struct Shared {
-    std::atomic<std::uint64_t> next{0};
-    std::atomic<std::uint64_t> pending{0};
-    std::mutex done_mu;
-    std::condition_variable done_cv;
-    std::exception_ptr first_error;
-    std::mutex error_mu;
-  } shared;
-
-  const auto run_chunks = [&]() {
-    for (;;) {
-      const std::uint64_t begin =
-          shared.next.fetch_add(chunk, std::memory_order_relaxed);
-      if (begin >= n) return;
-      const std::uint64_t end = std::min(n, begin + chunk);
-      try {
-        for (std::uint64_t i = begin; i < end; ++i) body(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(shared.error_mu);
-        if (!shared.first_error) shared.first_error = std::current_exception();
-      }
-    }
-  };
-
-  const std::uint64_t tasks = std::min<std::uint64_t>(workers - 1, (n + chunk - 1) / chunk);
-  shared.pending.store(tasks, std::memory_order_relaxed);
-  for (std::uint64_t t = 0; t < tasks; ++t) {
-    submit([&shared, run_chunks] {
-      run_chunks();
-      if (shared.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(shared.done_mu);
-        shared.done_cv.notify_all();
-      }
-    });
+  if (busy_on(this)) {
+    // Nested call from inside one of this pool's chunks: run inline. The
+    // outer job already owns the workers; waiting for them here could
+    // deadlock, and stealing them would oversubscribe.
+    for (std::uint64_t i = 0; i < n; ++i) body(i);
+    return;
   }
 
-  run_chunks();  // the calling thread participates
+  // One job at a time; a second external caller queues behind the first.
+  std::lock_guard<std::mutex> owner_lock(owner_mu_);
 
-  std::unique_lock<std::mutex> lock(shared.done_mu);
-  shared.done_cv.wait(lock, [&shared] {
-    return shared.pending.load(std::memory_order_acquire) == 0;
-  });
+  Job job;
+  job.n = n;
+  job.body = &body;
+  // Chunks are purely a claim-frequency knob (results are slot-indexed, so
+  // chunking never affects output): fine-grained enough to balance uneven
+  // bodies, coarse enough that a cheap body isn't all fetch_add traffic.
+  const std::uint64_t parts = (workers_.size() + 1) * 8;
+  job.chunk = std::max<std::uint64_t>(1, n / parts);
 
-  if (shared.first_error) std::rethrow_exception(shared.first_error);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RADNET_CHECK(!stopping_, "parallel_for_index after shutdown");
+    job_ = &job;
+    ++job_gen_;
+  }
+  wake_cv_.notify_all();
+
+  const BusyFrame frame{this, tl_busy_chain};
+  tl_busy_chain = &frame;
+  run_chunks(job);  // the calling thread participates
+  tl_busy_chain = frame.prev;
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return job.active == 0 &&
+             (job.failed.load(std::memory_order_relaxed) ||
+              job.next.load(std::memory_order_relaxed) >= job.n);
+    });
+    job_ = nullptr;  // late-waking workers must not join a finished job
+  }
+
+  if (job.first_error) std::rethrow_exception(job.first_error);
 }
 
 ThreadPool& global_pool() {
-  static ThreadPool pool;
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("RADNET_THREADS")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 0 && v <= 4096)
+        return static_cast<unsigned>(v);  // 0 = hardware concurrency
+    }
+    return 0u;
+  }());
   return pool;
+}
+
+ThreadPool* resolve_pool(unsigned threads) {
+  if (threads == 1) return nullptr;
+  if (threads == 0) return &global_pool();
+  // Same ceiling as RADNET_THREADS: a typo'd huge count would die mid-
+  // construction spawning threads (joinable-thread destructor terminates
+  // the process) and each distinct size is cached for the process
+  // lifetime. Reject loudly instead.
+  RADNET_REQUIRE(threads <= 4096, "thread count must be <= 4096");
+  static std::mutex mu;
+  static std::map<unsigned, std::unique_ptr<ThreadPool>> pools;
+  std::lock_guard<std::mutex> lock(mu);
+  std::unique_ptr<ThreadPool>& pool = pools[threads];
+  if (!pool) pool = std::make_unique<ThreadPool>(threads);
+  return pool.get();
 }
 
 }  // namespace radnet

@@ -1,20 +1,35 @@
 // A small work-stealing-free thread pool plus deterministic parallel_for.
 //
-// The reproduction parallelises across *independent Monte-Carlo trials*
-// (each trial owns an Rng split from (root seed, trial index)), so the pool
-// only needs static chunking: parallel_for_index divides [0, n) into
-// contiguous blocks, one in-flight task per worker. Results must be written
-// into pre-sized output slots indexed by trial, which makes parallel output
-// bit-identical to serial output regardless of thread count — a property the
-// tests assert.
+// The reproduction parallelises at two levels: across *independent
+// Monte-Carlo trials* (each trial owns an Rng split from (root seed, trial
+// index)) and, inside a single trial, across the *listener blocks* of the
+// implicit backends' round sweeps (each block owns an Rng keyed by
+// (trial, round, block) — see StreamKey in support/rng.hpp). Both levels
+// write into pre-sized output slots, which makes parallel output
+// bit-identical to serial output regardless of thread count — a property
+// the tests assert.
+//
+// parallel_for_index uses a single shared atomic chunk counter per call:
+// workers and the calling thread claim contiguous chunks until the range is
+// exhausted. The job descriptor lives on the caller's stack and is
+// broadcast to the workers through one pointer — no per-chunk (or even
+// per-call) heap-allocated task objects.
+//
+// Re-entrancy: a nested parallel_for_index issued by a thread that is
+// already executing chunks of this pool (a worker, or the calling thread
+// participating in an outer loop) runs the whole range inline on that
+// thread. This means a parallel round sweep nested under the parallel
+// Monte-Carlo harness can never deadlock waiting for workers that are all
+// busy with outer work, and never oversubscribes the machine.
 //
 // Exceptions thrown by a task are captured and rethrown on the calling
-// thread (first one wins), per C++ Core Guidelines E.2.
+// thread (first one wins), per C++ Core Guidelines E.2; remaining chunks of
+// a failed job are abandoned.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -33,32 +48,55 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
 
   /// Runs body(i) for every i in [0, n), distributing contiguous chunks over
   /// the workers, and blocks until all complete. The calling thread also
-  /// executes chunks. If any invocation throws, the first captured exception
+  /// executes chunks. Nested calls from inside a chunk run inline (see the
+  /// file comment). If any invocation throws, the first captured exception
   /// is rethrown here after all chunks finish or are abandoned.
   void parallel_for_index(std::uint64_t n,
                           const std::function<void(std::uint64_t)>& body);
 
  private:
-  struct Task {
-    std::function<void()> fn;
+  /// One parallel_for_index invocation; lives on the caller's stack.
+  struct Job {
+    std::uint64_t n = 0;
+    std::uint64_t chunk = 1;
+    const std::function<void(std::uint64_t)>* body = nullptr;
+    std::atomic<std::uint64_t> next{0};
+    std::atomic<bool> failed{false};  ///< stop claiming chunks after a throw
+    unsigned active = 0;  ///< workers currently inside the job (guards: mu_)
+    std::exception_ptr first_error;  ///< guarded by the pool's mu_
   };
 
   void worker_loop();
-  void submit(std::function<void()> fn);
+  void run_chunks(Job& job);
 
   std::vector<std::thread> workers_;
-  std::deque<Task> queue_;
   std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable wake_cv_;  ///< workers wait for a job or shutdown
+  std::condition_variable done_cv_;  ///< the job owner waits for completion
+  Job* job_ = nullptr;               ///< current job broadcast (guards: mu_)
+  std::uint64_t job_gen_ = 0;        ///< bumped per job so workers join once
   bool stopping_ = false;
+  std::mutex owner_mu_;  ///< serialises concurrent external callers
 };
 
-/// A process-wide pool, lazily created with hardware concurrency. Benches and
-/// the Monte-Carlo harness share it so nested sweeps don't oversubscribe.
+/// A process-wide pool, lazily created with hardware concurrency — or with
+/// RADNET_THREADS workers when that environment variable is set to a
+/// positive integer (0 or unset = hardware concurrency). Benches, tests,
+/// the CLI and the Monte-Carlo harness all share it, so one knob sizes
+/// every parallel path in the process.
 ThreadPool& global_pool();
+
+/// Maps the RunOptions-style thread knob to a pool: 1 (the default) means
+/// serial — nullptr; 0 means the shared global_pool(); any other count
+/// returns a lazily created process-cached pool of exactly that many
+/// workers (so tests can pin 2- and 8-thread schedules in one process).
+/// Thread count never changes results — only how fast they arrive.
+ThreadPool* resolve_pool(unsigned threads);
 
 }  // namespace radnet

@@ -1,0 +1,165 @@
+// Thread-count invariance of the block-sharded implicit backends.
+//
+// The sharded round sweeps key every RNG draw by (round, listener block)
+// (StreamKey counter keying), so a single-trial RunResult — completion,
+// round counts, the full energy ledger and the per-event trace — must be
+// *bit-identical* whether the sweep runs serially or over a pool of any
+// size. These tests pin that guarantee at 1, 2 and 8 threads across the
+// implicit static backend, the implicit dynamic backend at churn 1.0 and
+// 0.5 (exercising the pair sketch's record/merge path), and a
+// failure-injection run (exercising the sharded failure sweep). A final
+// test drives the Monte-Carlo harness's round-parallel mode against its
+// serial mode.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/broadcast_random.hpp"
+#include "core/gossip_random.hpp"
+#include "harness/monte_carlo.hpp"
+#include "sim/engine.hpp"
+
+namespace radnet::sim {
+namespace {
+
+using core::BroadcastRandomParams;
+using core::BroadcastRandomProtocol;
+using core::GossipRumorMarginalParams;
+using core::GossipRumorMarginalProtocol;
+
+constexpr unsigned kThreadCounts[] = {1, 2, 8};
+
+void expect_identical(const RunResult& a, const RunResult& b,
+                      const char* what) {
+  // Field-wise first for readable failures, then the exhaustive
+  // RunResult::operator== so future fields cannot silently escape the
+  // bit-identity gate.
+  EXPECT_EQ(a.completed, b.completed) << what;
+  EXPECT_EQ(a.rounds_executed, b.rounds_executed) << what;
+  EXPECT_EQ(a.completion_round, b.completion_round) << what;
+  EXPECT_EQ(a.ledger, b.ledger) << what;
+  EXPECT_EQ(a.trace, b.trace) << what;
+  EXPECT_TRUE(a == b) << what;
+}
+
+/// Runs `make_run(options)` at every thread count and asserts all results
+/// equal the serial one. record_trace is on, so equality covers every
+/// per-listener event in order, not just the aggregate ledger.
+template <class MakeRun>
+void expect_thread_invariant(MakeRun&& make_run, const char* what) {
+  RunOptions options;
+  options.record_trace = true;
+  options.threads = 1;
+  const RunResult serial = make_run(options);
+  for (const unsigned threads : kThreadCounts) {
+    options.threads = threads;
+    expect_identical(serial, make_run(options), what);
+  }
+}
+
+TEST(ThreadInvariance, ImplicitStaticBroadcast) {
+  const graph::NodeId n = 50'000;  // several shard blocks
+  const double p = 8.0 * std::log(n) / n;
+  expect_thread_invariant(
+      [&](RunOptions options) {
+        options.max_rounds = 256;
+        const ImplicitGnp spec{n, p, Rng(0xA11CE)};
+        BroadcastRandomProtocol proto(BroadcastRandomParams{.p = p});
+        Engine engine;
+        return engine.run(spec, proto, Rng(7), options);
+      },
+      "implicit static broadcast");
+}
+
+TEST(ThreadInvariance, AttentivePathAndBulkCollisions) {
+  // Without a trace the attentive hint stays live, so the heavy rounds run
+  // the chunk-sharded attentive path with inert-collision bulk merging —
+  // the ledger must still be bit-identical at every thread count.
+  const graph::NodeId n = 200'000;
+  const double p = 8.0 * std::log(n) / n;
+  const auto run_with = [&](unsigned threads) {
+    RunOptions options;
+    options.max_rounds = 256;
+    options.threads = threads;
+    const ImplicitGnp spec{n, p, Rng(0xBEEF)};
+    BroadcastRandomProtocol proto(BroadcastRandomParams{.p = p});
+    Engine engine;
+    return engine.run(spec, proto, Rng(11), options);
+  };
+  const RunResult serial = run_with(1);
+  EXPECT_TRUE(serial.completed);
+  for (const unsigned threads : kThreadCounts)
+    expect_identical(serial, run_with(threads), "attentive path");
+}
+
+void expect_dynamic_invariant(double churn, double fail_prob,
+                              const char* what) {
+  const graph::NodeId n = 50'000;
+  const double p = 16.0 / n;
+  expect_thread_invariant(
+      [&](RunOptions options) {
+        options.max_rounds = 64;
+        ImplicitDynamicGnp spec;
+        spec.n = n;
+        spec.p = p;
+        spec.churn = churn;
+        spec.fail_prob = fail_prob;
+        spec.rng = Rng(0xD15C0);
+        GossipRumorMarginalProtocol proto(GossipRumorMarginalParams{.p = p});
+        Engine engine;
+        return engine.run(spec, proto, Rng(9), options);
+      },
+      what);
+}
+
+TEST(ThreadInvariance, ImplicitDynamicChurnOne) {
+  expect_dynamic_invariant(1.0, 0.0, "dynamic churn=1.0");
+}
+
+TEST(ThreadInvariance, ImplicitDynamicChurnHalf) {
+  // churn < 1 routes deliveries through the pair sketch: the sweep's
+  // buffered record merge must reproduce the serial sketch insertion order
+  // exactly, or later rounds diverge.
+  expect_dynamic_invariant(0.5, 0.0, "dynamic churn=0.5");
+}
+
+TEST(ThreadInvariance, FailureInjection) {
+  // fail_prob > 0 also exercises the block-sharded failure sweep.
+  expect_dynamic_invariant(1.0, 0.002, "dynamic with failures");
+}
+
+TEST(ThreadInvariance, MonteCarloRoundParallelMatchesSerial) {
+  // One trial, so the harness flips to round-parallelism (threads = 0)
+  // when the pool has > 1 thread; the outcomes must match a fully serial
+  // run regardless.
+  const graph::NodeId n = 30'000;
+  const double p = 8.0 * std::log(n) / n;
+  harness::McSpec spec;
+  spec.trials = 1;
+  spec.seed = 0xC0FFEE;
+  spec.implicit_gnp = harness::ImplicitGnpParams{n, p};
+  spec.make_protocol = [p](const graph::Digraph&, std::uint32_t) {
+    return std::make_unique<BroadcastRandomProtocol>(
+        BroadcastRandomParams{.p = p});
+  };
+  spec.run_options.max_rounds = 256;
+
+  spec.serial = true;
+  const harness::McResult serial = harness::run_monte_carlo(spec);
+  spec.serial = false;
+  const harness::McResult parallel = harness::run_monte_carlo(spec);
+
+  ASSERT_EQ(serial.trials(), parallel.trials());
+  for (std::uint32_t t = 0; t < serial.trials(); ++t) {
+    const auto& a = serial.outcomes[t];
+    const auto& b = parallel.outcomes[t];
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_EQ(a.total_tx, b.total_tx);
+    EXPECT_EQ(a.deliveries, b.deliveries);
+    EXPECT_EQ(a.collisions, b.collisions);
+  }
+}
+
+}  // namespace
+}  // namespace radnet::sim

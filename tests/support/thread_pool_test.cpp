@@ -79,5 +79,69 @@ TEST(ThreadPoolTest, GlobalPoolIsUsable) {
   EXPECT_EQ(count.load(), 64);
 }
 
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  // A sharded round sweep nested under the parallel Monte-Carlo harness
+  // issues parallel_for_index from pool threads (workers *and* the
+  // participating caller). Those nested calls must run inline: with every
+  // worker busy on outer chunks, queueing nested work would deadlock.
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> total{0};
+  pool.parallel_for_index(16, [&](std::uint64_t) {
+    pool.parallel_for_index(32, [&](std::uint64_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 16u * 32u);
+}
+
+TEST(ThreadPoolTest, NestedCallsOnDistinctPoolsStayParallel) {
+  // Inlining is per pool: a loop on pool B issued from inside pool A is an
+  // ordinary external call on B, not a nested one.
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<std::uint64_t> total{0};
+  outer.parallel_for_index(4, [&](std::uint64_t) {
+    inner.parallel_for_index(8, [&](std::uint64_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 4u * 8u);
+}
+
+TEST(ThreadPoolTest, CrossPoolNestingPreservesReentrancyMarker) {
+  // Running an external loop on pool B from inside pool A's chunks must
+  // not erase A's re-entrancy marker: a subsequent nested call on A still
+  // has to run inline (a reset-to-null marker would send it down the
+  // external path and deadlock on A's busy owner slot).
+  ThreadPool a(2);
+  ThreadPool b(2);
+  std::atomic<std::uint64_t> total{0};
+  a.parallel_for_index(4, [&](std::uint64_t) {
+    b.parallel_for_index(4, [&](std::uint64_t) { ++total; });
+    a.parallel_for_index(4, [&](std::uint64_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 4u * 4u * 2u);
+}
+
+TEST(ThreadPoolTest, NestedExceptionPropagatesToOuterCaller) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for_index(8,
+                                       [&](std::uint64_t i) {
+                                         pool.parallel_for_index(
+                                             8, [&](std::uint64_t j) {
+                                               if (i == 3 && j == 5)
+                                                 throw std::runtime_error(
+                                                     "nested boom");
+                                             });
+                                       }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ResolvePoolMapsTheThreadKnob) {
+  EXPECT_EQ(resolve_pool(1), nullptr);  // 1 = serial
+  EXPECT_EQ(resolve_pool(0), &global_pool());
+  ThreadPool* two = resolve_pool(2);
+  ASSERT_NE(two, nullptr);
+  EXPECT_EQ(two->size(), 2u);
+  EXPECT_EQ(resolve_pool(2), two);  // cached per size
+  EXPECT_EQ(resolve_pool(8)->size(), 8u);
+}
+
 }  // namespace
 }  // namespace radnet

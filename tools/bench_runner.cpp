@@ -7,24 +7,39 @@
 // google-benchmark dependency so it can run as a ctest (`ctest -L
 // bench_smoke`). Medians of ns/round at several n are emitted as JSON:
 //
-//   { "schema": "radnet-bench-engine-v1",
-//     "benchmarks": [ {"name": ..., "n": ..., "ns_per_round": ...}, ... ],
+//   { "schema": "radnet-bench-engine-v2",
+//     "host": {"hardware_concurrency": ..., "pool_threads": ...},
+//     "benchmarks": [ {"name": ..., "n": ..., "ns_per_round": ...,
+//                      "wall_ms": ..., "threads": ..., "peak_rss_kb": ...},
+//                    ... ],
 //     "comparison": {"n": ..., "p": ..., "csr_ms": ..., "implicit_ms": ...,
 //                    "speedup": ...},
-//     "dynamic": {"n": ..., "churn": ..., "trial_ms": ..., "rounds": ...} }
+//     "dynamic": {"n": ..., "churn": ..., "trial_ms": ..., "rounds": ...},
+//     "thread_scaling": {"n": ..., "serial_ms": ..., "parallel_ms": ...,
+//                        "speedup": ..., "pool_threads": ...,
+//                        "identical": ...} }
 //
-// The "dynamic" object tracks E16 (bench_e16_dynamic_scale): one churned
-// gossip trial (single-rumor marginal of Algorithm 2) on the graph-free
-// implicit dynamic backend.
+// Every entry carries its wall-clock cost, the thread count it ran with
+// and the process peak RSS when it finished (ru_maxrss — monotone, so an
+// entry's value is the high-water mark up to that point), seeding the
+// perf trajectory across PRs. The "dynamic" object tracks E16
+// (bench_e16_dynamic_scale): one churned gossip trial (single-rumor
+// marginal of Algorithm 2) on the graph-free implicit dynamic backend.
+// "thread_scaling" tracks E17 (bench_e17_thread_scaling): the same
+// single-trial broadcast with serial vs all-core block-sharded round
+// sweeps, plus the bit-identity check between them.
 //
 // Flags: --quick shrinks sizes/repetitions for smoke runs; --out overrides
 // the output path (default BENCH_engine.json in the working directory).
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cmath>
 #include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/broadcast_random.hpp"
@@ -33,6 +48,7 @@
 #include "sim/engine.hpp"
 #include "support/cli_args.hpp"
 #include "support/stats.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
@@ -78,11 +94,22 @@ class LoadProtocol final : public radnet::sim::Protocol {
 
 struct Entry {
   std::string name;
-  std::uint32_t n;
-  double ns_per_round;
+  std::uint32_t n = 0;
+  double ns_per_round = 0.0;
+  double wall_ms = 0.0;       ///< total wall time spent producing the entry
+  unsigned threads = 1;       ///< RunOptions::threads the entry ran with
+  std::uint64_t peak_rss_kb = 0;  ///< process high-water RSS at entry end
 };
 
 constexpr radnet::sim::Round kRounds = 64;
+
+/// Process peak RSS in KiB (ru_maxrss is KiB on Linux); monotone over the
+/// process lifetime, so each entry records the high-water mark so far.
+std::uint64_t peak_rss_kb() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+}
 
 double median_ns_per_round(std::uint32_t reps,
                            const std::function<void()>& run_rounds) {
@@ -95,7 +122,14 @@ double median_ns_per_round(std::uint32_t reps,
   return ns.median();
 }
 
+Entry finish_entry(Entry entry, double t0_ns) {
+  entry.wall_ms = (now_ns() - t0_ns) / 1e6;
+  entry.peak_rss_kb = peak_rss_kb();
+  return entry;
+}
+
 Entry time_csr_engine(std::uint32_t n, std::uint32_t reps) {
+  const double t0 = now_ns();
   Rng grng(n);
   const Digraph g =
       radnet::graph::gnp_directed(n, 8.0 * std::log(n) / n, grng);
@@ -106,10 +140,12 @@ Entry time_csr_engine(std::uint32_t n, std::uint32_t reps) {
     LoadProtocol proto(0.1);
     (void)engine.run(g, proto, Rng(1), options);
   });
-  return {"csr_engine_rounds", n, ns};
+  return finish_entry({"csr_engine_rounds", n, ns, 0.0, options.threads, 0},
+                      t0);
 }
 
 Entry time_implicit_engine(std::uint32_t n, std::uint32_t reps) {
+  const double t0 = now_ns();
   const double p = 8.0 * std::log(n) / n;
   radnet::sim::Engine engine;
   radnet::sim::RunOptions options;
@@ -119,7 +155,47 @@ Entry time_implicit_engine(std::uint32_t n, std::uint32_t reps) {
     LoadProtocol proto(0.1);
     (void)engine.run(gnp, proto, Rng(1), options);
   });
-  return {"implicit_engine_rounds", n, ns};
+  return finish_entry(
+      {"implicit_engine_rounds", n, ns, 0.0, options.threads, 0}, t0);
+}
+
+struct ThreadScaling {
+  std::uint32_t n = 0;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  double speedup = 0.0;
+  unsigned pool_threads = 0;
+  bool identical = false;
+};
+
+/// E17's core claim in one tracked number: the same single-trial broadcast
+/// with serial vs all-core round sweeps, bit-identity asserted.
+ThreadScaling time_thread_scaling(std::uint32_t n) {
+  ThreadScaling s;
+  s.n = n;
+  s.pool_threads = radnet::global_pool().size();
+  // The d = 8 ln n regime of E17: completes reliably at finite n, so the
+  // tracked number is a full broadcast rather than a censored budget run.
+  const double p = 8.0 * std::log(n) / n;
+  BroadcastRandomProtocol probe(BroadcastRandomParams{.p = p});
+  probe.reset(n, Rng(0));
+  radnet::sim::Engine engine;
+  radnet::sim::RunOptions options;
+  options.max_rounds = probe.round_budget();
+  const auto run_with = [&](unsigned threads, double* ms) {
+    options.threads = threads;
+    const radnet::sim::ImplicitGnp gnp{n, p, Rng(17)};
+    BroadcastRandomProtocol proto(BroadcastRandomParams{.p = p});
+    const double t0 = now_ns();
+    const auto run = engine.run(gnp, proto, Rng(18), options);
+    *ms = (now_ns() - t0) / 1e6;
+    return run;
+  };
+  const auto serial = run_with(1, &s.serial_ms);
+  const auto parallel = run_with(0, &s.parallel_ms);
+  s.speedup = s.serial_ms / s.parallel_ms;
+  s.identical = serial == parallel;
+  return s;
 }
 
 struct Comparison {
@@ -246,24 +322,49 @@ int main(int argc, char** argv) {
             << ": " << dyn.trial_ms << " ms/trial, " << dyn.rounds
             << " rounds\n";
 
+  const ThreadScaling ts =
+      time_thread_scaling(quick ? (1u << 18) : (1u << 22));
+  std::cout << "thread scaling (E17) n=" << ts.n << ": serial "
+            << ts.serial_ms << " ms, " << ts.pool_threads << "-thread "
+            << ts.parallel_ms << " ms, speedup " << ts.speedup << "x, "
+            << (ts.identical ? "bit-identical" : "DIVERGED") << "\n";
+  if (!ts.identical) {
+    std::cerr << "thread-scaling runs diverged — determinism bug\n";
+    return 1;
+  }
+
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "cannot write " << out_path << '\n';
     return 1;
   }
-  out << "{\n  \"schema\": \"radnet-bench-engine-v1\",\n  \"benchmarks\": [\n";
+  out << "{\n  \"schema\": \"radnet-bench-engine-v2\",\n  \"host\": {"
+      << "\"hardware_concurrency\": "
+      << std::max(1u, std::thread::hardware_concurrency())
+      << ", \"pool_threads\": " << radnet::global_pool().size() << "},\n"
+      << "  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     out << "    {\"name\": \"" << entries[i].name << "\", \"n\": "
         << entries[i].n << ", \"ns_per_round\": " << entries[i].ns_per_round
+        << ", \"wall_ms\": " << entries[i].wall_ms
+        << ", \"threads\": " << entries[i].threads
+        << ", \"peak_rss_kb\": " << entries[i].peak_rss_kb
         << (i + 1 < entries.size() ? "},\n" : "}\n");
   }
   out << "  ],\n  \"comparison\": {\"n\": " << cmp.n << ", \"p\": " << cmp.p
       << ", \"csr_ms\": " << cmp.csr_ms
       << ", \"implicit_ms\": " << cmp.implicit_ms
-      << ", \"speedup\": " << cmp.speedup << "},\n"
+      << ", \"speedup\": " << cmp.speedup
+      << ", \"peak_rss_kb\": " << peak_rss_kb() << "},\n"
       << "  \"dynamic\": {\"n\": " << dyn.n << ", \"churn\": " << dyn.churn
       << ", \"trial_ms\": " << dyn.trial_ms
-      << ", \"rounds\": " << dyn.rounds << "}\n}\n";
+      << ", \"rounds\": " << dyn.rounds << "},\n"
+      << "  \"thread_scaling\": {\"n\": " << ts.n
+      << ", \"serial_ms\": " << ts.serial_ms
+      << ", \"parallel_ms\": " << ts.parallel_ms
+      << ", \"speedup\": " << ts.speedup
+      << ", \"pool_threads\": " << ts.pool_threads << ", \"identical\": "
+      << (ts.identical ? "true" : "false") << "}\n}\n";
   std::cout << "wrote " << out_path << '\n';
   return 0;
 }

@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
   try {
     const CliArgs args(argc, argv,
                        {"protocol", "topology", "n", "p", "delta", "trials",
-                        "seed", "max-rounds", "source", "radius-mult",
+                        "seed", "max-rounds", "threads", "source", "radius-mult",
                         "cluster-size", "diameter", "q", "lambda", "churn",
                         "fail-prob", "p-amp", "p-period", "quiescence",
                         "help"});
@@ -108,7 +108,11 @@ int main(int argc, char** argv) {
                    "                  [--diameter D] [--q Q] [--lambda L]"
                    " [--max-rounds R] [--quiescence]\n"
                    "                  [--churn C] [--fail-prob F] [--p-amp A"
-                   " --p-period R]\n";
+                   " --p-period R]\n"
+                   "                  [--threads K]   within-trial round-sweep"
+                   " threads: 1 serial\n"
+                   "                  (default), 0 every core; results are"
+                   " identical either way\n";
       return 0;
     }
 
@@ -262,6 +266,13 @@ int main(int argc, char** argv) {
                 log2nn * log2nn));
     spec.run_options.max_rounds = static_cast<sim::Round>(
         args.get_u64("max-rounds", default_budget));
+    // Purely a schedule knob: the sharded sweeps are bit-identical at any
+    // thread count. Unset (= 1) lets the harness pick trial- vs
+    // round-parallelism from the trial count; RADNET_THREADS sizes the
+    // shared pool either way.
+    const std::uint64_t threads = args.get_u64("threads", 1);
+    RADNET_REQUIRE(threads <= 4096, "--threads must be <= 4096");
+    spec.run_options.threads = static_cast<unsigned>(threads);
     spec.run_options.stop_on_empty_candidates = true;
     spec.run_options.run_to_quiescence = args.get_bool("quiescence", false);
 
