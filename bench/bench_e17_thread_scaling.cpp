@@ -17,6 +17,12 @@
 // (and still match bit-for-bit); their speedup just saturates, so the
 // table prints the hardware budget alongside.
 //
+// A second table prices the explicit-CSR family the same way: one
+// broadcast trial on a materialised G(n,p), swept over the same thread
+// counts with the same bit-identity column — the CSR paths involve no RNG
+// at all, so identity holds by order-independence of hit counts rather
+// than by counter keying (sim/backends/csr.hpp).
+//
 // With --full it adds the scale demonstration: one n = 10^8 broadcast
 // trial on every core, run in a forked child under an 8 GiB RLIMIT_AS (a
 // large-memory-container budget; the materialised graph alone would need
@@ -28,6 +34,7 @@
 #include <thread>
 
 #include "core/broadcast_random.hpp"
+#include "graph/generators.hpp"
 #include "harness/experiment.hpp"
 #include "sim/engine.hpp"
 #include "support/cli_args.hpp"
@@ -56,6 +63,17 @@ radnet::sim::RunResult run_once(std::uint32_t n, double p, unsigned threads,
   options.max_rounds = proto.round_budget();
   options.threads = threads;
   return engine.run(spec, proto, Rng(seed + 1), options);
+}
+
+radnet::sim::RunResult run_once_csr(const radnet::graph::Digraph& g, double p,
+                                    unsigned threads, std::uint64_t seed) {
+  radnet::sim::Engine engine;
+  BroadcastRandomProtocol proto(BroadcastRandomParams{.p = p});
+  proto.reset(g.num_nodes(), Rng(0));
+  radnet::sim::RunOptions options;
+  options.max_rounds = proto.round_budget();
+  options.threads = threads;
+  return engine.run(g, proto, Rng(seed + 1), options);
 }
 
 constexpr std::uint32_t kHugeN = 100'000'000;
@@ -137,6 +155,56 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "\nbest speedup: " << best_speedup << "x on " << hw
+            << " hardware threads\n";
+
+  // --- explicit-CSR rows: same sweep, same bit-identity column ----------
+  const auto n_csr = static_cast<std::uint32_t>(env.scaled(1u << 20, 1u << 11));
+  const double p_csr = 32.0 / n_csr;  // d = 32: heavy rounds, modest memory
+  std::cout << "\nexplicit CSR: n = " << n_csr
+            << ", p = 32/n (materialised digraph, "
+            << "parallel scatter/gather delivery)\n\n";
+  Rng grng(env.seed);
+  const radnet::graph::Digraph g =
+      radnet::graph::gnp_directed(n_csr, p_csr, grng);
+
+  const double c0 = now_ms();
+  const auto csr_serial = run_once_csr(g, p_csr, 1, env.seed);
+  const double csr_serial_ms = now_ms() - c0;
+
+  radnet::Table ct({"threads", "wall ms", "speedup", "identical to serial"});
+  ct.set_caption(
+      "E17-CSR: one broadcast trial per row on the same materialised "
+      "G(n,p); 'identical' compares completion, rounds and the full "
+      "energy ledger bit-for-bit");
+  ct.row()
+      .add(std::uint64_t{1})
+      .add(csr_serial_ms, 1)
+      .add(1.0, 2)
+      .add("yes (baseline)");
+
+  bool csr_identical = true;
+  double csr_best = 1.0;
+  for (const unsigned threads : {2u, 4u, 8u, 0u}) {
+    const double c1 = now_ms();
+    const auto run = run_once_csr(g, p_csr, threads, env.seed);
+    const double ms = now_ms() - c1;
+    const bool same = run == csr_serial;
+    csr_identical = csr_identical && same;
+    csr_best = std::max(csr_best, csr_serial_ms / ms);
+    radnet::Table& row = ct.row();
+    if (threads == 0)
+      row.add("all (" + std::to_string(radnet::global_pool().size()) + ")");
+    else
+      row.add(std::uint64_t{threads});
+    row.add(ms, 1).add(csr_serial_ms / ms, 2).add(same ? "yes" : "NO — BUG");
+  }
+  radnet::harness::emit_table(env, "e17", "thread_scaling_csr", ct);
+
+  if (!csr_identical) {
+    std::cout << "\nFAILED: CSR results diverged across thread counts\n";
+    return 1;
+  }
+  std::cout << "\nbest CSR speedup: " << csr_best << "x on " << hw
             << " hardware threads\n";
 
   if (full) {

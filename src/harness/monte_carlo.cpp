@@ -54,22 +54,27 @@ McResult run_monte_carlo(const McSpec& spec) {
   static const graph::Digraph placeholder;
 
   // Trial- vs round-parallelism: with at least one trial per pool thread,
-  // independent trials saturate the machine, so each trial runs its round
-  // sweeps serially. With fewer trials than threads (the single-huge-trial
-  // regime), trials run sequentially on the calling thread and each trial
-  // fans its block-sharded round sweeps out over the whole pool instead —
-  // only worthwhile on the implicit backends, the ones whose sweeps
-  // actually shard (explicit-CSR delivery is serial, so those specs keep
-  // trial-parallelism at any trial count). Results are identical either
-  // way — within-trial randomness is counter-keyed per (round, block),
-  // not scheduled — so this is purely a utilisation choice. An explicit
-  // RunOptions::threads (!= 1) wins.
+  // independent trials saturate the machine, so each trial runs its rounds
+  // serially. With fewer trials than threads (the huge-trial regime),
+  // trials run sequentially on the calling thread and each trial fans its
+  // block-sharded rounds out over the whole pool instead. The sampled
+  // backends always shard their sweeps, so any under-subscribed trial
+  // count prefers round-parallelism; explicit-CSR rounds below the work
+  // gate (CsrDelivery::kMinParallelRoundWork) stay serial inside the
+  // backend, so only a single-trial explicit spec — where
+  // trial-parallelism has nothing to offer anyway — flips, and 2..pool
+  // explicit trials keep their trial-parallel schedule. Results are
+  // identical either way — within-trial randomness is counter-keyed per
+  // (round, block) and CSR delivery draws none — so this is purely a
+  // utilisation choice. An explicit RunOptions::threads (!= 1) wins.
   sim::RunOptions run_options = spec.run_options;
-  const bool sharded_backend =
+  const bool sampled_backend =
       spec.implicit_gnp.has_value() || spec.implicit_dynamic.has_value();
   const bool round_parallel =
-      !spec.serial && sharded_backend && run_options.threads == 1 &&
-      spec.trials < global_pool().size();
+      !spec.serial && run_options.threads == 1 &&
+      global_pool().size() > 1 &&
+      (sampled_backend ? spec.trials < global_pool().size()
+                       : spec.trials == 1);
   if (round_parallel) run_options.threads = 0;
 
   const auto run_trial = [&](std::uint64_t t) {

@@ -1,0 +1,575 @@
+// The implicit *dynamic* G(n,p) backend: extends the sampling family of
+// backends/implicit.hpp to the full dynamic model set of
+// graph/dynamics.hpp — per-round link churn on a stationary G(n,p) (churn
+// in (0,1]), permanent node failures, and density schedules p(t) (mobility
+// read as density change) — without ever materialising a graph. Pair
+// states are tracked *lazily*: only pairs whose state was individually
+// resolved — a clean delivery identifies its (sender, listener) pair; the
+// sparse path enumerates every present pair it touches — enter a bounded
+// per-sender sketch; everything else stays at its exact Bernoulli(p)
+// marginal. On re-examination after g rounds a sketched pair keeps its
+// recorded state with probability (1 - churn)^g (the probability no
+// re-sample hit it) and is re-drawn fresh otherwise — exactly the ChurnGnp
+// process for tracked pairs.
+//
+// Exactness of the implicit family (see README for the full table):
+//   - fixed G(n,p), protocols transmitting at most once per node
+//     (Algorithm 1): exact, at *any* churn — no ordered pair is ever
+//     examined twice, and under churn the first examination of a pair is
+//     still Bernoulli(p) by stationarity.
+//   - churn = 1 (memoryless per-round re-sampled G(n,p)) and p(t)
+//     schedules at churn = 1: exact for every protocol; this is what the
+//     static ImplicitGnpTopology simulates for repeated transmitters.
+//   - node failures: exact (independent per-node Bernoulli per round).
+//   - churn < 1 with repeated transmitters (gossip, Algorithm 3):
+//     *modelled* — positive pair persistence is tracked through the
+//     sketch, but negatively-resolved pairs and the unidentified members
+//     of collisions fall back to the fresh Bernoulli(p) marginal, so the
+//     process sits between the true churn-rho graph and the churn = 1
+//     limit. tests/sim/dynamic_topology_equivalence_test.cpp pins the
+//     exact regimes against the explicit ChurnGnp oracle statistically
+//     and bands the modelled regime.
+//
+// Parallelism: the round sweeps and the failure injection shard into the
+// counter-keyed listener blocks of the shared sampler; the sketch phases
+// (gather/classify pinned pairs) stay serial on per-round keyed streams.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/backends/implicit.hpp"
+#include "sim/sharding.hpp"
+#include "support/require.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace radnet::sim {
+
+/// Parameters of the implicit *dynamic* G(n,p) family: per-round link churn
+/// with persistence, permanent node failures, and density schedules p(t).
+/// The graph is never materialised; memory is O(sketch_capacity) at worst.
+/// See the file comment for which regimes are exact vs modelled.
+struct ImplicitDynamicGnp {
+  NodeId n = 0;
+  /// Stationary edge probability (fresh pair draws use the round's p).
+  double p = 0.0;
+  /// Fraction of ordered-pair states re-sampled per round, in (0, 1].
+  /// churn = 1 is the memoryless per-round-resampled G(n,p) of
+  /// graph/dynamics.hpp; churn < 1 persists pair states between rounds,
+  /// tracked lazily through the pair sketch.
+  double churn = 1.0;
+  /// Per-node, per-round probability of permanent radio failure. A failed
+  /// node neither delivers nor hears from its failure round on; its
+  /// transmit attempts still spend ledger energy (the node cannot know its
+  /// radio died). Must be in [0, 1). Note the honest consequence: goals of
+  /// the form "every node informed" become unreachable once any uninformed
+  /// node fails, so run failure scenarios with a fixed horizon (or read
+  /// the incompletion as the result, as the failure-injection tests do).
+  double fail_prob = 0.0;
+  /// Optional density schedule: the edge probability in force during round
+  /// r is clamp(p_of_round(r), 0, 1). Empty means constant p. Models
+  /// mobility as density change (devices drifting apart / together);
+  /// exact at churn = 1, modelled otherwise.
+  std::function<double(std::uint32_t)> p_of_round;
+  /// Bound on the pair-state sketch, in entries (~12 B each). When full,
+  /// new positive resolutions are forgotten instead of tracked (modelled
+  /// fallback); stale entries are recycled continuously.
+  std::uint32_t sketch_capacity = 1u << 22;
+  /// Root of the backend's private randomness, split into the sub-streams
+  /// below; a run consumes a copy, so the same spec replays identically.
+  Rng rng{};
+
+  /// Sub-stream derivation constants. The backend draws edge/classification
+  /// randomness from rng.split(kEdgeStream), sketch persistence draws from
+  /// rng.split(kChurnStream) and failure draws from rng.split(kFailStream),
+  /// so the three consumers can never interleave-collide with each other or
+  /// with the harness's (seed, trial, phase) streams — audited by
+  /// tests/support/rng_test.cpp.
+  static constexpr std::uint64_t kEdgeStream = 0xed6eull;
+  static constexpr std::uint64_t kChurnStream = 0xc4a7ull;
+  static constexpr std::uint64_t kFailStream = 0xfa11ull;
+};
+
+namespace detail {
+
+/// Bounded store of individually resolved *present* ordered pairs, indexed
+/// by sender so a round touches exactly the entries whose sender transmits.
+/// Entries live in a pooled free-list (12 B each); when the pool is full,
+/// new resolutions are dropped (the modelled fallback) until stale entries
+/// are recycled.
+class PairSketch {
+ public:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  void reset(std::size_t capacity) {
+    pool_.clear();
+    heads_.clear();
+    free_head_ = kNil;
+    size_ = 0;
+    capacity_ = capacity;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  void insert(NodeId sender, NodeId listener, std::uint32_t round) {
+    if (size_ >= capacity_) return;  // full: forget (modelled fallback)
+    std::uint32_t idx;
+    if (free_head_ != kNil) {
+      idx = free_head_;
+      free_head_ = pool_[idx].next;
+    } else {
+      idx = static_cast<std::uint32_t>(pool_.size());
+      pool_.push_back({});
+    }
+    auto [it, fresh] = heads_.try_emplace(sender, idx);
+    Entry& e = pool_[idx];
+    e.listener = listener;
+    e.round = round;
+    if (fresh) {
+      e.next = kNil;
+    } else {
+      e.next = it->second;
+      it->second = idx;
+    }
+    ++size_;
+  }
+
+  /// Walks sender's entries in insertion order (most recent first), calling
+  /// f(listener, round&); f returns whether to keep the entry (it may
+  /// update the round in place). Erased entries go back to the free list.
+  template <class F>
+  void visit(NodeId sender, F&& f) {
+    const auto it = heads_.find(sender);
+    if (it == heads_.end()) return;
+    std::uint32_t* link = &it->second;
+    while (*link != kNil) {
+      Entry& e = pool_[*link];
+      if (f(e.listener, e.round)) {
+        link = &e.next;
+      } else {
+        const std::uint32_t idx = *link;
+        *link = e.next;
+        e.next = free_head_;
+        free_head_ = idx;
+        --size_;
+      }
+    }
+    if (it->second == kNil) heads_.erase(it);
+  }
+
+  /// Drops every entry older than `horizon` rounds — reclaims the slots of
+  /// senders that stopped transmitting. Only the *set* of dropped entries
+  /// is observable (free-list order never is), so iterating the unordered
+  /// map here cannot perturb reproducibility.
+  void drop_stale(std::uint32_t round, std::uint64_t horizon) {
+    for (auto it = heads_.begin(); it != heads_.end();) {
+      std::uint32_t* link = &it->second;
+      while (*link != kNil) {
+        Entry& e = pool_[*link];
+        if (round - e.round > horizon) {
+          const std::uint32_t idx = *link;
+          *link = e.next;
+          e.next = free_head_;
+          free_head_ = idx;
+          --size_;
+        } else {
+          link = &e.next;
+        }
+      }
+      it = it->second == kNil ? heads_.erase(it) : std::next(it);
+    }
+  }
+
+ private:
+  struct Entry {
+    NodeId listener = 0;
+    std::uint32_t round = 0;
+    std::uint32_t next = kNil;
+  };
+
+  std::vector<Entry> pool_;
+  std::unordered_map<NodeId, std::uint32_t> heads_;
+  std::uint32_t free_head_ = kNil;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace detail
+
+/// The implicit *dynamic* G(n,p) backend: link churn with lazy pair-state
+/// tracking, permanent node failures and density schedules, all without
+/// ever materialising a graph. See the file comment for the model and the
+/// exact-vs-modelled regimes; statistically pinned against the explicit
+/// ChurnGnp oracle by tests/sim/dynamic_topology_equivalence_test.cpp.
+class ImplicitDynamicGnpTopology {
+ public:
+  explicit ImplicitDynamicGnpTopology(const ImplicitDynamicGnp& spec)
+      : churn_(spec.churn),
+        fail_prob_(spec.fail_prob),
+        p_of_round_(spec.p_of_round) {
+    RADNET_REQUIRE(spec.churn > 0.0 && spec.churn <= 1.0,
+                   "churn must be in (0, 1]");
+    RADNET_REQUIRE(spec.fail_prob >= 0.0 && spec.fail_prob < 1.0,
+                   "fail_prob must be in [0, 1)");
+    sampler_.init(spec.n, spec.p, spec.rng.split(ImplicitDynamicGnp::kEdgeStream));
+    churn_key_ =
+        StreamKey::from_rng(spec.rng.split(ImplicitDynamicGnp::kChurnStream));
+    fail_key_ =
+        StreamKey::from_rng(spec.rng.split(ImplicitDynamicGnp::kFailStream));
+    churn_rng_ = churn_key_.fork(0).make_rng();
+    // At churn = 1 nothing is tracked: the record hook is a no-op, so the
+    // sharded sweeps need not buffer resolved pairs.
+    sampler_.set_records_enabled(churn_ < 1.0);
+    if (churn_ < 1.0) {
+      log1m_churn_ = std::log1p(-churn_);
+      // Beyond the horizon a pair survives un-resampled with probability
+      // < 1e-12: its recorded state is numerically indistinguishable from
+      // a fresh Bernoulli(p), so the entry can be recycled.
+      horizon_ = static_cast<std::uint64_t>(
+          std::ceil(std::log(1e-12) / log1m_churn_));
+      sketch_.reset(spec.sketch_capacity);
+      // Start reclaiming stale entries once the pool is three-quarters
+      // full (never at zero capacity).
+      sketch_watermark_ =
+          std::max<std::size_t>(1, spec.sketch_capacity / 4u * 3u);
+      marks_.assign(spec.n, 0);
+    }
+    if (fail_prob_ > 0.0) {
+      inv_log1m_fail_ = 1.0 / std::log1p(-fail_prob_);
+      failed_.assign(spec.n, 0);
+    }
+  }
+
+  [[nodiscard]] NodeId num_nodes() const { return sampler_.n(); }
+
+  /// Number of live pair-state sketch entries (for tests / diagnostics).
+  [[nodiscard]] std::size_t sketch_size() const { return sketch_.size(); }
+
+  /// Number of permanently failed nodes so far.
+  [[nodiscard]] NodeId failed_count() const { return failed_count_; }
+
+  /// Accepted for the sharded sweep and failure injection; the sketch
+  /// phases stay serial regardless.
+  void set_parallelism(ThreadPool* pool) {
+    pool_ = pool;
+    sampler_.set_parallelism(pool);
+  }
+
+  void begin_round(std::uint32_t round) {
+    round_ = round;
+    sampler_.begin_round(round);
+    // The sketch and failure streams re-key per round too: every draw this
+    // round is a pure function of (spec seed, round, position), never of
+    // how many draws earlier rounds consumed.
+    churn_rng_ = churn_key_.fork(round).make_rng();
+    if (p_of_round_)
+      sampler_.set_p(std::clamp(p_of_round_(round), 0.0, 1.0));
+    if (fail_prob_ > 0.0) draw_failures();
+    // Lazily reclaim entries of senders that stopped transmitting once the
+    // pool fills up; at most one linear sweep per horizon window.
+    if (churn_ < 1.0 && sketch_.size() >= sketch_watermark_ &&
+        round_ - last_sweep_round_ > horizon_) {
+      sketch_.drop_stale(round_, horizon_);
+      last_sweep_round_ = round_;
+    }
+  }
+
+  template <class Sink>
+  void deliver(std::span<const NodeId> transmitters,
+               const std::vector<char>& is_tx, bool half_duplex,
+               DeliveryPath /*path*/,
+               const std::optional<std::span<const NodeId>>& attentive,
+               bool collisions_inert, Sink& sink) {
+    // Dead radios transmit into the void: filter them out of the round.
+    std::span<const NodeId> tx = transmitters;
+    if (failed_count_ > 0) {
+      live_tx_.clear();
+      for (const NodeId u : transmitters)
+        if (!failed_[u]) live_tx_.push_back(u);
+      tx = {live_tx_.data(), live_tx_.size()};
+    }
+    const std::uint64_t k = tx.size();
+    if (k == 0) return;
+    const bool sampling = sampler_.p() > 0.0;
+    const bool tracking = churn_ < 1.0;
+    if (!sampling && (!tracking || sketch_.size() == 0)) return;
+
+    // Phase 1: resolve every sketched pair whose sender transmits — these
+    // listeners ("pinned") have conditioned, non-exchangeable hit laws and
+    // are classified individually below.
+    pinned_.clear();
+    if (tracking && sketch_.size() > 0)
+      gather_pinned(tx, is_tx, half_duplex);
+
+    const auto record = [&](NodeId sender, NodeId listener) {
+      if (tracking) sketch_.insert(sender, listener, round_);
+    };
+    const auto skip = [&](NodeId v) {
+      return (tracking && marks_[v] != 0) ||
+             (failed_count_ > 0 && failed_[v] != 0);
+    };
+
+    std::uint64_t pinned_nontx = 0, pinned_tx = 0;
+    pinned_events_.clear();
+    classify_pinned(tx, is_tx, half_duplex, &pinned_nontx, &pinned_tx,
+                    record);
+
+    if (sampling) {
+      const std::uint64_t live = sampler_.n() - failed_count_;
+      RADNET_CHECK(live >= k + pinned_nontx,
+                   "pinned listeners exceed the live universe");
+      const std::uint64_t universe_nontx = live - k - pinned_nontx;
+      const std::uint64_t universe_tx = k - pinned_tx;
+      const double expected_events =
+          static_cast<double>(sampler_.n()) *
+          std::min(1.0, static_cast<double>(k) * sampler_.p());
+      if (attentive.has_value() &&
+          static_cast<double>(attentive->size()) < expected_events) {
+        // Attentive mode: pinned events first (ascending listener), then
+        // the hint's listeners in hint order, then the aggregates.
+        for (const PinnedEvent& e : pinned_events_) emit(e, sink);
+        sampler_.attentive_round(tx, is_tx, half_duplex, *attentive,
+                                 collisions_inert, sink, skip, record,
+                                 universe_nontx, universe_tx);
+      } else {
+        // Sweep mode: merge the pre-drawn pinned events into the sweep's
+        // ascending listener order.
+        MergeSink<Sink> merged{sink, pinned_events_, 0, this};
+        sampler_.sweep(tx, is_tx, half_duplex, attentive, collisions_inert,
+                       merged, skip, record);
+        merged.flush_all();
+      }
+    } else {
+      // p(t) == 0 this round: only persisted pairs can deliver.
+      for (const PinnedEvent& e : pinned_events_) emit(e, sink);
+    }
+
+    if (tracking)
+      for (const PinnedTouch& t : pinned_) marks_[t.listener] = 0;
+  }
+
+ private:
+  struct PinnedTouch {
+    NodeId listener;
+    NodeId sender;
+    bool present;
+  };
+  struct PinnedEvent {
+    NodeId listener;
+    NodeId sender;  // meaningful only for deliveries
+    bool is_delivery;
+  };
+
+  template <class Sink>
+  void emit(const PinnedEvent& e, Sink& sink) const {
+    if (e.is_delivery)
+      sink.deliver(e.listener, e.sender);
+    else
+      sink.collide(e.listener);
+  }
+
+  /// Forwards sweep events to the engine sink, flushing buffered pinned
+  /// events whose listener precedes the sweep's current listener so the
+  /// combined stream stays in ascending receiver order. Pinned listeners
+  /// are marked and therefore never also produced by the sweep.
+  template <class Sink>
+  struct MergeSink {
+    Sink& inner;
+    const std::vector<PinnedEvent>& pending;
+    std::size_t next;
+    const ImplicitDynamicGnpTopology* self;
+
+    void flush_upto(NodeId v) {
+      while (next < pending.size() && pending[next].listener < v)
+        self->emit(pending[next++], inner);
+    }
+    void flush_all() {
+      while (next < pending.size()) self->emit(pending[next++], inner);
+    }
+    void deliver(NodeId receiver, NodeId sender) {
+      flush_upto(receiver);
+      inner.deliver(receiver, sender);
+    }
+    void collide(NodeId receiver) {
+      flush_upto(receiver);
+      inner.collide(receiver);
+    }
+    void deliver_bulk(std::uint64_t count) { inner.deliver_bulk(count); }
+    void collide_bulk(std::uint64_t count) { inner.collide_bulk(count); }
+  };
+
+  /// Walks the sketch lists of this round's transmitters and resolves each
+  /// touched pair's persistence: the recorded present state survives with
+  /// probability (1-churn)^age (no re-sample hit it — memoryless, so the
+  /// entry's clock restarts at this round), otherwise the pair re-draws
+  /// fresh Bernoulli(p). Negative outcomes drop the entry (absence is not
+  /// stored — the modelled fallback). Pairs whose listener cannot hear
+  /// this round (failed, or transmitting under half-duplex) are left
+  /// untouched: their state is unobservable, so it just keeps ageing.
+  void gather_pinned(std::span<const NodeId> tx,
+                     const std::vector<char>& is_tx, bool half_duplex) {
+    for (const NodeId t : tx) {
+      sketch_.visit(t, [&](NodeId w, std::uint32_t& entry_round) {
+        const std::uint64_t age = round_ - entry_round;
+        if (age > horizon_) return false;  // numerically fresh again
+        if (failed_count_ > 0 && failed_[w] != 0) return true;
+        if (half_duplex && is_tx[w]) return true;
+        bool present = true;
+        if (age > 0) {
+          const double survive =
+              std::exp(static_cast<double>(age) * log1m_churn_);
+          if (churn_rng_.next_double() >= survive)
+            present = churn_rng_.bernoulli(sampler_.p());
+        }
+        if (present) entry_round = round_;
+        pinned_.push_back({w, t, present});
+        return present;
+      });
+    }
+    std::stable_sort(pinned_.begin(), pinned_.end(),
+                     [](const PinnedTouch& a, const PinnedTouch& b) {
+                       return a.listener < b.listener;
+                     });
+    for (const PinnedTouch& t : pinned_) marks_[t.listener] = 1;
+  }
+
+  /// Classifies each pinned listener: total hits = resolved sketch hits +
+  /// Binomial(k_unknown, p) over its untracked pairs, collapsed to the
+  /// silent / single / collided classes the engine distinguishes. Events
+  /// are buffered (already in ascending listener order) for the caller to
+  /// emit or merge.
+  template <class Record>
+  void classify_pinned(std::span<const NodeId> tx,
+                       const std::vector<char>& is_tx, bool half_duplex,
+                       std::uint64_t* pinned_nontx, std::uint64_t* pinned_tx,
+                       Record&& record) {
+    const std::uint64_t k = tx.size();
+    std::size_t i = 0;
+    while (i < pinned_.size()) {
+      std::size_t j = i;
+      std::uint32_t hits_known = 0;
+      NodeId stored_sender = 0;
+      const NodeId w = pinned_[i].listener;
+      for (; j < pinned_.size() && pinned_[j].listener == w; ++j) {
+        if (pinned_[j].present) {
+          ++hits_known;
+          stored_sender = pinned_[j].sender;
+        }
+      }
+      const std::uint64_t cnt_known = j - i;
+      const bool wtx = is_tx[w] != 0;
+      ++(wtx ? *pinned_tx : *pinned_nontx);
+      const std::uint64_t eligible =
+          k - cnt_known - (wtx && !half_duplex ? 1u : 0u);
+      if (hits_known >= 2) {
+        pinned_events_.push_back({w, 0, false});
+      } else {
+        const auto probs = sampler_.outcome_probs(eligible);
+        const double u = churn_rng_.next_double();
+        if (hits_known == 1) {
+          // One tracked hit: collision iff any untracked pair also hits.
+          if (u < probs.silent)
+            pinned_events_.push_back({w, stored_sender, true});
+          else
+            pinned_events_.push_back({w, 0, false});
+        } else if (u >= probs.silent) {
+          if (u < probs.silent + probs.single) {
+            const NodeId sender = pick_unknown_sender(tx, w, wtx, i, j);
+            record(sender, w);
+            pinned_events_.push_back({w, sender, true});
+          } else {
+            pinned_events_.push_back({w, 0, false});
+          }
+        }
+      }
+      i = j;
+    }
+  }
+
+  /// Uniform draw over the transmitters whose pair to `w` is untracked
+  /// (rejecting w itself and the listeners' resolved senders — a handful
+  /// at most, so rejection terminates fast; probs.single > 0 guarantees
+  /// the untracked set is non-empty).
+  NodeId pick_unknown_sender(std::span<const NodeId> tx, NodeId w, bool wtx,
+                             std::size_t begin, std::size_t end) {
+    for (;;) {
+      const NodeId cand = tx[static_cast<std::size_t>(
+          churn_rng_.uniform_below(tx.size()))];
+      if (wtx && cand == w) continue;
+      bool tracked = false;
+      for (std::size_t s = begin; s < end; ++s)
+        if (pinned_[s].sender == cand) {
+          tracked = true;
+          break;
+        }
+      if (!tracked) return cand;
+    }
+  }
+
+  /// Each live node fails independently with fail_prob per round; landing
+  /// on an already-failed node is a no-op, so a skip-sampled sweep of
+  /// [0, n) is exact — and because failures are independent per node, the
+  /// sweep shards into the same counter-keyed listener blocks as the round
+  /// sweep (disjoint failed_ ranges; per-block new-failure counts summed
+  /// serially).
+  void draw_failures() {
+    const std::uint64_t n = sampler_.n();
+    const StreamKey round_key = fail_key_.fork(round_);
+    const std::uint64_t blocks =
+        detail::block_count(n, detail::kShardBlockSize);
+    fail_counts_.assign(blocks, 0);
+    const auto run_block = [&](std::uint64_t b) {
+      Rng rng = round_key.fork(b).make_rng();
+      const std::uint64_t lo = b * detail::kShardBlockSize;
+      const std::uint64_t span =
+          std::min<std::uint64_t>(n, lo + detail::kShardBlockSize) - lo;
+      NodeId fresh = 0;
+      for (std::uint64_t o = rng.geometric_inv(inv_log1m_fail_) - 1; o < span;
+           o += rng.geometric_inv(inv_log1m_fail_)) {
+        if (!failed_[lo + o]) {
+          failed_[lo + o] = 1;
+          ++fresh;
+        }
+      }
+      fail_counts_[b] = fresh;
+    };
+    if (pool_ != nullptr && blocks > 1)
+      pool_->parallel_for_index(blocks, run_block);
+    else
+      for (std::uint64_t b = 0; b < blocks; ++b) run_block(b);
+    for (const NodeId fresh : fail_counts_) failed_count_ += fresh;
+  }
+
+  detail::GnpSampler sampler_;
+  double churn_;
+  double fail_prob_;
+  std::function<double(std::uint32_t)> p_of_round_;
+  StreamKey churn_key_;  ///< per-round sketch stream root
+  StreamKey fail_key_;   ///< per-(round, block) failure stream root
+  Rng churn_rng_;        ///< re-keyed from churn_key_ every begin_round
+  ThreadPool* pool_ = nullptr;
+  std::vector<NodeId> fail_counts_;  ///< per-block new failures, merged serially
+  double log1m_churn_ = 0.0;
+  double inv_log1m_fail_ = 0.0;
+  std::uint64_t horizon_ = 0;
+  std::uint32_t round_ = 0;
+  std::uint32_t last_sweep_round_ = 0;
+  std::size_t sketch_watermark_ = 0;
+
+  detail::PairSketch sketch_;
+  std::vector<char> marks_;
+  std::vector<char> failed_;
+  NodeId failed_count_ = 0;
+  std::vector<NodeId> live_tx_;
+  std::vector<PinnedTouch> pinned_;
+  std::vector<PinnedEvent> pinned_events_;
+};
+
+}  // namespace radnet::sim

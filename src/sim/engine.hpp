@@ -55,15 +55,15 @@ struct RunOptions {
   /// the forced values exist for path-parity tests and microbenchmarks.
   /// Ignored by the implicit backend.
   DeliveryPath delivery_path = DeliveryPath::kAuto;
-  /// Within-trial parallelism for the implicit backends' block-sharded
-  /// round sweeps: 1 (default) = serial, 0 = every core (the shared
-  /// global_pool(), sized by RADNET_THREADS when set), k > 1 = exactly k
-  /// pool threads. Purely a scheduling knob — every RNG draw is
-  /// counter-keyed by (round, listener block), so the RunResult is
-  /// bit-identical for every value (asserted by
-  /// tests/sim/thread_invariance_test.cpp). Explicit-CSR backends ignore
-  /// it. The Monte-Carlo harness overrides the default with 0 when there
-  /// are fewer trials than pool threads (trial- vs round-parallelism).
+  /// Within-trial parallelism for the backends' block-sharded rounds:
+  /// 1 (default) = serial, 0 = every core (the shared global_pool(), sized
+  /// by RADNET_THREADS when set), k > 1 = exactly k pool threads. Purely a
+  /// scheduling knob — sampling backends counter-key every RNG draw by
+  /// (round, listener block) and explicit-CSR delivery involves no RNG at
+  /// all, so the RunResult is bit-identical for every value (asserted by
+  /// tests/sim/thread_invariance_test.cpp). The Monte-Carlo harness
+  /// overrides the default with 0 when there are fewer trials than pool
+  /// threads (trial- vs round-parallelism).
   unsigned threads = 1;
   /// Invoked after every round with the round just executed; used by the
   /// Phase-1 growth experiment to snapshot protocol counters.

@@ -79,10 +79,12 @@ class Protocol {
   /// enumerate per-listener events only for these nodes and account for the
   /// rest in aggregate — ledger totals stay exactly distributed, but the
   /// skipped listeners receive no callbacks and per-event order follows the
-  /// span's order rather than ascending node id. std::nullopt (the default)
-  /// means every listener matters. The span must stay valid and unchanged
-  /// until end_round returns; explicit-graph backends and trace-recording
-  /// runs ignore the hint entirely.
+  /// span's order rather than ascending node id. Every backend family
+  /// (explicit CSR included) additionally folds deliveries landing outside
+  /// the hint into exact per-block bulk ledger counts during swept rounds,
+  /// skipping those no-op callbacks. std::nullopt (the default) means every
+  /// listener matters. The span must stay valid and unchanged until
+  /// end_round returns; trace-recording runs ignore the hint entirely.
   [[nodiscard]] virtual std::optional<std::span<const NodeId>>
   attentive_listeners() const {
     return std::nullopt;

@@ -1,0 +1,228 @@
+// The shared sharded-sweep layer: everything a topology backend needs to
+// decompose one round's delivery work into contiguous listener blocks and
+// replay the result into the engine sink exactly as a serial sweep would
+// have produced it.
+//
+// Every backend family shards the same way:
+//
+//   1. The listener range [0, n) splits into contiguous blocks. Sampling
+//      backends use the fixed kShardBlockSize — the block decomposition is
+//      part of their randomness contract (every RNG draw is keyed by
+//      (round, block), see support/rng.hpp) — while the explicit CSR
+//      backends, which involve no RNG at all, size blocks adaptively from
+//      the pool width (csr_block_shift) because their output is provably
+//      independent of the block granularity.
+//   2. Blocks execute on the thread pool (or serially — same bits either
+//      way), each emitting its events into a private ShardBuffer through a
+//      BufferEmitter; a serial schedule uses a DirectEmitter that streams
+//      straight to the sink instead, with zero buffering.
+//   3. The buffers merge serially in ascending block order
+//      (merge_shard_buffers), so the engine sink — and therefore the
+//      protocol, trace and any resolution-recording hook — observes events
+//      in ascending listener order on a single thread.
+//
+// Bulk ledger accounting: two classes of per-listener events can collapse
+// into exact per-block *counts* instead of buffered events, shrinking the
+// serial merge to O(attentive deliveries):
+//   * collisions, when the protocol declared Protocol::collisions_inert —
+//     ShardBuffer::collide_count, flushed as sink.collide_bulk;
+//   * deliveries landing on listeners *outside* the round's
+//     Protocol::attentive_listeners hint (their on_delivered is a declared
+//     no-op) — ShardBuffer::deliver_count, flushed as sink.deliver_bulk.
+// Both are engaged only when no trace is recorded (the engine drops the
+// hints then), ledger totals are exact either way, and the AttentiveFlags
+// membership mask below gives emitters the O(1) attentive test.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace radnet::sim {
+
+using graph::NodeId;
+
+/// How an explicit-CSR backend turns the round's transmitter set into
+/// receiver events. kAuto picks per round; the forced values exist for the
+/// path-parity tests and for benchmarking the individual strategies.
+/// Sampling backends accept and ignore it (part of the shared deliver()
+/// contract every backend implements).
+enum class DeliveryPath : std::uint8_t {
+  kAuto,            ///< heuristic choice per round (default)
+  kSortedTouch,     ///< per-edge hit counters, sort the touched list
+  kLinearScan,      ///< per-edge hit counters, linear sweep of the hit array
+  kInNeighborScan,  ///< per-receiver in-neighbour scan vs a transmitter bitset
+};
+
+namespace detail {
+
+/// Listeners per shard block for the *sampling* backends. Fixed — part of
+/// their randomness contract: results depend on the block decomposition,
+/// never on thread count.
+inline constexpr NodeId kShardBlockSize = 1u << 16;
+
+/// Number of blocks covering [0, n) at `block_size` listeners per block.
+[[nodiscard]] inline std::uint64_t block_count(std::uint64_t n,
+                                               NodeId block_size) {
+  return (n + block_size - 1) / block_size;
+}
+
+/// log2 of the listener-block size the explicit CSR backends use at the
+/// given parallel width (pool workers + the calling thread). CSR delivery
+/// draws no randomness, so its output is independent of the block
+/// granularity; blocks shrink (down to 2^8) until the pool has ~4 blocks
+/// per thread to balance, and never exceed the sampling backends' 2^16.
+[[nodiscard]] unsigned csr_block_shift(NodeId n, unsigned parallelism);
+
+/// No listener is excluded from a round (backends without a skip hook).
+struct SkipNone {
+  bool operator()(NodeId) const noexcept { return false; }
+};
+
+/// No pair resolution is remembered (backends without sketch state).
+struct RecordNone {
+  void operator()(NodeId, NodeId) const noexcept {}
+};
+
+/// A collision event's sender marker in the shard buffers (valid node ids
+/// are < n <= 2^32 - 1).
+inline constexpr NodeId kNoSender = 0xffffffffu;
+
+/// O(1) membership mask over the round's attentive-listener hint, shared by
+/// every backend that folds non-attentive deliveries into bulk counts. The
+/// mask is set/cleared per round in O(|attentive|) and read concurrently by
+/// sweep blocks (reads only, after the serial set_round).
+class AttentiveFlags {
+ public:
+  /// Marks the round's attentive listeners; grows the mask to `n` lazily.
+  void set_round(NodeId n, std::span<const NodeId> attentive);
+
+  /// Unmarks them again (cheaper than re-zeroing the whole mask).
+  void clear_round(std::span<const NodeId> attentive);
+
+  [[nodiscard]] bool test(NodeId v) const noexcept { return flags_[v] != 0; }
+
+ private:
+  std::vector<char> flags_;
+};
+
+/// One listener block's privately accumulated round output: delivery /
+/// collision events (ascending listener within the block), the ordered
+/// pairs individually resolved present (for the dynamic backend's sketch)
+/// and the two bulk counters described in the file comment. Buffers are
+/// merged serially in block order after the parallel sweep, so the engine
+/// sink and the sketch observe exactly the event and record order a serial
+/// sweep would have produced (bulk counts are order-free by definition).
+struct ShardBuffer {
+  std::vector<std::pair<NodeId, NodeId>> events;   ///< (listener, sender|kNoSender)
+  std::vector<std::pair<NodeId, NodeId>> records;  ///< (sender, listener)
+  std::uint64_t deliver_count = 0;  ///< bulk-merged non-attentive deliveries
+  std::uint64_t collide_count = 0;  ///< bulk-merged collisions (inert mode)
+
+  void clear() {
+    events.clear();
+    records.clear();
+    deliver_count = 0;
+    collide_count = 0;
+  }
+};
+
+/// Emitter writing into a block's private buffer — the only output channel
+/// of block code running on pool workers. `want_records` is off for
+/// backends whose Record hook is a no-op (buffering pairs would be pure
+/// overhead); `inert_collisions` folds collisions into the block count
+/// (see Protocol::collisions_inert); a non-null `inert_deliveries` mask
+/// folds deliveries to listeners outside it into the block count likewise.
+struct BufferEmitter {
+  ShardBuffer& buf;
+  bool want_records;
+  bool inert_collisions;
+  const AttentiveFlags* inert_deliveries = nullptr;
+
+  void on_record(NodeId sender, NodeId listener) {
+    if (want_records) buf.records.emplace_back(sender, listener);
+  }
+  void on_deliver(NodeId listener, NodeId sender) {
+    if (inert_deliveries != nullptr && !inert_deliveries->test(listener)) {
+      ++buf.deliver_count;
+      return;
+    }
+    buf.events.emplace_back(listener, sender);
+  }
+  void on_collide(NodeId listener) {
+    if (inert_collisions)
+      ++buf.collide_count;
+    else
+      buf.events.emplace_back(listener, kNoSender);
+  }
+};
+
+/// Emitter for the serial schedule (pool == nullptr): blocks already run
+/// in ascending order on one thread, so events flow straight to the sink
+/// and records straight to the hook — zero buffering, exactly the event /
+/// record sequence the buffered merge would replay (bulk-merged deliveries
+/// and collisions accumulate per block and flush as one bulk call each,
+/// mirroring the buffered path's per-block bulk calls).
+template <class Sink, class Record>
+struct DirectEmitter {
+  Sink& sink;
+  Record& record;
+  bool inert_collisions;
+  const AttentiveFlags* inert_deliveries = nullptr;
+  std::uint64_t deliver_count = 0;
+  std::uint64_t collide_count = 0;
+
+  void on_record(NodeId sender, NodeId listener) { record(sender, listener); }
+  void on_deliver(NodeId listener, NodeId sender) {
+    if (inert_deliveries != nullptr && !inert_deliveries->test(listener)) {
+      ++deliver_count;
+      return;
+    }
+    sink.deliver(listener, sender);
+  }
+  void on_collide(NodeId listener) {
+    if (inert_collisions)
+      ++collide_count;
+    else
+      sink.collide(listener);
+  }
+  /// Call at each block boundary (matches the buffered merge's bulk calls
+  /// per block).
+  void flush_block() {
+    if (deliver_count > 0) {
+      sink.deliver_bulk(deliver_count);
+      deliver_count = 0;
+    }
+    if (collide_count > 0) {
+      sink.collide_bulk(collide_count);
+      collide_count = 0;
+    }
+  }
+};
+
+/// Serial merge of the blocks' buffers in block order: records into the
+/// Record hook (sketch insertion order = enumeration order), events into
+/// the sink in ascending listener order, bulk counts as one call each per
+/// block. The protocol, trace and sketch stay single-threaded.
+template <class Sink, class Record>
+void merge_shard_buffers(std::span<const ShardBuffer> buffers, Sink& sink,
+                         Record&& record) {
+  for (const ShardBuffer& buf : buffers) {
+    for (const auto& [sender, listener] : buf.records)
+      record(sender, listener);
+    for (const auto& [listener, sender] : buf.events) {
+      if (sender == kNoSender)
+        sink.collide(listener);
+      else
+        sink.deliver(listener, sender);
+    }
+    if (buf.deliver_count > 0) sink.deliver_bulk(buf.deliver_count);
+    if (buf.collide_count > 0) sink.collide_bulk(buf.collide_count);
+  }
+}
+
+}  // namespace detail
+}  // namespace radnet::sim

@@ -1,1433 +1,63 @@
-// Topology backends for the simulation engine.
+// Topology backends for the simulation engine — umbrella header.
 //
-// The engine's round loop is templated over a *topology backend*: the object
-// that knows which receivers hear which transmitters. Three families exist:
+// The engine's round loop is templated over a *topology backend*: the
+// object that knows which receivers hear which transmitters. The backend
+// families live in per-family headers under sim/backends/, all built on
+// the shared sharded-sweep layer of sim/sharding.hpp:
 //
-//   * Explicit CSR backends (CsrTopology / DynamicCsrTopology) walk a
-//     materialised graph::Digraph. Cost per round is O(sum of transmitter
-//     out-degrees) via per-edge hit counters, or — for very dense rounds —
-//     O(receivers scanned) via per-receiver in-neighbour scans against a
-//     transmitter bitset with early exit at the second hit.
+//   * sim/backends/csr.hpp — the explicit CSR family (CsrTopology /
+//     DynamicCsrTopology): walks a materialised graph::Digraph. The
+//     any-topology oracle; three delivery strategies (DeliveryPath), all
+//     listener-block-parallel with no RNG involved, so bit-identity at any
+//     thread count holds by construction.
 //
-//   * The implicit backend (ImplicitGnpTopology) never materialises the
-//     graph at all. For directed G(n,p) the number of transmissions a
-//     listener hears, given k transmitters, is Binomial(k, p) independently
-//     per listener (with k-1 for a listener that is itself a transmitter:
-//     self-loops do not exist), and conditioned on hearing exactly one, the
-//     sender is uniform over the eligible transmitters. A round therefore
-//     costs O(n) — or O(expected hits) in sparse rounds via geometric
-//     skip-sampling over the transmitter x listener pair grid — with zero
-//     graph memory.
+//   * sim/backends/implicit.hpp — the implicit G(n,p) backend
+//     (ImplicitGnpTopology): never materialises the graph; samples each
+//     listener's outcome per round directly from the transmitter count.
+//     O(n) per round (O(expected hits) when sparse), zero graph memory.
 //
-//   * The implicit *dynamic* backend (ImplicitDynamicGnpTopology) extends
-//     the sampling family to the full dynamic model set of
-//     graph/dynamics.hpp: per-round link churn on a stationary G(n,p)
-//     (churn in (0,1]), permanent node failures, and density schedules
-//     p(t) (mobility read as density change). Pair states are tracked
-//     *lazily*: only pairs whose state was individually resolved — a clean
-//     delivery identifies its (sender, listener) pair; the sparse path
-//     enumerates every present pair it touches — enter a bounded
-//     per-sender sketch; everything else stays at its exact Bernoulli(p)
-//     marginal. On re-examination after g rounds a sketched pair keeps its
-//     recorded state with probability (1 - churn)^g (the probability no
-//     re-sample hit it) and is re-drawn fresh otherwise — exactly the
-//     ChurnGnp process for tracked pairs.
+//   * sim/backends/implicit_dynamic.hpp — the implicit *dynamic* backend
+//     (ImplicitDynamicGnpTopology): extends the sampling family to link
+//     churn, permanent node failures and density schedules p(t), with lazy
+//     pair-state tracking in a bounded sketch. See that header (and the
+//     README table) for which regimes are exact vs modelled.
 //
-// Exactness of the implicit family (see README for the full table):
-//   - fixed G(n,p), protocols transmitting at most once per node
-//     (Algorithm 1): exact, at *any* churn — no ordered pair is ever
-//     examined twice, and under churn the first examination of a pair is
-//     still Bernoulli(p) by stationarity.
-//   - churn = 1 (memoryless per-round re-sampled G(n,p)) and p(t)
-//     schedules at churn = 1: exact for every protocol; this is what the
-//     static ImplicitGnpTopology simulates for repeated transmitters.
-//   - node failures: exact (independent per-node Bernoulli per round).
-//   - churn < 1 with repeated transmitters (gossip, Algorithm 3):
-//     *modelled* — positive pair persistence is tracked through the
-//     sketch, but negatively-resolved pairs and the unidentified members
-//     of collisions fall back to the fresh Bernoulli(p) marginal, so the
-//     process sits between the true churn-rho graph and the churn = 1
-//     limit. tests/sim/dynamic_topology_equivalence_test.cpp pins the
-//     exact regimes against the explicit ChurnGnp oracle statistically
-//     and bands the modelled regime.
+// Every backend exposes the same contract, consumed by sim/engine.cpp:
 //
-// Backends expose:
 //   NodeId num_nodes() const;
 //   void   begin_round(std::uint32_t r);          // refresh per-round state
+//   void   set_parallelism(ThreadPool* pool);     // nullptr = serial blocks
 //   template <class Sink>
 //   void   deliver(std::span<const NodeId> transmitters,
 //                  const std::vector<char>& is_tx, bool half_duplex,
 //                  DeliveryPath path,
 //                  const std::optional<std::span<const NodeId>>& attentive,
 //                  bool collisions_inert, Sink& sink);
+//
 // where the sink receives deliver(receiver, sender) / collide(receiver)
 // callbacks in ascending receiver order, exactly once per receiver that
 // heard at least one transmitter (transmitters themselves excluded under
 // half-duplex). `attentive` is the optional protocol hint from
-// Protocol::attentive_listeners: sampling backends may then restrict
-// per-event callbacks to those listeners and fold everyone else's outcome
-// counts into the sink's deliver_bulk/collide_bulk aggregates (ledger
-// totals stay exactly distributed; event order follows the hint's order).
-// `collisions_inert` (Protocol::collisions_inert && no trace) additionally
-// lets sampling backends report collisions through collide_bulk counts
-// instead of per-receiver callbacks. Explicit-graph backends ignore both
-// hints. Backends additionally expose set_parallelism(ThreadPool*) (no-op
-// for the explicit family).
+// Protocol::attentive_listeners: sampling backends may restrict per-event
+// callbacks to those listeners and fold everyone else's outcome counts
+// into the sink's deliver_bulk/collide_bulk aggregates (ledger totals stay
+// exactly distributed; event order follows the hint's order), and every
+// backend folds deliveries landing outside the hint into per-block bulk
+// counts during swept rounds. `collisions_inert` (Protocol::collisions_inert
+// && no trace) likewise lets backends report collisions through
+// collide_bulk counts instead of per-receiver callbacks.
 //
-// Within-trial parallelism (the implicit family): listener outcomes are
-// independent across listeners (and the pair grid independent across
-// pairs), so a round sweep decomposes exactly into contiguous listener
-// blocks of kShardBlockSize. Each (round, block) derives a private Rng by
-// counter keying (StreamKey in support/rng.hpp) — never from a shared
-// sequential stream — so blocks can execute on the thread pool in any
-// order and still produce bit-identical results for any thread count.
-// Blocks buffer their events (and resolved-pair records) locally; the
-// buffers are then merged serially in ascending listener order into the
-// engine sink, which also keeps the protocol single-threaded. The dynamic
-// backend's failure injection shards the same way; its sketch phases
-// (gather/classify pinned pairs) stay serial on per-round keyed streams.
+// Within-trial parallelism: rounds decompose into contiguous listener
+// blocks (sim/sharding.hpp) executed on the engine's thread pool and
+// merged serially in listener order, which keeps the protocol
+// single-threaded. Sampling backends key every RNG draw by (round, block)
+// (StreamKey counter keying, support/rng.hpp) so their sweeps are
+// bit-identical at any thread count; the CSR family involves no RNG at
+// all, so its parallel delivery is bit-identical by order-independence of
+// hit counts. tests/sim/thread_invariance_test.cpp pins both guarantees.
 #pragma once
 
-#include <algorithm>
-#include <cmath>
-#include <cstdint>
-#include <functional>
-#include <optional>
-#include <span>
-#include <type_traits>
-#include <unordered_map>
-#include <vector>
-
-#include "graph/digraph.hpp"
-#include "graph/dynamics.hpp"
-#include "support/bitset.hpp"
-#include "support/require.hpp"
-#include "support/rng.hpp"
-#include "support/thread_pool.hpp"
-
-namespace radnet::sim {
-
-using graph::NodeId;
-
-/// How an explicit-CSR backend turns the round's transmitter set into
-/// receiver events. kAuto picks per round; the forced values exist for the
-/// path-parity tests and for benchmarking the individual strategies.
-enum class DeliveryPath : std::uint8_t {
-  kAuto,            ///< heuristic choice per round (default)
-  kSortedTouch,     ///< per-edge hit counters, sort the touched list
-  kLinearScan,      ///< per-edge hit counters, linear sweep of the hit array
-  kInNeighborScan,  ///< per-receiver in-neighbour scan vs a transmitter bitset
-};
-
-/// Parameters of an implicit (never materialised) directed G(n,p) topology.
-/// `rng` is the private edge-randomness stream; a run consumes a copy, so
-/// the same spec replays identically.
-struct ImplicitGnp {
-  NodeId n = 0;
-  double p = 0.0;
-  Rng rng{};
-};
-
-/// Parameters of the implicit *dynamic* G(n,p) family: per-round link churn
-/// with persistence, permanent node failures, and density schedules p(t).
-/// The graph is never materialised; memory is O(sketch_capacity) at worst.
-/// See the file comment for which regimes are exact vs modelled.
-struct ImplicitDynamicGnp {
-  NodeId n = 0;
-  /// Stationary edge probability (fresh pair draws use the round's p).
-  double p = 0.0;
-  /// Fraction of ordered-pair states re-sampled per round, in (0, 1].
-  /// churn = 1 is the memoryless per-round-resampled G(n,p) of
-  /// graph/dynamics.hpp; churn < 1 persists pair states between rounds,
-  /// tracked lazily through the pair sketch.
-  double churn = 1.0;
-  /// Per-node, per-round probability of permanent radio failure. A failed
-  /// node neither delivers nor hears from its failure round on; its
-  /// transmit attempts still spend ledger energy (the node cannot know its
-  /// radio died). Must be in [0, 1). Note the honest consequence: goals of
-  /// the form "every node informed" become unreachable once any uninformed
-  /// node fails, so run failure scenarios with a fixed horizon (or read
-  /// the incompletion as the result, as the failure-injection tests do).
-  double fail_prob = 0.0;
-  /// Optional density schedule: the edge probability in force during round
-  /// r is clamp(p_of_round(r), 0, 1). Empty means constant p. Models
-  /// mobility as density change (devices drifting apart / together);
-  /// exact at churn = 1, modelled otherwise.
-  std::function<double(std::uint32_t)> p_of_round;
-  /// Bound on the pair-state sketch, in entries (~12 B each). When full,
-  /// new positive resolutions are forgotten instead of tracked (modelled
-  /// fallback); stale entries are recycled continuously.
-  std::uint32_t sketch_capacity = 1u << 22;
-  /// Root of the backend's private randomness, split into the sub-streams
-  /// below; a run consumes a copy, so the same spec replays identically.
-  Rng rng{};
-
-  /// Sub-stream derivation constants. The backend draws edge/classification
-  /// randomness from rng.split(kEdgeStream), sketch persistence draws from
-  /// rng.split(kChurnStream) and failure draws from rng.split(kFailStream),
-  /// so the three consumers can never interleave-collide with each other or
-  /// with the harness's (seed, trial, phase) streams — audited by
-  /// tests/support/rng_test.cpp.
-  static constexpr std::uint64_t kEdgeStream = 0xed6eull;
-  static constexpr std::uint64_t kChurnStream = 0xc4a7ull;
-  static constexpr std::uint64_t kFailStream = 0xfa11ull;
-};
-
-namespace detail {
-
-/// Shared delivery machinery for explicit CSR graphs: scratch arrays plus
-/// the three delivery strategies. Owned by the backend objects below.
-class CsrDelivery {
- public:
-  void attach(NodeId n) {
-    hits_.assign(n, 0);
-    heard_from_.assign(n, 0);
-    touched_.clear();
-    tx_bits_ = Bitset(n);
-  }
-
-  template <class Sink>
-  void deliver(const graph::Digraph& g, std::span<const NodeId> transmitters,
-               const std::vector<char>& is_tx, bool half_duplex,
-               DeliveryPath path, Sink& sink) {
-    const NodeId n = g.num_nodes();
-    if (path == DeliveryPath::kInNeighborScan) {
-      in_neighbor_scan(g, transmitters, is_tx, half_duplex, sink);
-      return;
-    }
-    if (path == DeliveryPath::kAuto) {
-      // The in-neighbour scan wins when most receivers hear >= 2
-      // transmitters quickly: a receiver stops after ~2/f scanned
-      // neighbours (f = transmitting fraction), vs ~f*degree counter
-      // writes on the counter path — cheaper when f^2 * degree > C, i.e.
-      // k * load > C * n^2 with load = sum of transmitter out-degrees.
-      std::uint64_t load = 0;
-      for (const NodeId u : transmitters) load += g.out_degree(u);
-      if (transmitters.size() * load >
-          4u * static_cast<std::uint64_t>(n) * n) {
-        in_neighbor_scan(g, transmitters, is_tx, half_duplex, sink);
-        return;
-      }
-    }
-    counter_paths(g, transmitters, is_tx, half_duplex, path, sink);
-  }
-
- private:
-  template <class Sink>
-  void counter_paths(const graph::Digraph& g,
-                     std::span<const NodeId> transmitters,
-                     const std::vector<char>& is_tx, bool half_duplex,
-                     DeliveryPath path, Sink& sink) {
-    const NodeId n = g.num_nodes();
-    for (const NodeId u : transmitters) {
-      for (const NodeId w : g.out_neighbors(u)) {
-        if (hits_[w] == 0) {
-          heard_from_[w] = u;
-          touched_.push_back(w);
-        }
-        ++hits_[w];
-      }
-    }
-    // `touched_` fills in transmitter-adjacency order; events must fire in
-    // ascending receiver order. Sparse rounds sort the touched list; dense
-    // rounds (> n/8 receivers) linear-scan the hit array, which yields the
-    // same order cheaper than the O(k log k) sort.
-    const bool scan = path == DeliveryPath::kLinearScan ||
-                      (path == DeliveryPath::kAuto && touched_.size() > n / 8);
-    if (scan) {
-      touched_.clear();
-      for (NodeId w = 0; w < n; ++w)
-        if (hits_[w] != 0) touched_.push_back(w);
-    } else {
-      std::sort(touched_.begin(), touched_.end());
-    }
-    for (const NodeId w : touched_) {
-      if (half_duplex && is_tx[w]) {
-        hits_[w] = 0;
-        continue;  // a transmitting radio hears nothing
-      }
-      if (hits_[w] == 1)
-        sink.deliver(w, heard_from_[w]);
-      else
-        sink.collide(w);
-      hits_[w] = 0;
-    }
-    touched_.clear();
-  }
-
-  template <class Sink>
-  void in_neighbor_scan(const graph::Digraph& g,
-                        std::span<const NodeId> transmitters,
-                        const std::vector<char>& is_tx, bool half_duplex,
-                        Sink& sink) {
-    const NodeId n = g.num_nodes();
-    for (const NodeId u : transmitters) tx_bits_.set(u);
-    for (NodeId w = 0; w < n; ++w) {
-      if (half_duplex && is_tx[w]) continue;
-      std::uint32_t c = 0;
-      NodeId sender = 0;
-      for (const NodeId v : g.in_neighbors(w)) {
-        if (tx_bits_.test(v)) {
-          sender = v;
-          if (++c == 2) break;
-        }
-      }
-      if (c == 1)
-        sink.deliver(w, sender);
-      else if (c >= 2)
-        sink.collide(w);
-    }
-    for (const NodeId u : transmitters) tx_bits_.reset(u);
-  }
-
-  std::vector<std::uint32_t> hits_;
-  std::vector<NodeId> heard_from_;
-  std::vector<NodeId> touched_;
-  Bitset tx_bits_;
-};
-
-/// No listener is excluded from a sampled round (the static backends).
-struct SkipNone {
-  bool operator()(NodeId) const noexcept { return false; }
-};
-
-/// No pair resolution is remembered (the static backends).
-struct RecordNone {
-  void operator()(NodeId, NodeId) const noexcept {}
-};
-
-/// A collision event's sender marker in the shard buffers (valid node ids
-/// are < n <= 2^32 - 1).
-inline constexpr NodeId kNoSender = 0xffffffffu;
-
-/// One listener block's privately accumulated round output: delivery /
-/// collision events (ascending listener within the block), the ordered
-/// pairs individually resolved present (for the dynamic backend's sketch)
-/// and — when the protocol declared collisions inert — a bare collision
-/// count instead of per-listener collision events. Buffers are merged
-/// serially in block order after the parallel sweep, so the engine sink
-/// and the sketch observe exactly the event and record order a serial
-/// sweep would have produced (bulk counts are order-free by definition).
-struct ShardBuffer {
-  std::vector<std::pair<NodeId, NodeId>> events;   ///< (listener, sender|kNoSender)
-  std::vector<std::pair<NodeId, NodeId>> records;  ///< (sender, listener)
-  std::uint64_t collide_count = 0;  ///< bulk-merged collisions (inert mode)
-
-  void clear() {
-    events.clear();
-    records.clear();
-    collide_count = 0;
-  }
-};
-
-/// Emitter writing into a block's private buffer — the only output channel
-/// of block code running on pool workers. `want_records` is off for the
-/// static backend (its Record hook is RecordNone, so buffering pairs would
-/// be pure overhead); `inert_collisions` folds collisions into the block
-/// count (see Protocol::collisions_inert).
-struct BufferEmitter {
-  ShardBuffer& buf;
-  bool want_records;
-  bool inert_collisions;
-
-  void on_record(NodeId sender, NodeId listener) {
-    if (want_records) buf.records.emplace_back(sender, listener);
-  }
-  void on_deliver(NodeId listener, NodeId sender) {
-    buf.events.emplace_back(listener, sender);
-  }
-  void on_collide(NodeId listener) {
-    if (inert_collisions)
-      ++buf.collide_count;
-    else
-      buf.events.emplace_back(listener, kNoSender);
-  }
-};
-
-/// Emitter for the serial schedule (pool == nullptr): blocks already run
-/// in ascending order on one thread, so events flow straight to the sink
-/// and records straight to the hook — zero buffering, exactly the event /
-/// record sequence the buffered merge would replay (inert collisions
-/// accumulate per block and flush as one bulk count, mirroring the
-/// buffered path's per-block bulk call).
-template <class Sink, class Record>
-struct DirectEmitter {
-  Sink& sink;
-  Record& record;
-  bool inert_collisions;
-  std::uint64_t collide_count = 0;
-
-  void on_record(NodeId sender, NodeId listener) { record(sender, listener); }
-  void on_deliver(NodeId listener, NodeId sender) {
-    sink.deliver(listener, sender);
-  }
-  void on_collide(NodeId listener) {
-    if (inert_collisions)
-      ++collide_count;
-    else
-      sink.collide(listener);
-  }
-  /// Call at each block boundary (matches the buffered merge's one bulk
-  /// call per block).
-  void flush_block() {
-    if (collide_count > 0) {
-      sink.collide_bulk(collide_count);
-      collide_count = 0;
-    }
-  }
-};
-
-/// The shared sampling core of the implicit G(n,p) family: per-listener
-/// outcome laws and the sparse / dense / attentive round strategies. Both
-/// implicit backends delegate here; the dynamic backend adds two hooks —
-///   Skip:   bool skip(listener)  — listeners handled elsewhere this round
-///           (sketch-pinned) or unable to hear (failed); sampled paths
-///           reject them, aggregate universes exclude them by count. Must
-///           be safe to call concurrently (it only reads per-round state).
-///   Record: record(sender, listener) — called for every ordered pair
-///           individually resolved *present* (a clean delivery's sender,
-///           every hit the sparse pair grid enumerates); the dynamic
-///           backend persists these in its sketch. Only invoked serially,
-///           during buffer merge.
-///
-/// Randomness is counter-keyed, never sequential: begin_round(r) forks a
-/// per-round key, every sweep block b draws from fork(r).fork(b), and the
-/// serial attentive/aggregate path from a reserved lane of the same round
-/// key. A draw is a pure function of (backend seed, round, block), so the
-/// sweep is bit-identical for any thread count and any block execution
-/// order.
-class GnpSampler {
- public:
-  /// Listeners per shard block. Fixed — part of the randomness contract:
-  /// results depend on the block decomposition, never on thread count.
-  static constexpr NodeId kShardBlockSize = 1u << 16;
-
-  /// Reserved fork counters: kAuxLane feeds the serial aggregate draws,
-  /// kAttentiveLane roots the attentive path's per-chunk streams. Sweep
-  /// block indices stay below 2^32, so lanes >= 2^32 can never collide.
-  static constexpr std::uint64_t kAuxLane = 0x1'0000'0001ull;
-  static constexpr std::uint64_t kAttentiveLane = 0x1'0000'0002ull;
-
-  void init(NodeId n, double p, Rng rng) {
-    RADNET_REQUIRE(n >= 1, "implicit G(n,p) needs n >= 1");
-    RADNET_REQUIRE(p >= 0.0 && p <= 1.0, "p must be in [0,1]");
-    n_ = n;
-    key_ = StreamKey::from_rng(rng);
-    begin_round(0);
-    set_p(p);
-  }
-
-  /// Serial blocks when null (the default); sharded sweeps on `pool`
-  /// otherwise. Either way the output is bit-identical.
-  void set_parallelism(ThreadPool* pool) { pool_ = pool; }
-
-  /// The dynamic backend turns this off when it is not tracking pair
-  /// states (churn == 1): its Record hook is then a runtime no-op, and
-  /// buffering resolutions for it would be pure overhead. Purely a
-  /// buffering knob — the serial path calls the hook either way.
-  void set_records_enabled(bool enabled) { records_enabled_ = enabled; }
-
-  /// Forks the round's key; must be called once per round before deliver.
-  void begin_round(std::uint32_t round) {
-    round_key_ = key_.fork(round);
-    lane_rng_ = round_key_.fork(kAuxLane).make_rng();
-  }
-
-  void set_p(double p) {
-    p_ = p;
-    inv_log1m_p_ = (p_ > 0.0 && p_ < 1.0) ? 1.0 / std::log1p(-p_) : 0.0;
-  }
-
-  [[nodiscard]] NodeId n() const noexcept { return n_; }
-  [[nodiscard]] double p() const noexcept { return p_; }
-
-  /// Per-round listener outcome probabilities for a common eligible
-  /// transmitter count c: P[hear nothing] = (1-p)^c, P[hear exactly one] =
-  /// c p (1-p)^{c-1}, everything else collides. The engine's semantics only
-  /// distinguish these three classes, so the exact hit count never needs to
-  /// be drawn in dense rounds.
-  struct OutcomeProbs {
-    double silent = 1.0;  ///< P[X = 0]
-    double single = 0.0;  ///< P[X = 1]
-
-    [[nodiscard]] double hit() const { return 1.0 - silent; }
-    /// P[exactly one | at least one].
-    [[nodiscard]] double single_given_hit() const {
-      const double q = hit();
-      return q > 0.0 ? single / q : 0.0;
-    }
-  };
-
-  [[nodiscard]] OutcomeProbs outcome_probs(std::uint64_t count) const {
-    OutcomeProbs probs;
-    if (count == 0 || p_ <= 0.0) return probs;
-    if (p_ >= 1.0) {  // degenerate complete graph
-      probs.silent = 0.0;
-      probs.single = count == 1 ? 1.0 : 0.0;
-      return probs;
-    }
-    const double cd = static_cast<double>(count);
-    probs.silent = std::exp(cd * std::log1p(-p_));
-    probs.single = cd * p_ * std::exp((cd - 1.0) * std::log1p(-p_));
-    return probs;
-  }
-
-  /// The full static-backend round: attentive fast path when the protocol
-  /// declared few listeners attentive, sparse pair grid or dense binomial
-  /// classification otherwise. `universe_nontx` / `universe_tx` size the
-  /// aggregate groups of the attentive path (the static backend passes
-  /// n - k and k; the dynamic backend subtracts failed and pinned nodes).
-  template <class Sink, class Skip, class Record>
-  void round(std::span<const NodeId> transmitters,
-             const std::vector<char>& is_tx, bool half_duplex,
-             const std::optional<std::span<const NodeId>>& attentive,
-             bool collisions_inert, Sink& sink, Skip&& skip, Record&& record,
-             std::uint64_t universe_nontx, std::uint64_t universe_tx) {
-    const std::uint64_t k = transmitters.size();
-    if (k == 0 || p_ <= 0.0) return;
-    const double expected_events =
-        static_cast<double>(n_) *
-        std::min(1.0, static_cast<double>(k) * p_);  // ~ listeners with hits
-    // When the protocol has declared most listeners inert and enumerating
-    // just those is cheaper than enumerating every hit listener, classify
-    // the attentive listeners individually and fold the rest into exact
-    // aggregate counts: O(|attentive| + k) per round.
-    if (attentive.has_value() &&
-        static_cast<double>(attentive->size()) < expected_events) {
-      attentive_round(transmitters, is_tx, half_duplex, *attentive,
-                      collisions_inert, sink, skip, record, universe_nontx,
-                      universe_tx);
-      return;
-    }
-    sweep(transmitters, is_tx, half_duplex, collisions_inert, sink, skip,
-          record);
-  }
-
-  /// Per-listener enumeration in ascending listener order, block-sharded:
-  /// the listener range splits into kShardBlockSize blocks, each drawing
-  /// from its own (round, block) counter-keyed Rng into a private buffer;
-  /// blocks run on the pool (or serially — same bits either way) and the
-  /// buffers merge into the sink in block order. Per block, the sparse
-  /// pair grid runs when well under one expected hit per listener, the
-  /// binomial classification otherwise (the strategy choice depends only
-  /// on round-global quantities, so all blocks agree).
-  template <class Sink, class Skip, class Record>
-  void sweep(std::span<const NodeId> transmitters,
-             const std::vector<char>& is_tx, bool half_duplex,
-             bool collisions_inert, Sink& sink, Skip&& skip,
-             Record&& record) {
-    const std::uint64_t k = transmitters.size();
-    if (k == 0 || p_ <= 0.0) return;
-    // Expected hits per listener is k*p. Sparse rounds (well under one hit
-    // per listener) enumerate the Bernoulli(p) pair grid by geometric
-    // skipping — O(expected hits). Dense rounds classify each listener as
-    // silent / single / collided straight from the round's Binomial outcome
-    // probabilities — O(event listeners) via a skip-walk, O(n) at worst.
-    // Both laws are independent across listeners (and pairs), so the block
-    // decomposition is exact, not approximate.
-    const bool sparse = p_ < 1.0 && static_cast<double>(k) * p_ < 0.25;
-    const std::uint64_t blocks =
-        (static_cast<std::uint64_t>(n_) + kShardBlockSize - 1) /
-        kShardBlockSize;
-    const auto run_block = [&](std::uint64_t b, auto& em, Rng& rng) {
-      const NodeId lo = static_cast<NodeId>(b * kShardBlockSize);
-      const NodeId hi = static_cast<NodeId>(std::min<std::uint64_t>(
-          n_, (b + 1) * static_cast<std::uint64_t>(kShardBlockSize)));
-      if (sparse)
-        pair_grid_block(lo, hi, rng, transmitters, is_tx, half_duplex, em,
-                        skip);
-      else
-        binomial_block(lo, hi, rng, transmitters, is_tx, half_duplex, em,
-                       skip);
-    };
-    if (pool_ != nullptr && blocks > 1) {
-      const bool want_records = wants_records<Record>();
-      if (buffers_.size() < blocks) buffers_.resize(blocks);
-      pool_->parallel_for_index(blocks, [&](std::uint64_t b) {
-        ShardBuffer& buf = buffers_[b];
-        buf.clear();
-        BufferEmitter em{buf, want_records, collisions_inert};
-        Rng rng = round_key_.fork(b).make_rng();
-        run_block(b, em, rng);
-      });
-      merge_buffers(blocks, sink, record);
-    } else {
-      // Serial schedule: same blocks, same per-block keyed streams, but
-      // events flow straight to the sink — no buffering, no replay.
-      DirectEmitter<Sink, std::remove_reference_t<Record>> em{
-          sink, record, collisions_inert};
-      for (std::uint64_t b = 0; b < blocks; ++b) {
-        Rng rng = round_key_.fork(b).make_rng();
-        run_block(b, em, rng);
-        em.flush_block();
-      }
-    }
-  }
-
-  /// O(|attentive| + k) round, block-sharded over the hint's span:
-  /// contiguous chunks of kShardBlockSize attentive listeners classify on
-  /// their own (round, attentive-lane, chunk) counter-keyed streams, the
-  /// buffers merge in chunk order (preserving the hint-order event
-  /// contract), and every other listener's outcome folds into the two-draw
-  /// aggregate below. For Algorithm-1-style protocols the heavy
-  /// mid-broadcast rounds live here, so this path shards exactly like the
-  /// full sweep.
-  template <class Sink, class Skip, class Record>
-  void attentive_round(std::span<const NodeId> transmitters,
-                       const std::vector<char>& is_tx, bool half_duplex,
-                       std::span<const NodeId> attentive,
-                       bool collisions_inert, Sink& sink, Skip&& skip,
-                       Record&& record, std::uint64_t universe_nontx,
-                       std::uint64_t universe_tx) {
-    const std::uint64_t k = transmitters.size();
-    const OutcomeProbs probs = outcome_probs(k);
-    const OutcomeProbs probs_tx =
-        half_duplex ? OutcomeProbs{} : outcome_probs(k - 1);
-
-    const std::uint64_t m = attentive.size();
-    const std::uint64_t blocks = (m + kShardBlockSize - 1) / kShardBlockSize;
-    std::uint64_t att_nontx = 0, att_tx = 0;
-    if (m > 0) {
-      const StreamKey att_key = round_key_.fork(kAttentiveLane);
-      const auto run_chunk = [&](std::uint64_t b, auto& em, Rng& rng) {
-        const std::uint64_t lo = b * kShardBlockSize;
-        const std::uint64_t hi =
-            std::min<std::uint64_t>(m, lo + kShardBlockSize);
-        std::uint64_t nontx = 0, txc = 0;
-        for (std::uint64_t i = lo; i < hi; ++i) {
-          const NodeId v = attentive[static_cast<std::size_t>(i)];
-          if (skip(v)) continue;
-          const bool tx = is_tx[v] != 0;
-          if (tx && half_duplex) continue;
-          ++(tx ? txc : nontx);
-          classify(v, tx, probs, probs_tx, transmitters, em, rng);
-        }
-        return std::pair<std::uint64_t, std::uint64_t>{nontx, txc};
-      };
-      if (pool_ != nullptr && blocks > 1) {
-        const bool want_records = wants_records<Record>();
-        if (buffers_.size() < blocks) buffers_.resize(blocks);
-        if (att_counts_.size() < blocks) att_counts_.resize(blocks);
-        pool_->parallel_for_index(blocks, [&](std::uint64_t b) {
-          ShardBuffer& buf = buffers_[b];
-          buf.clear();
-          BufferEmitter em{buf, want_records, collisions_inert};
-          Rng rng = att_key.fork(b).make_rng();
-          att_counts_[b] = run_chunk(b, em, rng);
-        });
-        merge_buffers(blocks, sink, record);
-        for (std::uint64_t b = 0; b < blocks; ++b) {
-          att_nontx += att_counts_[b].first;
-          att_tx += att_counts_[b].second;
-        }
-      } else {
-        DirectEmitter<Sink, std::remove_reference_t<Record>> em{
-            sink, record, collisions_inert};
-        for (std::uint64_t b = 0; b < blocks; ++b) {
-          Rng rng = att_key.fork(b).make_rng();
-          const auto counts = run_chunk(b, em, rng);
-          em.flush_block();
-          att_nontx += counts.first;
-          att_tx += counts.second;
-        }
-      }
-    }
-    // The silent majority: all remaining listeners, by eligible
-    // transmitter count.
-    RADNET_CHECK(att_nontx <= universe_nontx,
-                 "attentive span exceeds the listener universe");
-    aggregate_group(universe_nontx - att_nontx, probs, sink);
-    if (!half_duplex) {
-      RADNET_CHECK(att_tx <= universe_tx,
-                   "attentive span exceeds the transmitter universe");
-      aggregate_group(universe_tx - att_tx, probs_tx, sink);
-    }
-  }
-
-  /// Aggregate outcome accounting for `count` exchangeable listeners the
-  /// protocol declared inert: the number of single-hit listeners is
-  /// Binomial(count, P1) and, conditioned on it, the number of collided
-  /// listeners is Binomial(count - singles, P2 / (1 - P1)) — exactly the
-  /// marginal the per-listener enumeration would produce, in two draws
-  /// from the round's reserved lane.
-  template <class Sink>
-  void aggregate_group(std::uint64_t count, const OutcomeProbs& probs,
-                       Sink& sink) {
-    if (count == 0 || probs.hit() <= 0.0) return;
-    const std::uint64_t singles = lane_rng_.binomial(count, probs.single);
-    const double collide_given_not_single =
-        probs.single >= 1.0
-            ? 0.0
-            : std::min(1.0, (1.0 - probs.silent - probs.single) /
-                                (1.0 - probs.single));
-    const std::uint64_t collisions =
-        lane_rng_.binomial(count - singles, collide_given_not_single);
-    sink.deliver_bulk(singles);
-    sink.collide_bulk(collisions);
-  }
-
- private:
-  /// Whether `Record` actually stores resolutions: RecordNone never does
-  /// (the static backend), and the dynamic backend declares its hook a
-  /// no-op via set_records_enabled(false) at churn == 1. Blocks then skip
-  /// buffering pairs entirely.
-  template <class Record>
-  [[nodiscard]] bool wants_records() const {
-    return records_enabled_ &&
-           !std::is_same_v<std::remove_cvref_t<Record>, RecordNone>;
-  }
-
-  /// Serial merge of the first `blocks` buffers in block order: records
-  /// into the Record hook (sketch insertion order = enumeration order),
-  /// events into the sink in ascending listener order, inert-collision
-  /// counts as one bulk call per block. The protocol, trace and sketch
-  /// stay single-threaded.
-  template <class Sink, class Record>
-  void merge_buffers(std::uint64_t blocks, Sink& sink, Record&& record) {
-    for (std::uint64_t b = 0; b < blocks; ++b) {
-      const ShardBuffer& buf = buffers_[b];
-      for (const auto& [sender, listener] : buf.records)
-        record(sender, listener);
-      for (const auto& [listener, sender] : buf.events) {
-        if (sender == kNoSender)
-          sink.collide(listener);
-        else
-          sink.deliver(listener, sender);
-      }
-      if (buf.collide_count > 0) sink.collide_bulk(buf.collide_count);
-    }
-  }
-
-  /// Draws one listener's outcome from its three-way distribution and
-  /// emits the matching event (nothing / delivery / collision). The single
-  /// classification step shared by the attentive path and the dense sweep;
-  /// the caller supplies the stream (a block rng or the serial lane).
-  template <class Emitter>
-  void classify(NodeId v, bool tx, const OutcomeProbs& probs,
-                const OutcomeProbs& probs_tx,
-                std::span<const NodeId> transmitters, Emitter& em, Rng& rng) {
-    const OutcomeProbs& pr = tx ? probs_tx : probs;
-    const double u = rng.next_double();
-    if (u < pr.silent) return;
-    if (u < pr.silent + pr.single)
-      deliver_uniform(v, tx, transmitters, em, rng);
-    else
-      em.on_collide(v);
-  }
-
-  /// Delivers to listener v from a uniformly chosen eligible transmitter
-  /// (by symmetry, conditioned on exactly one hit the sender is uniform).
-  /// A full-duplex transmitter listener excludes itself by swapping the
-  /// last slot in for a draw that lands on v.
-  template <class Emitter>
-  void deliver_uniform(NodeId v, bool tx, std::span<const NodeId> transmitters,
-                       Emitter& em, Rng& rng) {
-    const std::uint64_t k = transmitters.size();
-    const std::uint64_t eligible = k - (tx ? 1u : 0u);
-    const std::uint64_t j = rng.uniform_below(eligible);
-    NodeId sender = transmitters[static_cast<std::size_t>(j)];
-    if (tx && sender == v) sender = transmitters[static_cast<std::size_t>(k - 1)];
-    em.on_record(sender, v);
-    em.on_deliver(v, sender);
-  }
-
-  /// Skip-samples one block's slice of the listener-major grid of
-  /// (listener, transmitter) ordered pairs — pair indices
-  /// [lo * k, hi * k) — each present with probability p; pairs whose
-  /// transmitter is the listener itself (self-loops) or, under
-  /// half-duplex, whose listener transmits (its radio cannot hear) are
-  /// discarded. Listener-major layout groups a listener's pair samples
-  /// consecutively, so events stream out in ascending listener order with
-  /// no counter arrays and no sort, and a listener never spans two blocks.
-  /// Expected cost O(k * (hi - lo) * p). Every retained hit is an
-  /// individually resolved present pair and is passed to on_record.
-  template <class Emitter, class Skip>
-  void pair_grid_block(NodeId lo, NodeId hi, Rng& rng,
-                       std::span<const NodeId> transmitters,
-                       const std::vector<char>& is_tx, bool half_duplex,
-                       Emitter& em, Skip&& skip) {
-    const std::uint64_t k = transmitters.size();
-    const std::uint64_t limit = static_cast<std::uint64_t>(hi) * k;
-    NodeId cur = hi;  // listener whose hits are being accumulated
-    std::uint32_t cur_hits = 0;
-    NodeId cur_sender = 0;
-    const auto flush = [&] {
-      if (cur_hits == 0) return;
-      if (cur_hits == 1)
-        em.on_deliver(cur, cur_sender);
-      else
-        em.on_collide(cur);
-      cur_hits = 0;
-    };
-    for (std::uint64_t idx = static_cast<std::uint64_t>(lo) * k +
-                             rng.geometric_inv(inv_log1m_p_) - 1;
-         idx < limit; idx += rng.geometric_inv(inv_log1m_p_)) {
-      const NodeId v = static_cast<NodeId>(idx / k);
-      const NodeId t = transmitters[static_cast<std::size_t>(idx % k)];
-      if (v == t || (half_duplex && is_tx[v]) || skip(v)) continue;
-      if (v != cur) {
-        flush();
-        cur = v;
-      }
-      em.on_record(t, v);
-      ++cur_hits;
-      cur_sender = t;
-    }
-    flush();
-  }
-
-  /// Classifies one block's listeners as silent / single-hit / collided
-  /// directly from Binomial(k', p) outcome probabilities, where k'
-  /// excludes the listener itself when it is transmitting (no self-loops).
-  /// When most listeners hear nothing, the listeners with >= 1 hit are
-  /// themselves geometric-skip-sampled at rate q = 1 - P[X=0], making the
-  /// block O(event listeners) instead of O(hi - lo); per event the only
-  /// randomness is one classification uniform (plus the sender draw on
-  /// delivery).
-  template <class Emitter, class Skip>
-  void binomial_block(NodeId lo, NodeId hi, Rng& rng,
-                      std::span<const NodeId> transmitters,
-                      const std::vector<char>& is_tx, bool half_duplex,
-                      Emitter& em, Skip&& skip) {
-    const std::uint64_t k = transmitters.size();
-    if (p_ >= 1.0) {
-      // Degenerate complete graph: every listener hears every eligible
-      // transmitter deterministically.
-      for (NodeId v = lo; v < hi; ++v) {
-        const bool tx = is_tx[v] != 0;
-        if ((half_duplex && tx) || skip(v)) continue;
-        const std::uint64_t eligible = k - (tx ? 1u : 0u);
-        if (eligible == 0) continue;
-        if (eligible >= 2) {
-          em.on_collide(v);
-          continue;
-        }
-        NodeId sender = transmitters[0];
-        if (tx && sender == v) sender = transmitters[k - 1];
-        em.on_deliver(v, sender);
-      }
-      return;
-    }
-    const OutcomeProbs probs = outcome_probs(k);
-    // Full-duplex transmitter listeners hear one fewer candidate sender.
-    const OutcomeProbs probs_tx =
-        half_duplex ? OutcomeProbs{} : outcome_probs(k - 1);
-    const double q = probs.hit();
-
-    if (q > 0.5) {
-      // Most listeners hear something: a plain sweep is cheaper than
-      // skip-sampling (and the block is O(events) either way).
-      for (NodeId v = lo; v < hi; ++v) {
-        const bool tx = is_tx[v] != 0;
-        if ((half_duplex && tx) || skip(v)) continue;
-        classify(v, tx, probs, probs_tx, transmitters, em, rng);
-      }
-      return;
-    }
-
-    // Skip-walk the block's listeners that hear >= 1 transmitter. A
-    // transmitter listener's true hit probability q' (from
-    // Binomial(k-1, p)) is below the walk's rate q, so those landings are
-    // thinned by q'/q — exact rejection, preserving per-listener
-    // independence.
-    const double q_tx = probs_tx.hit();
-    const double single_given_hit = probs.single_given_hit();
-    const double single_given_hit_tx = probs_tx.single_given_hit();
-    const double inv_log1m_q = 1.0 / std::log1p(-q);
-    const std::uint64_t span = static_cast<std::uint64_t>(hi) - lo;
-    for (std::uint64_t o = rng.geometric_inv(inv_log1m_q) - 1; o < span;
-         o += rng.geometric_inv(inv_log1m_q)) {
-      const NodeId v = lo + static_cast<NodeId>(o);
-      if (skip(v)) continue;
-      const bool tx = is_tx[v] != 0;
-      double single_prob = single_given_hit;
-      if (tx) {
-        if (half_duplex) continue;
-        if (rng.next_double() * q >= q_tx) continue;
-        single_prob = single_given_hit_tx;
-      }
-      if (rng.next_double() < single_prob)
-        deliver_uniform(v, tx, transmitters, em, rng);
-      else
-        em.on_collide(v);
-    }
-  }
-
-  NodeId n_ = 0;
-  double p_ = 0.0;
-  double inv_log1m_p_ = 0.0;
-  StreamKey key_;        ///< backend randomness root (from the spec's rng)
-  StreamKey round_key_;  ///< key_.fork(round), re-forked every begin_round
-  Rng lane_rng_;         ///< serial attentive/aggregate stream for the round
-  ThreadPool* pool_ = nullptr;
-  bool records_enabled_ = true;
-  std::vector<ShardBuffer> buffers_;  ///< per-block scratch, reused per round
-  /// Per-chunk (non-tx, tx) attentive-listener counts, merged serially.
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> att_counts_;
-};
-
-/// Bounded store of individually resolved *present* ordered pairs, indexed
-/// by sender so a round touches exactly the entries whose sender transmits.
-/// Entries live in a pooled free-list (12 B each); when the pool is full,
-/// new resolutions are dropped (the modelled fallback) until stale entries
-/// are recycled.
-class PairSketch {
- public:
-  static constexpr std::uint32_t kNil = 0xffffffffu;
-
-  void reset(std::size_t capacity) {
-    pool_.clear();
-    heads_.clear();
-    free_head_ = kNil;
-    size_ = 0;
-    capacity_ = capacity;
-  }
-
-  [[nodiscard]] std::size_t size() const noexcept { return size_; }
-
-  void insert(NodeId sender, NodeId listener, std::uint32_t round) {
-    if (size_ >= capacity_) return;  // full: forget (modelled fallback)
-    std::uint32_t idx;
-    if (free_head_ != kNil) {
-      idx = free_head_;
-      free_head_ = pool_[idx].next;
-    } else {
-      idx = static_cast<std::uint32_t>(pool_.size());
-      pool_.push_back({});
-    }
-    auto [it, fresh] = heads_.try_emplace(sender, idx);
-    Entry& e = pool_[idx];
-    e.listener = listener;
-    e.round = round;
-    if (fresh) {
-      e.next = kNil;
-    } else {
-      e.next = it->second;
-      it->second = idx;
-    }
-    ++size_;
-  }
-
-  /// Walks sender's entries in insertion order (most recent first), calling
-  /// f(listener, round&); f returns whether to keep the entry (it may
-  /// update the round in place). Erased entries go back to the free list.
-  template <class F>
-  void visit(NodeId sender, F&& f) {
-    const auto it = heads_.find(sender);
-    if (it == heads_.end()) return;
-    std::uint32_t* link = &it->second;
-    while (*link != kNil) {
-      Entry& e = pool_[*link];
-      if (f(e.listener, e.round)) {
-        link = &e.next;
-      } else {
-        const std::uint32_t idx = *link;
-        *link = e.next;
-        e.next = free_head_;
-        free_head_ = idx;
-        --size_;
-      }
-    }
-    if (it->second == kNil) heads_.erase(it);
-  }
-
-  /// Drops every entry older than `horizon` rounds — reclaims the slots of
-  /// senders that stopped transmitting. Only the *set* of dropped entries
-  /// is observable (free-list order never is), so iterating the unordered
-  /// map here cannot perturb reproducibility.
-  void drop_stale(std::uint32_t round, std::uint64_t horizon) {
-    for (auto it = heads_.begin(); it != heads_.end();) {
-      std::uint32_t* link = &it->second;
-      while (*link != kNil) {
-        Entry& e = pool_[*link];
-        if (round - e.round > horizon) {
-          const std::uint32_t idx = *link;
-          *link = e.next;
-          e.next = free_head_;
-          free_head_ = idx;
-          --size_;
-        } else {
-          link = &e.next;
-        }
-      }
-      it = it->second == kNil ? heads_.erase(it) : std::next(it);
-    }
-  }
-
- private:
-  struct Entry {
-    NodeId listener = 0;
-    std::uint32_t round = 0;
-    std::uint32_t next = kNil;
-  };
-
-  std::vector<Entry> pool_;
-  std::unordered_map<NodeId, std::uint32_t> heads_;
-  std::uint32_t free_head_ = kNil;
-  std::size_t size_ = 0;
-  std::size_t capacity_ = 0;
-};
-
-}  // namespace detail
-
-/// Backend over one fixed, materialised graph.
-class CsrTopology {
- public:
-  explicit CsrTopology(const graph::Digraph& g) : g_(&g) {
-    delivery_.attach(g.num_nodes());
-  }
-
-  [[nodiscard]] NodeId num_nodes() const { return g_->num_nodes(); }
-  void begin_round(std::uint32_t /*round*/) {}
-  /// Explicit-graph delivery is not sharded (yet — see ROADMAP); accepted
-  /// so the engine treats every backend uniformly.
-  void set_parallelism(ThreadPool* /*pool*/) {}
-
-  template <class Sink>
-  void deliver(std::span<const NodeId> transmitters,
-               const std::vector<char>& is_tx, bool half_duplex,
-               DeliveryPath path,
-               const std::optional<std::span<const NodeId>>& /*attentive*/,
-               bool /*collisions_inert*/, Sink& sink) {
-    delivery_.deliver(*g_, transmitters, is_tx, half_duplex, path, sink);
-  }
-
- private:
-  const graph::Digraph* g_;
-  detail::CsrDelivery delivery_;
-};
-
-/// Backend over a changing topology: round r uses sequence.at(r).
-class DynamicCsrTopology {
- public:
-  explicit DynamicCsrTopology(graph::TopologySequence& sequence)
-      : sequence_(&sequence), n_(sequence.num_nodes()) {
-    delivery_.attach(n_);
-  }
-
-  [[nodiscard]] NodeId num_nodes() const { return n_; }
-  void set_parallelism(ThreadPool* /*pool*/) {}
-
-  void begin_round(std::uint32_t round) {
-    g_ = &sequence_->at(round);
-    RADNET_CHECK(g_->num_nodes() == n_, "topology changed its node count");
-  }
-
-  template <class Sink>
-  void deliver(std::span<const NodeId> transmitters,
-               const std::vector<char>& is_tx, bool half_duplex,
-               DeliveryPath path,
-               const std::optional<std::span<const NodeId>>& /*attentive*/,
-               bool /*collisions_inert*/, Sink& sink) {
-    delivery_.deliver(*g_, transmitters, is_tx, half_duplex, path, sink);
-  }
-
- private:
-  graph::TopologySequence* sequence_;
-  NodeId n_;
-  const graph::Digraph* g_ = nullptr;
-  detail::CsrDelivery delivery_;
-};
-
-/// The implicit G(n,p) backend: per-round delivery outcomes are sampled
-/// directly from the transmitter count, the graph never exists. See the
-/// file comment for the model and exactness conditions.
-class ImplicitGnpTopology {
- public:
-  explicit ImplicitGnpTopology(const ImplicitGnp& spec) {
-    sampler_.init(spec.n, spec.p, spec.rng);
-  }
-
-  [[nodiscard]] NodeId num_nodes() const { return sampler_.n(); }
-  void begin_round(std::uint32_t round) { sampler_.begin_round(round); }
-  void set_parallelism(ThreadPool* pool) { sampler_.set_parallelism(pool); }
-
-  template <class Sink>
-  void deliver(std::span<const NodeId> transmitters,
-               const std::vector<char>& is_tx, bool half_duplex,
-               DeliveryPath /*path*/,
-               const std::optional<std::span<const NodeId>>& attentive,
-               bool collisions_inert, Sink& sink) {
-    const std::uint64_t k = transmitters.size();
-    sampler_.round(transmitters, is_tx, half_duplex, attentive,
-                   collisions_inert, sink, detail::SkipNone{},
-                   detail::RecordNone{},
-                   static_cast<std::uint64_t>(sampler_.n()) - k, k);
-  }
-
- private:
-  detail::GnpSampler sampler_;
-};
-
-/// The implicit *dynamic* G(n,p) backend: link churn with lazy pair-state
-/// tracking, permanent node failures and density schedules, all without
-/// ever materialising a graph. See the file comment for the model and the
-/// exact-vs-modelled regimes; statistically pinned against the explicit
-/// ChurnGnp oracle by tests/sim/dynamic_topology_equivalence_test.cpp.
-class ImplicitDynamicGnpTopology {
- public:
-  explicit ImplicitDynamicGnpTopology(const ImplicitDynamicGnp& spec)
-      : churn_(spec.churn),
-        fail_prob_(spec.fail_prob),
-        p_of_round_(spec.p_of_round) {
-    RADNET_REQUIRE(spec.churn > 0.0 && spec.churn <= 1.0,
-                   "churn must be in (0, 1]");
-    RADNET_REQUIRE(spec.fail_prob >= 0.0 && spec.fail_prob < 1.0,
-                   "fail_prob must be in [0, 1)");
-    sampler_.init(spec.n, spec.p, spec.rng.split(ImplicitDynamicGnp::kEdgeStream));
-    churn_key_ =
-        StreamKey::from_rng(spec.rng.split(ImplicitDynamicGnp::kChurnStream));
-    fail_key_ =
-        StreamKey::from_rng(spec.rng.split(ImplicitDynamicGnp::kFailStream));
-    churn_rng_ = churn_key_.fork(0).make_rng();
-    // At churn = 1 nothing is tracked: the record hook is a no-op, so the
-    // sharded sweeps need not buffer resolved pairs.
-    sampler_.set_records_enabled(churn_ < 1.0);
-    if (churn_ < 1.0) {
-      log1m_churn_ = std::log1p(-churn_);
-      // Beyond the horizon a pair survives un-resampled with probability
-      // < 1e-12: its recorded state is numerically indistinguishable from
-      // a fresh Bernoulli(p), so the entry can be recycled.
-      horizon_ = static_cast<std::uint64_t>(
-          std::ceil(std::log(1e-12) / log1m_churn_));
-      sketch_.reset(spec.sketch_capacity);
-      // Start reclaiming stale entries once the pool is three-quarters
-      // full (never at zero capacity).
-      sketch_watermark_ =
-          std::max<std::size_t>(1, spec.sketch_capacity / 4u * 3u);
-      marks_.assign(spec.n, 0);
-    }
-    if (fail_prob_ > 0.0) {
-      inv_log1m_fail_ = 1.0 / std::log1p(-fail_prob_);
-      failed_.assign(spec.n, 0);
-    }
-  }
-
-  [[nodiscard]] NodeId num_nodes() const { return sampler_.n(); }
-
-  /// Number of live pair-state sketch entries (for tests / diagnostics).
-  [[nodiscard]] std::size_t sketch_size() const { return sketch_.size(); }
-
-  /// Number of permanently failed nodes so far.
-  [[nodiscard]] NodeId failed_count() const { return failed_count_; }
-
-  /// Accepted for the sharded sweep and failure injection; the sketch
-  /// phases stay serial regardless.
-  void set_parallelism(ThreadPool* pool) {
-    pool_ = pool;
-    sampler_.set_parallelism(pool);
-  }
-
-  void begin_round(std::uint32_t round) {
-    round_ = round;
-    sampler_.begin_round(round);
-    // The sketch and failure streams re-key per round too: every draw this
-    // round is a pure function of (spec seed, round, position), never of
-    // how many draws earlier rounds consumed.
-    churn_rng_ = churn_key_.fork(round).make_rng();
-    if (p_of_round_)
-      sampler_.set_p(std::clamp(p_of_round_(round), 0.0, 1.0));
-    if (fail_prob_ > 0.0) draw_failures();
-    // Lazily reclaim entries of senders that stopped transmitting once the
-    // pool fills up; at most one linear sweep per horizon window.
-    if (churn_ < 1.0 && sketch_.size() >= sketch_watermark_ &&
-        round_ - last_sweep_round_ > horizon_) {
-      sketch_.drop_stale(round_, horizon_);
-      last_sweep_round_ = round_;
-    }
-  }
-
-  template <class Sink>
-  void deliver(std::span<const NodeId> transmitters,
-               const std::vector<char>& is_tx, bool half_duplex,
-               DeliveryPath /*path*/,
-               const std::optional<std::span<const NodeId>>& attentive,
-               bool collisions_inert, Sink& sink) {
-    // Dead radios transmit into the void: filter them out of the round.
-    std::span<const NodeId> tx = transmitters;
-    if (failed_count_ > 0) {
-      live_tx_.clear();
-      for (const NodeId u : transmitters)
-        if (!failed_[u]) live_tx_.push_back(u);
-      tx = {live_tx_.data(), live_tx_.size()};
-    }
-    const std::uint64_t k = tx.size();
-    if (k == 0) return;
-    const bool sampling = sampler_.p() > 0.0;
-    const bool tracking = churn_ < 1.0;
-    if (!sampling && (!tracking || sketch_.size() == 0)) return;
-
-    // Phase 1: resolve every sketched pair whose sender transmits — these
-    // listeners ("pinned") have conditioned, non-exchangeable hit laws and
-    // are classified individually below.
-    pinned_.clear();
-    if (tracking && sketch_.size() > 0)
-      gather_pinned(tx, is_tx, half_duplex);
-
-    const auto record = [&](NodeId sender, NodeId listener) {
-      if (tracking) sketch_.insert(sender, listener, round_);
-    };
-    const auto skip = [&](NodeId v) {
-      return (tracking && marks_[v] != 0) ||
-             (failed_count_ > 0 && failed_[v] != 0);
-    };
-
-    std::uint64_t pinned_nontx = 0, pinned_tx = 0;
-    pinned_events_.clear();
-    classify_pinned(tx, is_tx, half_duplex, &pinned_nontx, &pinned_tx,
-                    record);
-
-    if (sampling) {
-      const std::uint64_t live = sampler_.n() - failed_count_;
-      RADNET_CHECK(live >= k + pinned_nontx,
-                   "pinned listeners exceed the live universe");
-      const std::uint64_t universe_nontx = live - k - pinned_nontx;
-      const std::uint64_t universe_tx = k - pinned_tx;
-      const double expected_events =
-          static_cast<double>(sampler_.n()) *
-          std::min(1.0, static_cast<double>(k) * sampler_.p());
-      if (attentive.has_value() &&
-          static_cast<double>(attentive->size()) < expected_events) {
-        // Attentive mode: pinned events first (ascending listener), then
-        // the hint's listeners in hint order, then the aggregates.
-        for (const PinnedEvent& e : pinned_events_) emit(e, sink);
-        sampler_.attentive_round(tx, is_tx, half_duplex, *attentive,
-                                 collisions_inert, sink, skip, record,
-                                 universe_nontx, universe_tx);
-      } else {
-        // Sweep mode: merge the pre-drawn pinned events into the sweep's
-        // ascending listener order.
-        MergeSink<Sink> merged{sink, pinned_events_, 0, this};
-        sampler_.sweep(tx, is_tx, half_duplex, collisions_inert, merged, skip,
-                       record);
-        merged.flush_all();
-      }
-    } else {
-      // p(t) == 0 this round: only persisted pairs can deliver.
-      for (const PinnedEvent& e : pinned_events_) emit(e, sink);
-    }
-
-    if (tracking)
-      for (const PinnedTouch& t : pinned_) marks_[t.listener] = 0;
-  }
-
- private:
-  struct PinnedTouch {
-    NodeId listener;
-    NodeId sender;
-    bool present;
-  };
-  struct PinnedEvent {
-    NodeId listener;
-    NodeId sender;  // meaningful only for deliveries
-    bool is_delivery;
-  };
-
-  template <class Sink>
-  void emit(const PinnedEvent& e, Sink& sink) const {
-    if (e.is_delivery)
-      sink.deliver(e.listener, e.sender);
-    else
-      sink.collide(e.listener);
-  }
-
-  /// Forwards sweep events to the engine sink, flushing buffered pinned
-  /// events whose listener precedes the sweep's current listener so the
-  /// combined stream stays in ascending receiver order. Pinned listeners
-  /// are marked and therefore never also produced by the sweep.
-  template <class Sink>
-  struct MergeSink {
-    Sink& inner;
-    const std::vector<PinnedEvent>& pending;
-    std::size_t next;
-    const ImplicitDynamicGnpTopology* self;
-
-    void flush_upto(NodeId v) {
-      while (next < pending.size() && pending[next].listener < v)
-        self->emit(pending[next++], inner);
-    }
-    void flush_all() {
-      while (next < pending.size()) self->emit(pending[next++], inner);
-    }
-    void deliver(NodeId receiver, NodeId sender) {
-      flush_upto(receiver);
-      inner.deliver(receiver, sender);
-    }
-    void collide(NodeId receiver) {
-      flush_upto(receiver);
-      inner.collide(receiver);
-    }
-    void deliver_bulk(std::uint64_t count) { inner.deliver_bulk(count); }
-    void collide_bulk(std::uint64_t count) { inner.collide_bulk(count); }
-  };
-
-  /// Walks the sketch lists of this round's transmitters and resolves each
-  /// touched pair's persistence: the recorded present state survives with
-  /// probability (1-churn)^age (no re-sample hit it — memoryless, so the
-  /// entry's clock restarts at this round), otherwise the pair re-draws
-  /// fresh Bernoulli(p). Negative outcomes drop the entry (absence is not
-  /// stored — the modelled fallback). Pairs whose listener cannot hear
-  /// this round (failed, or transmitting under half-duplex) are left
-  /// untouched: their state is unobservable, so it just keeps ageing.
-  void gather_pinned(std::span<const NodeId> tx,
-                     const std::vector<char>& is_tx, bool half_duplex) {
-    for (const NodeId t : tx) {
-      sketch_.visit(t, [&](NodeId w, std::uint32_t& entry_round) {
-        const std::uint64_t age = round_ - entry_round;
-        if (age > horizon_) return false;  // numerically fresh again
-        if (failed_count_ > 0 && failed_[w] != 0) return true;
-        if (half_duplex && is_tx[w]) return true;
-        bool present = true;
-        if (age > 0) {
-          const double survive =
-              std::exp(static_cast<double>(age) * log1m_churn_);
-          if (churn_rng_.next_double() >= survive)
-            present = churn_rng_.bernoulli(sampler_.p());
-        }
-        if (present) entry_round = round_;
-        pinned_.push_back({w, t, present});
-        return present;
-      });
-    }
-    std::stable_sort(pinned_.begin(), pinned_.end(),
-                     [](const PinnedTouch& a, const PinnedTouch& b) {
-                       return a.listener < b.listener;
-                     });
-    for (const PinnedTouch& t : pinned_) marks_[t.listener] = 1;
-  }
-
-  /// Classifies each pinned listener: total hits = resolved sketch hits +
-  /// Binomial(k_unknown, p) over its untracked pairs, collapsed to the
-  /// silent / single / collided classes the engine distinguishes. Events
-  /// are buffered (already in ascending listener order) for the caller to
-  /// emit or merge.
-  template <class Record>
-  void classify_pinned(std::span<const NodeId> tx,
-                       const std::vector<char>& is_tx, bool half_duplex,
-                       std::uint64_t* pinned_nontx, std::uint64_t* pinned_tx,
-                       Record&& record) {
-    const std::uint64_t k = tx.size();
-    std::size_t i = 0;
-    while (i < pinned_.size()) {
-      std::size_t j = i;
-      std::uint32_t hits_known = 0;
-      NodeId stored_sender = 0;
-      const NodeId w = pinned_[i].listener;
-      for (; j < pinned_.size() && pinned_[j].listener == w; ++j) {
-        if (pinned_[j].present) {
-          ++hits_known;
-          stored_sender = pinned_[j].sender;
-        }
-      }
-      const std::uint64_t cnt_known = j - i;
-      const bool wtx = is_tx[w] != 0;
-      ++(wtx ? *pinned_tx : *pinned_nontx);
-      const std::uint64_t eligible =
-          k - cnt_known - (wtx && !half_duplex ? 1u : 0u);
-      if (hits_known >= 2) {
-        pinned_events_.push_back({w, 0, false});
-      } else {
-        const auto probs = sampler_.outcome_probs(eligible);
-        const double u = churn_rng_.next_double();
-        if (hits_known == 1) {
-          // One tracked hit: collision iff any untracked pair also hits.
-          if (u < probs.silent)
-            pinned_events_.push_back({w, stored_sender, true});
-          else
-            pinned_events_.push_back({w, 0, false});
-        } else if (u >= probs.silent) {
-          if (u < probs.silent + probs.single) {
-            const NodeId sender = pick_unknown_sender(tx, w, wtx, i, j);
-            record(sender, w);
-            pinned_events_.push_back({w, sender, true});
-          } else {
-            pinned_events_.push_back({w, 0, false});
-          }
-        }
-      }
-      i = j;
-    }
-  }
-
-  /// Uniform draw over the transmitters whose pair to `w` is untracked
-  /// (rejecting w itself and the listeners' resolved senders — a handful
-  /// at most, so rejection terminates fast; probs.single > 0 guarantees
-  /// the untracked set is non-empty).
-  NodeId pick_unknown_sender(std::span<const NodeId> tx, NodeId w, bool wtx,
-                             std::size_t begin, std::size_t end) {
-    for (;;) {
-      const NodeId cand = tx[static_cast<std::size_t>(
-          churn_rng_.uniform_below(tx.size()))];
-      if (wtx && cand == w) continue;
-      bool tracked = false;
-      for (std::size_t s = begin; s < end; ++s)
-        if (pinned_[s].sender == cand) {
-          tracked = true;
-          break;
-        }
-      if (!tracked) return cand;
-    }
-  }
-
-  /// Each live node fails independently with fail_prob per round; landing
-  /// on an already-failed node is a no-op, so a skip-sampled sweep of
-  /// [0, n) is exact — and because failures are independent per node, the
-  /// sweep shards into the same counter-keyed listener blocks as the round
-  /// sweep (disjoint failed_ ranges; per-block new-failure counts summed
-  /// serially).
-  void draw_failures() {
-    const std::uint64_t n = sampler_.n();
-    const StreamKey round_key = fail_key_.fork(round_);
-    const std::uint64_t blocks =
-        (n + detail::GnpSampler::kShardBlockSize - 1) /
-        detail::GnpSampler::kShardBlockSize;
-    fail_counts_.assign(blocks, 0);
-    const auto run_block = [&](std::uint64_t b) {
-      Rng rng = round_key.fork(b).make_rng();
-      const std::uint64_t lo = b * detail::GnpSampler::kShardBlockSize;
-      const std::uint64_t span =
-          std::min<std::uint64_t>(n, lo + detail::GnpSampler::kShardBlockSize) -
-          lo;
-      NodeId fresh = 0;
-      for (std::uint64_t o = rng.geometric_inv(inv_log1m_fail_) - 1; o < span;
-           o += rng.geometric_inv(inv_log1m_fail_)) {
-        if (!failed_[lo + o]) {
-          failed_[lo + o] = 1;
-          ++fresh;
-        }
-      }
-      fail_counts_[b] = fresh;
-    };
-    if (pool_ != nullptr && blocks > 1)
-      pool_->parallel_for_index(blocks, run_block);
-    else
-      for (std::uint64_t b = 0; b < blocks; ++b) run_block(b);
-    for (const NodeId fresh : fail_counts_) failed_count_ += fresh;
-  }
-
-  detail::GnpSampler sampler_;
-  double churn_;
-  double fail_prob_;
-  std::function<double(std::uint32_t)> p_of_round_;
-  StreamKey churn_key_;  ///< per-round sketch stream root
-  StreamKey fail_key_;   ///< per-(round, block) failure stream root
-  Rng churn_rng_;        ///< re-keyed from churn_key_ every begin_round
-  ThreadPool* pool_ = nullptr;
-  std::vector<NodeId> fail_counts_;  ///< per-block new failures, merged serially
-  double log1m_churn_ = 0.0;
-  double inv_log1m_fail_ = 0.0;
-  std::uint64_t horizon_ = 0;
-  std::uint32_t round_ = 0;
-  std::uint32_t last_sweep_round_ = 0;
-  std::size_t sketch_watermark_ = 0;
-
-  detail::PairSketch sketch_;
-  std::vector<char> marks_;
-  std::vector<char> failed_;
-  NodeId failed_count_ = 0;
-  std::vector<NodeId> live_tx_;
-  std::vector<PinnedTouch> pinned_;
-  std::vector<PinnedEvent> pinned_events_;
-};
-
-}  // namespace radnet::sim
+#include "sim/backends/csr.hpp"
+#include "sim/backends/implicit.hpp"
+#include "sim/backends/implicit_dynamic.hpp"
+#include "sim/sharding.hpp"

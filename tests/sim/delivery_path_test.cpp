@@ -2,8 +2,10 @@
 // (sorted-touch, linear-scan, in-neighbour bitset scan) are different
 // traversals of the same mathematical round function, so for a fixed
 // (graph, protocol, seed) they must produce *byte-identical* run results —
-// same ledger, same trace, same protocol-observed event stream. Randomised
-// over graph families, densities and duplex modes.
+// same ledger, same trace, same protocol-observed event stream — at every
+// thread count (the block-parallel forms of each path involve no RNG, so
+// the serial run is the contract). Randomised over graph families,
+// densities and duplex modes.
 #include "sim/engine.hpp"
 
 #include <gtest/gtest.h>
@@ -24,12 +26,14 @@ struct PathRun {
 };
 
 PathRun run_with_path(const Digraph& g, DeliveryPath path, double q,
-                      Round rounds, bool half_duplex, std::uint64_t seed) {
+                      Round rounds, bool half_duplex, std::uint64_t seed,
+                      unsigned threads) {
   NoisyProtocol protocol(q, rounds);
   RunOptions options;
   options.record_trace = true;
   options.half_duplex = half_duplex;
   options.delivery_path = path;
+  options.threads = threads;
   Engine engine;
   PathRun run;
   run.result = engine.run(g, protocol, Rng(seed), options);
@@ -41,17 +45,22 @@ void expect_paths_identical(const Digraph& g, double q, Round rounds,
                             std::uint64_t seed) {
   for (const bool half_duplex : {true, false}) {
     const PathRun sorted = run_with_path(g, DeliveryPath::kSortedTouch, q,
-                                         rounds, half_duplex, seed);
+                                         rounds, half_duplex, seed, 1);
     for (const DeliveryPath path :
-         {DeliveryPath::kLinearScan, DeliveryPath::kInNeighborScan,
-          DeliveryPath::kAuto}) {
-      const PathRun other = run_with_path(g, path, q, rounds, half_duplex, seed);
-      EXPECT_EQ(sorted.result.ledger, other.result.ledger);
-      EXPECT_EQ(sorted.result.trace, other.result.trace);
-      EXPECT_EQ(sorted.result.rounds_executed, other.result.rounds_executed);
-      // The digest also pins per-event callback *order*, which the ledger
-      // totals alone would not.
-      EXPECT_EQ(sorted.digest, other.digest);
+         {DeliveryPath::kSortedTouch, DeliveryPath::kLinearScan,
+          DeliveryPath::kInNeighborScan, DeliveryPath::kAuto}) {
+      for (const unsigned threads : {1u, 2u, 8u}) {
+        // (kSortedTouch, 1 thread) IS the baseline run — skip the repeat.
+        if (path == DeliveryPath::kSortedTouch && threads == 1) continue;
+        const PathRun other =
+            run_with_path(g, path, q, rounds, half_duplex, seed, threads);
+        EXPECT_EQ(sorted.result.ledger, other.result.ledger);
+        EXPECT_EQ(sorted.result.trace, other.result.trace);
+        EXPECT_EQ(sorted.result.rounds_executed, other.result.rounds_executed);
+        // The digest also pins per-event callback *order*, which the
+        // ledger totals alone would not.
+        EXPECT_EQ(sorted.digest, other.digest);
+      }
     }
   }
 }
@@ -87,6 +96,18 @@ TEST(DeliveryPathTest, StructuredGraphsAllPathsAgree) {
   expect_paths_identical(graph::complete(48), 0.3, 8, 10);
   expect_paths_identical(graph::grid(12, 11), 0.35, 8, 11);
   expect_paths_identical(graph::cycle(97), 0.5, 8, 12);
+}
+
+TEST(DeliveryPathTest, ParallelShardedPathsAgree) {
+  // The small graphs above sit below CsrDelivery::kMinParallelRoundWork,
+  // so their multi-thread runs exercise the serial branch only. This graph
+  // clears the gate on every path — k ~ n/4 transmitters give counter
+  // load ~ 60k edges and the in-neighbour scan's work is n = 20'000 — so
+  // the 2- and 8-thread cells genuinely run the scatter/gather and
+  // block-scan code against the serial baseline.
+  Rng rng(99);
+  const Digraph g = graph::gnp_directed(20'000, 12.0 / 20'000, rng);
+  expect_paths_identical(g, 0.25, 6, 15);
 }
 
 TEST(DeliveryPathTest, EdgelessAndSilentRoundsAgree) {

@@ -1,21 +1,30 @@
-// Thread-count invariance of the block-sharded implicit backends.
+// Thread-count invariance of the block-sharded topology backends.
 //
 // The sharded round sweeps key every RNG draw by (round, listener block)
-// (StreamKey counter keying), so a single-trial RunResult — completion,
-// round counts, the full energy ledger and the per-event trace — must be
-// *bit-identical* whether the sweep runs serially or over a pool of any
+// (StreamKey counter keying) — and the explicit CSR paths draw no
+// randomness at all — so a single-trial RunResult — completion, round
+// counts, the full energy ledger and the per-event trace — must be
+// *bit-identical* whether a round runs serially or over a pool of any
 // size. These tests pin that guarantee at 1, 2 and 8 threads across the
 // implicit static backend, the implicit dynamic backend at churn 1.0 and
-// 0.5 (exercising the pair sketch's record/merge path), and a
-// failure-injection run (exercising the sharded failure sweep). A final
-// test drives the Monte-Carlo harness's round-parallel mode against its
-// serial mode.
+// 0.5 (exercising the pair sketch's record/merge path), a
+// failure-injection run (exercising the sharded failure sweep), and —
+// since PR 4 — the explicit CSR family: all three delivery paths on a
+// static G(n,p) graph and on DynamicCsrTopology sequences (link churn and
+// RGG mobility), each cross-checked byte-identical against the serial
+// seed results and against the serial kSortedTouch baseline. Final tests
+// drive the Monte-Carlo harness's round-parallel mode against its serial
+// mode on both backend families.
 #include <cmath>
+#include <memory>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "core/broadcast_random.hpp"
 #include "core/gossip_random.hpp"
+#include "graph/dynamics.hpp"
+#include "graph/generators.hpp"
 #include "harness/monte_carlo.hpp"
 #include "sim/engine.hpp"
 
@@ -126,6 +135,185 @@ TEST(ThreadInvariance, ImplicitDynamicChurnHalf) {
 TEST(ThreadInvariance, FailureInjection) {
   // fail_prob > 0 also exercises the block-sharded failure sweep.
   expect_dynamic_invariant(1.0, 0.002, "dynamic with failures");
+}
+
+constexpr DeliveryPath kAllPaths[] = {DeliveryPath::kSortedTouch,
+                                      DeliveryPath::kLinearScan,
+                                      DeliveryPath::kInNeighborScan,
+                                      DeliveryPath::kAuto};
+
+const char* path_name(DeliveryPath path) {
+  switch (path) {
+    case DeliveryPath::kSortedTouch: return "sorted-touch";
+    case DeliveryPath::kLinearScan: return "linear-scan";
+    case DeliveryPath::kInNeighborScan: return "in-neighbor-scan";
+    default: return "auto";
+  }
+}
+
+/// Runs every delivery path at every thread count against `make_run` and
+/// asserts (a) each path is bit-identical to its own serial run and (b)
+/// every path's serial run equals the serial kSortedTouch baseline — the
+/// path-parity and thread-invariance contracts in one sweep. record_trace
+/// is on, so equality covers every per-listener event in order.
+template <class MakeRun>
+void expect_csr_thread_invariant(MakeRun&& make_run, const char* what) {
+  RunOptions options;
+  options.record_trace = true;
+  options.threads = 1;
+  options.delivery_path = DeliveryPath::kSortedTouch;
+  const RunResult baseline = make_run(options);
+  for (const DeliveryPath path : kAllPaths) {
+    options.delivery_path = path;
+    options.threads = 1;
+    // (kSortedTouch, 1 thread) IS the baseline run — skip the repeat.
+    const RunResult serial =
+        path == DeliveryPath::kSortedTouch ? baseline : make_run(options);
+    expect_identical(baseline, serial,
+                     (std::string(what) + " serial " + path_name(path)).c_str());
+    // `serial` IS the 1-thread run, so only the parallel schedules remain.
+    for (const unsigned threads : {2u, 8u}) {
+      options.threads = threads;
+      expect_identical(serial, make_run(options),
+                       (std::string(what) + " " + path_name(path) + " x" +
+                        std::to_string(threads))
+                           .c_str());
+    }
+  }
+}
+
+TEST(ThreadInvariance, CsrStaticAllPaths) {
+  // Large enough for ~20 adaptive listener blocks, so 2- and 8-thread
+  // schedules genuinely interleave block execution.
+  const graph::NodeId n = 20'000;
+  const double p = 12.0 / n;
+  Rng grng(0x5eed);
+  const graph::Digraph g = graph::gnp_directed(n, p, grng);
+  expect_csr_thread_invariant(
+      [&](RunOptions options) {
+        options.max_rounds = 96;
+        BroadcastRandomProtocol proto(BroadcastRandomParams{.p = p});
+        Engine engine;
+        return engine.run(g, proto, Rng(7), options);
+      },
+      "csr static");
+}
+
+TEST(ThreadInvariance, CsrAttentiveBulkLedger) {
+  // Without a trace the attentive hint stays live, so non-attentive
+  // deliveries (and inert collisions) merge as per-block bulk counts on
+  // the CSR paths too — the ledger must still be bit-identical at every
+  // thread count and across paths.
+  const graph::NodeId n = 20'000;
+  // The d = 8 ln n regime, where Algorithm 1 completes reliably at finite n.
+  const double p = 8.0 * std::log(n) / n;
+  Rng grng(0xfade);
+  const graph::Digraph g = graph::gnp_directed(n, p, grng);
+  const auto run_with = [&](DeliveryPath path, unsigned threads) {
+    RunOptions options;
+    options.max_rounds = 512;
+    options.threads = threads;
+    options.delivery_path = path;
+    BroadcastRandomProtocol proto(BroadcastRandomParams{.p = p});
+    Engine engine;
+    return engine.run(g, proto, Rng(13), options);
+  };
+  const RunResult baseline = run_with(DeliveryPath::kSortedTouch, 1);
+  EXPECT_TRUE(baseline.completed);
+  for (const DeliveryPath path : kAllPaths)
+    for (const unsigned threads : kThreadCounts)
+      expect_identical(baseline, run_with(path, threads),
+                       "csr attentive bulk ledger");
+
+  // Per-event oracle: a traced run drops the attentive hint, so every
+  // delivery and collision fires as an individual event — and CSR
+  // delivery draws no randomness, so for the same (graph, protocol,
+  // seed) its ledger is the exact reference the bulk-folded runs must
+  // reproduce. A systematic fold miscount cannot hide here.
+  {
+    RunOptions traced;
+    traced.max_rounds = 512;
+    traced.record_trace = true;
+    traced.threads = 1;
+    traced.delivery_path = DeliveryPath::kSortedTouch;
+    BroadcastRandomProtocol proto(BroadcastRandomParams{.p = p});
+    Engine engine;
+    const RunResult oracle = engine.run(g, proto, Rng(13), traced);
+    EXPECT_EQ(oracle.completed, baseline.completed);
+    EXPECT_EQ(oracle.completion_round, baseline.completion_round);
+    EXPECT_EQ(oracle.rounds_executed, baseline.rounds_executed);
+    EXPECT_EQ(oracle.ledger, baseline.ledger)
+        << "bulk-folded ledger diverged from the per-event oracle";
+  }
+}
+
+TEST(ThreadInvariance, CsrDynamicChurnAllPaths) {
+  // DynamicCsrTopology over an explicit link-churn sequence; the sequence
+  // consumes its own Rng per round, so identical seeds rebuild identical
+  // graph sequences for every run. n sits above
+  // CsrDelivery::kMinParallelRoundWork so the in-neighbour scan shards,
+  // and the gossip marginal's ~n/d transmitters put counter-path load at
+  // ~n per round, clearing the gate too — the per-round graph swap
+  // genuinely meets the reused scatter/shard buffers here.
+  const graph::NodeId n = 4500;
+  const double p = 16.0 / n;
+  expect_csr_thread_invariant(
+      [&](RunOptions options) {
+        options.max_rounds = 10;
+        graph::ChurnGnp seq(n, p, 0.3, Rng(0xc4a2));
+        GossipRumorMarginalProtocol proto(GossipRumorMarginalParams{.p = p});
+        Engine engine;
+        return engine.run(seq, proto, Rng(21), options);
+      },
+      "csr dynamic churn");
+}
+
+TEST(ThreadInvariance, CsrDynamicMobilityAllPaths) {
+  // RGG mobility: symmetric geometric links, positions drifting per round.
+  const graph::NodeId n = 30'000;
+  const double radius = std::sqrt(16.0 / (3.14159 * n));
+  expect_csr_thread_invariant(
+      [&](RunOptions options) {
+        options.max_rounds = 24;
+        graph::MobilityRgg seq(n, radius, radius / 8.0, Rng(0x30b1));
+        BroadcastRandomProtocol proto(BroadcastRandomParams{.p = 16.0 / n});
+        Engine engine;
+        return engine.run(seq, proto, Rng(23), options);
+      },
+      "csr dynamic mobility");
+}
+
+TEST(ThreadInvariance, MonteCarloRoundParallelMatchesSerialCsr) {
+  // One explicit-CSR trial: the harness now flips explicit-topology
+  // specs to round-parallelism too (threads = 0) when the pool has > 1
+  // thread; outcomes must match a fully serial run regardless.
+  const graph::NodeId n = 20'000;
+  const double p = 12.0 / n;
+  harness::McSpec spec;
+  spec.trials = 1;
+  spec.seed = 0xCAFE;
+  Rng grng(0x9a8);
+  spec.make_graph =
+      harness::shared_graph(graph::gnp_directed(n, p, grng));
+  spec.make_protocol = [p](const graph::Digraph&, std::uint32_t) {
+    return std::make_unique<BroadcastRandomProtocol>(
+        BroadcastRandomParams{.p = p});
+  };
+  spec.run_options.max_rounds = 256;
+
+  spec.serial = true;
+  const harness::McResult serial = harness::run_monte_carlo(spec);
+  spec.serial = false;
+  const harness::McResult parallel = harness::run_monte_carlo(spec);
+
+  ASSERT_EQ(serial.trials(), parallel.trials());
+  const auto& a = serial.outcomes[0];
+  const auto& b = parallel.outcomes[0];
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.total_tx, b.total_tx);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.collisions, b.collisions);
 }
 
 TEST(ThreadInvariance, MonteCarloRoundParallelMatchesSerial) {

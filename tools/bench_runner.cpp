@@ -7,7 +7,7 @@
 // google-benchmark dependency so it can run as a ctest (`ctest -L
 // bench_smoke`). Medians of ns/round at several n are emitted as JSON:
 //
-//   { "schema": "radnet-bench-engine-v2",
+//   { "schema": "radnet-bench-engine-v3",
 //     "host": {"hardware_concurrency": ..., "pool_threads": ...},
 //     "benchmarks": [ {"name": ..., "n": ..., "ns_per_round": ...,
 //                      "wall_ms": ..., "threads": ..., "peak_rss_kb": ...},
@@ -17,7 +17,8 @@
 //     "dynamic": {"n": ..., "churn": ..., "trial_ms": ..., "rounds": ...},
 //     "thread_scaling": {"n": ..., "serial_ms": ..., "parallel_ms": ...,
 //                        "speedup": ..., "pool_threads": ...,
-//                        "identical": ...} }
+//                        "identical": ...},
+//     "csr_thread_scaling": { same shape as thread_scaling } }
 //
 // Every entry carries its wall-clock cost, the thread count it ran with
 // and the process peak RSS when it finished (ru_maxrss — monotone, so an
@@ -27,7 +28,11 @@
 // marginal of Algorithm 2) on the graph-free implicit dynamic backend.
 // "thread_scaling" tracks E17 (bench_e17_thread_scaling): the same
 // single-trial broadcast with serial vs all-core block-sharded round
-// sweeps, plus the bit-identity check between them.
+// sweeps, plus the bit-identity check between them. Schema v3 adds
+// "csr_thread_scaling": the explicit-CSR counterpart (serial vs all-core
+// scatter/gather delivery on a materialised G(n,p)); the smoke gate FAILS
+// (non-zero exit) if either family's serial and parallel results ever
+// diverge — bit-identity is a correctness contract, not a statistic.
 //
 // Flags: --quick shrinks sizes/repetitions for smoke runs; --out overrides
 // the output path (default BENCH_engine.json in the working directory).
@@ -198,6 +203,37 @@ ThreadScaling time_thread_scaling(std::uint32_t n) {
   return s;
 }
 
+/// The explicit-CSR counterpart of time_thread_scaling: the same broadcast
+/// trial on a materialised G(n,p), serial vs all-core scatter/gather
+/// delivery, bit-identity asserted. No RNG is involved in CSR delivery, so
+/// a divergence here means a sharding bug, never a reordering.
+ThreadScaling time_csr_thread_scaling(std::uint32_t n) {
+  ThreadScaling s;
+  s.n = n;
+  s.pool_threads = radnet::global_pool().size();
+  const double p = 32.0 / n;  // d = 32: heavy rounds, modest graph memory
+  Rng grng(23);
+  const Digraph g = radnet::graph::gnp_directed(n, p, grng);
+  BroadcastRandomProtocol probe(BroadcastRandomParams{.p = p});
+  probe.reset(n, Rng(0));
+  radnet::sim::Engine engine;
+  radnet::sim::RunOptions options;
+  options.max_rounds = probe.round_budget();
+  const auto run_with = [&](unsigned threads, double* ms) {
+    options.threads = threads;
+    BroadcastRandomProtocol proto(BroadcastRandomParams{.p = p});
+    const double t0 = now_ns();
+    const auto run = engine.run(g, proto, Rng(24), options);
+    *ms = (now_ns() - t0) / 1e6;
+    return run;
+  };
+  const auto serial = run_with(1, &s.serial_ms);
+  const auto parallel = run_with(0, &s.parallel_ms);
+  s.speedup = s.serial_ms / s.parallel_ms;
+  s.identical = serial == parallel;
+  return s;
+}
+
 struct Comparison {
   std::uint32_t n = 0;
   double p = 0.0;
@@ -333,12 +369,23 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const ThreadScaling cts =
+      time_csr_thread_scaling(quick ? (1u << 15) : (1u << 19));
+  std::cout << "CSR thread scaling n=" << cts.n << ": serial "
+            << cts.serial_ms << " ms, " << cts.pool_threads << "-thread "
+            << cts.parallel_ms << " ms, speedup " << cts.speedup << "x, "
+            << (cts.identical ? "bit-identical" : "DIVERGED") << "\n";
+  if (!cts.identical) {
+    std::cerr << "CSR serial-vs-parallel runs diverged — sharding bug\n";
+    return 1;
+  }
+
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "cannot write " << out_path << '\n';
     return 1;
   }
-  out << "{\n  \"schema\": \"radnet-bench-engine-v2\",\n  \"host\": {"
+  out << "{\n  \"schema\": \"radnet-bench-engine-v3\",\n  \"host\": {"
       << "\"hardware_concurrency\": "
       << std::max(1u, std::thread::hardware_concurrency())
       << ", \"pool_threads\": " << radnet::global_pool().size() << "},\n"
@@ -364,7 +411,13 @@ int main(int argc, char** argv) {
       << ", \"parallel_ms\": " << ts.parallel_ms
       << ", \"speedup\": " << ts.speedup
       << ", \"pool_threads\": " << ts.pool_threads << ", \"identical\": "
-      << (ts.identical ? "true" : "false") << "}\n}\n";
+      << (ts.identical ? "true" : "false") << "},\n"
+      << "  \"csr_thread_scaling\": {\"n\": " << cts.n
+      << ", \"serial_ms\": " << cts.serial_ms
+      << ", \"parallel_ms\": " << cts.parallel_ms
+      << ", \"speedup\": " << cts.speedup
+      << ", \"pool_threads\": " << cts.pool_threads << ", \"identical\": "
+      << (cts.identical ? "true" : "false") << "}\n}\n";
   std::cout << "wrote " << out_path << '\n';
   return 0;
 }
