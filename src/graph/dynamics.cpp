@@ -96,6 +96,19 @@ MobilityRgg::MobilityRgg(NodeId n, double radius, double step, Rng rng)
   RADNET_REQUIRE(step >= 0.0 && step <= 1.0, "step must be in [0,1]");
   pts_.resize(n);
   for (auto& pt : pts_) pt = Point{rng_.next_double(), rng_.next_double()};
+  // Hoisted rebuild scratch: each unordered pair links with probability
+  // ~ pi r^2 (boundary effects only lower it) and contributes both edge
+  // directions; the sigma-aware hint reserves once so the per-round
+  // rebuild stops churning allocations (see edge_reserve_hint).
+  const std::uint64_t pairs =
+      static_cast<std::uint64_t>(n) * (static_cast<std::uint64_t>(n) - 1) / 2;
+  const double p_link =
+      std::min(1.0, 3.141592653589793 * radius_ * radius_);
+  edges_.reserve(edge_reserve_hint(pairs, p_link, 2));
+  cells_ =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(1.0 / radius_));
+  cell_size_ = 1.0 / static_cast<double>(cells_);
+  buckets_.resize(static_cast<std::size_t>(cells_) * cells_);
   rebuild();
 }
 
@@ -116,24 +129,21 @@ void MobilityRgg::move_step() {
 
 void MobilityRgg::rebuild() {
   // Reuse the static generator's bucketed neighbour search by regenerating
-  // from the current positions: O(n + m) per round.
+  // from the current positions: O(n + m) per round, into scratch reserved
+  // once by the constructor.
   const double r2 = radius_ * radius_;
-  std::vector<Edge> edges;
-  const auto cells =
-      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(1.0 / radius_));
-  const double cell_size = 1.0 / static_cast<double>(cells);
-  std::vector<std::vector<NodeId>> buckets(static_cast<std::size_t>(cells) *
-                                           cells);
+  edges_.clear();
+  for (auto& bucket : buckets_) bucket.clear();
   const auto cell_of = [&](const Point& pt) {
-    auto cx = static_cast<std::uint32_t>(pt.x / cell_size);
-    auto cy = static_cast<std::uint32_t>(pt.y / cell_size);
-    cx = std::min(cx, cells - 1);
-    cy = std::min(cy, cells - 1);
+    auto cx = static_cast<std::uint32_t>(pt.x / cell_size_);
+    auto cy = static_cast<std::uint32_t>(pt.y / cell_size_);
+    cx = std::min(cx, cells_ - 1);
+    cy = std::min(cy, cells_ - 1);
     return std::pair<std::uint32_t, std::uint32_t>{cx, cy};
   };
   for (NodeId v = 0; v < n_; ++v) {
     const auto [cx, cy] = cell_of(pts_[v]);
-    buckets[static_cast<std::size_t>(cy) * cells + cx].push_back(v);
+    buckets_[static_cast<std::size_t>(cy) * cells_ + cx].push_back(v);
   }
   for (NodeId v = 0; v < n_; ++v) {
     const auto [cx, cy] = cell_of(pts_[v]);
@@ -141,23 +151,23 @@ void MobilityRgg::rebuild() {
       for (int dx = -1; dx <= 1; ++dx) {
         const int nx = static_cast<int>(cx) + dx;
         const int ny = static_cast<int>(cy) + dy;
-        if (nx < 0 || ny < 0 || nx >= static_cast<int>(cells) ||
-            ny >= static_cast<int>(cells))
+        if (nx < 0 || ny < 0 || nx >= static_cast<int>(cells_) ||
+            ny >= static_cast<int>(cells_))
           continue;
-        for (const NodeId w : buckets[static_cast<std::size_t>(ny) * cells +
-                                      static_cast<std::size_t>(nx)]) {
+        for (const NodeId w : buckets_[static_cast<std::size_t>(ny) * cells_ +
+                                       static_cast<std::size_t>(nx)]) {
           if (w <= v) continue;
           const double ddx = pts_[v].x - pts_[w].x;
           const double ddy = pts_[v].y - pts_[w].y;
           if (ddx * ddx + ddy * ddy <= r2) {
-            edges.push_back({v, w});
-            edges.push_back({w, v});
+            edges_.push_back({v, w});
+            edges_.push_back({w, v});
           }
         }
       }
     }
   }
-  current_ = Digraph(n_, std::move(edges));
+  current_ = Digraph(n_, edges_);
 }
 
 const Digraph& MobilityRgg::at(std::uint32_t round) {

@@ -101,6 +101,15 @@ class MobilityRgg final : public TopologySequence {
   double step_;
   Rng rng_;
   std::vector<Point> pts_;
+  // Rebuild scratch, hoisted: the edge list is reserved once (sigma-aware,
+  // see generators.hpp) and the cell buckets keep their capacity, so
+  // building the list never re-grows through vector doubling. (Digraph
+  // construction still copies the list once per round — its constructor
+  // consumes the edge vector — exactly as in ChurnGnp::rebuild.)
+  std::vector<Edge> edges_;
+  std::vector<std::vector<NodeId>> buckets_;
+  std::uint32_t cells_ = 1;
+  double cell_size_ = 1.0;
   Digraph current_;
   std::uint32_t built_round_ = 0;
   bool built_ = false;

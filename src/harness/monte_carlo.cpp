@@ -39,10 +39,11 @@ McResult run_monte_carlo(const McSpec& spec) {
   RADNET_REQUIRE(spec.trials >= 1, "need at least one trial");
   RADNET_REQUIRE(spec.implicit_gnp.has_value() ||
                      spec.implicit_dynamic.has_value() ||
+                     spec.implicit_rgg.has_value() ||
                      static_cast<bool>(spec.make_sequence) ||
                      static_cast<bool>(spec.make_graph),
                  "a topology source is required: make_graph, make_sequence, "
-                 "implicit_gnp or implicit_dynamic");
+                 "implicit_gnp, implicit_dynamic or implicit_rgg");
   RADNET_REQUIRE(static_cast<bool>(spec.make_protocol),
                  "make_protocol is required");
 
@@ -68,8 +69,9 @@ McResult run_monte_carlo(const McSpec& spec) {
   // (round, block) and CSR delivery draws none — so this is purely a
   // utilisation choice. An explicit RunOptions::threads (!= 1) wins.
   sim::RunOptions run_options = spec.run_options;
-  const bool sampled_backend =
-      spec.implicit_gnp.has_value() || spec.implicit_dynamic.has_value();
+  const bool sampled_backend = spec.implicit_gnp.has_value() ||
+                               spec.implicit_dynamic.has_value() ||
+                               spec.implicit_rgg.has_value();
   const bool round_parallel =
       !spec.serial && run_options.threads == 1 &&
       global_pool().size() > 1 &&
@@ -93,6 +95,14 @@ McResult run_monte_carlo(const McSpec& spec) {
       RADNET_CHECK(protocol != nullptr, "make_protocol returned null");
       run = engine.run(gnp, *protocol, protocol_rng, run_options);
       nodes = gnp.n;
+    } else if (spec.implicit_rgg.has_value()) {
+      sim::ImplicitRgg rgg = *spec.implicit_rgg;
+      rgg.rng = graph_rng;
+      const std::unique_ptr<sim::Protocol> protocol =
+          spec.make_protocol(placeholder, trial);
+      RADNET_CHECK(protocol != nullptr, "make_protocol returned null");
+      run = engine.run(rgg, *protocol, protocol_rng, run_options);
+      nodes = rgg.n;
     } else if (spec.implicit_gnp.has_value()) {
       const sim::ImplicitGnp gnp{spec.implicit_gnp->n, spec.implicit_gnp->p,
                                  graph_rng};

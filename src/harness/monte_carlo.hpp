@@ -68,6 +68,14 @@ struct McSpec {
   /// so an implicit-dynamic spec and a make_sequence ChurnGnp spec form
   /// paired experiments.
   std::optional<sim::ImplicitDynamicGnp> implicit_dynamic;
+  /// When set, trials run on the implicit mobility-RGG backend (wins over
+  /// implicit_gnp and the explicit factories; loses to implicit_dynamic);
+  /// set the model fields (n, radius, step) only — the spec's rng is
+  /// overwritten per trial with the (seed, trial, 0) stream, so an
+  /// implicit-RGG spec and a make_sequence MobilityRgg spec form paired
+  /// experiments (same process law; the motion streams are consumed
+  /// differently, so the pairing is distributional, not bit-level).
+  std::optional<sim::ImplicitRgg> implicit_rgg;
   /// Produces a fresh protocol object for a trial (trials may run
   /// concurrently, so protocols cannot be shared).
   std::function<std::unique_ptr<sim::Protocol>(const graph::Digraph& g,

@@ -5,6 +5,14 @@
 // every delivery strategy decomposes into the listener blocks of
 // sim/sharding.hpp and fans out over the engine's thread pool.
 //
+// Exactness contract: trivially exact for every protocol — the backend
+// walks the materialised graph, so a round's events are a deterministic
+// function of (graph, transmitter set). No RNG is drawn anywhere in
+// delivery, hence no StreamKey keying either (that scheme exists for the
+// sampling families; see the README backend matrix): the block-merge
+// ordering invariant of sim/sharding.hpp alone makes the parallel event
+// stream byte-identical to the serial one at any thread count.
+//
 // Three delivery strategies (DeliveryPath), all producing byte-identical
 // event streams:
 //

@@ -7,11 +7,12 @@
 // hits) in sparse rounds via geometric skip-sampling over the
 // transmitter x listener pair grid — with zero graph memory.
 //
-// Exactly equivalent to a fixed G(n,p) whenever each node transmits at
-// most once (Algorithm 1: no ordered pair is ever examined twice); for
-// repeated transmitters it simulates the memoryless churn = 1 limit — see
-// backends/implicit_dynamic.hpp for the full dynamic model set and the
-// exact-vs-modelled table in README.
+// Exactness contract: exactly equivalent to a fixed G(n,p) whenever each
+// node transmits at most once (Algorithm 1: no ordered pair is ever
+// examined twice); for repeated transmitters it simulates the memoryless
+// churn = 1 limit — see backends/implicit_dynamic.hpp for the full
+// dynamic model set, and the README backend matrix + exactness table for
+// the family-wide picture.
 //
 // Within-trial parallelism: listener outcomes are independent across
 // listeners (and the pair grid independent across pairs), so a round sweep

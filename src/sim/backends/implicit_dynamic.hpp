@@ -12,7 +12,8 @@
 // re-sample hit it) and is re-drawn fresh otherwise — exactly the ChurnGnp
 // process for tracked pairs.
 //
-// Exactness of the implicit family (see README for the full table):
+// Exactness contract of the implicit G(n,p) family (see the README
+// backend matrix and exactness table for the family-wide picture):
 //   - fixed G(n,p), protocols transmitting at most once per node
 //     (Algorithm 1): exact, at *any* churn — no ordered pair is ever
 //     examined twice, and under churn the first examination of a pair is

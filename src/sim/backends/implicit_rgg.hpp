@@ -1,0 +1,384 @@
+// The implicit mobility-RGG backend: random-walk mobility over a random
+// geometric graph, with the graph never materialised. This is the
+// graph-free counterpart of graph::MobilityRgg — the same process law (n
+// devices uniform in the unit square, an independent uniform step of
+// length at most `step` per round reflected at the borders, symmetric
+// links within `radius`) — realised as O(n) position state plus a
+// per-round cell grid instead of an O(m) edge list rebuilt every round.
+//
+// Exactness contract: *exact in distribution for every protocol.* Unlike
+// the G(n,p) sampling backends, delivery here involves no randomness at
+// all — given the round's positions, listener v hears transmitter t iff
+// their distance is within `radius`, deterministically — so the only
+// random state is the motion process itself, which this backend simulates
+// faithfully (same initial law, same per-round step law as
+// graph::MobilityRgg). There is no repeated-transmitter caveat and no
+// modelled regime: a run differs from the explicit oracle only in *which*
+// uniforms the motion draws consume (counter-keyed streams here,
+// one sequential stream there), i.e. bit-level, never in law.
+// tests/sim/rgg_topology_equivalence_test.cpp pins this with KS checks
+// against the explicit MobilityRgg oracle and with a brute-force
+// O(n·k) geometry cross-check of single rounds.
+//
+// Cell-grid delivery: positions bucket into a square grid of side >=
+// `radius` (cells_ per axis, capped so the grid never exceeds O(n)
+// cells). A listener's potential transmitters all lie in its own cell or
+// the 8 surrounding ones, so one round costs
+//   O(n)                 movement (2 uniforms per node)
+// + O(k + occupied·9)    bucket the k transmitters, stamp active cells
+// + O(n + sum over listeners near transmitters of the <= 9 cells'
+//                        transmitter counts, early-exiting at the second
+//                        hit — a collision needs no exact count)
+// with zero graph memory: state is 16 B per node (positions) plus O(cells)
+// grid scratch. Listeners whose 3x3 neighbourhood holds no transmitter are
+// rejected with a single stamp load.
+//
+// StreamKey keying scheme (support/rng.hpp): the backend's root key forks
+// one lane per round — round r's movement draws come from
+// key.fork(r).fork(block) — plus the reserved kInitLane (>= 2^32, so it
+// can never collide with a round counter) for the initial placement. A
+// node's step is therefore a pure function of (spec seed, round, block),
+// never of thread schedule or draw order, so the sharded movement sweep
+// is bit-identical at any thread count. The delivery sweep draws no
+// randomness at all and shards over the same fixed kShardBlockSize
+// listener blocks, emitted through the ShardBuffer/merge machinery of
+// sim/sharding.hpp: blocks run in any order, buffers merge serially in
+// ascending listener order, and the engine sink observes exactly the
+// event sequence a serial sweep would have produced (the block-merge
+// ordering invariant).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "sim/sharding.hpp"
+#include "support/require.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace radnet::sim {
+
+/// Parameters of an implicit (never materialised) mobility RGG: n devices
+/// in the unit square, uniform step of length at most `step` per round
+/// (reflected at the borders), symmetric links within `radius` — the same
+/// model as graph::MobilityRgg, graph-free. `rng` is the private motion
+/// randomness; a run consumes a copy, so the same spec replays identically.
+struct ImplicitRgg {
+  NodeId n = 0;
+  double radius = 0.0;
+  double step = 0.0;
+  Rng rng{};
+};
+
+/// The implicit mobility-RGG backend. See the file comment for the model,
+/// the exactness contract and the cell-grid round cost.
+class ImplicitRggTopology {
+ public:
+  /// Listeners (and movers) per shard block. Fixed — part of the motion
+  /// randomness contract: results depend on the block decomposition,
+  /// never on thread count.
+  static constexpr NodeId kShardBlockSize = detail::kShardBlockSize;
+
+  /// Reserved fork counter for the initial placement draws. Round
+  /// counters stay below 2^32, so this lane can never collide with a
+  /// round's movement key.
+  static constexpr std::uint64_t kInitLane = 0x1'0000'0003ull;
+
+  explicit ImplicitRggTopology(const ImplicitRgg& spec)
+      : n_(spec.n), radius_(spec.radius), step_(spec.step) {
+    RADNET_REQUIRE(spec.n >= 1, "implicit RGG needs n >= 1");
+    RADNET_REQUIRE(spec.radius > 0.0 && spec.radius <= 1.5,
+                   "radius must be in (0, 1.5]");
+    RADNET_REQUIRE(spec.step >= 0.0 && spec.step <= 1.0,
+                   "step must be in [0,1]");
+    key_ = StreamKey::from_rng(spec.rng);
+    r2_ = radius_ * radius_;
+    // Cell side >= radius keeps the 3x3 neighbourhood sufficient; the cap
+    // keeps grid scratch O(n) even for radii far below the connectivity
+    // threshold (larger cells are still correct, just scan more pairs).
+    const auto from_radius = static_cast<std::uint64_t>(1.0 / radius_);
+    const auto cap = static_cast<std::uint64_t>(
+        std::ceil(std::sqrt(2.0 * static_cast<double>(n_))));
+    cells_ = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(1, std::min(from_radius, std::max<std::uint64_t>(1, cap))));
+    cell_size_ = 1.0 / static_cast<double>(cells_);
+    const std::size_t grid = static_cast<std::size_t>(cells_) * cells_;
+    cell_begin_.assign(grid + 1, 0);
+    cell_fill_.assign(grid, 0);
+    near_tx_stamp_.assign(grid, 0);
+    pts_.resize(n_);
+    init_positions();
+  }
+
+  [[nodiscard]] NodeId num_nodes() const { return n_; }
+
+  /// The current round's positions (for tests and geometry oracles); valid
+  /// after begin_round(r) for round r.
+  [[nodiscard]] const std::vector<graph::Point>& positions() const {
+    return pts_;
+  }
+
+  /// Serial blocks when null (the default); sharded movement and delivery
+  /// sweeps on `pool` otherwise. Either way the output is bit-identical.
+  void set_parallelism(ThreadPool* pool) { pool_ = pool; }
+
+  /// Advances the motion process to round `round` (non-decreasing, the
+  /// engine's access pattern). Round 0 is the initial placement; each
+  /// later round applies one reflected uniform step per node, drawn from
+  /// that round's counter-keyed streams.
+  void begin_round(std::uint32_t round) {
+    RADNET_REQUIRE(round >= cur_round_,
+                   "implicit RGG must be accessed with non-decreasing rounds");
+    while (cur_round_ < round) {
+      ++cur_round_;
+      move_step(cur_round_);
+    }
+  }
+
+  template <class Sink>
+  void deliver(std::span<const NodeId> transmitters,
+               const std::vector<char>& is_tx, bool half_duplex,
+               DeliveryPath /*path*/,
+               const std::optional<std::span<const NodeId>>& attentive,
+               bool collisions_inert, Sink& sink) {
+    if (transmitters.empty()) return;
+    bucket_transmitters(transmitters);
+
+    const detail::AttentiveFlags* inert_deliveries = nullptr;
+    if (attentive.has_value()) {
+      att_flags_.set_round(n_, *attentive);
+      inert_deliveries = &att_flags_;
+    }
+
+    const std::uint64_t blocks = detail::block_count(n_, kShardBlockSize);
+    const auto run_block = [&](std::uint64_t b, auto& em) {
+      const NodeId lo = static_cast<NodeId>(b * kShardBlockSize);
+      const NodeId hi = static_cast<NodeId>(std::min<std::uint64_t>(
+          n_, (b + 1) * static_cast<std::uint64_t>(kShardBlockSize)));
+      sweep_block(lo, hi, is_tx, half_duplex, em);
+    };
+    if (pool_ != nullptr && blocks > 1) {
+      if (buffers_.size() < blocks) buffers_.resize(blocks);
+      pool_->parallel_for_index(blocks, [&](std::uint64_t b) {
+        detail::ShardBuffer& buf = buffers_[b];
+        buf.clear();
+        detail::BufferEmitter em{buf, /*want_records=*/false,
+                                 collisions_inert, inert_deliveries};
+        run_block(b, em);
+      });
+      detail::merge_shard_buffers(
+          std::span<const detail::ShardBuffer>(buffers_.data(), blocks), sink,
+          detail::RecordNone{});
+    } else {
+      detail::RecordNone none;
+      detail::DirectEmitter<Sink, detail::RecordNone> em{
+          sink, none, collisions_inert, inert_deliveries};
+      for (std::uint64_t b = 0; b < blocks; ++b) {
+        run_block(b, em);
+        em.flush_block();
+      }
+    }
+
+    if (attentive.has_value()) att_flags_.clear_round(*attentive);
+    unbucket_transmitters();
+  }
+
+ private:
+  /// A transmitter with its round position inlined, so the per-listener
+  /// cell scans read contiguous 24-byte entries instead of random-accessing
+  /// the n-sized positions array.
+  struct TxEntry {
+    double x;
+    double y;
+    NodeId id;
+  };
+
+  [[nodiscard]] std::uint32_t cell_index(const graph::Point& pt) const {
+    auto cx = static_cast<std::uint32_t>(pt.x / cell_size_);
+    auto cy = static_cast<std::uint32_t>(pt.y / cell_size_);
+    cx = std::min(cx, cells_ - 1);
+    cy = std::min(cy, cells_ - 1);
+    return cy * cells_ + cx;
+  }
+
+  /// Initial placement: uniform in the unit square, drawn per block from
+  /// the reserved init lane so the placement (like every later step) is a
+  /// pure function of (spec seed, block).
+  void init_positions() {
+    const StreamKey init_key = key_.fork(kInitLane);
+    for_each_block([&](std::uint64_t b, NodeId lo, NodeId hi) {
+      Rng rng = init_key.fork(b).make_rng();
+      for (NodeId v = lo; v < hi; ++v)
+        pts_[v] = graph::Point{rng.next_double(), rng.next_double()};
+    });
+  }
+
+  /// One motion round: the same reflected uniform step law as
+  /// graph::MobilityRgg::move_step, drawn from (round, block)-keyed
+  /// streams. Blocks write disjoint position ranges, so the parallel
+  /// schedule is race-free and (being counter-keyed) bit-identical to the
+  /// serial one.
+  void move_step(std::uint32_t round) {
+    if (step_ <= 0.0) return;  // parked devices: topology is static
+    const StreamKey round_key = key_.fork(round);
+    for_each_block([&](std::uint64_t b, NodeId lo, NodeId hi) {
+      Rng rng = round_key.fork(b).make_rng();
+      for (NodeId v = lo; v < hi; ++v) {
+        graph::Point& pt = pts_[v];
+        pt.x += rng.uniform_real(-step_, step_);
+        pt.y += rng.uniform_real(-step_, step_);
+        if (pt.x < 0.0) pt.x = -pt.x;
+        if (pt.x > 1.0) pt.x = 2.0 - pt.x;
+        if (pt.y < 0.0) pt.y = -pt.y;
+        if (pt.y > 1.0) pt.y = 2.0 - pt.y;
+        pt.x = std::clamp(pt.x, 0.0, 1.0);
+        pt.y = std::clamp(pt.y, 0.0, 1.0);
+      }
+    });
+  }
+
+  template <class Body>
+  void for_each_block(Body&& body) {
+    const std::uint64_t blocks = detail::block_count(n_, kShardBlockSize);
+    const auto run = [&](std::uint64_t b) {
+      const NodeId lo = static_cast<NodeId>(b * kShardBlockSize);
+      const NodeId hi = static_cast<NodeId>(std::min<std::uint64_t>(
+          n_, (b + 1) * static_cast<std::uint64_t>(kShardBlockSize)));
+      body(b, lo, hi);
+    };
+    if (pool_ != nullptr && blocks > 1)
+      pool_->parallel_for_index(blocks, run);
+    else
+      for (std::uint64_t b = 0; b < blocks; ++b) run(b);
+  }
+
+  /// Counting-sorts the round's k transmitters into the cell grid
+  /// (cell_begin_/tx_by_cell_ form a CSR over occupied cells only) and
+  /// stamps every cell whose 3x3 neighbourhood holds a transmitter, so the
+  /// sweep rejects listeners in silent neighbourhoods with one load. Cost
+  /// O(k + occupied·9); the CSR counters are restored to zero in
+  /// O(occupied) by unbucket_transmitters.
+  void bucket_transmitters(std::span<const NodeId> transmitters) {
+    occupied_.clear();
+    for (const NodeId t : transmitters) {
+      const std::uint32_t c = cell_index(pts_[t]);
+      if (cell_fill_[c] == 0) occupied_.push_back(c);
+      ++cell_fill_[c];
+    }
+    // Exclusive scan over the occupied cells in first-touch order; the
+    // per-cell segment order inside tx_by_cell_ follows transmitter-list
+    // order, so the sweep's hit enumeration is deterministic. Each entry
+    // carries the transmitter's coordinates so the listener sweep scans
+    // contiguous memory instead of random-accessing the positions array.
+    std::uint32_t offset = 0;
+    for (const std::uint32_t c : occupied_) {
+      cell_begin_[c] = offset;
+      offset += cell_fill_[c];
+      cell_fill_[c] = cell_begin_[c];
+    }
+    tx_by_cell_.resize(transmitters.size());
+    for (const NodeId t : transmitters) {
+      const graph::Point& pt = pts_[t];
+      tx_by_cell_[cell_fill_[cell_index(pt)]++] = TxEntry{pt.x, pt.y, t};
+    }
+
+    // Version-stamp the active neighbourhoods; stamps self-invalidate next
+    // round, so nothing is ever cleared.
+    ++round_stamp_;
+    for (const std::uint32_t c : occupied_) {
+      const std::uint32_t cx = c % cells_;
+      const std::uint32_t cy = c / cells_;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const std::int64_t nx = static_cast<std::int64_t>(cx) + dx;
+          const std::int64_t ny = static_cast<std::int64_t>(cy) + dy;
+          if (nx < 0 || ny < 0 || nx >= cells_ || ny >= cells_) continue;
+          near_tx_stamp_[static_cast<std::uint32_t>(ny) * cells_ +
+                         static_cast<std::uint32_t>(nx)] = round_stamp_;
+        }
+      }
+    }
+  }
+
+  /// Restores the zero-count invariant so the next round's bucketing can
+  /// skip a full-grid clear.
+  void unbucket_transmitters() {
+    for (const std::uint32_t c : occupied_) {
+      cell_begin_[c] = 0;
+      cell_fill_[c] = 0;
+    }
+  }
+
+  /// One listener block of the delivery sweep: for each listener able to
+  /// hear, count transmitters within `radius` among the <= 9 neighbouring
+  /// cells, early-exiting at the second hit (a collision needs no exact
+  /// count). Purely deterministic geometry — no RNG — so block outputs are
+  /// independent of schedule by construction.
+  template <class Emitter>
+  void sweep_block(NodeId lo, NodeId hi, const std::vector<char>& is_tx,
+                   bool half_duplex, Emitter& em) {
+    for (NodeId v = lo; v < hi; ++v) {
+      if (half_duplex && is_tx[v]) continue;  // its own radio is busy
+      const graph::Point& pv = pts_[v];
+      auto cx = static_cast<std::uint32_t>(pv.x / cell_size_);
+      auto cy = static_cast<std::uint32_t>(pv.y / cell_size_);
+      cx = std::min(cx, cells_ - 1);
+      cy = std::min(cy, cells_ - 1);
+      if (near_tx_stamp_[cy * cells_ + cx] != round_stamp_)
+        continue;  // no transmitter within reach: silence
+      std::uint32_t hits = 0;
+      NodeId sender = 0;
+      const std::uint32_t x0 = cx > 0 ? cx - 1 : 0;
+      const std::uint32_t x1 = std::min(cx + 1, cells_ - 1);
+      const std::uint32_t y0 = cy > 0 ? cy - 1 : 0;
+      const std::uint32_t y1 = std::min(cy + 1, cells_ - 1);
+      for (std::uint32_t y = y0; y <= y1 && hits < 2; ++y) {
+        for (std::uint32_t x = x0; x <= x1 && hits < 2; ++x) {
+          const std::uint32_t c = y * cells_ + x;
+          const std::uint32_t begin = cell_begin_[c];
+          const std::uint32_t end = cell_fill_[c];
+          for (std::uint32_t i = begin; i < end; ++i) {
+            const TxEntry& t = tx_by_cell_[i];
+            if (t.id == v) continue;  // full-duplex self: no self-loop
+            const double ddx = pv.x - t.x;
+            const double ddy = pv.y - t.y;
+            if (ddx * ddx + ddy * ddy > r2_) continue;
+            sender = t.id;
+            if (++hits >= 2) break;
+          }
+        }
+      }
+      if (hits == 1)
+        em.on_deliver(v, sender);
+      else if (hits >= 2)
+        em.on_collide(v);
+    }
+  }
+
+  NodeId n_ = 0;
+  double radius_ = 0.0;
+  double step_ = 0.0;
+  double r2_ = 0.0;
+  std::uint32_t cells_ = 1;   ///< grid cells per axis
+  double cell_size_ = 1.0;    ///< 1 / cells_, always >= radius (or capped)
+  StreamKey key_;             ///< motion randomness root (from the spec's rng)
+  std::uint32_t cur_round_ = 0;
+  ThreadPool* pool_ = nullptr;
+
+  std::vector<graph::Point> pts_;        ///< current positions, 16 B/node
+  std::vector<std::uint32_t> cell_begin_;  ///< tx CSR starts (occupied cells)
+  std::vector<std::uint32_t> cell_fill_;   ///< tx CSR ends / scatter cursors
+  std::vector<TxEntry> tx_by_cell_;        ///< transmitters, cell-grouped
+  std::vector<std::uint32_t> occupied_;    ///< cells holding >= 1 transmitter
+  std::vector<std::uint32_t> near_tx_stamp_;  ///< round_stamp_ if 3x3 has a tx
+  std::uint32_t round_stamp_ = 0;
+  detail::AttentiveFlags att_flags_;          ///< swept rounds' attentive mask
+  std::vector<detail::ShardBuffer> buffers_;  ///< per-block scratch, reused
+};
+
+}  // namespace radnet::sim

@@ -162,4 +162,10 @@ RunResult Engine::run(const ImplicitDynamicGnp& gnp, Protocol& protocol,
   return run_loop(topo, protocol, std::move(protocol_rng), options);
 }
 
+RunResult Engine::run(const ImplicitRgg& rgg, Protocol& protocol,
+                      Rng protocol_rng, const RunOptions& options) {
+  ImplicitRggTopology topo(rgg);
+  return run_loop(topo, protocol, std::move(protocol_rng), options);
+}
+
 }  // namespace radnet::sim

@@ -119,6 +119,14 @@ class Engine {
   [[nodiscard]] RunResult run(const ImplicitDynamicGnp& gnp,
                               Protocol& protocol, Rng protocol_rng,
                               const RunOptions& options = {});
+
+  /// Runs `protocol` on the implicit mobility RGG — random-walk mobility
+  /// over a random geometric graph without a materialised graph (graph-free
+  /// counterpart of graph::MobilityRgg; exact in distribution for every
+  /// protocol — see backends/implicit_rgg.hpp). The spec's rng is copied,
+  /// so the same spec replays identically.
+  [[nodiscard]] RunResult run(const ImplicitRgg& rgg, Protocol& protocol,
+                              Rng protocol_rng, const RunOptions& options = {});
 };
 
 }  // namespace radnet::sim

@@ -12,6 +12,21 @@
 // protocol never sees the graph's edges, only per-node callbacks
 // (`wants_transmit`, `on_delivered`). `reset` receives the node count and a
 // private Rng; the engine owns the topology and computes who hears whom.
+//
+// Exactness contract of the optional hints: every hook below that lets a
+// backend skip work (`sample_transmitters`, `attentive_listeners`,
+// `collisions_inert`) must leave the executed *law* unchanged — the
+// transmit-set distribution, the ledger totals' distribution and every
+// callback that can still change protocol state are identical with or
+// without the hint; only randomness consumption, callback granularity and
+// per-event order (see each hook's comment) may differ. Backends fold
+// hinted-away events into exact per-block bulk ledger counts through the
+// sharded-sweep layer (sim/sharding.hpp), whose block-merge ordering
+// invariant keeps all protocol callbacks single-threaded and in ascending
+// listener order; trace-recording runs drop the hints entirely so a trace
+// is always complete. Sampling backends key their draws by
+// StreamKey(round, block) (support/rng.hpp), so none of this depends on
+// thread count.
 #pragma once
 
 #include <cstdint>

@@ -21,6 +21,29 @@
 //      protocol, trace and any resolution-recording hook — observes events
 //      in ascending listener order on a single thread.
 //
+// The three invariants every backend built on this layer upholds:
+//
+//   * Exactness contract — sharding never changes the sampled law. For
+//     sampling backends the per-listener (and per-pair, per-step) laws are
+//     independent across listeners, so per-block streams sample the same
+//     joint distribution as one sequential stream; for RNG-free backends
+//     (CSR delivery, the implicit-RGG geometry sweep) the block outputs
+//     are pure functions of shared read-only state. Either way, the
+//     merged output *is* the serial output, not an approximation of it.
+//   * StreamKey keying scheme (support/rng.hpp) — a sampling backend
+//     derives every draw from root.fork(round).fork(block) (plus reserved
+//     lanes >= 2^32 for serial side-streams, which round counters can
+//     never collide with). A draw is a pure function of (seed, round,
+//     block) — never of thread schedule, execution order, or what other
+//     blocks drew — which is what makes the sweeps bit-identical at any
+//     thread count. The fixed kShardBlockSize is part of this contract.
+//   * Block-merge ordering invariant — ShardBuffers merge serially in
+//     ascending block order, and blocks emit in ascending listener order
+//     internally, so the engine sink (protocol, trace, ledger, any Record
+//     hook) observes events in ascending listener order on one thread,
+//     exactly as a serial sweep would have delivered them. Bulk counts
+//     are order-free by definition and flush once per block.
+//
 // Bulk ledger accounting: two classes of per-listener events can collapse
 // into exact per-block *counts* instead of buffered events, shrinking the
 // serial merge to O(attentive deliveries):

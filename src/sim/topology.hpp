@@ -22,6 +22,14 @@
 //     pair-state tracking in a bounded sketch. See that header (and the
 //     README table) for which regimes are exact vs modelled.
 //
+//   * sim/backends/implicit_rgg.hpp — the implicit mobility-RGG backend
+//     (ImplicitRggTopology): random-walk mobility over a random geometric
+//     graph with the graph never materialised — O(n) position state, a
+//     per-round cell grid, delivery resolved exactly from the <= 9
+//     neighbouring cells. Exact in distribution for every protocol
+//     (delivery is deterministic geometry; only the motion draws
+//     randomness); the graph-free counterpart of graph::MobilityRgg.
+//
 // Every backend exposes the same contract, consumed by sim/engine.cpp:
 //
 //   NodeId num_nodes() const;
@@ -60,4 +68,5 @@
 #include "sim/backends/csr.hpp"
 #include "sim/backends/implicit.hpp"
 #include "sim/backends/implicit_dynamic.hpp"
+#include "sim/backends/implicit_rgg.hpp"
 #include "sim/sharding.hpp"

@@ -267,5 +267,23 @@ TEST(EdgeReserveHint, ChurnGnpEdgeCountStaysWithinReserve) {
   }
 }
 
+TEST(EdgeReserveHint, MobilityRggEdgeCountStaysWithinReserve) {
+  // Same end-to-end guarantee for the mobility oracle: the constructor's
+  // one-shot reserve (pi r^2 link probability, 2 directed edges per linked
+  // pair — an overestimate, since boundary clipping only shrinks the true
+  // link probability) must cover every round's rebuilt edge list.
+  const NodeId n = 256;
+  const double radius = rgg_threshold_radius(n, 4.0);
+  const std::uint64_t pairs =
+      static_cast<std::uint64_t>(n) * (static_cast<std::uint64_t>(n) - 1) / 2;
+  const double p_link = std::min(1.0, 3.141592653589793 * radius * radius);
+  const std::size_t hint = edge_reserve_hint(pairs, p_link, 2);
+  for (const std::uint64_t seed : {7ull, 8ull, 9ull}) {
+    MobilityRgg topo(n, radius, radius / 4.0, Rng(seed));
+    for (std::uint32_t r = 0; r < 64; ++r)
+      ASSERT_LE(topo.at(r).num_edges(), hint) << "seed=" << seed << " r=" << r;
+  }
+}
+
 }  // namespace
 }  // namespace radnet::graph

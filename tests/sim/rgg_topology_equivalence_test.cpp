@@ -1,0 +1,359 @@
+// Implicit mobility-RGG vs explicit MobilityRgg equivalence.
+//
+// The ImplicitRggTopology backend (sim/backends/implicit_rgg.hpp) claims
+// to be the explicit graph::MobilityRgg process *exactly, in distribution,
+// for every protocol*: delivery is deterministic geometry given the
+// round's positions, and the motion process (uniform placement, reflected
+// uniform steps) follows the same law — only the stream layout of the
+// motion draws differs (counter-keyed vs sequential), so runs pair
+// distributionally, never bit-for-bit. Pinned here at two strengths:
+//
+//   * exactly: a brute-force O(n·k) geometry oracle recomputes single
+//     rounds from the backend's own positions and must match the cell-grid
+//     sweep event-for-event (both duplex modes, with and without the
+//     attentive hint);
+//   * statistically: paired Monte-Carlo runs against the explicit
+//     MobilityRgg oracle — repeated-transmitter gossip (the regime where
+//     the G(n,p) sampling backends are merely *modelled*) and Algorithm-1
+//     broadcast — with two-sample KS / chi-square checks on completion
+//     rounds, transmissions and the energy ledger at 3 seeds each.
+//
+// Seeds are fixed; RADNET_STAT_TRIALS scales the resolution (ctest label
+// tier1_stat). Thread-count bit-identity of the backend lives in
+// tests/sim/thread_invariance_test.cpp.
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/broadcast_random.hpp"
+#include "core/gossip_random.hpp"
+#include "graph/dynamics.hpp"
+#include "graph/generators.hpp"
+#include "harness/monte_carlo.hpp"
+#include "sim/engine.hpp"
+#include "statistical_oracle.hpp"
+
+namespace radnet::sim {
+namespace {
+
+using core::BroadcastRandomParams;
+using core::BroadcastRandomProtocol;
+using core::GossipRumorMarginalParams;
+using core::GossipRumorMarginalProtocol;
+using harness::McResult;
+using harness::McSpec;
+using testing::chi_square_two_sample;
+using testing::ks_two_sample;
+using testing::stat_trials;
+
+constexpr double kAlpha = 0.01;
+
+using ProtocolFactory = std::function<std::unique_ptr<Protocol>()>;
+
+/// Paired Monte-Carlo runs: the same root seed drives the implicit RGG
+/// backend and the explicit MobilityRgg oracle.
+struct PairedRuns {
+  McResult implicit_rgg;
+  McResult explicit_rgg;
+};
+
+PairedRuns run_paired(graph::NodeId n, double radius, double step,
+                      std::uint64_t seed, std::uint32_t trials,
+                      const ProtocolFactory& factory, Round max_rounds) {
+  McSpec base;
+  base.trials = trials;
+  base.seed = seed;
+  base.make_protocol = [factory](const graph::Digraph&, std::uint32_t) {
+    return factory();
+  };
+  base.run_options.max_rounds = max_rounds;
+
+  McSpec imp = base;
+  imp.implicit_rgg = ImplicitRgg{n, radius, step, Rng{}};
+
+  McSpec exp = base;
+  exp.make_sequence = [n, radius, step](std::uint32_t, Rng rng) {
+    return std::make_unique<graph::MobilityRgg>(n, radius, step, rng);
+  };
+
+  return {harness::run_monte_carlo(imp), harness::run_monte_carlo(exp)};
+}
+
+std::vector<double> deliveries_of(const McResult& r) {
+  std::vector<double> v;
+  v.reserve(r.outcomes.size());
+  for (const auto& o : r.outcomes)
+    v.push_back(static_cast<double>(o.deliveries));
+  return v;
+}
+
+std::vector<double> collisions_of(const McResult& r) {
+  std::vector<double> v;
+  v.reserve(r.outcomes.size());
+  for (const auto& o : r.outcomes)
+    v.push_back(static_cast<double>(o.collisions));
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Exact single-round oracle: recompute the cell-grid sweep by brute force.
+
+struct CollectSink {
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> deliveries;
+  std::vector<graph::NodeId> collisions;
+  std::uint64_t bulk_deliveries = 0;
+  std::uint64_t bulk_collisions = 0;
+
+  void deliver(graph::NodeId receiver, graph::NodeId sender) {
+    deliveries.emplace_back(receiver, sender);
+  }
+  void collide(graph::NodeId receiver) { collisions.push_back(receiver); }
+  void deliver_bulk(std::uint64_t count) { bulk_deliveries += count; }
+  void collide_bulk(std::uint64_t count) { bulk_collisions += count; }
+};
+
+/// The backend's claim, computed the slow way: listener v hears exactly
+/// the transmitters at distance <= radius (excluding itself; excluded
+/// entirely when transmitting under half-duplex).
+CollectSink brute_force_round(const ImplicitRggTopology& topo, double radius,
+                              std::span<const graph::NodeId> transmitters,
+                              const std::vector<char>& is_tx,
+                              bool half_duplex) {
+  CollectSink expected;
+  const auto& pts = topo.positions();
+  const double r2 = radius * radius;
+  for (graph::NodeId v = 0; v < topo.num_nodes(); ++v) {
+    if (half_duplex && is_tx[v]) continue;
+    std::uint32_t hits = 0;
+    graph::NodeId sender = 0;
+    for (const graph::NodeId t : transmitters) {
+      if (t == v) continue;
+      const double dx = pts[v].x - pts[t].x;
+      const double dy = pts[v].y - pts[t].y;
+      if (dx * dx + dy * dy > r2) continue;
+      sender = t;
+      ++hits;
+    }
+    if (hits == 1)
+      expected.deliveries.emplace_back(v, sender);
+    else if (hits >= 2)
+      expected.collisions.push_back(v);
+  }
+  return expected;
+}
+
+TEST(ImplicitRggGeometry, CellGridSweepMatchesBruteForce) {
+  const graph::NodeId n = 700;
+  const double radius = graph::rgg_threshold_radius(n, 4.0);
+  const double step = radius / 6.0;
+  for (const bool half_duplex : {true, false}) {
+    ImplicitRggTopology topo(ImplicitRgg{n, radius, step, Rng(0x9e0)});
+    std::vector<char> is_tx(n, 0);
+    for (std::uint32_t round = 0; round < 24; ++round) {
+      topo.begin_round(round);
+      // A deterministic transmitter set that varies per round and includes
+      // clustered ids (adjacent ids are geometrically unrelated, but cell
+      // collisions among transmitters are what the early-exit must handle).
+      std::vector<graph::NodeId> tx;
+      for (graph::NodeId v = round % 5; v < n; v += 3 + (round % 11))
+        tx.push_back(v);
+      for (const graph::NodeId t : tx) is_tx[t] = 1;
+
+      CollectSink got;
+      topo.deliver({tx.data(), tx.size()}, is_tx, half_duplex,
+                   DeliveryPath::kAuto, std::nullopt,
+                   /*collisions_inert=*/false, got);
+      const CollectSink expected =
+          brute_force_round(topo, radius, {tx.data(), tx.size()}, is_tx,
+                            half_duplex);
+      ASSERT_EQ(got.deliveries, expected.deliveries)
+          << "round " << round << " half_duplex " << half_duplex;
+      ASSERT_EQ(got.collisions, expected.collisions)
+          << "round " << round << " half_duplex " << half_duplex;
+      EXPECT_EQ(got.bulk_deliveries, 0u);
+      EXPECT_EQ(got.bulk_collisions, 0u);
+
+      for (const graph::NodeId t : tx) is_tx[t] = 0;
+    }
+  }
+}
+
+TEST(ImplicitRggGeometry, AttentiveHintFoldsExactly) {
+  // With an attentive hint, deliveries outside the hint fold into bulk
+  // counts (and collisions into bulk when inert) — the per-event stream
+  // restricted to the hint plus the bulk totals must reproduce the
+  // unhinted round exactly.
+  const graph::NodeId n = 600;
+  const double radius = graph::rgg_threshold_radius(n, 4.0);
+  ImplicitRggTopology topo(ImplicitRgg{n, radius, radius / 8.0, Rng(0x7a1)});
+  std::vector<char> is_tx(n, 0);
+  std::vector<graph::NodeId> tx;
+  for (graph::NodeId v = 0; v < n; v += 7) tx.push_back(v);
+  for (const graph::NodeId t : tx) is_tx[t] = 1;
+  std::vector<graph::NodeId> attentive;  // every third node is attentive
+  for (graph::NodeId v = 0; v < n; v += 3) attentive.push_back(v);
+  std::vector<char> is_attentive(n, 0);
+  for (const graph::NodeId v : attentive) is_attentive[v] = 1;
+
+  topo.begin_round(0);
+  CollectSink full;
+  topo.deliver({tx.data(), tx.size()}, is_tx, /*half_duplex=*/true,
+               DeliveryPath::kAuto, std::nullopt, false, full);
+
+  CollectSink hinted;
+  topo.deliver({tx.data(), tx.size()}, is_tx, /*half_duplex=*/true,
+               DeliveryPath::kAuto,
+               std::optional<std::span<const graph::NodeId>>(
+                   {attentive.data(), attentive.size()}),
+               /*collisions_inert=*/true, hinted);
+
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> expected_events;
+  std::uint64_t expected_bulk = 0;
+  for (const auto& [recv, sender] : full.deliveries) {
+    if (is_attentive[recv])
+      expected_events.emplace_back(recv, sender);
+    else
+      ++expected_bulk;
+  }
+  EXPECT_EQ(hinted.deliveries, expected_events);
+  EXPECT_EQ(hinted.bulk_deliveries, expected_bulk);
+  EXPECT_TRUE(hinted.collisions.empty());
+  EXPECT_EQ(hinted.bulk_collisions, full.collisions.size());
+}
+
+TEST(ImplicitRggGeometry, MotionStaysInUnitSquareAndParksAtStepZero) {
+  const graph::NodeId n = 256;
+  ImplicitRggTopology moving(ImplicitRgg{n, 0.2, 0.15, Rng(3)});
+  moving.begin_round(50);
+  for (const auto& pt : moving.positions()) {
+    EXPECT_GE(pt.x, 0.0);
+    EXPECT_LE(pt.x, 1.0);
+    EXPECT_GE(pt.y, 0.0);
+    EXPECT_LE(pt.y, 1.0);
+  }
+
+  ImplicitRggTopology parked(ImplicitRgg{n, 0.2, 0.0, Rng(3)});
+  const std::vector<graph::Point> initial = parked.positions();
+  parked.begin_round(50);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    EXPECT_EQ(parked.positions()[v].x, initial[v].x);
+    EXPECT_EQ(parked.positions()[v].y, initial[v].y);
+  }
+}
+
+TEST(ImplicitRggGeometry, SameSpecReplaysIdentically) {
+  const graph::NodeId n = 4096;
+  const double radius = graph::rgg_threshold_radius(n, 4.0);
+  const double p = 3.14159265358979 * radius * radius;
+  const auto run_once = [&] {
+    Engine engine;
+    RunOptions options;
+    options.max_rounds = 512;
+    options.record_trace = true;
+    GossipRumorMarginalProtocol proto(GossipRumorMarginalParams{.p = p});
+    return engine.run(ImplicitRgg{n, radius, radius / 8.0, Rng(0xabc)}, proto,
+                      Rng(5), options);
+  };
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  EXPECT_TRUE(a == b);
+}
+
+// ---------------------------------------------------------------------------
+// Statistical oracle: paired runs against the explicit MobilityRgg.
+
+class RggOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Repeated-transmitter gossip — the regime where the G(n,p) sampling
+// backends are merely *modelled* — must be indistinguishable from the
+// explicit oracle here: the RGG backend's delivery is deterministic
+// geometry, so there is no repeated-examination caveat at all.
+TEST_P(RggOracle, GossipMarginalExactForRepeatedTransmitters) {
+  const std::uint64_t seed = GetParam();
+  const graph::NodeId n = 256;
+  const double radius = graph::rgg_threshold_radius(n, 4.0);
+  const double step = radius / 8.0;
+  const double p = 3.14159265358979 * radius * radius;  // d = pi r^2 n
+  const std::uint32_t trials = stat_trials(24);
+  GossipRumorMarginalProtocol probe(GossipRumorMarginalParams{.p = p});
+  probe.reset(n, Rng(0));
+
+  const auto runs = run_paired(
+      n, radius, step, seed, trials,
+      [p] {
+        return std::make_unique<GossipRumorMarginalProtocol>(
+            GossipRumorMarginalParams{.p = p});
+      },
+      probe.round_budget());
+  const auto& imp = runs.implicit_rgg;
+  const auto& exp = runs.explicit_rgg;
+  ASSERT_EQ(imp.success_rate(), 1.0) << "seed " << seed;
+  ASSERT_EQ(exp.success_rate(), 1.0) << "seed " << seed;
+
+  const auto ks_rounds = ks_two_sample(imp.rounds_sample().values(),
+                                       exp.rounds_sample().values(), kAlpha);
+  EXPECT_TRUE(ks_rounds.pass())
+      << ks_rounds.describe("gossip rounds, seed " + std::to_string(seed));
+  const auto ks_del =
+      ks_two_sample(deliveries_of(imp), deliveries_of(exp), kAlpha);
+  EXPECT_TRUE(ks_del.pass())
+      << ks_del.describe("gossip deliveries, seed " + std::to_string(seed));
+  const auto chi_tx = chi_square_two_sample(imp.total_tx_sample().values(),
+                                            exp.total_tx_sample().values(), 8,
+                                            kAlpha);
+  EXPECT_TRUE(chi_tx.pass())
+      << chi_tx.describe("gossip transmissions, seed " + std::to_string(seed));
+  const auto chi_col =
+      chi_square_two_sample(collisions_of(imp), collisions_of(exp), 8, kAlpha);
+  EXPECT_TRUE(chi_col.pass())
+      << chi_col.describe("gossip collisions, seed " + std::to_string(seed));
+}
+
+// Algorithm 1 on a mobile RGG: the protocol is tuned for G(n,p), so
+// success sits mid-distribution — both backends must agree on the success
+// probability and on the ledger distributions (success itself carries the
+// distributional information here; no floor is asserted).
+TEST_P(RggOracle, Alg1LedgerMatchesExplicitOracle) {
+  const std::uint64_t seed = GetParam();
+  const graph::NodeId n = 256;
+  const double radius = graph::rgg_threshold_radius(n, 4.0);
+  const double step = radius / 8.0;
+  const double p = 3.14159265358979 * radius * radius;
+  const std::uint32_t trials = stat_trials(24);
+
+  const auto runs = run_paired(
+      n, radius, step, seed, trials,
+      [p] {
+        return std::make_unique<BroadcastRandomProtocol>(
+            BroadcastRandomParams{.p = p});
+      },
+      // Both backends censor at the same horizon (alg1 completes within
+      // ~60 rounds when it completes; failed trials pay the full budget on
+      // the explicit oracle's O(n + m) rebuilds, so keep it tight).
+      /*max_rounds=*/160);
+  const auto& imp = runs.implicit_rgg;
+  const auto& exp = runs.explicit_rgg;
+  EXPECT_NEAR(imp.success_rate(), exp.success_rate(), 0.3);
+
+  const auto ks_del =
+      ks_two_sample(deliveries_of(imp), deliveries_of(exp), kAlpha);
+  EXPECT_TRUE(ks_del.pass())
+      << ks_del.describe("alg1 deliveries, seed " + std::to_string(seed));
+  const auto ks_tx = ks_two_sample(imp.total_tx_sample().values(),
+                                   exp.total_tx_sample().values(), kAlpha);
+  EXPECT_TRUE(ks_tx.pass())
+      << ks_tx.describe("alg1 transmissions, seed " + std::to_string(seed));
+  // Theorem 2.1's at-most-one-transmission property is topology-free and
+  // must hold on both backends.
+  EXPECT_LE(imp.max_tx_sample().max(), 1.0);
+  EXPECT_LE(exp.max_tx_sample().max(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BySeed, RggOracle,
+                         ::testing::Values(0xAull, 0xBull, 0xCull));
+
+}  // namespace
+}  // namespace radnet::sim

@@ -8,8 +8,10 @@
 // size. These tests pin that guarantee at 1, 2 and 8 threads across the
 // implicit static backend, the implicit dynamic backend at churn 1.0 and
 // 0.5 (exercising the pair sketch's record/merge path), a
-// failure-injection run (exercising the sharded failure sweep), and —
-// since PR 4 — the explicit CSR family: all three delivery paths on a
+// failure-injection run (exercising the sharded failure sweep), the
+// implicit mobility-RGG backend (counter-keyed motion sweep + RNG-free
+// cell-grid delivery, with and without the attentive bulk fold), and the
+// explicit CSR family: all three delivery paths on a
 // static G(n,p) graph and on DynamicCsrTopology sequences (link churn and
 // RGG mobility), each cross-checked byte-identical against the serial
 // seed results and against the serial kSortedTouch baseline. Final tests
@@ -135,6 +137,49 @@ TEST(ThreadInvariance, ImplicitDynamicChurnHalf) {
 TEST(ThreadInvariance, FailureInjection) {
   // fail_prob > 0 also exercises the block-sharded failure sweep.
   expect_dynamic_invariant(1.0, 0.002, "dynamic with failures");
+}
+
+TEST(ThreadInvariance, ImplicitRggMobility) {
+  // The implicit mobility-RGG backend: motion draws are counter-keyed per
+  // (round, block) and the cell-grid delivery sweep draws no randomness,
+  // so trace + ledger + RunResult must be byte-identical at any thread
+  // count. n spans several shard blocks so 2- and 8-thread schedules
+  // genuinely interleave both the movement and the delivery blocks.
+  const graph::NodeId n = 150'000;
+  const double radius = std::sqrt(16.0 / (3.14159 * n));
+  const double p = 3.14159 * radius * radius;
+  expect_thread_invariant(
+      [&](RunOptions options) {
+        options.max_rounds = 48;
+        const ImplicitRgg spec{n, radius, radius / 8.0, Rng(0x1266)};
+        GossipRumorMarginalProtocol proto(GossipRumorMarginalParams{.p = p});
+        Engine engine;
+        return engine.run(spec, proto, Rng(29), options);
+      },
+      "implicit RGG mobility");
+}
+
+TEST(ThreadInvariance, ImplicitRggAttentiveBulkLedger) {
+  // Without a trace the attentive hint stays live, so non-attentive
+  // deliveries (and inert collisions) fold into per-block bulk counts in
+  // the RGG sweep too — the ledger must still be bit-identical at every
+  // thread count.
+  const graph::NodeId n = 150'000;
+  const double radius = std::sqrt(16.0 / (3.14159 * n));
+  const double p = 3.14159 * radius * radius;
+  const auto run_with = [&](unsigned threads) {
+    RunOptions options;
+    options.max_rounds = 48;
+    options.threads = threads;
+    const ImplicitRgg spec{n, radius, radius / 8.0, Rng(0x1267)};
+    GossipRumorMarginalProtocol proto(GossipRumorMarginalParams{.p = p});
+    Engine engine;
+    return engine.run(spec, proto, Rng(31), options);
+  };
+  const RunResult serial = run_with(1);
+  EXPECT_GT(serial.ledger.total_deliveries, 0u);
+  for (const unsigned threads : kThreadCounts)
+    expect_identical(serial, run_with(threads), "implicit RGG attentive");
 }
 
 constexpr DeliveryPath kAllPaths[] = {DeliveryPath::kSortedTouch,

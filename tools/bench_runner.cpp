@@ -7,7 +7,7 @@
 // google-benchmark dependency so it can run as a ctest (`ctest -L
 // bench_smoke`). Medians of ns/round at several n are emitted as JSON:
 //
-//   { "schema": "radnet-bench-engine-v3",
+//   { "schema": "radnet-bench-engine-v4",
 //     "host": {"hardware_concurrency": ..., "pool_threads": ...},
 //     "benchmarks": [ {"name": ..., "n": ..., "ns_per_round": ...,
 //                      "wall_ms": ..., "threads": ..., "peak_rss_kb": ...},
@@ -18,7 +18,11 @@
 //     "thread_scaling": {"n": ..., "serial_ms": ..., "parallel_ms": ...,
 //                        "speedup": ..., "pool_threads": ...,
 //                        "identical": ...},
-//     "csr_thread_scaling": { same shape as thread_scaling } }
+//     "csr_thread_scaling": { same shape as thread_scaling },
+//     "e14b_mobility": {"n": ..., "degree": ..., "horizon": ...,
+//                       "serial_ms": ..., "parallel_ms": ..., "speedup": ...,
+//                       "pool_threads": ..., "identical": ...,
+//                       "peak_rss_kb": ...} }
 //
 // Every entry carries its wall-clock cost, the thread count it ran with
 // and the process peak RSS when it finished (ru_maxrss — monotone, so an
@@ -30,9 +34,14 @@
 // single-trial broadcast with serial vs all-core block-sharded round
 // sweeps, plus the bit-identity check between them. Schema v3 adds
 // "csr_thread_scaling": the explicit-CSR counterpart (serial vs all-core
-// scatter/gather delivery on a materialised G(n,p)); the smoke gate FAILS
-// (non-zero exit) if either family's serial and parallel results ever
-// diverge — bit-identity is a correctness contract, not a statistic.
+// scatter/gather delivery on a materialised G(n,p)). Schema v4 adds
+// "e14b_mobility": one fixed-horizon Algorithm-1 broadcast on the
+// graph-free implicit mobility-RGG backend (bench_e14_dynamic part (c);
+// n = 10^7 in the full run — a topology whose explicit per-round rebuild
+// could not allocate), serial vs all-core with the same bit-identity
+// column. The smoke gate FAILS (non-zero exit) if any family's serial and
+// parallel results ever diverge — bit-identity is a correctness contract,
+// not a statistic.
 //
 // Flags: --quick shrinks sizes/repetitions for smoke runs; --out overrides
 // the output path (default BENCH_engine.json in the working directory).
@@ -234,6 +243,50 @@ ThreadScaling time_csr_thread_scaling(std::uint32_t n) {
   return s;
 }
 
+struct MobilityNumbers {
+  std::uint32_t n = 0;
+  double degree = 0.0;
+  radnet::sim::Round horizon = 0;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  double speedup = 0.0;
+  unsigned pool_threads = 0;
+  bool identical = false;
+};
+
+/// E14b's mobility trial in one tracked number: a fixed-horizon
+/// Algorithm-1 broadcast on the graph-free implicit mobility-RGG backend
+/// (mean degree `degree`, step = radius/8), serial vs all-core, with the
+/// bit-identity check between them. Motion draws are counter-keyed per
+/// (round, block) and the cell-grid delivery sweep draws no RNG, so a
+/// divergence here is a sharding bug, never a reordering.
+MobilityNumbers time_rgg_mobility(std::uint32_t n, radnet::sim::Round horizon) {
+  MobilityNumbers m;
+  m.n = n;
+  m.degree = 50.0;
+  m.horizon = horizon;
+  m.pool_threads = radnet::global_pool().size();
+  const double radius = std::sqrt(m.degree / (3.141592653589793 * n));
+  radnet::sim::Engine engine;
+  radnet::sim::RunOptions options;
+  options.max_rounds = horizon;
+  const auto run_with = [&](unsigned threads, double* ms) {
+    options.threads = threads;
+    BroadcastRandomProtocol proto(BroadcastRandomParams{.p = m.degree / n});
+    const double t0 = now_ns();
+    const auto run = engine.run(
+        radnet::sim::ImplicitRgg{n, radius, radius / 8.0, Rng(41)}, proto,
+        Rng(42), options);
+    *ms = (now_ns() - t0) / 1e6;
+    return run;
+  };
+  const auto serial = run_with(1, &m.serial_ms);
+  const auto parallel = run_with(0, &m.parallel_ms);
+  m.speedup = m.serial_ms / m.parallel_ms;
+  m.identical = serial == parallel;
+  return m;
+}
+
 struct Comparison {
   std::uint32_t n = 0;
   double p = 0.0;
@@ -380,12 +433,24 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const MobilityNumbers mob =
+      time_rgg_mobility(quick ? (1u << 18) : 10'000'000u, quick ? 32u : 64u);
+  std::cout << "mobility RGG (E14b) n=" << mob.n << " horizon=" << mob.horizon
+            << ": serial " << mob.serial_ms << " ms, " << mob.pool_threads
+            << "-thread " << mob.parallel_ms << " ms, speedup " << mob.speedup
+            << "x, " << (mob.identical ? "bit-identical" : "DIVERGED") << "\n";
+  if (!mob.identical) {
+    std::cerr << "mobility-RGG serial-vs-parallel runs diverged — "
+                 "sharding bug\n";
+    return 1;
+  }
+
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "cannot write " << out_path << '\n';
     return 1;
   }
-  out << "{\n  \"schema\": \"radnet-bench-engine-v3\",\n  \"host\": {"
+  out << "{\n  \"schema\": \"radnet-bench-engine-v4\",\n  \"host\": {"
       << "\"hardware_concurrency\": "
       << std::max(1u, std::thread::hardware_concurrency())
       << ", \"pool_threads\": " << radnet::global_pool().size() << "},\n"
@@ -417,7 +482,15 @@ int main(int argc, char** argv) {
       << ", \"parallel_ms\": " << cts.parallel_ms
       << ", \"speedup\": " << cts.speedup
       << ", \"pool_threads\": " << cts.pool_threads << ", \"identical\": "
-      << (cts.identical ? "true" : "false") << "}\n}\n";
+      << (cts.identical ? "true" : "false") << "},\n"
+      << "  \"e14b_mobility\": {\"n\": " << mob.n
+      << ", \"degree\": " << mob.degree << ", \"horizon\": " << mob.horizon
+      << ", \"serial_ms\": " << mob.serial_ms
+      << ", \"parallel_ms\": " << mob.parallel_ms
+      << ", \"speedup\": " << mob.speedup
+      << ", \"pool_threads\": " << mob.pool_threads << ", \"identical\": "
+      << (mob.identical ? "true" : "false")
+      << ", \"peak_rss_kb\": " << peak_rss_kb() << "}\n}\n";
   std::cout << "wrote " << out_path << '\n';
   return 0;
 }

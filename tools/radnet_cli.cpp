@@ -19,12 +19,17 @@
 //             --fail-prob permanent radio failures, --p-amp/--p-period
 //             sinusoidal density schedule — the graph-free dynamic family;
 //             see sim/topology.hpp for exact-vs-modelled regimes)
+//             irgg (implicit mobility RGG: random-walk mobility over a
+//             geometric graph, graph-free and exact for every protocol;
+//             --radius-mult sizes the radio range, --step the per-round
+//             movement as a fraction of the radius)
 //
 // Common flags: --n --trials --seed --max-rounds --source --quiescence
 // Topology flags: --p | --delta (p = delta ln n / n), --radius-mult,
 //                 --cluster-size, --diameter (thm44; also overrides the
 //                 measured D used by alg3/cr), --q (fixed), --lambda (alg3),
-//                 --churn, --fail-prob, --p-amp, --p-period (idgnp/churn)
+//                 --churn, --fail-prob, --p-amp, --p-period (idgnp/churn),
+//                 --step (irgg: per-round movement / radius, default 0.125)
 #include <cmath>
 #include <iostream>
 #include <memory>
@@ -96,19 +101,21 @@ int main(int argc, char** argv) {
                        {"protocol", "topology", "n", "p", "delta", "trials",
                         "seed", "max-rounds", "threads", "source", "radius-mult",
                         "cluster-size", "diameter", "q", "lambda", "churn",
-                        "fail-prob", "p-amp", "p-period", "quiescence",
+                        "fail-prob", "p-amp", "p-period", "step", "quiescence",
                         "help"});
     if (args.get_bool("help", false) || argc == 1) {
       std::cout << "usage: radnet_cli --protocol <alg1|alg2|alg2m|alg3|cr|"
                    "decay|eg2005|flooding|fixed|tdma>\n"
                    "                  --topology <gnp|ugnp|rgg|path|cycle|grid|"
-                   "star|complete|cluster|obs43|thm44|churn|ignp|idgnp>\n"
+                   "star|complete|cluster|obs43|thm44|churn|ignp|idgnp|irgg>\n"
                    "                  [--n N] [--p P | --delta D] [--trials T]"
                    " [--seed S]\n"
                    "                  [--diameter D] [--q Q] [--lambda L]"
                    " [--max-rounds R] [--quiescence]\n"
                    "                  [--churn C] [--fail-prob F] [--p-amp A"
                    " --p-period R]\n"
+                   "                  [--radius-mult M --step S]   irgg radio"
+                   " range and mobility\n"
                    "                  [--threads K]   within-trial round-sweep"
                    " threads: 1 serial\n"
                    "                  (default), 0 every core; results are"
@@ -128,6 +135,7 @@ int main(int argc, char** argv) {
     const std::string topo_name = args.get_string("topology", "gnp");
     const bool implicit = topo_name == "ignp";
     const bool implicit_dynamic = topo_name == "idgnp";
+    const bool implicit_rgg = topo_name == "irgg";
     const bool churn_topo = topo_name == "churn";
     const double churn = args.get_double("churn", implicit_dynamic ? 1.0 : 0.1);
     const double fail_prob = args.get_double("fail-prob", 0.0);
@@ -141,7 +149,29 @@ int main(int argc, char** argv) {
     double eff_p = p;
     std::uint64_t diameter = 0;
     graph::Digraph sample;
-    if (implicit || implicit_dynamic) {
+    // irgg geometry: radio range from the connectivity-threshold multiple,
+    // per-round movement as a fraction of that range.
+    const double rgg_radius =
+        graph::rgg_threshold_radius(n, args.get_double("radius-mult", 2.0));
+    const double rgg_step = rgg_radius * args.get_double("step", 0.125);
+    if (implicit_rgg) {
+      // No graph to probe: the topology exists only as (n, radius, step).
+      source = static_cast<graph::NodeId>(args.get_u64("source", 0));
+      const double mean_degree =
+          3.141592653589793 * rgg_radius * rgg_radius * n;
+      eff_p = mean_degree / n;  // tunes the protocols' transmit rates
+      // Hop diameter of the unit square at this range, for round budgets.
+      diameter = args.get_u64(
+          "diameter",
+          std::max<std::uint64_t>(
+              2, static_cast<std::uint64_t>(std::ceil(1.4143 / rgg_radius))));
+      std::cout << "topology irgg: " << n
+                << " nodes, implicit mobility RGG with radius=" << rgg_radius
+                << ", step/round=" << rgg_step << " (never materialised)\n"
+                << "mean degree ~ " << mean_degree
+                << "; exact for every protocol (delivery is deterministic "
+                   "geometry)\n";
+    } else if (implicit || implicit_dynamic) {
       // No graph to probe: the topology exists only as (n, p, dynamics).
       source = static_cast<graph::NodeId>(args.get_u64("source", 0));
       diameter = args.get_u64("diameter", 2ull * ilog2_floor(n) + 8);
@@ -226,7 +256,9 @@ int main(int argc, char** argv) {
     spec.seed = seed;
     const bool random_topo =
         topo_name == "gnp" || topo_name == "ugnp" || topo_name == "rgg";
-    if (implicit_dynamic) {
+    if (implicit_rgg) {
+      spec.implicit_rgg = sim::ImplicitRgg{n, rgg_radius, rgg_step, Rng{}};
+    } else if (implicit_dynamic) {
       sim::ImplicitDynamicGnp params;
       params.n = n;
       params.p = p;
