@@ -29,13 +29,17 @@ bool DecayProtocol::wants_transmit(NodeId v, sim::Round r) {
   return rng_.bernoulli(pow2_neg(j));
 }
 
-void DecayProtocol::on_delivered(NodeId receiver, NodeId /*sender*/,
-                                 sim::Round r) {
-  state_.deliver(receiver, r);
+void DecayProtocol::on_delivered(NodeId receiver, NodeId sender, sim::Round r) {
+  state_.deliver(receiver, r, true, state_.copy_is_valid(sender));
+}
+
+void DecayProtocol::on_delivered_corrupted(NodeId receiver, NodeId /*sender*/,
+                                           sim::Round r) {
+  state_.deliver(receiver, r, true, /*copy_valid=*/false);
 }
 
 void DecayProtocol::end_round(sim::Round /*r*/) { state_.commit(); }
 
-bool DecayProtocol::is_complete() const { return state_.all_informed(); }
+bool DecayProtocol::is_complete() const { return state_.goal_reached(); }
 
 }  // namespace radnet::baselines

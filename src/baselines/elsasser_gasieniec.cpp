@@ -43,17 +43,24 @@ bool ElsasserGasieniecProtocol::wants_transmit(NodeId v, sim::Round r) {
   return rng_.bernoulli(phase3_prob_);                  // Phase 3
 }
 
-void ElsasserGasieniecProtocol::on_delivered(NodeId receiver, NodeId /*sender*/,
+void ElsasserGasieniecProtocol::on_delivered(NodeId receiver, NodeId sender,
                                              sim::Round r) {
   // As in [12] (and Algorithm 1): only nodes informed in the first two
   // phases transmit in Phase 3; late informees stay silent.
-  state_.deliver(receiver, r, /*activate=*/r <= t_);
+  state_.deliver(receiver, r, /*activate=*/r <= t_,
+                 /*copy_valid=*/state_.copy_is_valid(sender));
+}
+
+void ElsasserGasieniecProtocol::on_delivered_corrupted(NodeId receiver,
+                                                       NodeId /*sender*/,
+                                                       sim::Round r) {
+  state_.deliver(receiver, r, /*activate=*/r <= t_, /*copy_valid=*/false);
 }
 
 void ElsasserGasieniecProtocol::end_round(sim::Round /*r*/) { state_.commit(); }
 
 bool ElsasserGasieniecProtocol::is_complete() const {
-  return state_.all_informed();
+  return state_.goal_reached();
 }
 
 }  // namespace radnet::baselines

@@ -45,8 +45,16 @@ class ElsasserGasieniecProtocol final : public sim::Protocol {
   [[nodiscard]] std::span<const NodeId> candidates() const override;
   [[nodiscard]] bool wants_transmit(NodeId v, sim::Round r) override;
   void on_delivered(NodeId receiver, NodeId sender, sim::Round r) override;
+  void on_delivered_corrupted(NodeId receiver, NodeId sender,
+                              sim::Round r) override;
   void end_round(sim::Round r) override;
   [[nodiscard]] bool is_complete() const override;
+  void set_goal_exclusions(std::span<const NodeId> nodes) override {
+    state_.exclude_from_goal(nodes);
+  }
+  [[nodiscard]] std::optional<NodeId> stranded_count() const override {
+    return state_.stranded_count();
+  }
   [[nodiscard]] std::string name() const override { return "eg2005"; }
 
   [[nodiscard]] sim::Round phase1_end() const noexcept { return t_; }

@@ -28,14 +28,20 @@ bool FixedProbProtocol::wants_transmit(NodeId v, sim::Round r) {
   return rng_.bernoulli(params_.q);
 }
 
-void FixedProbProtocol::on_delivered(NodeId receiver, NodeId /*sender*/,
+void FixedProbProtocol::on_delivered(NodeId receiver, NodeId sender,
                                      sim::Round r) {
-  state_.deliver(receiver, r);
+  state_.deliver(receiver, r, true, state_.copy_is_valid(sender));
+}
+
+void FixedProbProtocol::on_delivered_corrupted(NodeId receiver,
+                                               NodeId /*sender*/,
+                                               sim::Round r) {
+  state_.deliver(receiver, r, true, /*copy_valid=*/false);
 }
 
 void FixedProbProtocol::end_round(sim::Round /*r*/) { state_.commit(); }
 
-bool FixedProbProtocol::is_complete() const { return state_.all_informed(); }
+bool FixedProbProtocol::is_complete() const { return state_.goal_reached(); }
 
 std::string FixedProbProtocol::name() const {
   std::ostringstream os;

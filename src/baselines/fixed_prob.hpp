@@ -38,8 +38,16 @@ class FixedProbProtocol final : public sim::Protocol {
   [[nodiscard]] std::span<const NodeId> candidates() const override;
   [[nodiscard]] bool wants_transmit(NodeId v, sim::Round r) override;
   void on_delivered(NodeId receiver, NodeId sender, sim::Round r) override;
+  void on_delivered_corrupted(NodeId receiver, NodeId sender,
+                              sim::Round r) override;
   void end_round(sim::Round r) override;
   [[nodiscard]] bool is_complete() const override;
+  void set_goal_exclusions(std::span<const NodeId> nodes) override {
+    state_.exclude_from_goal(nodes);
+  }
+  [[nodiscard]] std::optional<NodeId> stranded_count() const override {
+    return state_.stranded_count();
+  }
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] NodeId informed_count() const noexcept {

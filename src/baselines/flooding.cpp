@@ -14,13 +14,20 @@ bool FloodingProtocol::wants_transmit(NodeId /*v*/, sim::Round /*r*/) {
   return true;  // flood: always transmit while informed
 }
 
-void FloodingProtocol::on_delivered(NodeId receiver, NodeId /*sender*/,
+void FloodingProtocol::on_delivered(NodeId receiver, NodeId sender,
                                     sim::Round r) {
-  state_.deliver(receiver, r);
+  // The copy inherits the sender's provenance (half-duplex: the sender's
+  // current bit is the bit it transmitted).
+  state_.deliver(receiver, r, true, state_.copy_is_valid(sender));
+}
+
+void FloodingProtocol::on_delivered_corrupted(NodeId receiver,
+                                              NodeId /*sender*/, sim::Round r) {
+  state_.deliver(receiver, r, true, /*copy_valid=*/false);
 }
 
 void FloodingProtocol::end_round(sim::Round /*r*/) { state_.commit(); }
 
-bool FloodingProtocol::is_complete() const { return state_.all_informed(); }
+bool FloodingProtocol::is_complete() const { return state_.goal_reached(); }
 
 }  // namespace radnet::baselines

@@ -61,15 +61,21 @@ bool GeneralBroadcastProtocol::wants_transmit(NodeId v, sim::Round r) {
   return rng_.bernoulli(current_tx_prob_);
 }
 
-void GeneralBroadcastProtocol::on_delivered(NodeId receiver, NodeId /*sender*/,
+void GeneralBroadcastProtocol::on_delivered(NodeId receiver, NodeId sender,
                                             sim::Round r) {
-  state_.deliver(receiver, r);
+  state_.deliver(receiver, r, true, state_.copy_is_valid(sender));
+}
+
+void GeneralBroadcastProtocol::on_delivered_corrupted(NodeId receiver,
+                                                      NodeId /*sender*/,
+                                                      sim::Round r) {
+  state_.deliver(receiver, r, true, /*copy_valid=*/false);
 }
 
 void GeneralBroadcastProtocol::end_round(sim::Round /*r*/) { state_.commit(); }
 
 bool GeneralBroadcastProtocol::is_complete() const {
-  return state_.all_informed();
+  return state_.goal_reached();
 }
 
 std::string GeneralBroadcastProtocol::name() const {

@@ -106,20 +106,33 @@ bool BroadcastRandomProtocol::sample_transmitters(sim::Round r,
   return true;
 }
 
-void BroadcastRandomProtocol::on_delivered(NodeId receiver, NodeId /*sender*/,
+void BroadcastRandomProtocol::on_delivered(NodeId receiver, NodeId sender,
                                            sim::Round r) {
   // Activation clauses exist only in Phases 1 and 2 of the paper's
   // pseudocode: a node first reached during Phase 3 is informed but never
-  // becomes active (it will never transmit).
+  // becomes active (it will never transmit). The copy inherits the
+  // sender's provenance: an honest relay of a corrupted copy stays
+  // corrupted.
   const bool in_phase3 = r >= phase3_begin();
   state_.deliver(receiver, r,
-                 /*activate=*/!in_phase3 || params_.phase3_activation);
+                 /*activate=*/!in_phase3 || params_.phase3_activation,
+                 /*copy_valid=*/state_.copy_is_valid(sender));
+}
+
+void BroadcastRandomProtocol::on_delivered_corrupted(NodeId receiver,
+                                                     NodeId /*sender*/,
+                                                     sim::Round r) {
+  // Byzantine sender: identical node behaviour, invalid provenance.
+  const bool in_phase3 = r >= phase3_begin();
+  state_.deliver(receiver, r,
+                 /*activate=*/!in_phase3 || params_.phase3_activation,
+                 /*copy_valid=*/false);
 }
 
 void BroadcastRandomProtocol::end_round(sim::Round /*r*/) { state_.commit(); }
 
 bool BroadcastRandomProtocol::is_complete() const {
-  return state_.all_informed();
+  return state_.goal_reached();
 }
 
 std::string BroadcastRandomProtocol::name() const {

@@ -103,8 +103,20 @@ class BroadcastRandomProtocol final : public sim::Protocol {
   /// them (block-mergeable sink aggregation).
   [[nodiscard]] bool collisions_inert() const override { return true; }
   void on_delivered(NodeId receiver, NodeId sender, sim::Round r) override;
+  /// Byzantine relay delivery: same behaviour, but the copy is recorded as
+  /// invalid and the corruption propagates along every further relay.
+  void on_delivered_corrupted(NodeId receiver, NodeId sender,
+                              sim::Round r) override;
   void end_round(sim::Round r) override;
+  /// Every in-goal node holds a *valid* copy (== all_informed without an
+  /// adversary; see core/broadcast_state.hpp).
   [[nodiscard]] bool is_complete() const override;
+  void set_goal_exclusions(std::span<const NodeId> nodes) override {
+    state_.exclude_from_goal(nodes);
+  }
+  [[nodiscard]] std::optional<NodeId> stranded_count() const override {
+    return state_.stranded_count();
+  }
   [[nodiscard]] std::string name() const override;
 
   // --- introspection for experiments (E2/E3) -------------------------------

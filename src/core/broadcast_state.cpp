@@ -16,8 +16,13 @@ void BroadcastState::reset(NodeId n, NodeId source) {
   active_.clear();
   pending_active_.clear();
   has_deactivations_ = false;
+  valid_.assign(n, 0);
+  excluded_.assign(n, 0);
+  excluded_count_ = 0;
   informed_[source] = 1;
   informed_count_ = 1;
+  valid_[source] = 1;  // the source holds the genuine content by definition
+  valid_count_ = 1;
   informed_time_[source] = 0;
   active_.push_back(source);
 
@@ -32,15 +37,31 @@ void BroadcastState::reset(NodeId n, NodeId source) {
   }
 }
 
-bool BroadcastState::deliver(NodeId v, Round round, bool activate) {
+bool BroadcastState::deliver(NodeId v, Round round, bool activate,
+                             bool copy_valid) {
   RADNET_REQUIRE(v < n_, "deliver out of range");
-  if (informed_[v]) return false;
+  if (informed_[v]) return false;  // repeats ignored: an informed-invalid
+                                   // node never upgrades (it stopped caring)
   informed_[v] = 1;
   ++informed_count_;
+  if (copy_valid) {
+    valid_[v] = 1;
+    if (!excluded_[v]) ++valid_count_;
+  }
   informed_time_[v] = round + 1;
   newly_informed_.push_back(v);
   if (activate) pending_active_.push_back(v);
   return true;
+}
+
+void BroadcastState::exclude_from_goal(std::span<const NodeId> nodes) {
+  for (const NodeId v : nodes) {
+    RADNET_REQUIRE(v < n_, "goal exclusion out of range");
+    if (excluded_[v]) continue;
+    excluded_[v] = 1;
+    ++excluded_count_;
+    if (valid_[v]) --valid_count_;
+  }
 }
 
 void BroadcastState::deactivate(NodeId v) {

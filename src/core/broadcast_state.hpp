@@ -9,6 +9,20 @@
 //   - deactivations requested during wants_transmit take effect next round
 //     (the node still transmitted its current message this round).
 // Call commit() from the protocol's end_round.
+//
+// Adversary support (sim/adversary.hpp): alongside the informed flags the
+// state keeps one per-copy *provenance* bit — valid iff the copy descends
+// from the source through honest relays only. deliver() takes the copy's
+// validity (callers pass copy_is_valid(sender), and false for deliveries
+// routed through on_delivered_corrupted); a node first informed by a
+// corrupted copy is informed-but-invalid, behaves identically (it cannot
+// authenticate the message, so it stops listening and relays the
+// corruption onward), and never upgrades. exclude_from_goal() shrinks the
+// measured goal (jammers can never hold any copy); goal_reached() — "every
+// non-excluded node holds a valid copy" — is what adversary-aware
+// protocols return from is_complete. Without an adversary every copy is
+// valid and nothing is excluded, so goal_reached() == all_informed() and
+// the bookkeeping is inert.
 #pragma once
 
 #include <cstdint>
@@ -56,8 +70,37 @@ class BroadcastState {
   /// activation for the next round. Algorithm 1's Phase 3 passes
   /// activate = false: its pseudocode has no activation clause, so nodes
   /// informed there never transmit — the source of the O(log n / p) total-
-  /// transmission bound. Returns true iff v was newly informed.
-  bool deliver(NodeId v, Round round, bool activate = true);
+  /// transmission bound. `copy_valid` is the provenance bit of the copy
+  /// that arrived (pass copy_is_valid(sender); false when the delivery was
+  /// routed through on_delivered_corrupted). Returns true iff v was newly
+  /// informed.
+  bool deliver(NodeId v, Round round, bool activate = true,
+               bool copy_valid = true);
+
+  /// Provenance bit of v's copy: true iff v holds the genuine content
+  /// (the source starts valid; relays preserve validity, Byzantine relays
+  /// destroy it). False for uninformed nodes.
+  [[nodiscard]] bool copy_is_valid(NodeId v) const { return valid_[v] != 0; }
+
+  /// Non-excluded nodes holding valid copies.
+  [[nodiscard]] NodeId valid_count() const noexcept { return valid_count_; }
+
+  /// Removes `nodes` from the measured goal (e.g. jammers, which can never
+  /// receive). Purely measurement — their informed/valid state keeps being
+  /// tracked, it just stops counting toward goal_reached().
+  void exclude_from_goal(std::span<const NodeId> nodes);
+
+  /// Every non-excluded node holds a valid copy — the adversary-aware
+  /// completion predicate. Equals all_informed() when no adversary acted.
+  [[nodiscard]] bool goal_reached() const noexcept {
+    return valid_count_ == n_ - excluded_count_;
+  }
+
+  /// Non-excluded nodes still lacking a valid copy (the robustness curves'
+  /// stranded count).
+  [[nodiscard]] NodeId stranded_count() const noexcept {
+    return n_ - excluded_count_ - valid_count_;
+  }
 
   /// Schedules v's removal from the active set at end of round.
   void deactivate(NodeId v);
@@ -68,7 +111,11 @@ class BroadcastState {
  private:
   NodeId n_ = 0;
   NodeId informed_count_ = 0;
+  NodeId valid_count_ = 0;     // valid copies held by non-excluded nodes
+  NodeId excluded_count_ = 0;  // nodes outside the measured goal
   std::vector<std::uint8_t> informed_;
+  std::vector<std::uint8_t> valid_;     // per-copy provenance bits
+  std::vector<std::uint8_t> excluded_;  // goal-exclusion flags
   std::vector<std::uint8_t> deactivated_;  // pending removal flags
   std::vector<Round> informed_time_;
   std::vector<NodeId> active_;

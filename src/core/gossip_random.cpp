@@ -119,8 +119,20 @@ GossipRumorMarginalProtocol::attentive_listeners() const {
 void GossipRumorMarginalProtocol::on_delivered(NodeId receiver, NodeId sender,
                                                sim::Round r) {
   // Half-duplex semantics (engine default) guarantee the sender received
-  // nothing this round, so informed(sender) is its transmitted state.
-  if (state_.informed(sender)) (void)state_.deliver(receiver, r, false);
+  // nothing this round, so informed(sender) is its transmitted state. The
+  // copy inherits the sender's provenance bit.
+  if (state_.informed(sender))
+    (void)state_.deliver(receiver, r, false,
+                         /*copy_valid=*/state_.copy_is_valid(sender));
+}
+
+void GossipRumorMarginalProtocol::on_delivered_corrupted(NodeId receiver,
+                                                         NodeId sender,
+                                                         sim::Round r) {
+  // A Byzantine relay corrupts what it forwards; it only has something
+  // rumor-shaped to forward once it knows the rumor.
+  if (state_.informed(sender))
+    (void)state_.deliver(receiver, r, false, /*copy_valid=*/false);
 }
 
 void GossipRumorMarginalProtocol::end_round(sim::Round /*r*/) {
@@ -128,7 +140,7 @@ void GossipRumorMarginalProtocol::end_round(sim::Round /*r*/) {
 }
 
 bool GossipRumorMarginalProtocol::is_complete() const {
-  return state_.all_informed();
+  return state_.goal_reached();
 }
 
 }  // namespace radnet::core

@@ -123,8 +123,21 @@ class GossipRumorMarginalProtocol final : public sim::Protocol {
   /// Nodes cannot detect collisions; backends may bulk-count them.
   [[nodiscard]] bool collisions_inert() const override { return true; }
   void on_delivered(NodeId receiver, NodeId sender, sim::Round r) override;
+  /// Byzantine relay delivery: the receiver still learns "the rumor" when
+  /// the sender knew it, but the copy is recorded as invalid (provenance
+  /// propagates along every further relay).
+  void on_delivered_corrupted(NodeId receiver, NodeId sender,
+                              sim::Round r) override;
   void end_round(sim::Round r) override;
+  /// Every in-goal node holds a *valid* copy of the tracked rumor
+  /// (== all_informed without an adversary).
   [[nodiscard]] bool is_complete() const override;
+  void set_goal_exclusions(std::span<const NodeId> nodes) override {
+    state_.exclude_from_goal(nodes);
+  }
+  [[nodiscard]] std::optional<NodeId> stranded_count() const override {
+    return state_.stranded_count();
+  }
   [[nodiscard]] std::string name() const override { return "alg2-marginal"; }
 
   /// ceil(round_factor * d * log2 n): pass to RunOptions::max_rounds.

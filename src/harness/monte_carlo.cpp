@@ -35,17 +35,60 @@ Sample McResult::mean_tx_sample() const {
   return s;
 }
 
-McResult run_monte_carlo(const McSpec& spec) {
-  RADNET_REQUIRE(spec.trials >= 1, "need at least one trial");
-  RADNET_REQUIRE(spec.implicit_gnp.has_value() ||
-                     spec.implicit_dynamic.has_value() ||
-                     spec.implicit_rgg.has_value() ||
-                     static_cast<bool>(spec.make_sequence) ||
-                     static_cast<bool>(spec.make_graph),
+Sample McResult::stranded_sample() const {
+  Sample s;
+  for (const auto& o : outcomes)
+    if (o.stranded.has_value()) s.add(static_cast<double>(*o.stranded));
+  return s;
+}
+
+void McSpec::validate() const {
+  RADNET_REQUIRE(trials >= 1, "need at least one trial");
+  const int implicit_backends = (implicit_gnp.has_value() ? 1 : 0) +
+                                (implicit_dynamic.has_value() ? 1 : 0) +
+                                (implicit_rgg.has_value() ? 1 : 0);
+  RADNET_REQUIRE(implicit_backends <= 1,
+                 "contradictory spec: at most one of implicit_gnp, "
+                 "implicit_dynamic and implicit_rgg may be set");
+  RADNET_REQUIRE(implicit_backends == 1 ||
+                     static_cast<bool>(make_sequence) ||
+                     static_cast<bool>(make_graph),
                  "a topology source is required: make_graph, make_sequence, "
                  "implicit_gnp, implicit_dynamic or implicit_rgg");
-  RADNET_REQUIRE(static_cast<bool>(spec.make_protocol),
+  RADNET_REQUIRE(static_cast<bool>(make_protocol),
                  "make_protocol is required");
+  if (implicit_gnp.has_value()) {
+    RADNET_REQUIRE(implicit_gnp->n >= 1, "implicit_gnp needs n >= 1");
+    RADNET_REQUIRE(implicit_gnp->p > 0.0 && implicit_gnp->p <= 1.0,
+                   "implicit_gnp needs p in (0, 1]");
+  }
+  if (implicit_dynamic.has_value()) {
+    RADNET_REQUIRE(implicit_dynamic->n >= 1, "implicit_dynamic needs n >= 1");
+    RADNET_REQUIRE(implicit_dynamic->p > 0.0 && implicit_dynamic->p <= 1.0,
+                   "implicit_dynamic needs p in (0, 1]");
+    // churn = 0 would freeze a graph that was never drawn: the static
+    // model is implicit_gnp, so a zero-churn dynamic spec (with or
+    // without fail_prob) is contradictory, not a degenerate case.
+    RADNET_REQUIRE(implicit_dynamic->churn > 0.0 &&
+                       implicit_dynamic->churn <= 1.0,
+                   "implicit_dynamic needs churn in (0, 1]; for a static "
+                   "graph use implicit_gnp");
+    RADNET_REQUIRE(implicit_dynamic->fail_prob >= 0.0 &&
+                       implicit_dynamic->fail_prob < 1.0,
+                   "implicit_dynamic needs fail_prob in [0, 1)");
+  }
+  if (implicit_rgg.has_value()) {
+    RADNET_REQUIRE(implicit_rgg->n >= 1, "implicit_rgg needs n >= 1");
+    RADNET_REQUIRE(implicit_rgg->radius > 0.0 && implicit_rgg->radius <= 1.5,
+                   "implicit_rgg needs radius in (0, 1.5]");
+    RADNET_REQUIRE(implicit_rgg->step >= 0.0 && implicit_rgg->step <= 1.0,
+                   "implicit_rgg needs step in [0, 1]");
+  }
+  run_options.adversary.validate();
+}
+
+McResult run_monte_carlo(const McSpec& spec) {
+  spec.validate();
 
   McResult result;
   result.outcomes.resize(spec.trials);
@@ -79,59 +122,69 @@ McResult run_monte_carlo(const McSpec& spec) {
                        : spec.trials == 1);
   if (round_parallel) run_options.threads = 0;
 
+  // Adversarial specs re-key the adversary per trial from the (seed,
+  // trial, 2) stream — the phase after graph (0) and protocol (1) — so
+  // roles, budgets and fault draws differ across trials, and paired specs
+  // with the same root seed face identical adversaries.
+  const bool adversarial = run_options.adversary.active();
+
   const auto run_trial = [&](std::uint64_t t) {
     const auto trial = static_cast<std::uint32_t>(t);
     Rng graph_rng = root.split(t, 0);
     const Rng protocol_rng = root.split(t, 1);
+    sim::RunOptions trial_options;
+    const sim::RunOptions* options = &run_options;
+    if (adversarial) {
+      trial_options = run_options;
+      trial_options.adversary.seed = root.split(t, 2).next_u64();
+      options = &trial_options;
+    }
 
     sim::Engine engine;
     sim::RunResult run;
+    std::unique_ptr<sim::Protocol> protocol;
     graph::NodeId nodes = 0;
     if (spec.implicit_dynamic.has_value()) {
       sim::ImplicitDynamicGnp gnp = *spec.implicit_dynamic;
       gnp.rng = graph_rng;
-      const std::unique_ptr<sim::Protocol> protocol =
-          spec.make_protocol(placeholder, trial);
+      protocol = spec.make_protocol(placeholder, trial);
       RADNET_CHECK(protocol != nullptr, "make_protocol returned null");
-      run = engine.run(gnp, *protocol, protocol_rng, run_options);
+      run = engine.run(gnp, *protocol, protocol_rng, *options);
       nodes = gnp.n;
     } else if (spec.implicit_rgg.has_value()) {
       sim::ImplicitRgg rgg = *spec.implicit_rgg;
       rgg.rng = graph_rng;
-      const std::unique_ptr<sim::Protocol> protocol =
-          spec.make_protocol(placeholder, trial);
+      protocol = spec.make_protocol(placeholder, trial);
       RADNET_CHECK(protocol != nullptr, "make_protocol returned null");
-      run = engine.run(rgg, *protocol, protocol_rng, run_options);
+      run = engine.run(rgg, *protocol, protocol_rng, *options);
       nodes = rgg.n;
     } else if (spec.implicit_gnp.has_value()) {
       const sim::ImplicitGnp gnp{spec.implicit_gnp->n, spec.implicit_gnp->p,
                                  graph_rng};
-      const std::unique_ptr<sim::Protocol> protocol =
-          spec.make_protocol(placeholder, trial);
+      protocol = spec.make_protocol(placeholder, trial);
       RADNET_CHECK(protocol != nullptr, "make_protocol returned null");
-      run = engine.run(gnp, *protocol, protocol_rng, run_options);
+      run = engine.run(gnp, *protocol, protocol_rng, *options);
       nodes = gnp.n;
     } else if (spec.make_sequence) {
       const std::unique_ptr<graph::TopologySequence> seq =
           spec.make_sequence(trial, graph_rng);
       RADNET_CHECK(seq != nullptr, "make_sequence returned null");
-      const std::unique_ptr<sim::Protocol> protocol =
-          spec.make_protocol(placeholder, trial);
+      protocol = spec.make_protocol(placeholder, trial);
       RADNET_CHECK(protocol != nullptr, "make_protocol returned null");
-      run = engine.run(*seq, *protocol, protocol_rng, run_options);
+      run = engine.run(*seq, *protocol, protocol_rng, *options);
       nodes = seq->num_nodes();
     } else {
       const std::shared_ptr<const graph::Digraph> g =
           spec.make_graph(trial, graph_rng);
       RADNET_CHECK(g != nullptr, "make_graph returned null");
-      const std::unique_ptr<sim::Protocol> protocol =
-          spec.make_protocol(*g, trial);
+      protocol = spec.make_protocol(*g, trial);
       RADNET_CHECK(protocol != nullptr, "make_protocol returned null");
-      run = engine.run(*g, *protocol, protocol_rng, run_options);
+      run = engine.run(*g, *protocol, protocol_rng, *options);
       nodes = g->num_nodes();
     }
 
     TrialOutcome& out = result.outcomes[trial];
+    out.stranded = protocol->stranded_count();
     out.completed = run.completed;
     out.rounds = run.completed ? run.completion_round : run.rounds_executed;
     out.total_tx = run.ledger.total_transmissions;

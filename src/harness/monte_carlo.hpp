@@ -30,6 +30,11 @@ struct TrialOutcome {
   std::uint64_t deliveries = 0;
   std::uint64_t collisions = 0;
   graph::NodeId nodes = 0;
+  /// In-goal nodes left without a valid message copy when the trial ended
+  /// (see Protocol::stranded_count); nullopt when the protocol does not
+  /// track provenance. The robustness benches' headline "stranded
+  /// fraction" is stranded / nodes.
+  std::optional<graph::NodeId> stranded;
 };
 
 /// Trial topology for the implicit G(n,p) backend (see sim/topology.hpp):
@@ -61,16 +66,19 @@ struct McSpec {
   /// materialised graph; make_protocol then receives an empty placeholder
   /// Digraph (protocols are oblivious and never look at it anyway).
   std::optional<ImplicitGnpParams> implicit_gnp;
-  /// When set, trials run on the implicit dynamic G(n,p) backend (wins
-  /// over implicit_gnp and the explicit factories); set the model fields
+  /// When set, trials run on the implicit dynamic G(n,p) backend (takes
+  /// precedence over the explicit factories; setting two implicit
+  /// backends at once is contradictory and rejected by validate());
+  /// set the model fields
   /// (n, p, churn, fail_prob, p_of_round, sketch_capacity) only — the
   /// spec's rng is overwritten per trial with the (seed, trial, 0) stream,
   /// so an implicit-dynamic spec and a make_sequence ChurnGnp spec form
   /// paired experiments.
   std::optional<sim::ImplicitDynamicGnp> implicit_dynamic;
-  /// When set, trials run on the implicit mobility-RGG backend (wins over
-  /// implicit_gnp and the explicit factories; loses to implicit_dynamic);
-  /// set the model fields (n, radius, step) only — the spec's rng is
+  /// When set, trials run on the implicit mobility-RGG backend (takes
+  /// precedence over the explicit factories; combining it with another
+  /// implicit backend is rejected by validate()); set the model fields
+  /// (n, radius, step) only — the spec's rng is
   /// overwritten per trial with the (seed, trial, 0) stream, so an
   /// implicit-RGG spec and a make_sequence MobilityRgg spec form paired
   /// experiments (same process law; the motion streams are consumed
@@ -81,11 +89,22 @@ struct McSpec {
   std::function<std::unique_ptr<sim::Protocol>(const graph::Digraph& g,
                                                std::uint32_t trial)>
       make_protocol;
-  /// Engine options (max_rounds etc.), shared by all trials.
+  /// Engine options (max_rounds etc.), shared by all trials. When
+  /// run_options.adversary is active, its seed is re-keyed per trial from
+  /// the (seed, trial, 2) stream so adversarial role/budget/fault draws
+  /// vary across trials exactly like graph and protocol randomness (and
+  /// paired specs with equal root seeds face *identical* adversaries).
   sim::RunOptions run_options;
   /// Run trials serially on the calling thread (used by the determinism
   /// tests and when a caller is already inside a parallel region).
   bool serial = false;
+
+  /// Rejects malformed and self-contradictory specs with
+  /// std::invalid_argument (RADNET_REQUIRE) before any trial runs:
+  /// missing factories, more than one implicit backend set at once,
+  /// out-of-range implicit model parameters, invalid adversary spec.
+  /// run_monte_carlo calls this; callers may use it to fail fast.
+  void validate() const;
 };
 
 struct McResult {
@@ -104,6 +123,10 @@ struct McResult {
   [[nodiscard]] Sample total_tx_sample() const;
   [[nodiscard]] Sample max_tx_sample() const;
   [[nodiscard]] Sample mean_tx_sample() const;
+  /// Stranded-node counts over trials whose protocol reports provenance
+  /// (empty when none do); failures included — stranding is the outcome
+  /// robustness curves care about, completed or not.
+  [[nodiscard]] Sample stranded_sample() const;
 };
 
 /// Runs the experiment described by `spec`.

@@ -1,0 +1,160 @@
+#include "sim/adversary.hpp"
+
+#include <cmath>
+
+#include "support/require.hpp"
+
+namespace radnet::sim {
+
+void AdversarySpec::validate() const {
+  RADNET_REQUIRE(jammer_fraction >= 0.0 && jammer_fraction < 1.0,
+                 "AdversarySpec.jammer_fraction must be in [0, 1)");
+  RADNET_REQUIRE(byzantine_fraction >= 0.0 && byzantine_fraction < 1.0,
+                 "AdversarySpec.byzantine_fraction must be in [0, 1)");
+  RADNET_REQUIRE(jammer_fraction + byzantine_fraction <= 1.0,
+                 "AdversarySpec role fractions must sum to at most 1");
+  RADNET_REQUIRE(budget_mean >= 0.0, "AdversarySpec.budget_mean must be >= 0");
+  RADNET_REQUIRE(budget_spread >= 0.0 && budget_spread <= 1.0,
+                 "AdversarySpec.budget_spread must be in [0, 1]");
+  Round prev = 0;
+  for (const FaultEvent& ev : fault_schedule) {
+    RADNET_REQUIRE(ev.fraction >= 0.0 && ev.fraction <= 1.0,
+                   "FaultEvent.fraction must be in [0, 1]");
+    RADNET_REQUIRE(ev.round >= prev,
+                   "AdversarySpec.fault_schedule must be sorted by round");
+    prev = ev.round;
+  }
+}
+
+void AdversaryState::reset(graph::NodeId n, const AdversarySpec& spec,
+                           AdversaryStats& stats) {
+  spec.validate();
+  n_ = n;
+  active_ = spec.active();
+  stats = AdversaryStats{};
+  if (!active_) return;
+
+  budget_active_ = spec.budget_mean > 0.0;
+  mode_ = spec.exhaust_mode;
+  key_ = StreamKey::from_rng(Rng(spec.seed));
+  schedule_ = spec.fault_schedule;
+  next_fault_ = 0;
+
+  protected_.assign(n, 0);
+  for (const graph::NodeId v : spec.protected_nodes) {
+    RADNET_REQUIRE(v < n, "AdversarySpec.protected_nodes entry out of range");
+    protected_[v] = 1;
+  }
+
+  // Role selection: one serial ascending pass keyed on the select lane, so
+  // the role of node v is a pure function of (seed, v-prefix) — identical
+  // across backends and thread counts. Roles are mutually exclusive.
+  roles_.assign(n, Role::kHonest);
+  jammers_.clear();
+  const bool pick_roles =
+      spec.jammer_fraction > 0.0 || spec.byzantine_fraction > 0.0;
+  if (pick_roles) {
+    Rng select = key_.fork(kSelectLane).make_rng();
+    for (graph::NodeId v = 0; v < n; ++v) {
+      const double u = select.next_double();
+      if (protected_[v] != 0) continue;  // draw anyway: keeps v's role
+                                         // independent of the protected set
+      if (u < spec.jammer_fraction) {
+        roles_[v] = Role::kJammer;
+        jammers_.push_back(v);
+        ++stats.jammer_count;
+      } else if (u < spec.jammer_fraction + spec.byzantine_fraction) {
+        roles_[v] = Role::kByzantine;
+        ++stats.byzantine_count;
+      }
+    }
+  }
+
+  // Heterogeneous budgets: uniform around the mean, floored at one
+  // transmission. Jammers hold budgets too — an exhausted jammer falls
+  // silent, so budget scenarios bound the jamming a battery can buy.
+  budget_.clear();
+  if (budget_active_) {
+    Rng draw = key_.fork(kBudgetLane).make_rng();
+    budget_.resize(n);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      const double u = 2.0 * draw.next_double() - 1.0;  // [-1, 1)
+      const double b = spec.budget_mean * (1.0 + spec.budget_spread * u);
+      budget_[v] =
+          static_cast<std::uint32_t>(std::max<long long>(1, std::llround(b)));
+    }
+  }
+
+  down_.assign(n, 0);
+}
+
+void AdversaryState::begin_round(Round r, AdversaryStats& stats) {
+  while (next_fault_ < schedule_.size() && schedule_[next_fault_].round == r) {
+    const FaultEvent& ev = schedule_[next_fault_];
+    // Keyed by event *index*: two events at the same round draw from
+    // distinct streams, and the draw is independent of thread count (the
+    // loop is serial engine-side anyway).
+    Rng rng = key_.fork(kFaultLane).fork(next_fault_).make_rng();
+    ++next_fault_;
+    if (ev.kind == FaultEvent::Kind::kCrash) {
+      for (graph::NodeId v = 0; v < n_; ++v) {
+        const bool hit = rng.bernoulli(ev.fraction);
+        if (!hit || protected_[v] != 0 || down_[v] != 0) continue;
+        down_[v] = 1;
+        ++stats.crashed_count;
+      }
+    } else {
+      for (graph::NodeId v = 0; v < n_; ++v) {
+        const bool hit = rng.bernoulli(ev.fraction);
+        if (!hit || down_[v] == 0) continue;
+        down_[v] = 0;
+        --stats.crashed_count;
+      }
+    }
+  }
+}
+
+void AdversaryState::charge(graph::NodeId u, AdversaryStats& stats) {
+  if (!budget_active_) return;
+  std::uint32_t& remaining = budget_[u];
+  if (remaining == 0) return;
+  if (--remaining == 0) ++stats.exhausted_count;
+}
+
+void AdversaryState::apply(std::vector<graph::NodeId>& transmitters,
+                           std::vector<char>& is_tx, EnergyLedger& ledger,
+                           AdversaryStats& stats) {
+  // In-place two-pointer compaction: no scratch buffer, no allocation
+  // (capacity covers the jammer append — see reserve_for).
+  std::size_t kept = 0;
+  for (const graph::NodeId u : transmitters) {
+    RADNET_CHECK(u < n_, "protocol transmitter out of range");
+    // A jammer is already saturating the channel; its protocol-level
+    // transmission is subsumed by the jam appended below.
+    if (roles_[u] == Role::kJammer) continue;
+    if (down_[u] != 0 || (budget_active_ && budget_[u] == 0)) {
+      // Crashed: power is off, nothing radiated, no energy drawn (contrast
+      // fail_prob's dead-radio, which still spends). Exhausted: the battery
+      // is empty, the attempt costs nothing and sends nothing.
+      ++stats.blocked_tx;
+      continue;
+    }
+    ledger.record_transmission(u);
+    charge(u, stats);
+    transmitters[kept++] = u;
+    is_tx[u] = 1;
+  }
+  transmitters.resize(kept);
+  // Jammer injection, ascending node order (deterministic; backends accept
+  // any transmitter order). Jam energy is adversary energy: tracked in
+  // stats, never in the protocol ledger the robustness curves compare.
+  for (const graph::NodeId j : jammers_) {
+    if (down_[j] != 0 || (budget_active_ && budget_[j] == 0)) continue;
+    ++stats.jammer_tx;
+    charge(j, stats);
+    transmitters.push_back(j);
+    is_tx[j] = 1;
+  }
+}
+
+}  // namespace radnet::sim

@@ -1,0 +1,227 @@
+// Adversary & fault-injection layer.
+//
+// The paper's model assumes honest, identical, always-listening radios; the
+// robustness experiments (ROADMAP: "adversarial and heterogeneous radio
+// scenarios") drop that assumption. This layer composes four adversarial
+// channels with *every* backend family without touching any backend's
+// delivery code — the engine applies it around the shared round loop, at
+// the only two places an adversary can act in the synchronous radio model:
+// who transmits, and who hears.
+//
+//   Jammers        A fixed pseudo-random node subset transmits every round,
+//                  forcing collisions in its whole neighbourhood. The engine
+//                  injects jammers into the round's transmitter set, so the
+//                  backends need no changes: on the mobility RGG the jammed
+//                  region is pure geometry (exact for every protocol); on
+//                  explicit CSR the jam travels the materialised edges
+//                  (exact); on the implicit samplers a jammer transmits in
+//                  many rounds, so its pairs are re-examined and resampled —
+//                  the memoryless (churn = 1) reading of its links, exactly
+//                  matched by an explicit ChurnGnp(churn = 1) oracle
+//                  (asserted by tests/sim/adversary_topology_equivalence).
+//                  A jammer's transmissions carry no rumor: a listener whose
+//                  unique transmitter was a jammer heard noise, not the
+//                  message (the engine suppresses the protocol callback).
+//                  Under half-duplex a transmitting jammer never receives,
+//                  so jammers can never be informed — the engine therefore
+//                  reports them to Protocol::set_goal_exclusions so
+//                  completion means "every honest node holds a valid copy".
+//
+//   Byzantine      Protocol-following relays that corrupt what they forward:
+//   relays         a delivery whose sender is Byzantine reaches the receiver
+//                  as a plausible-looking but invalid copy (routed through
+//                  Protocol::on_delivered_corrupted). Provenance-tracking
+//                  protocols (BroadcastState-based) record one validity bit
+//                  per copy and propagate it on every relay, so completion
+//                  counts only valid copies; a node first informed by a
+//                  corrupted copy believes it is informed, stops listening,
+//                  and relays the corruption onward — the honest model of a
+//                  node that cannot authenticate messages.
+//
+//   Energy         Per-node transmission budgets from a heterogeneity
+//   budgets        distribution (uniform around budget_mean). Each recorded
+//                  transmission (and each jam) spends one unit, charged in
+//                  lockstep with the EnergyLedger; an exhausted node
+//                  degrades to `exhaust_mode`: listen-only (receives but
+//                  never transmits again) or silent (radio fully dead) —
+//                  a failure channel alongside ImplicitDynamicGnp::fail_prob.
+//
+//   Fault          Deterministic crash/recover events at scheduled rounds:
+//   schedule       each event flips every eligible node independently with
+//                  the event's probability. A crashed node neither transmits
+//                  nor hears (its protocol state keeps evolving — the node
+//                  "runs on" with an unpowered radio, mirroring fail_prob's
+//                  dead-radio semantics) until a recover event revives it.
+//                  Unlike fail_prob, a crashed node spends no ledger energy:
+//                  crash models power loss, not RF failure.
+//
+// Determinism: every adversarial draw is keyed on a StreamKey derived from
+// AdversarySpec::seed — role selection, budgets and fault events are pure
+// functions of (seed, lane, event) and are applied serially by the engine,
+// so adversarial runs stay bit-identical at any thread count (asserted by
+// tests/sim/thread_invariance_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/energy.hpp"
+#include "support/rng.hpp"
+
+namespace radnet::sim {
+
+using Round = std::uint32_t;  // matches sim/protocol.hpp
+
+/// One entry of the deterministic fault-injection schedule, applied at the
+/// *start* of `round` (before transmit decisions).
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kCrash,   ///< each eligible (up, unprotected) node crashes w.p. fraction
+    kRecover  ///< each crashed node recovers w.p. fraction
+  };
+  Round round = 0;
+  Kind kind = Kind::kCrash;
+  double fraction = 1.0;  ///< per-node flip probability in [0, 1]
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Declarative adversary scenario, plumbed through RunOptions (and thus
+/// Engine::run, McSpec and radnet_cli). Default-constructed = no adversary;
+/// the engine's hot path is untouched unless active().
+struct AdversarySpec {
+  /// Fraction of nodes that are jammers (transmit every round). Roles are
+  /// mutually exclusive: each unprotected node is a jammer w.p.
+  /// jammer_fraction, else Byzantine w.p. byzantine_fraction.
+  double jammer_fraction = 0.0;
+  /// Fraction of nodes that are Byzantine relays (forward corrupted copies).
+  double byzantine_fraction = 0.0;
+  /// Mean per-node transmission budget; 0 disables budgets. Node budgets are
+  /// drawn uniformly from [mean*(1-spread), mean*(1+spread)], rounded,
+  /// floored at 1 transmission.
+  double budget_mean = 0.0;
+  /// Heterogeneity half-width as a fraction of the mean, in [0, 1].
+  double budget_spread = 0.0;
+  /// What a budget-exhausted node degrades to.
+  enum class ExhaustMode : std::uint8_t {
+    kListenOnly,  ///< never transmits again, still hears
+    kSilent       ///< radio fully dead: neither transmits nor hears
+  };
+  ExhaustMode exhaust_mode = ExhaustMode::kListenOnly;
+  /// Crash/recover schedule; rounds must be non-decreasing.
+  std::vector<FaultEvent> fault_schedule;
+  /// Nodes that are never jammers, Byzantine or crashed — typically the
+  /// broadcast source, so the attacked quantity is the *spread*, not the
+  /// existence, of the rumor.
+  std::vector<graph::NodeId> protected_nodes;
+  /// Root of all adversarial randomness (role selection, budgets, faults).
+  /// The Monte-Carlo harness re-keys this per trial from (seed, trial, 2).
+  std::uint64_t seed = 0xadd5ce7a11ull;
+
+  /// True iff any adversarial channel is configured.
+  [[nodiscard]] bool active() const noexcept {
+    return jammer_fraction > 0.0 || byzantine_fraction > 0.0 ||
+           budget_mean > 0.0 || !fault_schedule.empty();
+  }
+
+  /// Rejects contradictory or out-of-range specs (jammer fraction >= 1,
+  /// role fractions summing past 1, unsorted schedules...) with a clear
+  /// std::invalid_argument. Called by the engine and by McSpec validation.
+  void validate() const;
+};
+
+/// Per-run adversary counters, merged into RunResult (and therefore into
+/// the bit-identity contract: RunResult::operator== stays exhaustive).
+struct AdversaryStats {
+  graph::NodeId jammer_count = 0;     ///< nodes selected as jammers
+  graph::NodeId byzantine_count = 0;  ///< nodes selected as Byzantine relays
+  graph::NodeId exhausted_count = 0;  ///< nodes whose budget hit zero
+  graph::NodeId crashed_count = 0;    ///< nodes down when the run ended
+  std::uint64_t jammer_tx = 0;        ///< jam transmissions (not in the ledger)
+  std::uint64_t blocked_tx = 0;       ///< protocol tx attempts by down/exhausted nodes
+  std::uint64_t jammed_deliveries = 0;    ///< unique-transmitter receptions that were noise
+  std::uint64_t corrupted_deliveries = 0; ///< deliveries routed as corrupted
+  std::uint64_t suppressed_receptions = 0;  ///< deliveries to radios that were down
+
+  friend bool operator==(const AdversaryStats&, const AdversaryStats&) = default;
+};
+
+/// Engine-side runtime of an AdversarySpec: node roles, budgets and crash
+/// state, plus the per-round transmitter rewrite. All methods are called
+/// from the engine's serial round loop; none allocate after reset()
+/// (asserted by tests/sim/adversary_test.cpp), mirroring the reserve-once
+/// pattern of graph/dynamics.cpp.
+class AdversaryState {
+ public:
+  /// Draws roles, budgets and the protected set for n nodes; resets all
+  /// counters in `stats`. Validates the spec.
+  void reset(graph::NodeId n, const AdversarySpec& spec, AdversaryStats& stats);
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Jammer node ids in ascending order — what the engine reports to
+  /// Protocol::set_goal_exclusions.
+  [[nodiscard]] std::span<const graph::NodeId> jammers() const noexcept {
+    return {jammers_.data(), jammers_.size()};
+  }
+
+  [[nodiscard]] bool is_jammer(graph::NodeId v) const {
+    return roles_[v] == Role::kJammer;
+  }
+  [[nodiscard]] bool is_byzantine(graph::NodeId v) const {
+    return roles_[v] == Role::kByzantine;
+  }
+  /// Whether v's radio can receive this round (not crashed, not
+  /// silent-exhausted). Jammers need no special case here: while jamming
+  /// they are transmitters, and half-duplex already blocks their reception.
+  [[nodiscard]] bool can_hear(graph::NodeId v) const {
+    if (down_[v] != 0) return false;
+    return !budget_active_ || budget_[v] > 0 ||
+           mode_ == AdversarySpec::ExhaustMode::kListenOnly;
+  }
+
+  /// Applies fault-schedule events that fire at round r.
+  void begin_round(Round r, AdversaryStats& stats);
+
+  /// Rewrites the round's transmitter set in place: drops transmissions by
+  /// crashed/exhausted nodes (unrecorded — no energy was spent), records and
+  /// budget-charges the surviving protocol transmissions, then appends the
+  /// live jammers (charged against their own budgets, counted in stats
+  /// rather than the protocol ledger). Sets is_tx for every surviving
+  /// transmitter; allocation-free given capacity >= n (see reserve_for).
+  void apply(std::vector<graph::NodeId>& transmitters, std::vector<char>& is_tx,
+             EnergyLedger& ledger, AdversaryStats& stats);
+
+  /// Reserves `transmitters` so apply() never reallocates (<= n entries).
+  void reserve_for(std::vector<graph::NodeId>& transmitters) const {
+    transmitters.reserve(n_);
+  }
+
+ private:
+  enum class Role : std::uint8_t { kHonest, kJammer, kByzantine };
+
+  // Reserved StreamKey lanes (>= 2^32, the repo-wide convention keeping
+  // reserved lanes clear of per-round counters).
+  static constexpr std::uint64_t kSelectLane = 0x1'0000'0011ull;
+  static constexpr std::uint64_t kBudgetLane = 0x1'0000'0012ull;
+  static constexpr std::uint64_t kFaultLane = 0x1'0000'0013ull;
+
+  /// Spends one budget unit for a transmission by u (no-op without budgets).
+  void charge(graph::NodeId u, AdversaryStats& stats);
+
+  graph::NodeId n_ = 0;
+  bool active_ = false;
+  bool budget_active_ = false;
+  AdversarySpec::ExhaustMode mode_ = AdversarySpec::ExhaustMode::kListenOnly;
+  StreamKey key_;
+  std::vector<Role> roles_;
+  std::vector<std::uint8_t> protected_;
+  std::vector<std::uint32_t> budget_;  ///< remaining transmissions
+  std::vector<std::uint8_t> down_;             ///< crashed flags
+  std::vector<graph::NodeId> jammers_;
+  std::vector<FaultEvent> schedule_;
+  std::size_t next_fault_ = 0;
+};
+
+}  // namespace radnet::sim

@@ -10,22 +10,46 @@ namespace radnet::sim {
 namespace {
 
 /// Receives the backend's per-receiver events and fans them out to the
-/// ledger, the optional trace and the protocol.
+/// ledger, the optional trace and the protocol. With an adversary active
+/// (adv != nullptr) the sink is also the receive-side enforcement point:
+/// ledger totals stay *channel-level* event counts (consistent with the
+/// bulk folds, which cannot see radio state), while the protocol callback
+/// is suppressed for noise (jammer senders) and dead radios, and rerouted
+/// through on_delivered_corrupted for Byzantine senders.
 struct EngineSink {
   Protocol& protocol;
   RunResult& result;
   RoundTrace* rt;
   Round round;
+  const AdversaryState* adv = nullptr;
 
   void deliver(graph::NodeId receiver, graph::NodeId sender) {
     ++result.ledger.total_deliveries;
     if (rt != nullptr) rt->deliveries.push_back({receiver, sender});
+    if (adv != nullptr) {
+      if (adv->is_jammer(sender)) {
+        // The unique transmitter was a jammer: the receiver heard a clean
+        // frame of noise, not the message.
+        ++result.adversary.jammed_deliveries;
+        return;
+      }
+      if (!adv->can_hear(receiver)) {
+        ++result.adversary.suppressed_receptions;
+        return;
+      }
+      if (adv->is_byzantine(sender)) {
+        ++result.adversary.corrupted_deliveries;
+        protocol.on_delivered_corrupted(receiver, sender, round);
+        return;
+      }
+    }
     protocol.on_delivered(receiver, sender, round);
   }
 
   void collide(graph::NodeId receiver) {
     ++result.ledger.total_collisions;
     if (rt != nullptr) rt->collisions.push_back(receiver);
+    if (adv != nullptr && !adv->can_hear(receiver)) return;
     protocol.on_collision(receiver, round);
   }
 
@@ -55,6 +79,17 @@ RunResult run_loop(Topology& topo, Protocol& protocol, Rng protocol_rng,
   RunResult result;
   result.ledger.reset(n);
   protocol.reset(n, std::move(protocol_rng));
+
+  // Adversary layer (sim/adversary.hpp): engine-side, so it composes with
+  // every backend. Inactive specs cost one null check per event.
+  AdversaryState adversary;
+  adversary.reset(n, options.adversary, result.adversary);
+  const AdversaryState* adv = adversary.active() ? &adversary : nullptr;
+  if (adv != nullptr && !adversary.jammers().empty()) {
+    // Half-duplex jammers transmit every round and can never receive:
+    // completion means "every honest node holds a valid copy".
+    protocol.set_goal_exclusions(adversary.jammers());
+  }
   // Sharding backends fan each round sweep out over this pool (nullptr =
   // serial); results are thread-count-invariant by construction, so this
   // only picks a schedule.
@@ -62,6 +97,9 @@ RunResult run_loop(Topology& topo, Protocol& protocol, Rng protocol_rng,
 
   std::vector<graph::NodeId> transmitters;
   std::vector<char> is_tx(n, 0);
+  // Jammer injection appends to the transmitter list every round; reserve
+  // once so the round loop stays allocation-free (dynamics.cpp pattern).
+  if (adv != nullptr) adversary.reserve_for(transmitters);
 
   // Block-mergeable collision accounting: when the protocol declared
   // on_collision a no-op and no trace wants the per-listener events,
@@ -78,6 +116,7 @@ RunResult run_loop(Topology& topo, Protocol& protocol, Rng protocol_rng,
 
   for (Round r = 0; r < options.max_rounds; ++r) {
     protocol.begin_round(r);
+    if (adv != nullptr) adversary.begin_round(r, result.adversary);
 
     // Phase A: collect this round's transmitters. All decisions are made
     // before any delivery, matching the synchronous model.
@@ -93,10 +132,18 @@ RunResult run_loop(Topology& topo, Protocol& protocol, Rng protocol_rng,
         if (protocol.wants_transmit(v, r)) transmitters.push_back(v);
       }
     }
-    for (const graph::NodeId u : transmitters) {
-      RADNET_CHECK(u < n, "protocol transmitter out of range");
-      result.ledger.record_transmission(u);
-      is_tx[u] = 1;
+    if (adv != nullptr) {
+      // Drops transmissions by crashed/exhausted radios (the protocol's
+      // decisions — and its RNG consumption — are untouched; only the
+      // physics changes), records + budget-charges the survivors, then
+      // injects the jammers as forced transmitters.
+      adversary.apply(transmitters, is_tx, result.ledger, result.adversary);
+    } else {
+      for (const graph::NodeId u : transmitters) {
+        RADNET_CHECK(u < n, "protocol transmitter out of range");
+        result.ledger.record_transmission(u);
+        is_tx[u] = 1;
+      }
     }
 
     // Phase B/C: this round's topology decides who hears what; events fire
@@ -110,7 +157,7 @@ RunResult run_loop(Topology& topo, Protocol& protocol, Rng protocol_rng,
       rt->transmitters = transmitters;
       std::sort(rt->transmitters.begin(), rt->transmitters.end());
     }
-    EngineSink sink{protocol, result, rt, r};
+    EngineSink sink{protocol, result, rt, r, adv};
     // The attentive hint enables aggregate accounting in sampling backends;
     // a recorded trace needs every event, so the hint is dropped then.
     const std::optional<std::span<const graph::NodeId>> attentive =

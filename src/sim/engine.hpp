@@ -23,6 +23,7 @@
 
 #include "graph/digraph.hpp"
 #include "graph/dynamics.hpp"
+#include "sim/adversary.hpp"
 #include "sim/energy.hpp"
 #include "sim/protocol.hpp"
 #include "sim/topology.hpp"
@@ -68,6 +69,12 @@ struct RunOptions {
   /// Invoked after every round with the round just executed; used by the
   /// Phase-1 growth experiment to snapshot protocol counters.
   std::function<void(Round)> round_observer;
+  /// Adversary / fault scenario (sim/adversary.hpp): jammers, Byzantine
+  /// relays, energy budgets and crash schedules, composed engine-side with
+  /// every backend. Default-constructed = no adversary, zero hot-path cost.
+  /// All adversarial randomness is keyed on AdversarySpec::seed, so
+  /// adversarial runs keep the thread-count bit-identity contract.
+  AdversarySpec adversary;
 };
 
 struct RunResult {
@@ -79,6 +86,8 @@ struct RunResult {
   /// meaningful only when completed.
   Round completion_round = 0;
   EnergyLedger ledger;
+  /// Adversary counters (zeroed when RunOptions::adversary is inactive).
+  AdversaryStats adversary;
   Trace trace;  ///< empty unless RunOptions::record_trace
 
   /// Whole-result bit-identity — the thread-count-invariance contract in

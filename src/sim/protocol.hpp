@@ -108,6 +108,23 @@ class Protocol {
   /// Node `receiver` heard exactly one transmitter, `sender`, in round r.
   virtual void on_delivered(NodeId receiver, NodeId sender, Round r) = 0;
 
+  /// Adversarial delivery (sim/adversary.hpp): like on_delivered, but the
+  /// adversary layer flagged `sender` as a Byzantine relay, so the copy
+  /// that arrived is corrupted. Nodes cannot authenticate messages, so the
+  /// receiver's *behaviour* must match a genuine delivery exactly — only
+  /// the omniscient provenance bookkeeping may differ. Provenance-tracking
+  /// protocols (BroadcastState-based: Algorithm 1, the gossip marginal)
+  /// override this to mark the receiver's copy invalid; the copy's
+  /// invalidity then propagates along every further relay, and is_complete
+  /// counts only valid copies. The default forwards to on_delivered: a
+  /// protocol without provenance treats the corrupted copy as genuine, so
+  /// Byzantine runs of such a protocol measure spread, not validity
+  /// (documented per protocol in README's adversary matrix).
+  virtual void on_delivered_corrupted(NodeId receiver, NodeId sender,
+                                      Round r) {
+    on_delivered(receiver, sender, r);
+  }
+
   /// Two or more in-neighbours of `receiver` transmitted in round r. In the
   /// paper's model nodes cannot detect collisions, so the default ignores
   /// it; the engine still counts collisions for diagnostics.
@@ -135,6 +152,26 @@ class Protocol {
   /// after every round and stops early. This is an omniscient-observer
   /// predicate used for measurement only — the nodes themselves never see it.
   [[nodiscard]] virtual bool is_complete() const = 0;
+
+  /// Measurement-side concession for adversarial runs: the engine declares
+  /// nodes whose copies can never count toward the goal (jammers — always
+  /// transmitting, hence never receiving under half-duplex). Called at most
+  /// once per run, after reset and before the first round. Like
+  /// is_complete, this is omniscient measurement only — the nodes never
+  /// see it, so obliviousness is untouched. The default ignores it: the
+  /// goal then keeps requiring all n nodes and a jammed run simply never
+  /// completes (use fixed horizons and stranded counts instead).
+  virtual void set_goal_exclusions(std::span<const NodeId> nodes) {
+    (void)nodes;
+  }
+
+  /// Omniscient robustness metric: how many in-goal nodes do not yet hold a
+  /// valid copy of the goal content. nullopt (the default) means the
+  /// protocol does not track a single-content goal (e.g. full n-rumor
+  /// gossip). Used by the robustness benches' stranded-fraction curves.
+  [[nodiscard]] virtual std::optional<NodeId> stranded_count() const {
+    return std::nullopt;
+  }
 
   /// Display name used in result tables.
   [[nodiscard]] virtual std::string name() const = 0;

@@ -14,9 +14,13 @@
 // explicit CSR family: all three delivery paths on a
 // static G(n,p) graph and on DynamicCsrTopology sequences (link churn and
 // RGG mobility), each cross-checked byte-identical against the serial
-// seed results and against the serial kSortedTouch baseline. Final tests
-// drive the Monte-Carlo harness's round-parallel mode against its serial
-// mode on both backend families.
+// seed results and against the serial kSortedTouch baseline. The
+// adversary layer (jammer injection, Byzantine rerouting, heterogeneous
+// energy budgets, crash/recover schedules — all serial, StreamKey-keyed)
+// is pinned on the implicit static, implicit RGG and explicit CSR
+// families, including AdversaryStats via the exhaustive RunResult
+// equality. Final tests drive the Monte-Carlo harness's round-parallel
+// mode against its serial mode on both backend families.
 #include <cmath>
 #include <memory>
 #include <string>
@@ -326,6 +330,71 @@ TEST(ThreadInvariance, CsrDynamicMobilityAllPaths) {
         return engine.run(seq, proto, Rng(23), options);
       },
       "csr dynamic mobility");
+}
+
+/// A spec exercising every adversary channel at once: jammer injection,
+/// Byzantine rerouting, tight heterogeneous budgets (so exhaustion hits
+/// mid-run) and a crash + partial-recovery schedule. All adversary
+/// randomness is serial and StreamKey-keyed, so results must stay
+/// byte-identical at any thread count on every backend.
+AdversarySpec attack_spec() {
+  AdversarySpec adv;
+  adv.jammer_fraction = 0.01;
+  adv.byzantine_fraction = 0.02;
+  adv.budget_mean = 6.0;
+  adv.budget_spread = 0.5;
+  adv.fault_schedule = {{8, FaultEvent::Kind::kCrash, 0.02},
+                        {20, FaultEvent::Kind::kRecover, 0.5}};
+  adv.protected_nodes = {0};  // never jam/crash the source
+  adv.seed = 0xbad5eed;
+  return adv;
+}
+
+TEST(ThreadInvariance, AdversaryImplicitGnpBroadcast) {
+  const graph::NodeId n = 50'000;
+  const double p = 8.0 * std::log(n) / n;
+  expect_thread_invariant(
+      [&](RunOptions options) {
+        options.max_rounds = 96;
+        options.adversary = attack_spec();
+        const ImplicitGnp spec{n, p, Rng(0xA77AC)};
+        BroadcastRandomProtocol proto(BroadcastRandomParams{.p = p});
+        Engine engine;
+        return engine.run(spec, proto, Rng(37), options);
+      },
+      "adversary implicit gnp");
+}
+
+TEST(ThreadInvariance, AdversaryImplicitRggGossip) {
+  const graph::NodeId n = 150'000;
+  const double radius = std::sqrt(16.0 / (3.14159 * n));
+  const double p = 3.14159 * radius * radius;
+  expect_thread_invariant(
+      [&](RunOptions options) {
+        options.max_rounds = 48;
+        options.adversary = attack_spec();
+        const ImplicitRgg spec{n, radius, radius / 8.0, Rng(0xA77AD)};
+        GossipRumorMarginalProtocol proto(GossipRumorMarginalParams{.p = p});
+        Engine engine;
+        return engine.run(spec, proto, Rng(41), options);
+      },
+      "adversary implicit RGG");
+}
+
+TEST(ThreadInvariance, AdversaryCsrAllPaths) {
+  const graph::NodeId n = 20'000;
+  const double p = 12.0 / n;
+  Rng grng(0x5eed);
+  const graph::Digraph g = graph::gnp_directed(n, p, grng);
+  expect_csr_thread_invariant(
+      [&](RunOptions options) {
+        options.max_rounds = 96;
+        options.adversary = attack_spec();
+        BroadcastRandomProtocol proto(BroadcastRandomParams{.p = p});
+        Engine engine;
+        return engine.run(g, proto, Rng(43), options);
+      },
+      "adversary csr");
 }
 
 TEST(ThreadInvariance, MonteCarloRoundParallelMatchesSerialCsr) {

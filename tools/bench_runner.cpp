@@ -22,7 +22,12 @@
 //     "e14b_mobility": {"n": ..., "degree": ..., "horizon": ...,
 //                       "serial_ms": ..., "parallel_ms": ..., "speedup": ...,
 //                       "pool_threads": ..., "identical": ...,
-//                       "peak_rss_kb": ...} }
+//                       "peak_rss_kb": ...},
+//     "e18_adversary": {"n": ..., "jammer_fraction": ...,
+//                       "byzantine_fraction": ..., "budget_mean": ...,
+//                       "horizon": ..., "serial_ms": ..., "parallel_ms": ...,
+//                       "speedup": ..., "pool_threads": ...,
+//                       "identical": ..., "stranded_fraction": ...} }
 //
 // Every entry carries its wall-clock cost, the thread count it ran with
 // and the process peak RSS when it finished (ru_maxrss — monotone, so an
@@ -39,9 +44,14 @@
 // graph-free implicit mobility-RGG backend (bench_e14_dynamic part (c);
 // n = 10^7 in the full run — a topology whose explicit per-round rebuild
 // could not allocate), serial vs all-core with the same bit-identity
-// column. The smoke gate FAILS (non-zero exit) if any family's serial and
-// parallel results ever diverge — bit-identity is a correctness contract,
-// not a statistic.
+// column. Schema v5 adds "e18_adversary": one fixed-horizon Algorithm-1
+// broadcast under a full adversary (jammers + Byzantine relays + energy
+// budgets + a crash/recover schedule, sim/adversary.hpp) on the implicit
+// G(n,p) backend, serial vs all-core; "identical" compares the complete
+// RunResult including AdversaryStats, and "stranded_fraction" seeds the
+// robustness trajectory. The smoke gate FAILS (non-zero exit) if any
+// family's serial and parallel results ever diverge — bit-identity is a
+// correctness contract, not a statistic.
 //
 // Flags: --quick shrinks sizes/repetitions for smoke runs; --out overrides
 // the output path (default BENCH_engine.json in the working directory).
@@ -287,6 +297,65 @@ MobilityNumbers time_rgg_mobility(std::uint32_t n, radnet::sim::Round horizon) {
   return m;
 }
 
+struct AdversaryNumbers {
+  std::uint32_t n = 0;
+  double jammer_fraction = 0.01;
+  double byzantine_fraction = 0.02;
+  double budget_mean = 4.0;
+  radnet::sim::Round horizon = 0;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  double speedup = 0.0;
+  unsigned pool_threads = 0;
+  bool identical = false;
+  double stranded_fraction = 0.0;
+};
+
+/// E18's tracked number: one fixed-horizon Algorithm-1 broadcast under the
+/// full adversary stack (jammers, Byzantine relays, listen-only energy
+/// budgets, a crash/recover schedule) on the implicit G(n,p) backend,
+/// serial vs all-core. The identity check covers the whole RunResult —
+/// completion, ledger, trace AND AdversaryStats — so a divergence means
+/// the adversary broke the engine's determinism contract. The stranded
+/// fraction (honest nodes left without a valid copy at the horizon) is the
+/// robustness trajectory's headline.
+AdversaryNumbers time_adversary(std::uint32_t n, radnet::sim::Round horizon) {
+  AdversaryNumbers a;
+  a.n = n;
+  a.horizon = horizon;
+  a.pool_threads = radnet::global_pool().size();
+  const double p = 8.0 * std::log(n) / n;
+  radnet::sim::AdversarySpec adv;
+  adv.jammer_fraction = a.jammer_fraction;
+  adv.byzantine_fraction = a.byzantine_fraction;
+  adv.budget_mean = a.budget_mean;
+  adv.budget_spread = 0.25;
+  adv.fault_schedule = {
+      {8, radnet::sim::FaultEvent::Kind::kCrash, 0.10},
+      {16, radnet::sim::FaultEvent::Kind::kRecover, 1.0}};
+  adv.protected_nodes = {0};
+  radnet::sim::Engine engine;
+  radnet::sim::RunOptions options;
+  options.max_rounds = horizon;
+  options.adversary = adv;
+  const auto run_with = [&](unsigned threads, double* ms) {
+    options.threads = threads;
+    const radnet::sim::ImplicitGnp gnp{n, p, Rng(51)};
+    BroadcastRandomProtocol proto(BroadcastRandomParams{.p = p});
+    const double t0 = now_ns();
+    auto run = engine.run(gnp, proto, Rng(52), options);
+    *ms = (now_ns() - t0) / 1e6;
+    a.stranded_fraction =
+        static_cast<double>(proto.stranded_count().value_or(0)) / n;
+    return run;
+  };
+  const auto serial = run_with(1, &a.serial_ms);
+  const auto parallel = run_with(0, &a.parallel_ms);
+  a.speedup = a.serial_ms / a.parallel_ms;
+  a.identical = serial == parallel;
+  return a;
+}
+
 struct Comparison {
   std::uint32_t n = 0;
   double p = 0.0;
@@ -445,12 +514,26 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const AdversaryNumbers e18 =
+      time_adversary(quick ? (1u << 15) : (1u << 20), quick ? 32u : 64u);
+  std::cout << "adversarial broadcast (E18) n=" << e18.n << " jam="
+            << e18.jammer_fraction << " byz=" << e18.byzantine_fraction
+            << ": serial " << e18.serial_ms << " ms, " << e18.pool_threads
+            << "-thread " << e18.parallel_ms << " ms, speedup " << e18.speedup
+            << "x, stranded " << e18.stranded_fraction << ", "
+            << (e18.identical ? "bit-identical" : "DIVERGED") << "\n";
+  if (!e18.identical) {
+    std::cerr << "adversarial serial-vs-parallel runs diverged — the "
+                 "adversary broke engine determinism\n";
+    return 1;
+  }
+
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "cannot write " << out_path << '\n';
     return 1;
   }
-  out << "{\n  \"schema\": \"radnet-bench-engine-v4\",\n  \"host\": {"
+  out << "{\n  \"schema\": \"radnet-bench-engine-v5\",\n  \"host\": {"
       << "\"hardware_concurrency\": "
       << std::max(1u, std::thread::hardware_concurrency())
       << ", \"pool_threads\": " << radnet::global_pool().size() << "},\n"
@@ -490,7 +573,18 @@ int main(int argc, char** argv) {
       << ", \"speedup\": " << mob.speedup
       << ", \"pool_threads\": " << mob.pool_threads << ", \"identical\": "
       << (mob.identical ? "true" : "false")
-      << ", \"peak_rss_kb\": " << peak_rss_kb() << "}\n}\n";
+      << ", \"peak_rss_kb\": " << peak_rss_kb() << "},\n"
+      << "  \"e18_adversary\": {\"n\": " << e18.n
+      << ", \"jammer_fraction\": " << e18.jammer_fraction
+      << ", \"byzantine_fraction\": " << e18.byzantine_fraction
+      << ", \"budget_mean\": " << e18.budget_mean
+      << ", \"horizon\": " << e18.horizon
+      << ", \"serial_ms\": " << e18.serial_ms
+      << ", \"parallel_ms\": " << e18.parallel_ms
+      << ", \"speedup\": " << e18.speedup
+      << ", \"pool_threads\": " << e18.pool_threads << ", \"identical\": "
+      << (e18.identical ? "true" : "false")
+      << ", \"stranded_fraction\": " << e18.stranded_fraction << "}\n}\n";
   std::cout << "wrote " << out_path << '\n';
   return 0;
 }

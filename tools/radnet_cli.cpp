@@ -30,9 +30,20 @@
 //                 measured D used by alg3/cr), --q (fixed), --lambda (alg3),
 //                 --churn, --fail-prob, --p-amp, --p-period (idgnp/churn),
 //                 --step (irgg: per-round movement / radius, default 0.125)
+// Adversary flags (sim/adversary.hpp; the source is auto-protected):
+//   --jammers F          fraction of nodes jamming every round
+//   --byzantine F        fraction of nodes relaying corrupted copies
+//   --energy-budget MEAN[:SPREAD[:silent|listen]]
+//                        per-node transmission budgets (uniform MEAN +-
+//                        SPREAD*MEAN); exhausted radios go silent or
+//                        listen-only (default listen)
+//   --fault-schedule "crash@R[:F],recover@R[:F],..."
+//                        crash/recover each eligible node w.p. F (default 1)
+//                        at round R; rounds must be non-decreasing
 #include <cmath>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 #include "baselines/czumaj_rytter.hpp"
 #include "baselines/decay.hpp"
@@ -93,6 +104,64 @@ graph::Digraph build_topology(const CliArgs& args, graph::NodeId n, double p,
   throw std::invalid_argument("unknown topology: " + topo);
 }
 
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::stringstream ss(s);
+  std::string part;
+  while (std::getline(ss, part, sep)) parts.push_back(part);
+  return parts;
+}
+
+/// --jammers / --byzantine / --energy-budget / --fault-schedule into an
+/// AdversarySpec; the (rumor) source is always protected so the attacked
+/// quantity is the spread of the message, not its existence.
+sim::AdversarySpec parse_adversary(const CliArgs& args, graph::NodeId source) {
+  sim::AdversarySpec adv;
+  adv.jammer_fraction = args.get_double("jammers", 0.0);
+  adv.byzantine_fraction = args.get_double("byzantine", 0.0);
+
+  const std::string budget = args.get_string("energy-budget", "");
+  if (!budget.empty()) {
+    const auto parts = split(budget, ':');
+    RADNET_REQUIRE(parts.size() >= 1 && parts.size() <= 3,
+                   "--energy-budget wants MEAN[:SPREAD[:silent|listen]]");
+    adv.budget_mean = std::stod(parts[0]);
+    if (parts.size() >= 2) adv.budget_spread = std::stod(parts[1]);
+    if (parts.size() == 3) {
+      RADNET_REQUIRE(parts[2] == "silent" || parts[2] == "listen",
+                     "--energy-budget mode must be 'silent' or 'listen'");
+      adv.exhaust_mode = parts[2] == "silent"
+                             ? sim::AdversarySpec::ExhaustMode::kSilent
+                             : sim::AdversarySpec::ExhaustMode::kListenOnly;
+    }
+  }
+
+  const std::string schedule = args.get_string("fault-schedule", "");
+  if (!schedule.empty()) {
+    for (const std::string& entry : split(schedule, ',')) {
+      const auto at = entry.find('@');
+      RADNET_REQUIRE(at != std::string::npos,
+                     "--fault-schedule entries look like crash@R[:F]");
+      const std::string kind = entry.substr(0, at);
+      RADNET_REQUIRE(kind == "crash" || kind == "recover",
+                     "--fault-schedule kinds are 'crash' and 'recover'");
+      const auto parts = split(entry.substr(at + 1), ':');
+      RADNET_REQUIRE(parts.size() >= 1 && parts.size() <= 2,
+                     "--fault-schedule entries look like crash@R[:F]");
+      sim::FaultEvent event;
+      event.round = static_cast<sim::Round>(std::stoul(parts[0]));
+      event.kind = kind == "crash" ? sim::FaultEvent::Kind::kCrash
+                                   : sim::FaultEvent::Kind::kRecover;
+      event.fraction = parts.size() == 2 ? std::stod(parts[1]) : 1.0;
+      adv.fault_schedule.push_back(event);
+    }
+  }
+
+  if (adv.active()) adv.protected_nodes = {source};
+  adv.validate();
+  return adv;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -102,7 +171,8 @@ int main(int argc, char** argv) {
                         "seed", "max-rounds", "threads", "source", "radius-mult",
                         "cluster-size", "diameter", "q", "lambda", "churn",
                         "fail-prob", "p-amp", "p-period", "step", "quiescence",
-                        "help"});
+                        "jammers", "byzantine", "energy-budget",
+                        "fault-schedule", "help"});
     if (args.get_bool("help", false) || argc == 1) {
       std::cout << "usage: radnet_cli --protocol <alg1|alg2|alg2m|alg3|cr|"
                    "decay|eg2005|flooding|fixed|tdma>\n"
@@ -119,7 +189,13 @@ int main(int argc, char** argv) {
                    "                  [--threads K]   within-trial round-sweep"
                    " threads: 1 serial\n"
                    "                  (default), 0 every core; results are"
-                   " identical either way\n";
+                   " identical either way\n"
+                   "                  [--jammers F] [--byzantine F]   adversary"
+                   " node fractions\n"
+                   "                  [--energy-budget MEAN[:SPREAD[:silent|"
+                   "listen]]]\n"
+                   "                  [--fault-schedule crash@R[:F],"
+                   "recover@R[:F],...]\n";
       return 0;
     }
 
@@ -307,6 +383,20 @@ int main(int argc, char** argv) {
     spec.run_options.threads = static_cast<unsigned>(threads);
     spec.run_options.stop_on_empty_candidates = true;
     spec.run_options.run_to_quiescence = args.get_bool("quiescence", false);
+    spec.run_options.adversary = parse_adversary(args, source);
+    const bool adversarial = spec.run_options.adversary.active();
+    if (adversarial) {
+      const auto& adv = spec.run_options.adversary;
+      std::cout << "adversary: jammers=" << adv.jammer_fraction
+                << " byzantine=" << adv.byzantine_fraction
+                << " budget=" << adv.budget_mean << "+-"
+                << adv.budget_spread * adv.budget_mean
+                << (adv.exhaust_mode == sim::AdversarySpec::ExhaustMode::kSilent
+                        ? " (silent)"
+                        : " (listen-only)")
+                << " fault-events=" << adv.fault_schedule.size()
+                << "; source " << source << " protected\n";
+    }
 
     const auto result = harness::run_monte_carlo(spec);
     const auto rounds = result.rounds_sample();
@@ -329,6 +419,23 @@ int main(int argc, char** argv) {
       t.add(coll / trials, 0);
     }
     t.print(std::cout);
+    if (adversarial) {
+      // Completion under attack means "every honest node holds a *valid*
+      // copy"; the stranded fraction is the complementary headline number.
+      double frac_sum = 0.0;
+      std::uint32_t reported = 0;
+      for (const auto& o : result.outcomes)
+        if (o.stranded.has_value() && o.nodes > 0) {
+          frac_sum += static_cast<double>(*o.stranded) / o.nodes;
+          ++reported;
+        }
+      if (reported > 0)
+        std::cout << "stranded (honest nodes without a valid copy): mean "
+                  << frac_sum / reported << " of n over " << reported
+                  << " trials\n";
+      else
+        std::cout << "stranded: protocol does not track provenance\n";
+    }
     return result.success_rate() > 0.0 ? 0 : 2;
   } catch (const std::exception& e) {
     std::cerr << "radnet_cli: " << e.what() << "\n";
