@@ -40,6 +40,7 @@
 #include "core/broadcast_random.hpp"
 #include "core/gossip_random.hpp"
 #include "graph/generators.hpp"
+#include "harness/batch.hpp"
 #include "harness/experiment.hpp"
 #include "harness/monte_carlo.hpp"
 #include "support/table.hpp"
@@ -261,6 +262,37 @@ int main() {
               on_csr(base_spec(alg1, alg1_budget, adv)));
     }
     radnet::harness::emit_table(env, "e18", "faults", t);
+  }
+
+  // ---- Zero-completions regime: the aggregation path must stay clean ----
+  // A jammer fraction this harsh strands every trial; the censored rounds
+  // sample is empty, so every aggregate flows through the try_* optional
+  // accessors (support/stats.hpp) and the batch layer's JSON emitter must
+  // print nulls. The old throwing/NaN path turned this regime into either
+  // an abort or "rounds_median": nan — non-JSON output — so the bench
+  // FAILS if the emitted line is malformed rather than hiding the regime.
+  {
+    radnet::harness::BatchSpec allfail;
+    allfail.protocol = "alg1";
+    allfail.family = radnet::harness::BatchFamily::kImplicitGnp;
+    allfail.n = 512;
+    allfail.trials = trials;
+    allfail.adversary.jammer_fraction = 0.6;
+    allfail.adversary.protected_nodes = {0};
+    allfail.validate();
+    const auto result =
+        radnet::harness::run_monte_carlo(allfail.to_mc_spec());
+    const std::string json = radnet::harness::batch_result_json(
+        allfail, result, trials, /*converged=*/false);
+    std::cout << "E18e — all-fail spec (jam=0.6) result line:\n"
+              << json << "\n";
+    if (json.find("nan") != std::string::npos ||
+        json.find("inf") != std::string::npos ||
+        json.find("\"rounds_median\":null") == std::string::npos) {
+      std::cerr << "E18e: zero-completions result line is malformed — the "
+                   "empty-sample aggregation path regressed\n";
+      return 1;
+    }
   }
 
   std::cout << "Shape check: success falls and stranded/n rises monotonically "

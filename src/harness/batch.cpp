@@ -1,0 +1,611 @@
+#include "harness/batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "baselines/decay.hpp"
+#include "baselines/elsasser_gasieniec.hpp"
+#include "baselines/fixed_prob.hpp"
+#include "baselines/flooding.hpp"
+#include "core/broadcast_random.hpp"
+#include "core/gossip_random.hpp"
+#include "graph/generators.hpp"
+#include "support/hash.hpp"
+#include "support/math.hpp"
+#include "support/parse.hpp"
+#include "support/require.hpp"
+
+namespace radnet::harness {
+
+namespace {
+
+constexpr double kPi = 3.141592653589793;
+
+constexpr std::size_t kNoDup = std::numeric_limits<std::size_t>::max();
+
+bool known_protocol(const std::string& name) {
+  return name == "alg1" || name == "alg2m" || name == "eg2005" ||
+         name == "flooding" || name == "fixed" || name == "decay";
+}
+
+BatchFamily family_from_name(std::string_view name, std::string_view what) {
+  if (name == "csr") return BatchFamily::kCsr;
+  if (name == "ignp") return BatchFamily::kImplicitGnp;
+  if (name == "idgnp") return BatchFamily::kImplicitDynamic;
+  if (name == "irgg") return BatchFamily::kImplicitRgg;
+  throw std::invalid_argument(std::string(what) +
+                              " must be csr, ignp, idgnp or irgg, got '" +
+                              std::string(name) + "'");
+}
+
+/// Deterministic double formatting for the result lines: %.12g is exact
+/// enough to distinguish every statistic we report and — unlike iostream
+/// state — has no locale or stream-flag dependence, so the same result
+/// always renders to the same bytes (the cold/warm identity contract).
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+std::string fmt_opt(const std::optional<double>& v) {
+  return v.has_value() ? fmt_double(*v) : "null";
+}
+
+std::string fmt_interval(const Sample::Interval& iv) {
+  return "[" + fmt_double(iv.lo) + "," + fmt_double(iv.hi) + "]";
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Convergence test evaluated after every granted batch: both the
+/// completion-rate Wilson interval and (when any trial completed) the
+/// rounds-median order-statistic interval must be inside tolerance.
+/// With zero completions there is no rounds distribution to bound — the
+/// rate interval hugging zero IS the answer (the all-fail regime).
+bool spec_converged(const BatchSpec& spec, const McResult& acc,
+                    std::uint32_t granted) {
+  if (granted == 0 || spec.tol <= 0.0) return false;
+  const Sample::Interval rate =
+      wilson_interval(acc.successes, granted, spec.confidence);
+  if ((rate.hi - rate.lo) / 2.0 > spec.tol) return false;
+  if (acc.successes == 0) return true;
+  const Sample rounds = acc.rounds_sample();
+  const auto ci = quantile_ci(rounds, 0.5, spec.confidence);
+  if (!ci.has_value()) return false;
+  const double median = rounds.quantile(0.5);
+  return (ci->hi - ci->lo) / 2.0 <= spec.tol * std::max(1.0, median);
+}
+
+// ---- Disk cache ----------------------------------------------------------
+//
+// One file per (spec hash, seed): a header recording the format version and
+// the granted trial count, then the emitted JSON line verbatim. Replaying
+// the stored bytes (never re-deriving them) is what makes a warm run
+// byte-identical to the cold run that filled the cache.
+
+constexpr const char* kCacheVersion = "radnet-batch-cache-v1";
+
+std::string cache_path(const std::string& dir, std::uint64_t hash,
+                       std::uint64_t seed) {
+  return dir + "/h" + hex16(hash) + "_s" + hex16(seed) + ".rbc";
+}
+
+struct CacheEntry {
+  std::uint32_t granted = 0;
+  bool converged = false;
+  std::string json;
+};
+
+std::optional<CacheEntry> cache_load(const std::string& dir,
+                                     std::uint64_t hash, std::uint64_t seed) {
+  std::ifstream in(cache_path(dir, hash, seed));
+  if (!in) return std::nullopt;
+  std::string header;
+  if (!std::getline(in, header)) return std::nullopt;
+  std::istringstream hs(header);
+  std::string version, hash_hex, seed_hex;
+  std::uint32_t granted = 0;
+  int converged = 0;
+  if (!(hs >> version >> hash_hex >> seed_hex >> granted >> converged))
+    return std::nullopt;
+  // Any mismatch — stale format, foreign file, truncation — is a miss,
+  // never a wrong answer: the worst a corrupt cache can do is recompute.
+  if (version != kCacheVersion || hash_hex != hex16(hash) ||
+      seed_hex != hex16(seed))
+    return std::nullopt;
+  CacheEntry entry;
+  entry.granted = granted;
+  entry.converged = converged != 0;
+  if (!std::getline(in, entry.json) || entry.json.empty()) return std::nullopt;
+  return entry;
+}
+
+void cache_store(const std::string& dir, std::uint64_t hash,
+                 std::uint64_t seed, std::uint32_t granted, bool converged,
+                 const std::string& json) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return;  // cache is an accelerator: failing to store is not fatal
+  std::ofstream out(cache_path(dir, hash, seed), std::ios::trunc);
+  if (!out) return;
+  out << kCacheVersion << ' ' << hex16(hash) << ' ' << hex16(seed) << ' '
+      << granted << ' ' << (converged ? 1 : 0) << '\n'
+      << json << '\n';
+}
+
+}  // namespace
+
+const char* batch_family_name(BatchFamily family) {
+  switch (family) {
+    case BatchFamily::kCsr: return "csr";
+    case BatchFamily::kImplicitGnp: return "ignp";
+    case BatchFamily::kImplicitDynamic: return "idgnp";
+    case BatchFamily::kImplicitRgg: return "irgg";
+  }
+  RADNET_CHECK(false, "unreachable batch family");
+  return "";
+}
+
+double BatchSpec::effective_p() const {
+  if (family == BatchFamily::kImplicitRgg) {
+    const double r = rgg_radius();
+    return std::min(1.0, kPi * r * r);
+  }
+  if (p > 0.0) return p;
+  // Dense small-n corners of a delta sweep can push delta*ln(n)/n past 1;
+  // the model then saturates at the complete graph rather than rejecting.
+  return std::min(1.0, delta * std::log(static_cast<double>(n)) /
+                           static_cast<double>(n));
+}
+
+double BatchSpec::rgg_radius() const {
+  return graph::rgg_threshold_radius(n, radius_mult);
+}
+
+std::uint64_t BatchSpec::resolved_max_rounds() const {
+  if (max_rounds > 0) return max_rounds;
+  // Same budget radnet_cli derives: 64 * (D log n + log^2 n), with the hop
+  // diameter D from the family's geometry. Keeping the formulas identical
+  // means a batch spec and the equivalent CLI invocation run the same
+  // experiment.
+  const double log2n = std::log2(static_cast<double>(n));
+  const std::uint64_t diameter =
+      family == BatchFamily::kImplicitRgg
+          ? std::max<std::uint64_t>(
+                2, static_cast<std::uint64_t>(std::ceil(1.4143 / rgg_radius())))
+          : 2ull * ilog2_floor(n) + 8;
+  return static_cast<std::uint64_t>(
+      64.0 * (static_cast<double>(diameter) * std::max(1.0, log2n) +
+              log2n * log2n));
+}
+
+void BatchSpec::validate() const {
+  RADNET_REQUIRE(known_protocol(protocol),
+                 "spec field protocol must be alg1, alg2m, eg2005, flooding, "
+                 "fixed or decay, got '" + protocol + "'");
+  RADNET_REQUIRE(n >= 1, "spec field n must be >= 1");
+  RADNET_REQUIRE(trials >= 1 && trials <= McSpec::kMaxTrials,
+                 "spec field trials must be in [1, McSpec::kMaxTrials]");
+  RADNET_REQUIRE(std::isfinite(tol) && tol >= 0.0,
+                 "spec field tol must be finite and >= 0");
+  RADNET_REQUIRE(confidence > 0.0 && confidence < 1.0,
+                 "spec field confidence must be in (0, 1)");
+  RADNET_REQUIRE(std::isfinite(q) && q >= 0.0 && q <= 1.0,
+                 "spec field q must be in [0, 1]");
+  RADNET_REQUIRE(p >= 0.0 && p <= 1.0, "spec field p must be in [0, 1]");
+  RADNET_REQUIRE(std::isfinite(delta) && delta > 0.0,
+                 "spec field delta must be > 0");
+  if (family == BatchFamily::kImplicitRgg) {
+    RADNET_REQUIRE(std::isfinite(radius_mult) && radius_mult > 0.0,
+                   "spec field radius-mult must be > 0");
+    const double r = rgg_radius();
+    RADNET_REQUIRE(r > 0.0 && r <= 1.5,
+                   "spec field radius-mult yields a radius outside (0, 1.5]");
+    RADNET_REQUIRE(step >= 0.0 && step <= 1.0,
+                   "spec field step must be in [0, 1]");
+  } else {
+    RADNET_REQUIRE(effective_p() > 0.0,
+                   "resolved link probability must be > 0 (n = 1 with a "
+                   "delta default has no edges; set p explicitly)");
+  }
+  if (family == BatchFamily::kImplicitDynamic) {
+    RADNET_REQUIRE(churn > 0.0 && churn <= 1.0,
+                   "spec field churn must be in (0, 1]");
+    RADNET_REQUIRE(fail_prob >= 0.0 && fail_prob < 1.0,
+                   "spec field fail-prob must be in [0, 1)");
+  }
+  RADNET_REQUIRE(resolved_max_rounds() >= 1 &&
+                     resolved_max_rounds() <=
+                         std::numeric_limits<sim::Round>::max(),
+                 "spec field max-rounds is out of range");
+  adversary.validate();
+}
+
+std::uint64_t BatchSpec::hash() const {
+  validate();
+  // Resolved values, not as-written ones: `delta=8` and the explicit p it
+  // resolves to hash identically, as do an explicit max-rounds equal to
+  // the derived default. Tags are append-only (see HashStream).
+  HashStream h("radnet-batch-spec-v1");
+  h.put_string(1, protocol);
+  h.put_u64(2, static_cast<std::uint64_t>(family));
+  h.put_u64(3, n);
+  h.put_double(4, effective_p());
+  h.put_double(5, q);
+  h.put_double(6, churn);
+  h.put_double(7, fail_prob);
+  h.put_double(8, radius_mult);
+  h.put_double(9, step);
+  h.put_u64(10, trials);
+  h.put_u64(11, seed);
+  h.put_u64(12, resolved_max_rounds());
+  h.put_double(13, tol);
+  h.put_double(14, confidence);
+  h.put_double(15, adversary.jammer_fraction);
+  h.put_double(16, adversary.byzantine_fraction);
+  h.put_double(17, adversary.budget_mean);
+  h.put_double(18, adversary.budget_spread);
+  h.put_u64(19, static_cast<std::uint64_t>(adversary.exhaust_mode));
+  h.put_u64(20, adversary.fault_schedule.size());
+  for (const sim::FaultEvent& ev : adversary.fault_schedule) {
+    h.put_u64(21, ev.round);
+    h.put_u64(22, static_cast<std::uint64_t>(ev.kind));
+    h.put_double(23, ev.fraction);
+  }
+  h.put_u64(24, adversary.protected_nodes.size());
+  for (const graph::NodeId v : adversary.protected_nodes) h.put_u64(25, v);
+  return h.value();
+}
+
+McSpec BatchSpec::to_mc_spec() const {
+  validate();
+  McSpec mc;
+  mc.trials = trials;
+  mc.seed = seed;
+  const double eff_p = effective_p();
+  const graph::NodeId nodes = n;
+  switch (family) {
+    case BatchFamily::kCsr:
+      mc.make_graph = [nodes, eff_p](std::uint32_t, Rng rng) {
+        return std::make_shared<const graph::Digraph>(
+            graph::gnp_directed(nodes, eff_p, rng));
+      };
+      break;
+    case BatchFamily::kImplicitGnp:
+      mc.implicit_gnp = ImplicitGnpParams{nodes, eff_p};
+      break;
+    case BatchFamily::kImplicitDynamic: {
+      sim::ImplicitDynamicGnp d;
+      d.n = nodes;
+      d.p = eff_p;
+      d.churn = churn;
+      d.fail_prob = fail_prob;
+      mc.implicit_dynamic = std::move(d);
+      break;
+    }
+    case BatchFamily::kImplicitRgg: {
+      const double r = rgg_radius();
+      mc.implicit_rgg = sim::ImplicitRgg{nodes, r, r * step, Rng{}};
+      break;
+    }
+  }
+  const std::string name = protocol;
+  const double qq = q;
+  mc.make_protocol = [name, eff_p, qq](const graph::Digraph&, std::uint32_t)
+      -> std::unique_ptr<sim::Protocol> {
+    if (name == "alg1")
+      return std::make_unique<core::BroadcastRandomProtocol>(
+          core::BroadcastRandomParams{.p = eff_p, .source = 0});
+    if (name == "alg2m")
+      return std::make_unique<core::GossipRumorMarginalProtocol>(
+          core::GossipRumorMarginalParams{.p = eff_p, .rumor_source = 0});
+    if (name == "eg2005")
+      return std::make_unique<baselines::ElsasserGasieniecProtocol>(
+          baselines::ElsasserGasieniecParams{.p = eff_p, .source = 0});
+    if (name == "flooding")
+      return std::make_unique<baselines::FloodingProtocol>(graph::NodeId{0});
+    if (name == "fixed")
+      return std::make_unique<baselines::FixedProbProtocol>(
+          baselines::FixedProbParams{.q = qq, .source = 0});
+    if (name == "decay")
+      return std::make_unique<baselines::DecayProtocol>(
+          baselines::DecayParams{.source = 0});
+    throw std::invalid_argument("unknown batch protocol: " + name);
+  };
+  mc.run_options.max_rounds = static_cast<sim::Round>(resolved_max_rounds());
+  mc.run_options.stop_on_empty_candidates = true;
+  mc.run_options.adversary = adversary;
+  return mc;
+}
+
+BatchSpec parse_batch_spec(std::string_view line) {
+  BatchSpec spec;
+  std::unordered_set<std::string> seen;
+  std::istringstream tokens{std::string(line)};
+  std::string token;
+  while (tokens >> token) {
+    if (token[0] == '#') break;
+    const std::size_t eq = token.find('=');
+    RADNET_REQUIRE(eq != std::string::npos && eq > 0,
+                   "spec tokens look like key=value, got '" + token + "'");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    RADNET_REQUIRE(seen.insert(key).second,
+                   "duplicate spec key '" + key + "'");
+    const std::string what = "spec field " + key;
+    if (key == "protocol") {
+      RADNET_REQUIRE(known_protocol(value),
+                     what + " must be alg1, alg2m, eg2005, flooding, fixed "
+                            "or decay, got '" + value + "'");
+      spec.protocol = value;
+    } else if (key == "family") {
+      spec.family = family_from_name(value, what);
+    } else if (key == "n") {
+      const std::uint64_t v = parse_u64_strict(value, what);
+      RADNET_REQUIRE(v >= 1 && v <= std::numeric_limits<graph::NodeId>::max(),
+                     what + " is out of range");
+      spec.n = static_cast<graph::NodeId>(v);
+    } else if (key == "p") {
+      spec.p = parse_double_in(value, what, 0.0, 1.0);
+    } else if (key == "delta") {
+      spec.delta = parse_double_strict(value, what);
+    } else if (key == "q") {
+      spec.q = parse_double_in(value, what, 0.0, 1.0);
+    } else if (key == "churn") {
+      spec.churn = parse_double_in(value, what, 0.0, 1.0);
+    } else if (key == "fail-prob") {
+      spec.fail_prob = parse_double_in(value, what, 0.0, 1.0);
+    } else if (key == "radius-mult") {
+      spec.radius_mult = parse_double_strict(value, what);
+    } else if (key == "step") {
+      spec.step = parse_double_in(value, what, 0.0, 1.0);
+    } else if (key == "trials") {
+      const std::uint64_t v = parse_u64_strict(value, what);
+      RADNET_REQUIRE(v >= 1 && v <= McSpec::kMaxTrials,
+                     what + " is out of range");
+      spec.trials = static_cast<std::uint32_t>(v);
+    } else if (key == "seed") {
+      spec.seed = parse_u64_strict(value, what);
+    } else if (key == "max-rounds") {
+      spec.max_rounds = parse_u64_strict(value, what);
+    } else if (key == "tol") {
+      spec.tol = parse_double_in(value, what, 0.0, 1.0);
+    } else if (key == "confidence") {
+      spec.confidence = parse_double_strict(value, what);
+    } else if (key == "jammers") {
+      spec.adversary.jammer_fraction = parse_double_in(value, what, 0.0, 1.0);
+    } else if (key == "byzantine") {
+      spec.adversary.byzantine_fraction =
+          parse_double_in(value, what, 0.0, 1.0);
+    } else if (key == "energy-budget") {
+      sim::parse_energy_budget(value, what, spec.adversary);
+    } else if (key == "fault-schedule") {
+      spec.adversary.fault_schedule = sim::parse_fault_schedule(value, what);
+    } else {
+      throw std::invalid_argument("unknown spec key '" + key + "'");
+    }
+  }
+  RADNET_REQUIRE(!seen.empty(), "empty spec line");
+  // Node 0 is every batch protocol's source; protecting it makes the
+  // attacked quantity the spread of the rumor, not its existence
+  // (radnet_cli does the same).
+  if (spec.adversary.active()) spec.adversary.protected_nodes = {0};
+  spec.validate();
+  return spec;
+}
+
+std::vector<BatchSpec> parse_batch_file(std::istream& in) {
+  std::vector<BatchSpec> specs;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    try {
+      specs.push_back(parse_batch_spec(line));
+    } catch (const std::exception& e) {
+      throw std::invalid_argument("spec line " + std::to_string(lineno) +
+                                  ": " + e.what());
+    }
+  }
+  return specs;
+}
+
+std::string batch_result_json(const BatchSpec& spec, const McResult& result,
+                              std::uint32_t granted, bool converged) {
+  RADNET_REQUIRE(result.outcomes.size() == granted,
+                 "result holds a different trial count than `granted`");
+  RADNET_REQUIRE(granted >= 1, "cannot report a spec with zero trials");
+  const Sample::Interval rate =
+      wilson_interval(result.successes, granted, spec.confidence);
+  const Sample rounds = result.rounds_sample();
+  const auto rounds_ci = quantile_ci(rounds, 0.5, spec.confidence);
+  std::string json;
+  json.reserve(512);
+  json += "{\"hash\":\"" + hex16(spec.hash()) + "\"";
+  json += ",\"protocol\":\"" + spec.protocol + "\"";
+  json += ",\"family\":\"";
+  json += batch_family_name(spec.family);
+  json += "\",\"n\":" + std::to_string(spec.n);
+  json += ",\"seed\":" + std::to_string(spec.seed);
+  json += ",\"trials_max\":" + std::to_string(spec.trials);
+  json += ",\"trials_granted\":" + std::to_string(granted);
+  json += std::string(",\"converged\":") + (converged ? "true" : "false");
+  json += ",\"successes\":" + std::to_string(result.successes);
+  json += ",\"success_rate\":" + fmt_double(result.success_rate());
+  json += ",\"rate_ci\":" + fmt_interval(rate);
+  // The censored-rounds sample is empty in the all-fail regime: report
+  // nulls, not NaNs — the line must stay machine-parseable JSON.
+  json += ",\"rounds_median\":" + fmt_opt(rounds.try_quantile(0.5));
+  json += ",\"rounds_ci\":" +
+          (rounds_ci.has_value() ? fmt_interval(*rounds_ci)
+                                 : std::string("null"));
+  json += ",\"rounds_mean\":" + fmt_opt(rounds.try_mean());
+  json += ",\"total_tx_mean\":" + fmt_opt(result.total_tx_sample().try_mean());
+  json += ",\"stranded_mean\":" + fmt_opt(result.stranded_sample().try_mean());
+  json += "}";
+  return json;
+}
+
+std::vector<BatchOutcome> run_batch(const std::vector<BatchSpec>& specs,
+                                    const BatchOptions& options,
+                                    std::ostream& out, BatchStats* stats_out) {
+  RADNET_REQUIRE(options.min_grant >= 1, "BatchOptions.min_grant must be >= 1");
+  BatchStats stats;
+  stats.specs = specs.size();
+
+  struct SpecState {
+    const BatchSpec* spec = nullptr;
+    std::uint64_t hash = 0;
+    McSpec mc;
+    McResult acc;
+    std::uint32_t granted = 0;
+    std::size_t dup_of = kNoDup;  ///< state index of the first equal-hash spec
+    bool done = false;
+    bool converged = false;
+    bool from_cache = false;
+    std::string json;
+  };
+
+  std::vector<SpecState> states(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    SpecState& st = states[i];
+    st.spec = &specs[i];
+    st.hash = specs[i].hash();
+    st.mc = specs[i].to_mc_spec();
+    // Thread schedule only — never results: 1 pins trials to the calling
+    // thread, k > 1 gives each trial k-thread round sweeps, 0 lets the
+    // harness choose per grant.
+    if (options.threads == 1)
+      st.mc.serial = true;
+    else if (options.threads > 1)
+      st.mc.run_options.threads = options.threads;
+  }
+
+  // Emission (and scheduling) order: family-major, stable by input index.
+  std::vector<std::size_t> order(specs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return states[a].spec->family < states[b].spec->family;
+                   });
+
+  // In-run memo + disk lookups. A duplicate hash always points backwards in
+  // emission order (equal hash => equal spec => same family, and the sort
+  // is stable), so a dup's primary is resolved before the dup is reached.
+  std::unordered_map<std::uint64_t, std::size_t> memo;
+  for (const std::size_t idx : order) {
+    SpecState& st = states[idx];
+    const auto [it, inserted] = memo.emplace(st.hash, idx);
+    if (!inserted) {
+      st.dup_of = it->second;
+      continue;
+    }
+    if (options.cache_dir.empty() || options.force_full) continue;
+    if (auto entry = cache_load(options.cache_dir, st.hash, st.spec->seed)) {
+      st.done = true;
+      st.from_cache = true;
+      st.granted = entry->granted;
+      st.converged = entry->converged;
+      st.json = std::move(entry->json);
+      ++stats.cache_hits;
+      stats.trials_saved += st.spec->trials - st.granted;
+    }
+  }
+
+  std::size_t frontier = 0;
+  const auto flush = [&] {
+    while (frontier < order.size() && states[order[frontier]].done) {
+      out << states[order[frontier]].json << '\n';
+      ++frontier;
+    }
+  };
+
+  // Round-robin grant passes: every unconverged spec receives one
+  // (doubling) grant per pass, so slow-converging specs never starve fast
+  // ones, and the grant sequence — hence every reported trial count — is a
+  // pure function of the specs themselves.
+  bool pending = true;
+  while (pending) {
+    pending = false;
+    for (const std::size_t idx : order) {
+      SpecState& st = states[idx];
+      if (st.done) continue;
+      if (st.dup_of != kNoDup) {
+        const SpecState& primary = states[st.dup_of];
+        // The primary precedes the dup in emission order but may still be
+        // mid-schedule this pass; the dup just waits for it.
+        if (!primary.done) {
+          pending = true;
+          continue;
+        }
+        st.done = true;
+        st.converged = primary.converged;
+        st.from_cache = true;
+        st.granted = primary.granted;
+        st.json = primary.json;
+        ++stats.cache_hits;
+        stats.trials_saved += st.spec->trials;
+        flush();
+        continue;
+      }
+      const std::uint32_t remaining = st.spec->trials - st.granted;
+      const std::uint32_t grant =
+          options.force_full
+              ? remaining
+              : std::min(remaining, std::max(options.min_grant, st.granted));
+      run_monte_carlo_range(st.mc, st.granted, grant, st.acc);
+      st.granted += grant;
+      stats.trials_run += grant;
+      const bool converged = spec_converged(*st.spec, st.acc, st.granted);
+      const bool exhausted = st.granted == st.spec->trials;
+      if ((converged && !options.force_full) || exhausted) {
+        st.done = true;
+        st.converged = converged;
+        stats.trials_saved += st.spec->trials - st.granted;
+        st.json = batch_result_json(*st.spec, st.acc, st.granted, converged);
+        // force_full runs are diagnostic (prefix-of-full-run comparisons):
+        // storing them would make a later early-stopping run replay the
+        // full-trial line instead of the bytes it would compute itself.
+        if (!options.cache_dir.empty() && !options.force_full) {
+          cache_store(options.cache_dir, st.hash, st.spec->seed, st.granted,
+                      converged, st.json);
+          ++stats.cache_stores;
+        }
+        flush();
+      } else {
+        pending = true;
+      }
+    }
+  }
+  flush();
+  RADNET_CHECK(frontier == order.size(), "batch ended with unemitted specs");
+
+  std::vector<BatchOutcome> outcomes(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    outcomes[i] = BatchOutcome{states[i].hash, states[i].granted,
+                               states[i].converged, states[i].from_cache,
+                               std::move(states[i].json)};
+  }
+  if (stats_out != nullptr) *stats_out = stats;
+  return outcomes;
+}
+
+}  // namespace radnet::harness

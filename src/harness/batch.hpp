@@ -1,0 +1,183 @@
+// Batched many-query Monte-Carlo: the engine as a service.
+//
+// The one-shot harness (monte_carlo.hpp) answers a single
+// (protocol, topology, n, p, adversary) question per invocation; serving
+// heavy traffic means amortising across thousands of such questions. This
+// layer turns specs into data:
+//
+//   * a BatchSpec is one declarative query — parsed from a `key=value`
+//     spec line, defaulted, validated, and canonicalised into a stable
+//     64-bit hash (support/hash.hpp) over the resolved field set, so the
+//     same question always addresses the same cached answer regardless of
+//     key order or spelled-out defaults;
+//   * run_batch groups specs by backend family and admits trials
+//     incrementally (a deterministic doubling grant schedule per spec,
+//     interleaved round-robin within each family group) on the shared
+//     global pool;
+//   * each spec early-stops as soon as its completion-rate Wilson interval
+//     and its completion-rounds median order-statistic interval
+//     (support/stats.hpp) are below its tolerance. Because trial t's
+//     randomness is keyed on (seed, t) alone — never on the grant schedule
+//     or thread count — an early-stopped result is bit-identical to a
+//     prefix of the full run (run_monte_carlo_range's contract);
+//   * converged results are streamed to the output in deterministic order
+//     (family-major, then input order: a spec's line prints as soon as it
+//     and every spec before it in that order have converged), so the byte
+//     stream is identical at any thread count and cold vs warm cache;
+//   * results are cached on disk keyed by (spec hash, seed) with the
+//     granted trial count recorded inside the entry, so a repeated query
+//     is an O(1) lookup that replays the stored line verbatim. An
+//     in-memory memo gives the same O(1) answer to duplicates within one
+//     invocation even with the disk cache disabled.
+//
+// tools/radnet_batch.cpp is the thin CLI over this layer;
+// tests/harness/batch_test.cpp pins the determinism, prefix and cache
+// contracts, and tools/bench_runner.cpp gates cold-vs-cached and
+// serial-vs-parallel identity in the bench_smoke JSON (schema v6).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/monte_carlo.hpp"
+#include "sim/adversary.hpp"
+
+namespace radnet::harness {
+
+/// Backend family of a batch spec — the scheduler's grouping key (specs of
+/// one family share graph-build code paths and cache behaviour).
+enum class BatchFamily : std::uint8_t {
+  kCsr = 0,              ///< explicit CSR G(n,p), materialised per trial
+  kImplicitGnp = 1,      ///< graph-free static G(n,p)
+  kImplicitDynamic = 2,  ///< graph-free dynamic G(n,p) (churn / failures)
+  kImplicitRgg = 3,      ///< graph-free mobility RGG
+};
+
+/// Short name used in spec lines and result JSON ("csr", "ignp", ...).
+[[nodiscard]] const char* batch_family_name(BatchFamily family);
+
+/// One declarative Monte-Carlo query. Field defaults ARE the canonical
+/// defaults: parse_batch_spec applies them, validate() checks the resolved
+/// values, and hash() covers every field below (resolved, not as written),
+/// so adding a field here requires a new tag in hash() — never a renumber.
+struct BatchSpec {
+  /// alg1 | alg2m | eg2005 | flooding | fixed | decay
+  std::string protocol = "alg1";
+  BatchFamily family = BatchFamily::kImplicitGnp;
+  graph::NodeId n = 1024;
+  /// Link probability; 0 means "use delta": p = delta * ln(n) / n.
+  double p = 0.0;
+  double delta = 8.0;
+  /// fixed-prob protocol's transmit probability.
+  double q = 0.5;
+  /// Implicit-dynamic family: per-round link churn in (0, 1] and permanent
+  /// radio-failure probability in [0, 1).
+  double churn = 1.0;
+  double fail_prob = 0.0;
+  /// Implicit-RGG family: radio range as a multiple of the connectivity-
+  /// threshold radius, and per-round step as a fraction of the range.
+  double radius_mult = 2.0;
+  double step = 0.125;
+  /// Maximum trials; early stopping may grant fewer (never more).
+  std::uint32_t trials = 256;
+  std::uint64_t seed = 0x5eed;
+  /// Per-trial round budget; 0 derives the standard budget from n (and the
+  /// RGG hop diameter), mirroring radnet_cli.
+  std::uint64_t max_rounds = 0;
+  /// Early-stop tolerance: converged once the completion-rate CI half-width
+  /// is <= tol AND the rounds-median CI half-width is <= tol * median.
+  /// 0 disables early stopping (every trial runs).
+  double tol = 0.05;
+  double confidence = 0.95;
+  /// Adversary scenario (jammers / byzantine / energy-budget /
+  /// fault-schedule spec keys); node 0 — the source — is auto-protected.
+  sim::AdversarySpec adversary;
+
+  /// Rejects out-of-range resolved fields with std::invalid_argument
+  /// (the batch runner refuses whole files fail-fast, before any trial).
+  void validate() const;
+
+  /// Link probability after the delta default is resolved; for the RGG
+  /// family this is the mean-degree fraction pi*r^2 (tunes protocol rates).
+  [[nodiscard]] double effective_p() const;
+  /// RGG radio range (rgg_threshold_radius(n, radius_mult)).
+  [[nodiscard]] double rgg_radius() const;
+  /// max_rounds after the 0-default is resolved.
+  [[nodiscard]] std::uint64_t resolved_max_rounds() const;
+
+  /// Canonical 64-bit spec hash (FNV-1a + avalanche over the validated,
+  /// resolved field set, adversary block included). The cache address.
+  [[nodiscard]] std::uint64_t hash() const;
+
+  /// Lowers the query to a one-shot harness spec (factories bound, round
+  /// budget resolved, source protected under an active adversary).
+  [[nodiscard]] McSpec to_mc_spec() const;
+};
+
+/// Parses one `key=value ...` spec line (whitespace-separated; `#` starts
+/// a comment). Unknown keys and malformed values throw
+/// std::invalid_argument naming the key. Defaults per BatchSpec.
+[[nodiscard]] BatchSpec parse_batch_spec(std::string_view line);
+
+/// Parses a whole spec file: one spec per non-blank, non-comment line.
+/// Errors are rethrown with the 1-based line number prepended.
+[[nodiscard]] std::vector<BatchSpec> parse_batch_file(std::istream& in);
+
+struct BatchOptions {
+  /// Result cache directory (created on demand); empty disables the disk
+  /// cache. Entries are invalidated by construction: the filename carries
+  /// (spec hash, seed) and the header records the format version and
+  /// granted trials, so any mismatch is a miss, never a wrong answer.
+  std::string cache_dir;
+  /// Grant every spec its full trial count regardless of tolerances (the
+  /// forced full run the prefix tests compare early stops against).
+  bool force_full = false;
+  /// Thread schedule, radnet_cli semantics: 1 = fully serial, 0 = harness
+  /// default (trial- vs round-parallelism per grant), k = k-thread round
+  /// sweeps. Output bytes are identical for every value.
+  unsigned threads = 0;
+  /// First grant quantum; grants double thereafter (16, 16, 32, 64, ...),
+  /// so granted counts are a deterministic function of convergence alone.
+  std::uint32_t min_grant = 16;
+};
+
+/// One spec's outcome; `json` is exactly the line streamed to `out`.
+struct BatchOutcome {
+  std::uint64_t hash = 0;
+  std::uint32_t trials_granted = 0;
+  bool converged = false;    ///< CIs under tolerance (vs trials exhausted)
+  bool from_cache = false;   ///< answered by disk cache or in-run memo
+  std::string json;
+};
+
+/// Aggregate counters for the invocation (reported to stderr by the CLI).
+struct BatchStats {
+  std::uint64_t specs = 0;
+  std::uint64_t cache_hits = 0;    ///< disk hits + in-run memo hits
+  std::uint64_t cache_stores = 0;
+  std::uint64_t trials_run = 0;
+  std::uint64_t trials_saved = 0;  ///< sum over specs of (trials - granted)
+};
+
+/// Runs every spec and streams result lines to `out` in deterministic
+/// (family-major, then input) order. Returns per-spec outcomes in INPUT
+/// order. The byte stream written to `out` is identical across thread
+/// counts, cold vs warm cache, and early-stop vs force_full re-runs of
+/// already-converged grants (same grants => same bytes).
+[[nodiscard]] std::vector<BatchOutcome> run_batch(
+    const std::vector<BatchSpec>& specs, const BatchOptions& options,
+    std::ostream& out, BatchStats* stats = nullptr);
+
+/// The canonical result line for a (spec, accumulated result) pair —
+/// exposed so tests and bench_runner can re-derive the expected bytes.
+/// Handles the zero-completions regime with JSON nulls (never NaN): an
+/// all-fail spec is a data point, not a formatting error.
+[[nodiscard]] std::string batch_result_json(const BatchSpec& spec,
+                                            const McResult& result,
+                                            std::uint32_t granted,
+                                            bool converged);
+
+}  // namespace radnet::harness

@@ -44,6 +44,10 @@ Sample McResult::stranded_sample() const {
 
 void McSpec::validate() const {
   RADNET_REQUIRE(trials >= 1, "need at least one trial");
+  RADNET_REQUIRE(trials <= kMaxTrials,
+                 "trials exceeds McSpec::kMaxTrials — the per-trial slot "
+                 "vector would need a multi-GiB allocation; split the "
+                 "experiment or raise the bound deliberately");
   const int implicit_backends = (implicit_gnp.has_value() ? 1 : 0) +
                                 (implicit_dynamic.has_value() ? 1 : 0) +
                                 (implicit_rgg.has_value() ? 1 : 0);
@@ -88,10 +92,31 @@ void McSpec::validate() const {
 }
 
 McResult run_monte_carlo(const McSpec& spec) {
-  spec.validate();
-
   McResult result;
-  result.outcomes.resize(spec.trials);
+  run_monte_carlo_range(spec, 0, spec.trials, result);
+  return result;
+}
+
+void run_monte_carlo_range(const McSpec& spec, std::uint32_t first,
+                           std::uint32_t count, McResult& into) {
+  spec.validate();
+  RADNET_REQUIRE(static_cast<std::uint64_t>(first) + count <= spec.trials,
+                 "trial range [first, first + count) exceeds spec.trials");
+  RADNET_REQUIRE(into.outcomes.size() == first,
+                 "`into` must hold exactly the outcomes of trials "
+                 "[0, first) — ranges accumulate in order");
+  if (count == 0) return;
+  // Overflow-checked slot sizing: validate() bounds trials at kMaxTrials,
+  // but the arithmetic below must stay safe even if that bound is ever
+  // raised (32-bit size_t: count * sizeof(TrialOutcome) can wrap).
+  const std::uint64_t slots = static_cast<std::uint64_t>(first) + count;
+  const std::uint64_t bytes = slots * sizeof(TrialOutcome);
+  RADNET_REQUIRE(bytes / sizeof(TrialOutcome) == slots &&
+                     bytes <= static_cast<std::uint64_t>(SIZE_MAX),
+                 "trial slot vector size overflows size_t");
+
+  McResult& result = into;
+  result.outcomes.resize(static_cast<std::size_t>(slots));
   const Rng root(spec.seed);
   // Handed to make_protocol for implicit trials; protocols are oblivious
   // and must not read the topology from it.
@@ -115,11 +140,14 @@ McResult run_monte_carlo(const McSpec& spec) {
   const bool sampled_backend = spec.implicit_gnp.has_value() ||
                                spec.implicit_dynamic.has_value() ||
                                spec.implicit_rgg.has_value();
+  // The heuristic looks at the trial count of *this* range — an
+  // early-stopping caller's last small grant prefers round-parallelism
+  // just like a small standalone spec would. Purely a schedule choice:
+  // outcomes are identical either way.
   const bool round_parallel =
       !spec.serial && run_options.threads == 1 &&
       global_pool().size() > 1 &&
-      (sampled_backend ? spec.trials < global_pool().size()
-                       : spec.trials == 1);
+      (sampled_backend ? count < global_pool().size() : count == 1);
   if (round_parallel) run_options.threads = 0;
 
   // Adversarial specs re-key the adversary per trial from the (seed,
@@ -128,7 +156,10 @@ McResult run_monte_carlo(const McSpec& spec) {
   // with the same root seed face identical adversaries.
   const bool adversarial = run_options.adversary.active();
 
-  const auto run_trial = [&](std::uint64_t t) {
+  const auto run_trial = [&](std::uint64_t idx) {
+    // Absolute trial id: randomness streams are keyed on it, so a trial's
+    // outcome never depends on which range call ran it.
+    const std::uint64_t t = first + idx;
     const auto trial = static_cast<std::uint32_t>(t);
     Rng graph_rng = root.split(t, 0);
     const Rng protocol_rng = root.split(t, 1);
@@ -199,14 +230,14 @@ McResult run_monte_carlo(const McSpec& spec) {
     // Sequential trials: either truly serial (spec.serial) or because each
     // trial's round sweeps own the pool (round_parallel — launching trials
     // through the pool here would inline the nested sweeps instead).
-    for (std::uint32_t t = 0; t < spec.trials; ++t) run_trial(t);
+    for (std::uint32_t i = 0; i < count; ++i) run_trial(i);
   } else {
-    global_pool().parallel_for_index(spec.trials, run_trial);
+    global_pool().parallel_for_index(count, run_trial);
   }
 
-  for (const auto& o : result.outcomes)
-    if (o.completed) ++result.successes;
-  return result;
+  // `into.successes` already counts trials [0, first); fold in the range.
+  for (std::size_t i = first; i < result.outcomes.size(); ++i)
+    if (result.outcomes[i].completed) ++result.successes;
 }
 
 std::function<std::shared_ptr<const graph::Digraph>(std::uint32_t, Rng)>

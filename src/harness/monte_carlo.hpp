@@ -47,6 +47,15 @@ struct ImplicitGnpParams {
 };
 
 struct McSpec {
+  /// Hard ceiling on `trials`, enforced by validate(): the harness
+  /// pre-sizes one TrialOutcome slot per trial before anything runs, so a
+  /// fat-fingered trial count must fail validation loudly instead of
+  /// silently attempting a multi-GiB allocation (at the bound the slot
+  /// vector alone is ~1 GiB; the per-trial topology state scales on top of
+  /// it). The slot-sizing arithmetic itself is overflow-checked in
+  /// run_monte_carlo_range for 32-bit size_t targets.
+  static constexpr std::uint32_t kMaxTrials = 1u << 24;
+
   /// Number of independent trials.
   std::uint32_t trials = 32;
   /// Root seed; the entire experiment is a function of this.
@@ -131,6 +140,18 @@ struct McResult {
 
 /// Runs the experiment described by `spec`.
 [[nodiscard]] McResult run_monte_carlo(const McSpec& spec);
+
+/// Incremental accumulation: runs trials [first, first + count) of the
+/// experiment and appends their outcomes to `into` (which must already
+/// hold exactly the outcomes of trials [0, first) — typically from earlier
+/// calls). Trial t is a pure function of (spec.seed, t) regardless of how
+/// the trial range is chunked or threaded, so a sequence of range calls
+/// produces outcomes bit-identical to one run_monte_carlo call — this is
+/// what lets the batch sweep service (harness/batch.hpp) early-stop a spec
+/// and still guarantee its result is an exact prefix of the full run.
+/// first + count <= spec.trials; validates the spec on every call.
+void run_monte_carlo_range(const McSpec& spec, std::uint32_t first,
+                           std::uint32_t count, McResult& into);
 
 /// Convenience: wraps an already-built graph for McSpec::make_graph.
 [[nodiscard]] std::function<std::shared_ptr<const graph::Digraph>(std::uint32_t, Rng)>

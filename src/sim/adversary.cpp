@@ -1,10 +1,89 @@
 #include "sim/adversary.hpp"
 
 #include <cmath>
+#include <limits>
+#include <string>
 
+#include "support/parse.hpp"
 #include "support/require.hpp"
 
 namespace radnet::sim {
+
+namespace {
+
+/// Splits on `sep`; an empty input yields no parts, a trailing separator
+/// yields a trailing empty part (which the strict numeric parses then
+/// reject by name — "recover@" style truncations must not pass silently).
+std::vector<std::string_view> split_view(std::string_view s, char sep) {
+  std::vector<std::string_view> parts;
+  if (s.empty()) return parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+void parse_energy_budget(std::string_view text, std::string_view what,
+                         AdversarySpec& spec) {
+  const auto parts = split_view(text, ':');
+  RADNET_REQUIRE(parts.size() >= 1 && parts.size() <= 3,
+                 std::string(what) + " wants MEAN[:SPREAD[:silent|listen]]");
+  spec.budget_mean = parse_double_in(
+      parts[0], std::string(what) + " MEAN", 0.0,
+      std::numeric_limits<double>::max());
+  if (parts.size() >= 2)
+    spec.budget_spread =
+        parse_double_in(parts[1], std::string(what) + " SPREAD", 0.0, 1.0);
+  if (parts.size() == 3) {
+    RADNET_REQUIRE(parts[2] == "silent" || parts[2] == "listen",
+                   std::string(what) + " mode must be 'silent' or 'listen'");
+    spec.exhaust_mode = parts[2] == "silent"
+                            ? AdversarySpec::ExhaustMode::kSilent
+                            : AdversarySpec::ExhaustMode::kListenOnly;
+  }
+}
+
+std::vector<FaultEvent> parse_fault_schedule(std::string_view text,
+                                             std::string_view what) {
+  std::vector<FaultEvent> schedule;
+  for (const std::string_view entry : split_view(text, ',')) {
+    const auto at = entry.find('@');
+    RADNET_REQUIRE(at != std::string_view::npos,
+                   std::string(what) + " entries look like crash@R[:F], got '" +
+                       std::string(entry) + "'");
+    const std::string_view kind = entry.substr(0, at);
+    RADNET_REQUIRE(kind == "crash" || kind == "recover",
+                   std::string(what) + " kinds are 'crash' and 'recover', "
+                                       "got '" + std::string(kind) + "'");
+    const auto parts = split_view(entry.substr(at + 1), ':');
+    RADNET_REQUIRE(parts.size() >= 1 && parts.size() <= 2,
+                   std::string(what) + " entries look like crash@R[:F], got '" +
+                       std::string(entry) + "'");
+    FaultEvent event;
+    const std::uint64_t round =
+        parse_u64_strict(parts[0], std::string(what) + " round");
+    RADNET_REQUIRE(round <= std::numeric_limits<Round>::max(),
+                   std::string(what) + " round is out of range");
+    event.round = static_cast<Round>(round);
+    event.kind = kind == "crash" ? FaultEvent::Kind::kCrash
+                                 : FaultEvent::Kind::kRecover;
+    event.fraction =
+        parts.size() == 2
+            ? parse_double_in(parts[1], std::string(what) + " fraction", 0.0,
+                              1.0)
+            : 1.0;
+    schedule.push_back(event);
+  }
+  return schedule;
+}
 
 void AdversarySpec::validate() const {
   RADNET_REQUIRE(jammer_fraction >= 0.0 && jammer_fraction < 1.0,

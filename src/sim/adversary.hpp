@@ -64,6 +64,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "sim/energy.hpp"
@@ -130,6 +131,22 @@ struct AdversarySpec {
   /// std::invalid_argument. Called by the engine and by McSpec validation.
   void validate() const;
 };
+
+/// Parses the textual "MEAN[:SPREAD[:silent|listen]]" energy-budget form
+/// shared by radnet_cli's --energy-budget flag and radnet_batch's
+/// energy-budget spec field into `spec`'s budget fields. Strict: every
+/// numeric component must parse completely (no trailing garbage, no
+/// negatives) or the whole parse throws std::invalid_argument naming
+/// `what` (the flag or spec field the text came from).
+void parse_energy_budget(std::string_view text, std::string_view what,
+                         AdversarySpec& spec);
+
+/// Parses the "crash@R[:F],recover@R[:F],..." fault-schedule form (same
+/// two call sites). Strict like parse_energy_budget; the returned schedule
+/// still goes through AdversarySpec::validate() for the non-decreasing-
+/// rounds and fraction-range checks.
+[[nodiscard]] std::vector<FaultEvent> parse_fault_schedule(
+    std::string_view text, std::string_view what);
 
 /// Per-run adversary counters, merged into RunResult (and therefore into
 /// the bit-identity contract: RunResult::operator== stays exhaustive).

@@ -1,0 +1,56 @@
+#include "support/parse.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <string>
+
+#include "support/require.hpp"
+
+namespace radnet {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view what, std::string_view expected,
+                       std::string_view text) {
+  throw std::invalid_argument(std::string(what) + " expects " +
+                              std::string(expected) + ", got '" +
+                              std::string(text) + "'");
+}
+
+}  // namespace
+
+std::uint64_t parse_u64_strict(std::string_view text, std::string_view what) {
+  std::uint64_t v = 0;
+  const char* const first = text.data();
+  const char* const last = first + text.size();
+  // from_chars on unsigned rejects '-' itself, but be explicit about '+'
+  // too: flag values are canonical text, not freeform arithmetic.
+  if (text.empty() || text.front() == '+' || text.front() == '-')
+    fail(what, "a non-negative integer", text);
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc() || ptr != last)
+    fail(what, "a non-negative integer", text);
+  return v;
+}
+
+double parse_double_strict(std::string_view text, std::string_view what) {
+  double v = 0.0;
+  const char* const first = text.data();
+  const char* const last = first + text.size();
+  if (text.empty()) fail(what, "a number", text);
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc() || ptr != last || !std::isfinite(v))
+    fail(what, "a finite number", text);
+  return v;
+}
+
+double parse_double_in(std::string_view text, std::string_view what, double lo,
+                       double hi) {
+  const double v = parse_double_strict(text, what);
+  RADNET_REQUIRE(v >= lo && v <= hi,
+                 std::string(what) + " must be in [" + std::to_string(lo) +
+                     ", " + std::to_string(hi) + "], got " + std::string(text));
+  return v;
+}
+
+}  // namespace radnet

@@ -1,0 +1,33 @@
+// Strict text-to-number parsing for CLI flags and spec files.
+//
+// std::stod / std::stoul silently accept trailing garbage ("10junk" -> 10)
+// and stoul wraps negatives into huge values — exactly the failure mode an
+// experiment configuration must not have. These helpers require the WHOLE
+// token to parse (std::from_chars with an end-pointer check), reject
+// signs where unsigned values are expected, and throw
+// std::invalid_argument with a message naming the flag/field the value
+// came from, so a typo fails the run loudly instead of corrupting it.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace radnet {
+
+/// Parses a non-negative integer; `what` names the flag or spec field in
+/// the error message (e.g. "--jammers", "spec field n").
+[[nodiscard]] std::uint64_t parse_u64_strict(std::string_view text,
+                                             std::string_view what);
+
+/// Parses a finite double (leading '-' allowed, "nan"/"inf" rejected).
+[[nodiscard]] double parse_double_strict(std::string_view text,
+                                         std::string_view what);
+
+/// parse_double_strict plus an inclusive range check, for probability- and
+/// fraction-valued flags where out-of-range values are as wrong as
+/// unparseable ones.
+[[nodiscard]] double parse_double_in(std::string_view text,
+                                     std::string_view what, double lo,
+                                     double hi);
+
+}  // namespace radnet

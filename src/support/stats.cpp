@@ -188,6 +188,69 @@ LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y)
   return fit;
 }
 
+double normal_two_sided_z(double confidence) {
+  RADNET_REQUIRE(confidence > 0.0 && confidence < 1.0,
+                 "confidence must be in (0, 1)");
+  // Solve erf(x) = confidence by Newton iteration and return x * sqrt(2).
+  // erf is concave increasing on [0, inf), so Newton from BELOW the root is
+  // monotone and globally convergent (the tangent line lies above the
+  // curve, so each iterate lands past the previous one but never past the
+  // root). Starting above the root would be catastrophic: erf's tail is so
+  // flat that the first step overshoots to large negative x and diverges.
+  constexpr double kSqrt2 = 1.4142135623730951;
+  constexpr double kTwoOverSqrtPi = 1.1283791670955126;
+  double x = 0.0;
+  for (int it = 0; it < 80; ++it) {
+    const double f = std::erf(x) - confidence;
+    const double d = kTwoOverSqrtPi * std::exp(-x * x);
+    const double step = f / d;
+    x -= step;
+    if (std::abs(step) < 1e-14) break;
+  }
+  return x * kSqrt2;
+}
+
+Sample::Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                                 double confidence) {
+  RADNET_REQUIRE(trials >= 1, "wilson_interval needs at least one trial");
+  RADNET_REQUIRE(successes <= trials,
+                 "wilson_interval needs successes <= trials");
+  const double z = normal_two_sided_z(confidence);
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = (phat + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n)) / denom;
+  return Sample::Interval{std::max(0.0, centre - half),
+                          std::min(1.0, centre + half)};
+}
+
+std::optional<Sample::Interval> quantile_ci(const Sample& sample, double q,
+                                            double confidence) {
+  RADNET_REQUIRE(q > 0.0 && q < 1.0, "quantile_ci needs q in (0, 1)");
+  const std::size_t n = sample.size();
+  // The normal approximation to Binomial(n, q) needs some mass on both
+  // sides of the quantile; below this the order-statistic bound cannot
+  // hold at any useful confidence.
+  if (n < 2 || static_cast<double>(n) * q * (1.0 - q) < 1.0)
+    return std::nullopt;
+  const double z = normal_two_sided_z(confidence);
+  const double m = static_cast<double>(n) * q;
+  const double sd = std::sqrt(static_cast<double>(n) * q * (1.0 - q));
+  const double lo_pos = std::floor(m - z * sd);
+  const double hi_pos = std::ceil(m + z * sd);
+  // Required order statistics outside the sample: the quantile is not
+  // bounded at this confidence yet.
+  if (lo_pos < 0.0 || hi_pos > static_cast<double>(n - 1)) return std::nullopt;
+  std::vector<double> sorted = sample.values();
+  std::sort(sorted.begin(), sorted.end());
+  const auto lo = static_cast<std::size_t>(lo_pos);
+  const auto hi = static_cast<std::size_t>(hi_pos);
+  return Sample::Interval{sorted[lo], sorted[hi]};
+}
+
 double ks_statistic(std::vector<double> a, std::vector<double> b) {
   RADNET_REQUIRE(!a.empty() && !b.empty(),
                  "ks_statistic needs two non-empty samples");

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,26 @@ class Sample {
   /// Linear-interpolation quantile, q in [0,1]. Requires a non-empty sample.
   [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] double median() const { return quantile(0.5); }
+
+  /// Empty-safe counterparts: nullopt instead of a throw when the sample is
+  /// empty. Aggregation paths that can legitimately see zero completed
+  /// trials (heavy-attack adversary regimes, censored rounds samples) must
+  /// use these — an all-fail spec is a data point, not an error.
+  [[nodiscard]] std::optional<double> try_mean() const {
+    return empty() ? std::nullopt : std::optional<double>(mean());
+  }
+  [[nodiscard]] std::optional<double> try_stddev() const {
+    return empty() ? std::nullopt : std::optional<double>(stddev());
+  }
+  [[nodiscard]] std::optional<double> try_quantile(double q) const {
+    return empty() ? std::nullopt : std::optional<double>(quantile(q));
+  }
+  [[nodiscard]] std::optional<double> try_min() const {
+    return empty() ? std::nullopt : std::optional<double>(min());
+  }
+  [[nodiscard]] std::optional<double> try_max() const {
+    return empty() ? std::nullopt : std::optional<double>(max());
+  }
 
   /// Percentile bootstrap confidence interval for the mean.
   struct Interval {
@@ -110,5 +131,38 @@ struct LinearFit {
 /// discrete samples the statistic is conservative. Requires both samples
 /// non-empty.
 [[nodiscard]] double ks_statistic(std::vector<double> a, std::vector<double> b);
+
+// ---- Sequential-stopping confidence intervals ------------------------------
+//
+// The batched sweep service (harness/batch.hpp) early-stops a spec once its
+// completion-rate and rounds-quantile intervals are below tolerance, so
+// these helpers are evaluated after every granted trial batch. They are
+// *monitoring* intervals: repeated looks inflate the nominal coverage
+// somewhat (the classic sequential-testing caveat), which is acceptable for
+// a stopping heuristic whose result remains an exact prefix of the full run —
+// the tolerance bounds reported to the user come from the final interval.
+
+/// Two-sided standard-normal quantile: the z with
+/// P(-z <= Z <= z) = confidence. Newton iteration on std::erf, exact to
+/// ~1e-12; confidence must be in (0, 1).
+[[nodiscard]] double normal_two_sided_z(double confidence);
+
+/// Wilson score interval for a Binomial proportion after `successes` out of
+/// `trials` Bernoulli outcomes. Well-behaved at 0 and `trials` successes
+/// (never collapses to a zero-width interval on extreme counts, unlike the
+/// Wald interval), which is exactly the heavy-attack all-fail regime the
+/// early stopper must handle. trials >= 1.
+[[nodiscard]] Sample::Interval wilson_interval(std::uint64_t successes,
+                                               std::uint64_t trials,
+                                               double confidence = 0.95);
+
+/// Distribution-free confidence interval for the q-quantile from order
+/// statistics: [x_(l), x_(u)] with l, u chosen by the normal approximation
+/// to Binomial(n, q). Returns nullopt when the sample is too small for the
+/// approximation to bound the quantile at this confidence (n*q*(1-q) < 1 or
+/// the required order statistics fall outside the sample) — callers treat
+/// nullopt as "not converged", never as "converged for free".
+[[nodiscard]] std::optional<Sample::Interval> quantile_ci(
+    const Sample& sample, double q, double confidence = 0.95);
 
 }  // namespace radnet

@@ -33,6 +33,17 @@ TEST(SpecValidationTest, RejectsZeroTrials) {
   EXPECT_THROW(spec.validate(), std::invalid_argument);
 }
 
+TEST(SpecValidationTest, RejectsTrialsBeyondSlotVectorBound) {
+  // The harness pre-sizes one TrialOutcome slot per trial; a fat-fingered
+  // trial count must fail validation loudly instead of attempting the
+  // multi-GiB allocation (or overflowing the size computation).
+  McSpec spec = valid_spec();
+  spec.trials = McSpec::kMaxTrials;
+  EXPECT_NO_THROW(spec.validate());
+  spec.trials = McSpec::kMaxTrials + 1;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
 TEST(SpecValidationTest, RejectsMissingTopologySource) {
   McSpec spec = valid_spec();
   spec.implicit_gnp.reset();

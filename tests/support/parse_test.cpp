@@ -1,0 +1,142 @@
+// Strict text-to-number parsing — the "silently accepted garbage" bugfix.
+// std::stod / std::stoul accept trailing junk ("10junk" -> 10) and stoul
+// wraps negatives; every numeric CLI flag and spec field now goes through
+// these parsers, so a malformed value fails the run with a message naming
+// the flag instead of configuring a different experiment. The adversary
+// textual forms (--energy-budget, --fault-schedule) share the same code
+// between radnet_cli and radnet_batch and are covered here too.
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/adversary.hpp"
+#include "support/parse.hpp"
+
+namespace radnet {
+namespace {
+
+template <typename Fn>
+std::string thrown_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(ParseU64StrictTest, AcceptsPlainIntegers) {
+  EXPECT_EQ(parse_u64_strict("0", "f"), 0u);
+  EXPECT_EQ(parse_u64_strict("42", "f"), 42u);
+  EXPECT_EQ(parse_u64_strict("18446744073709551615", "f"),
+            18446744073709551615ull);
+}
+
+TEST(ParseU64StrictTest, RejectsGarbageAndPartialTokens) {
+  EXPECT_THROW((void)parse_u64_strict("", "f"), std::invalid_argument);
+  EXPECT_THROW((void)parse_u64_strict("abc", "f"), std::invalid_argument);
+  EXPECT_THROW((void)parse_u64_strict("10junk", "f"), std::invalid_argument);
+  EXPECT_THROW((void)parse_u64_strict("3.5", "f"), std::invalid_argument);
+  EXPECT_THROW((void)parse_u64_strict("-3", "f"), std::invalid_argument);
+  EXPECT_THROW((void)parse_u64_strict("+3", "f"), std::invalid_argument);
+  EXPECT_THROW((void)parse_u64_strict(" 7", "f"), std::invalid_argument);
+}
+
+TEST(ParseU64StrictTest, ErrorNamesTheField) {
+  const std::string msg =
+      thrown_message([] { (void)parse_u64_strict("abc", "--jammers"); });
+  EXPECT_NE(msg.find("--jammers"), std::string::npos);
+  EXPECT_NE(msg.find("abc"), std::string::npos);
+}
+
+TEST(ParseDoubleStrictTest, AcceptsFiniteDoubles) {
+  EXPECT_DOUBLE_EQ(parse_double_strict("0.5", "f"), 0.5);
+  EXPECT_DOUBLE_EQ(parse_double_strict("-2.25", "f"), -2.25);
+  EXPECT_DOUBLE_EQ(parse_double_strict("1e-3", "f"), 1e-3);
+}
+
+TEST(ParseDoubleStrictTest, RejectsGarbageNanAndOverflow) {
+  EXPECT_THROW((void)parse_double_strict("", "f"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double_strict("abc", "f"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double_strict("1.5x", "f"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double_strict("nan", "f"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double_strict("inf", "f"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double_strict("1e999", "f"), std::invalid_argument);
+}
+
+TEST(ParseDoubleInTest, EnforcesInclusiveRange) {
+  EXPECT_DOUBLE_EQ(parse_double_in("0", "f", 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(parse_double_in("1", "f", 0.0, 1.0), 1.0);
+  EXPECT_THROW((void)parse_double_in("1.5", "f", 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_double_in("-0.1", "f", 0.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(ParseEnergyBudgetTest, AcceptsAllThreeForms) {
+  sim::AdversarySpec spec;
+  sim::parse_energy_budget("50", "--energy-budget", spec);
+  EXPECT_DOUBLE_EQ(spec.budget_mean, 50.0);
+  sim::parse_energy_budget("50:0.25", "--energy-budget", spec);
+  EXPECT_DOUBLE_EQ(spec.budget_spread, 0.25);
+  sim::parse_energy_budget("50:0.25:silent", "--energy-budget", spec);
+  EXPECT_EQ(spec.exhaust_mode, sim::AdversarySpec::ExhaustMode::kSilent);
+}
+
+TEST(ParseEnergyBudgetTest, RejectsMalformedComponents) {
+  sim::AdversarySpec spec;
+  EXPECT_THROW(sim::parse_energy_budget("abc", "--energy-budget", spec),
+               std::invalid_argument);
+  EXPECT_THROW(sim::parse_energy_budget("50junk", "--energy-budget", spec),
+               std::invalid_argument);
+  EXPECT_THROW(sim::parse_energy_budget("-5", "--energy-budget", spec),
+               std::invalid_argument);
+  EXPECT_THROW(sim::parse_energy_budget("50:", "--energy-budget", spec),
+               std::invalid_argument);
+  EXPECT_THROW(sim::parse_energy_budget("50:2", "--energy-budget", spec),
+               std::invalid_argument);  // spread past 1
+  EXPECT_THROW(sim::parse_energy_budget("50:0.2:weird", "--energy-budget", spec),
+               std::invalid_argument);
+  EXPECT_THROW(sim::parse_energy_budget("50:0.2:silent:x", "--energy-budget",
+                                        spec),
+               std::invalid_argument);
+}
+
+TEST(ParseFaultScheduleTest, AcceptsWellFormedSchedules) {
+  const auto schedule =
+      sim::parse_fault_schedule("crash@10:0.5,recover@20", "--fault-schedule");
+  ASSERT_EQ(schedule.size(), 2u);
+  EXPECT_EQ(schedule[0].round, 10u);
+  EXPECT_EQ(schedule[0].kind, sim::FaultEvent::Kind::kCrash);
+  EXPECT_DOUBLE_EQ(schedule[0].fraction, 0.5);
+  EXPECT_EQ(schedule[1].round, 20u);
+  EXPECT_EQ(schedule[1].kind, sim::FaultEvent::Kind::kRecover);
+  EXPECT_DOUBLE_EQ(schedule[1].fraction, 1.0);  // default
+}
+
+TEST(ParseFaultScheduleTest, RejectsTruncatedAndGarbageEntries) {
+  const auto parse = [](const std::string& text) {
+    return sim::parse_fault_schedule(text, "--fault-schedule");
+  };
+  // The exact regression from the old std::stoul path: trailing garbage
+  // after the round number parsed as the number alone.
+  EXPECT_THROW((void)parse("crash@10junk"), std::invalid_argument);
+  // Truncated trailing entry after a valid one.
+  EXPECT_THROW((void)parse("crash@10:0.5,recover@"), std::invalid_argument);
+  EXPECT_THROW((void)parse("crash10"), std::invalid_argument);
+  EXPECT_THROW((void)parse("explode@5"), std::invalid_argument);
+  EXPECT_THROW((void)parse("crash@-5"), std::invalid_argument);
+  EXPECT_THROW((void)parse("crash@5:1.5"), std::invalid_argument);
+  EXPECT_THROW((void)parse("crash@5:0.5:9"), std::invalid_argument);
+}
+
+TEST(ParseFaultScheduleTest, ErrorNamesTheFlag) {
+  const std::string msg = thrown_message([] {
+    (void)sim::parse_fault_schedule("recover@", "--fault-schedule");
+  });
+  EXPECT_NE(msg.find("--fault-schedule"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace radnet

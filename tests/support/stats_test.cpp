@@ -144,5 +144,84 @@ TEST(LinearFitTest, RejectsTooFewPoints) {
   EXPECT_THROW((void)fit_linear({1.0, 2.0}, {2.0}), std::invalid_argument);
 }
 
+TEST(TryAccessorsTest, EmptySampleYieldsNulloptNeverNan) {
+  // The all-fail adversary regime produces an empty censored rounds
+  // sample; aggregation must degrade to "no value", not NaN/throw.
+  const Sample s;
+  EXPECT_FALSE(s.try_mean().has_value());
+  EXPECT_FALSE(s.try_stddev().has_value());
+  EXPECT_FALSE(s.try_quantile(0.5).has_value());
+  EXPECT_FALSE(s.try_min().has_value());
+  EXPECT_FALSE(s.try_max().has_value());
+}
+
+TEST(TryAccessorsTest, NonEmptySampleMatchesThrowingAccessors) {
+  Sample s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.try_mean().value(), s.mean());
+  EXPECT_DOUBLE_EQ(s.try_quantile(0.5).value(), s.quantile(0.5));
+  EXPECT_DOUBLE_EQ(s.try_max().value(), 3.0);
+}
+
+TEST(NormalZTest, MatchesTabulatedQuantiles) {
+  EXPECT_NEAR(normal_two_sided_z(0.90), 1.6448536269514722, 1e-9);
+  EXPECT_NEAR(normal_two_sided_z(0.95), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(normal_two_sided_z(0.99), 2.5758293035489004, 1e-9);
+  EXPECT_NEAR(normal_two_sided_z(0.999), 3.2905267314919255, 1e-8);
+  EXPECT_THROW((void)normal_two_sided_z(0.0), std::invalid_argument);
+  EXPECT_THROW((void)normal_two_sided_z(1.0), std::invalid_argument);
+}
+
+TEST(WilsonIntervalTest, ExtremeCountsStayInformative) {
+  // 0/n and n/n must NOT collapse to zero width (the Wald failure mode):
+  // the all-fail early-stopping regime relies on the 0-success interval
+  // actually shrinking with n.
+  const auto zero = wilson_interval(0, 32, 0.95);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  EXPECT_LT(zero.hi, 0.2);
+  const auto all = wilson_interval(32, 32, 0.95);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  EXPECT_LT(all.lo, 1.0);
+  EXPECT_GT(all.lo, 0.8);
+  // Width shrinks with n.
+  EXPECT_LT(wilson_interval(0, 128, 0.95).hi, zero.hi);
+}
+
+TEST(WilsonIntervalTest, ContainsThePointEstimate) {
+  for (const std::uint64_t k : {0ull, 1ull, 7ull, 16ull, 31ull, 32ull}) {
+    const auto iv = wilson_interval(k, 32, 0.95);
+    const double phat = static_cast<double>(k) / 32.0;
+    EXPECT_LE(iv.lo, phat + 1e-12);
+    EXPECT_GE(iv.hi, phat - 1e-12);
+    EXPECT_LE(iv.lo, iv.hi);
+  }
+}
+
+TEST(QuantileCiTest, TooSmallSamplesYieldNullopt) {
+  Sample tiny;
+  tiny.add(1.0);
+  EXPECT_FALSE(quantile_ci(tiny, 0.5, 0.95).has_value());
+  // n = 6 at 95%: the required order statistics fall outside the sample.
+  Sample small;
+  for (int i = 0; i < 6; ++i) small.add(static_cast<double>(i));
+  EXPECT_FALSE(quantile_ci(small, 0.5, 0.95).has_value());
+}
+
+TEST(QuantileCiTest, BracketsTheMedianAndTightensWithN) {
+  Sample s;
+  for (int i = 0; i < 101; ++i) s.add(static_cast<double>(i));
+  const auto iv = quantile_ci(s, 0.5, 0.95);
+  ASSERT_TRUE(iv.has_value());
+  EXPECT_LE(iv->lo, 50.0);
+  EXPECT_GE(iv->hi, 50.0);
+  Sample big;
+  for (int i = 0; i < 1001; ++i) big.add(static_cast<double>(i) / 10.0);
+  const auto big_iv = quantile_ci(big, 0.5, 0.95);
+  ASSERT_TRUE(big_iv.has_value());
+  EXPECT_LT(big_iv->hi - big_iv->lo, iv->hi - iv->lo);
+}
+
 }  // namespace
 }  // namespace radnet

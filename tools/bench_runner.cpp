@@ -7,7 +7,7 @@
 // google-benchmark dependency so it can run as a ctest (`ctest -L
 // bench_smoke`). Medians of ns/round at several n are emitted as JSON:
 //
-//   { "schema": "radnet-bench-engine-v4",
+//   { "schema": "radnet-bench-engine-v6",
 //     "host": {"hardware_concurrency": ..., "pool_threads": ...},
 //     "benchmarks": [ {"name": ..., "n": ..., "ns_per_round": ...,
 //                      "wall_ms": ..., "threads": ..., "peak_rss_kb": ...},
@@ -27,7 +27,10 @@
 //                       "byzantine_fraction": ..., "budget_mean": ...,
 //                       "horizon": ..., "serial_ms": ..., "parallel_ms": ...,
 //                       "speedup": ..., "pool_threads": ...,
-//                       "identical": ..., "stranded_fraction": ...} }
+//                       "identical": ..., "stranded_fraction": ...},
+//     "e19_batch": {"specs": ..., "trials_run": ..., "trials_saved": ...,
+//                   "serial_ms": ..., "parallel_ms": ..., "warm_ms": ...,
+//                   "threads_identical": ..., "cached_identical": ...} }
 //
 // Every entry carries its wall-clock cost, the thread count it ran with
 // and the process peak RSS when it finished (ru_maxrss — monotone, so an
@@ -49,9 +52,14 @@
 // budgets + a crash/recover schedule, sim/adversary.hpp) on the implicit
 // G(n,p) backend, serial vs all-core; "identical" compares the complete
 // RunResult including AdversaryStats, and "stranded_fraction" seeds the
-// robustness trajectory. The smoke gate FAILS (non-zero exit) if any
-// family's serial and parallel results ever diverge — bit-identity is a
-// correctness contract, not a statistic.
+// robustness trajectory. Schema v6 adds "e19_batch": a small mixed-family
+// spec set answered by the batch sweep service (harness/batch.hpp) four
+// ways — serial vs all-core with early stopping, then cold-cache vs
+// warm-cache replay — with byte-identity of the streamed result lines
+// asserted across all of them. The smoke gate FAILS (non-zero exit) if any
+// family's serial and parallel results ever diverge, or if a cached batch
+// answer differs by one byte from the cold run that produced it —
+// bit-identity is a correctness contract, not a statistic.
 //
 // Flags: --quick shrinks sizes/repetitions for smoke runs; --out overrides
 // the output path (default BENCH_engine.json in the working directory).
@@ -59,9 +67,11 @@
 
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -69,6 +79,7 @@
 #include "core/broadcast_random.hpp"
 #include "core/gossip_random.hpp"
 #include "graph/generators.hpp"
+#include "harness/batch.hpp"
 #include "sim/engine.hpp"
 #include "support/cli_args.hpp"
 #include "support/stats.hpp"
@@ -356,6 +367,88 @@ AdversaryNumbers time_adversary(std::uint32_t n, radnet::sim::Round horizon) {
   return a;
 }
 
+struct BatchNumbers {
+  std::uint64_t specs = 0;
+  std::uint64_t trials_run = 0;    ///< trials the serial early-stop run paid
+  std::uint64_t trials_saved = 0;  ///< budget minus granted, summed
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  double warm_ms = 0.0;            ///< cache replay of the whole set
+  bool threads_identical = false;  ///< serial vs all-core byte streams
+  bool cached_identical = false;   ///< cold vs warm-cache byte streams
+};
+
+/// E19's tracked numbers: a small mixed-family spec set answered by the
+/// batch sweep service with CI-based early stopping, serial vs all-core,
+/// then cold-cache vs warm-cache replay. Both identity columns compare the
+/// complete streamed byte output — the batch layer's determinism contract
+/// is that grant scheduling, thread count and cache replay are invisible
+/// in the result bytes (see tests/harness/batch_test.cpp for the
+/// per-property pins; this is the in-CI end-to-end gate).
+BatchNumbers time_batch(bool quick) {
+  namespace rh = radnet::harness;
+  std::vector<rh::BatchSpec> specs;
+  const rh::BatchFamily families[] = {
+      rh::BatchFamily::kCsr, rh::BatchFamily::kImplicitGnp,
+      rh::BatchFamily::kImplicitDynamic, rh::BatchFamily::kImplicitRgg};
+  for (const auto family : families)
+    for (const char* protocol : {"alg1", "flooding"})
+      for (const std::uint32_t n : {256u, 512u}) {
+        rh::BatchSpec spec;
+        spec.protocol = protocol;
+        spec.family = family;
+        spec.n = n;
+        spec.trials = quick ? 48 : 96;
+        // A fixed horizon keeps censored trials cheap, and tol 0.1
+        // converges at a proper prefix of the budget, so the tracked
+        // numbers exercise early stopping rather than just exhaustion.
+        spec.max_rounds = 256;
+        spec.tol = 0.1;
+        if (family == rh::BatchFamily::kImplicitDynamic) spec.churn = 0.5;
+        spec.validate();
+        specs.push_back(spec);
+      }
+
+  BatchNumbers b;
+  b.specs = specs.size();
+  const auto run_with = [&](const rh::BatchOptions& options, double* ms,
+                            rh::BatchStats* stats_out) {
+    std::ostringstream out;
+    rh::BatchStats stats;
+    const double t0 = now_ns();
+    (void)rh::run_batch(specs, options, out, &stats);
+    *ms = (now_ns() - t0) / 1e6;
+    if (stats_out != nullptr) *stats_out = stats;
+    return out.str();
+  };
+
+  rh::BatchOptions serial;
+  serial.threads = 1;
+  rh::BatchStats serial_stats;
+  const std::string serial_stream =
+      run_with(serial, &b.serial_ms, &serial_stats);
+  b.trials_run = serial_stats.trials_run;
+  b.trials_saved = serial_stats.trials_saved;
+
+  rh::BatchOptions parallel;  // threads = 0: harness default schedule
+  const std::string parallel_stream =
+      run_with(parallel, &b.parallel_ms, nullptr);
+  b.threads_identical = parallel_stream == serial_stream;
+
+  const std::filesystem::path cache_dir =
+      std::filesystem::temp_directory_path() / "radnet_bench_runner_e19";
+  std::filesystem::remove_all(cache_dir);
+  rh::BatchOptions cached = parallel;
+  cached.cache_dir = cache_dir.string();
+  double cold_ms = 0.0;
+  const std::string cold_stream = run_with(cached, &cold_ms, nullptr);
+  const std::string warm_stream = run_with(cached, &b.warm_ms, nullptr);
+  std::filesystem::remove_all(cache_dir);
+  b.cached_identical =
+      cold_stream == serial_stream && warm_stream == cold_stream;
+  return b;
+}
+
 struct Comparison {
   std::uint32_t n = 0;
   double p = 0.0;
@@ -528,12 +621,33 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const BatchNumbers e19 = time_batch(quick);
+  std::cout << "batch sweep service (E19) " << e19.specs << " specs: "
+            << e19.trials_run << " trials run, " << e19.trials_saved
+            << " saved by early stopping; serial " << e19.serial_ms
+            << " ms, parallel " << e19.parallel_ms << " ms, warm replay "
+            << e19.warm_ms << " ms, "
+            << (e19.threads_identical && e19.cached_identical
+                    ? "bit-identical"
+                    : "DIVERGED")
+            << "\n";
+  if (!e19.threads_identical) {
+    std::cerr << "batch serial-vs-parallel streams diverged — the grant "
+                 "schedule leaked thread count into the results\n";
+    return 1;
+  }
+  if (!e19.cached_identical) {
+    std::cerr << "batch cached result diverged from the cold run for the "
+                 "same spec hash — cache replay broke byte-identity\n";
+    return 1;
+  }
+
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "cannot write " << out_path << '\n';
     return 1;
   }
-  out << "{\n  \"schema\": \"radnet-bench-engine-v5\",\n  \"host\": {"
+  out << "{\n  \"schema\": \"radnet-bench-engine-v6\",\n  \"host\": {"
       << "\"hardware_concurrency\": "
       << std::max(1u, std::thread::hardware_concurrency())
       << ", \"pool_threads\": " << radnet::global_pool().size() << "},\n"
@@ -584,7 +698,16 @@ int main(int argc, char** argv) {
       << ", \"speedup\": " << e18.speedup
       << ", \"pool_threads\": " << e18.pool_threads << ", \"identical\": "
       << (e18.identical ? "true" : "false")
-      << ", \"stranded_fraction\": " << e18.stranded_fraction << "}\n}\n";
+      << ", \"stranded_fraction\": " << e18.stranded_fraction << "},\n"
+      << "  \"e19_batch\": {\"specs\": " << e19.specs
+      << ", \"trials_run\": " << e19.trials_run
+      << ", \"trials_saved\": " << e19.trials_saved
+      << ", \"serial_ms\": " << e19.serial_ms
+      << ", \"parallel_ms\": " << e19.parallel_ms
+      << ", \"warm_ms\": " << e19.warm_ms << ", \"threads_identical\": "
+      << (e19.threads_identical ? "true" : "false")
+      << ", \"cached_identical\": "
+      << (e19.cached_identical ? "true" : "false") << "}\n}\n";
   std::cout << "wrote " << out_path << '\n';
   return 0;
 }

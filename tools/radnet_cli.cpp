@@ -61,6 +61,7 @@
 #include "harness/monte_carlo.hpp"
 #include "support/cli_args.hpp"
 #include "support/math.hpp"
+#include "support/parse.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -104,58 +105,29 @@ graph::Digraph build_topology(const CliArgs& args, graph::NodeId n, double p,
   throw std::invalid_argument("unknown topology: " + topo);
 }
 
-std::vector<std::string> split(const std::string& s, char sep) {
-  std::vector<std::string> parts;
-  std::stringstream ss(s);
-  std::string part;
-  while (std::getline(ss, part, sep)) parts.push_back(part);
-  return parts;
-}
-
 /// --jammers / --byzantine / --energy-budget / --fault-schedule into an
 /// AdversarySpec; the (rumor) source is always protected so the attacked
-/// quantity is the spread of the message, not its existence.
+/// quantity is the spread of the message, not its existence. The textual
+/// forms go through the strict shared parsers (sim/adversary.hpp): a
+/// malformed value — "--jammers=abc", a truncated "recover@", trailing
+/// garbage after a round number — fails the run with a message naming the
+/// flag instead of silently configuring a different experiment.
 sim::AdversarySpec parse_adversary(const CliArgs& args, graph::NodeId source) {
   sim::AdversarySpec adv;
-  adv.jammer_fraction = args.get_double("jammers", 0.0);
-  adv.byzantine_fraction = args.get_double("byzantine", 0.0);
+  if (args.has("jammers"))
+    adv.jammer_fraction = parse_double_in(
+        args.get_string("jammers", ""), "--jammers", 0.0, 1.0);
+  if (args.has("byzantine"))
+    adv.byzantine_fraction = parse_double_in(
+        args.get_string("byzantine", ""), "--byzantine", 0.0, 1.0);
 
   const std::string budget = args.get_string("energy-budget", "");
-  if (!budget.empty()) {
-    const auto parts = split(budget, ':');
-    RADNET_REQUIRE(parts.size() >= 1 && parts.size() <= 3,
-                   "--energy-budget wants MEAN[:SPREAD[:silent|listen]]");
-    adv.budget_mean = std::stod(parts[0]);
-    if (parts.size() >= 2) adv.budget_spread = std::stod(parts[1]);
-    if (parts.size() == 3) {
-      RADNET_REQUIRE(parts[2] == "silent" || parts[2] == "listen",
-                     "--energy-budget mode must be 'silent' or 'listen'");
-      adv.exhaust_mode = parts[2] == "silent"
-                             ? sim::AdversarySpec::ExhaustMode::kSilent
-                             : sim::AdversarySpec::ExhaustMode::kListenOnly;
-    }
-  }
+  if (!budget.empty())
+    sim::parse_energy_budget(budget, "--energy-budget", adv);
 
   const std::string schedule = args.get_string("fault-schedule", "");
-  if (!schedule.empty()) {
-    for (const std::string& entry : split(schedule, ',')) {
-      const auto at = entry.find('@');
-      RADNET_REQUIRE(at != std::string::npos,
-                     "--fault-schedule entries look like crash@R[:F]");
-      const std::string kind = entry.substr(0, at);
-      RADNET_REQUIRE(kind == "crash" || kind == "recover",
-                     "--fault-schedule kinds are 'crash' and 'recover'");
-      const auto parts = split(entry.substr(at + 1), ':');
-      RADNET_REQUIRE(parts.size() >= 1 && parts.size() <= 2,
-                     "--fault-schedule entries look like crash@R[:F]");
-      sim::FaultEvent event;
-      event.round = static_cast<sim::Round>(std::stoul(parts[0]));
-      event.kind = kind == "crash" ? sim::FaultEvent::Kind::kCrash
-                                   : sim::FaultEvent::Kind::kRecover;
-      event.fraction = parts.size() == 2 ? std::stod(parts[1]) : 1.0;
-      adv.fault_schedule.push_back(event);
-    }
-  }
+  if (!schedule.empty())
+    adv.fault_schedule = sim::parse_fault_schedule(schedule, "--fault-schedule");
 
   if (adv.active()) adv.protected_nodes = {source};
   adv.validate();
@@ -214,7 +186,11 @@ int main(int argc, char** argv) {
     const bool implicit_rgg = topo_name == "irgg";
     const bool churn_topo = topo_name == "churn";
     const double churn = args.get_double("churn", implicit_dynamic ? 1.0 : 0.1);
+    RADNET_REQUIRE(churn > 0.0 && churn <= 1.0,
+                   "--churn must be in (0, 1]");
     const double fail_prob = args.get_double("fail-prob", 0.0);
+    RADNET_REQUIRE(fail_prob >= 0.0 && fail_prob < 1.0,
+                   "--fail-prob must be in [0, 1)");
     const double p_amp = args.get_double("p-amp", 0.0);
     const auto p_period = args.get_u64("p-period", 64);
     RADNET_REQUIRE(p_amp == 0.0 || p_period >= 1,
