@@ -30,12 +30,37 @@
 //     in-memory memo gives the same O(1) answer to duplicates within one
 //     invocation even with the disk cache disabled.
 //
+// The execution layer is crash-safe:
+//
+//   * cache entries are checksummed and committed by write-to-temp +
+//     rename() (support/io.hpp); a corrupt, truncated or foreign file is
+//     quarantined to `*.quarantine` and treated as a miss — corruption can
+//     cost a recompute, never a wrong answer;
+//   * with BatchOptions::journal_path set, every grant's trial outcomes
+//     and every committed result line are append-logged with per-record
+//     checksums (support/journal.hpp); a run killed at any instant resumes
+//     (options.resume) by replaying the committed prefix and continuing
+//     the doubling schedule mid-spec, and the resumed output stream is
+//     byte-identical to an uninterrupted run (trial t is keyed on
+//     (seed, t) alone, so recomputed and replayed trials agree bit-for-bit);
+//   * options.cancel gives SIGINT/SIGTERM handlers a flag run_batch polls
+//     at grant boundaries: the run stops cleanly with the journal
+//     committed, ready to resume;
+//   * options.isolate runs each spec's grants in a forked, watchdogged
+//     child (RLIMIT_AS cap + wall-clock timeout, bounded retry with
+//     exponential backoff), so a crashing or wedged spec degrades into a
+//     structured `"error"` JSON line while every other spec completes with
+//     byte-identical results.
+//
 // tools/radnet_batch.cpp is the thin CLI over this layer;
 // tests/harness/batch_test.cpp pins the determinism, prefix and cache
-// contracts, and tools/bench_runner.cpp gates cold-vs-cached and
-// serial-vs-parallel identity in the bench_smoke JSON (schema v6).
+// contracts; tests/harness/faultinject_test.cpp pins the crash-safety
+// invariant resume(interrupt(run)) == run; tools/bench_runner.cpp gates
+// cold-vs-cached, serial-vs-parallel and kill-resume identity in the
+// bench_smoke JSON (schema v7).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -142,6 +167,41 @@ struct BatchOptions {
   /// First grant quantum; grants double thereafter (16, 16, 32, 64, ...),
   /// so granted counts are a deterministic function of convergence alone.
   std::uint32_t min_grant = 16;
+  /// Run journal path; empty disables journaling. The journal header binds
+  /// the spec set (hash over every spec hash, in input order) plus
+  /// force_full and min_grant, so resuming against a different sweep or
+  /// grant schedule fails loudly instead of splicing streams.
+  std::string journal_path;
+  /// Replay the journal's committed prefix, re-emit its result lines
+  /// verbatim, and continue the doubling schedule mid-spec. The output
+  /// stream of a resumed run is the COMPLETE stream — byte-identical to an
+  /// uninterrupted run — so callers write it to a fresh (truncated) file
+  /// rather than appending to the interrupted run's partial output (whose
+  /// tail may be torn). Requires journal_path; a missing or fully torn
+  /// journal resumes from nothing, i.e. runs fresh.
+  bool resume = false;
+  /// Polled at grant boundaries (signal handlers set it): when true the
+  /// run stops cleanly after the in-flight grant, with everything done so
+  /// far journal-committed and the emitted prefix flushed. BatchStats
+  /// reports interrupted = true; resume finishes the sweep.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Watchdogged spec isolation: run each spec's grants in a forked child
+  /// under an optional RLIMIT_AS cap and wall-clock timeout, retrying
+  /// crashed/hung/failed children with exponential backoff. A spec that
+  /// exhausts its attempts yields a structured `"error"` JSON line in its
+  /// stream slot; every other spec's bytes are identical to a non-isolated
+  /// run (children run the identical grant schedule, serially — thread
+  /// count never affects result bytes). Mid-spec journaling is coarser
+  /// under isolation: a kill loses at most the in-flight spec's trials.
+  bool isolate = false;
+  /// Attempts per spec before the error line (>= 1).
+  std::uint32_t isolate_attempts = 3;
+  /// Wall-clock budget per attempt in ms; 0 disables the watchdog timer.
+  std::uint32_t isolate_timeout_ms = 300'000;
+  /// RLIMIT_AS for each child in bytes; 0 inherits the parent's limit.
+  std::uint64_t isolate_mem_bytes = 0;
+  /// Base retry backoff in ms (doubles per attempt). Kept small in tests.
+  std::uint32_t isolate_backoff_ms = 100;
 };
 
 /// One spec's outcome; `json` is exactly the line streamed to `out`.
@@ -149,7 +209,9 @@ struct BatchOutcome {
   std::uint64_t hash = 0;
   std::uint32_t trials_granted = 0;
   bool converged = false;    ///< CIs under tolerance (vs trials exhausted)
-  bool from_cache = false;   ///< answered by disk cache or in-run memo
+  bool from_cache = false;   ///< answered by disk cache, memo or journal
+  bool error = false;        ///< isolate mode exhausted its attempts;
+                             ///< `json` is the structured error line
   std::string json;
 };
 
@@ -158,8 +220,14 @@ struct BatchStats {
   std::uint64_t specs = 0;
   std::uint64_t cache_hits = 0;    ///< disk hits + in-run memo hits
   std::uint64_t cache_stores = 0;
+  std::uint64_t cache_quarantined = 0;  ///< corrupt entries moved aside
+  std::uint64_t stale_reaped = 0;  ///< old .tmp/.quarantine files removed
   std::uint64_t trials_run = 0;
   std::uint64_t trials_saved = 0;  ///< sum over specs of (trials - granted)
+  std::uint64_t journal_trials = 0;   ///< trials restored by replay, not run
+  std::uint64_t journal_results = 0;  ///< result lines re-emitted verbatim
+  std::uint64_t spec_errors = 0;   ///< isolate-mode error lines emitted
+  bool interrupted = false;        ///< options.cancel stopped the run early
 };
 
 /// Runs every spec and streams result lines to `out` in deterministic
@@ -179,5 +247,14 @@ struct BatchStats {
                                             const McResult& result,
                                             std::uint32_t granted,
                                             bool converged);
+
+/// The structured error line isolate mode emits for a spec that exhausted
+/// its attempts: spec identity (hash, protocol, family, n, seed), the
+/// terminal cause ("crash", "timeout" or "error") and the attempt count.
+/// Deterministic given (spec, cause, attempts), so error lines are as
+/// reproducible as result lines.
+[[nodiscard]] std::string batch_error_json(const BatchSpec& spec,
+                                           std::string_view cause,
+                                           std::uint32_t attempts);
 
 }  // namespace radnet::harness

@@ -26,6 +26,19 @@
 
 namespace radnet {
 
+/// One-shot FNV-1a over raw bytes with the same avalanche finish
+/// HashStream uses — the payload checksum of the cache entries and journal
+/// records (support/io.hpp, support/journal.hpp). Not a MAC: it detects
+/// torn writes and bit rot, not adversarial tampering.
+[[nodiscard]] inline std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return mix64(h);
+}
+
 class HashStream {
  public:
   /// Field tags; stable across sessions — append, never renumber, or every

@@ -1,0 +1,165 @@
+#include "support/io.hpp"
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "support/parse.hpp"
+#include "support/require.hpp"
+
+namespace radnet::io {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The armed fault. Grant boundaries, journal appends and cache writes all
+/// happen on the batch loop's thread, so plain statics suffice; forked
+/// children get their own copy by memory inheritance (see header).
+struct FaultState {
+  std::string point;
+  std::uint64_t countdown = 0;  ///< fires when a hit decrements this to 0
+  enum class Kind : std::uint8_t { kNone, kKill, kHang, kEnospc } kind =
+      Kind::kNone;
+  bool env_checked = false;
+};
+
+FaultState g_fault;
+
+void arm_from_spec(std::string_view spec) {
+  g_fault = FaultState{};
+  g_fault.env_checked = true;
+  if (spec.empty()) return;
+  const std::size_t colon = spec.rfind(':');
+  RADNET_REQUIRE(colon != std::string_view::npos,
+                 "fault spec looks like point@n:action, got '" +
+                     std::string(spec) + "'");
+  const std::string_view action = spec.substr(colon + 1);
+  const std::string_view head = spec.substr(0, colon);
+  const std::size_t at = head.rfind('@');
+  RADNET_REQUIRE(at != std::string_view::npos && at > 0,
+                 "fault spec looks like point@n:action, got '" +
+                     std::string(spec) + "'");
+  g_fault.point = std::string(head.substr(0, at));
+  g_fault.countdown =
+      parse_u64_strict(head.substr(at + 1), "fault spec hit count");
+  RADNET_REQUIRE(g_fault.countdown >= 1, "fault spec hit count must be >= 1");
+  if (action == "kill") {
+    g_fault.kind = FaultState::Kind::kKill;
+  } else if (action == "hang") {
+    g_fault.kind = FaultState::Kind::kHang;
+  } else if (action == "enospc") {
+    g_fault.kind = FaultState::Kind::kEnospc;
+  } else {
+    throw std::invalid_argument("fault spec action must be kill, hang or "
+                                "enospc, got '" + std::string(action) + "'");
+  }
+}
+
+}  // namespace
+
+void set_fault(std::string_view spec) { arm_from_spec(spec); }
+
+FaultAction check_fault(std::string_view point) {
+  if (!g_fault.env_checked) {
+    const char* env = std::getenv("RADNET_FAULT");
+    arm_from_spec(env != nullptr ? std::string_view(env)
+                                 : std::string_view());
+  }
+  if (g_fault.kind == FaultState::Kind::kNone || g_fault.point != point)
+    return FaultAction::kNone;
+  if (--g_fault.countdown > 0) return FaultAction::kNone;
+  const auto kind = g_fault.kind;
+  g_fault.kind = FaultState::Kind::kNone;  // one shot per process
+  switch (kind) {
+    case FaultState::Kind::kKill:
+      // A real SIGKILL — no unwinding, no flushes: exactly the crash the
+      // journal and atomic-rename protocols must survive.
+      std::raise(SIGKILL);
+      break;
+    case FaultState::Kind::kHang:
+      // A wedged spec for the watchdog to reap; the sleep outlives any
+      // sane isolate timeout and the process dies by SIGKILL.
+      for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
+      break;
+    case FaultState::Kind::kEnospc:
+      return FaultAction::kEnospc;
+    case FaultState::Kind::kNone:
+      break;
+  }
+  return FaultAction::kNone;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream content;
+  content << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return std::move(content).str();
+}
+
+bool atomic_write_file(const std::string& path, std::string_view content,
+                       std::string_view fault_point) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    if (check_fault(fault_point) == FaultAction::kEnospc)
+      out.setstate(std::ios::badbit);
+    out.flush();
+    // The stream state check after write + flush is the whole point: a
+    // full disk or I/O error here must abort the commit, not leave a
+    // truncated file for a later reader to trust.
+    if (!out.good()) {
+      out.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);  // atomic within a filesystem
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+bool quarantine_file(const std::string& path) {
+  std::error_code ec;
+  fs::rename(path, path + ".quarantine", ec);
+  return !ec;
+}
+
+std::size_t sweep_stale_files(const std::string& dir,
+                              std::chrono::seconds max_age) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return 0;
+  const auto cutoff = fs::file_time_type::clock::now() - max_age;
+  std::size_t removed = 0;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    const bool is_tmp = name.find(".tmp.") != std::string::npos;
+    const bool is_quarantine =
+        name.size() > 11 &&
+        name.compare(name.size() - 11, 11, ".quarantine") == 0;
+    if (!is_tmp && !is_quarantine) continue;
+    const auto mtime = fs::last_write_time(entry.path(), ec);
+    if (ec || mtime >= cutoff) continue;  // young — maybe a live run's temp
+    if (fs::remove(entry.path(), ec) && !ec) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace radnet::io

@@ -1,0 +1,120 @@
+// Crash-safe I/O primitives (support/io.hpp): atomic write-to-temp +
+// rename commit, quarantine renames, stale-debris sweeping and the
+// RADNET_FAULT injection hook the fault-tolerance tests drive.
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "support/io.hpp"
+
+namespace radnet {
+namespace {
+
+namespace fs = std::filesystem;
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    io::set_fault("");  // the fault slot is process-global: start disarmed
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    io::set_fault("");
+    fs::remove_all(dir_);
+  }
+
+  std::string path(const std::string& name) const { return dir_ + "/" + name; }
+
+  static void write_plain(const std::string& p, const std::string& content) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+
+  std::string dir_ = "io_test_dir";
+};
+
+TEST_F(IoTest, AtomicWriteCreatesAndReplaces) {
+  const std::string p = path("entry");
+  EXPECT_TRUE(io::atomic_write_file(p, "first", "io-test-point"));
+  EXPECT_EQ(io::read_file(p), "first");
+  EXPECT_TRUE(io::atomic_write_file(p, "second", "io-test-point"));
+  EXPECT_EQ(io::read_file(p), "second");
+  // The commit leaves no temp debris behind.
+  for (const auto& entry : fs::directory_iterator(dir_))
+    EXPECT_EQ(entry.path().filename().string().find(".tmp."),
+              std::string::npos);
+}
+
+TEST_F(IoTest, InjectedEnospcAbortsTheCommitAndRemovesTheTemp) {
+  const std::string p = path("entry");
+  EXPECT_TRUE(io::atomic_write_file(p, "old", "io-test-point"));
+  io::set_fault("io-test-point@1:enospc");
+  EXPECT_FALSE(io::atomic_write_file(p, "new", "io-test-point"));
+  // The failed write never touches the committed name and cleans its temp.
+  EXPECT_EQ(io::read_file(p), "old");
+  for (const auto& entry : fs::directory_iterator(dir_))
+    EXPECT_EQ(entry.path().filename().string().find(".tmp."),
+              std::string::npos);
+  // The fault is one-shot: the retry commits.
+  EXPECT_TRUE(io::atomic_write_file(p, "new", "io-test-point"));
+  EXPECT_EQ(io::read_file(p), "new");
+}
+
+TEST_F(IoTest, ReadFileReportsMissingAsNullopt) {
+  EXPECT_FALSE(io::read_file(path("absent")).has_value());
+}
+
+TEST_F(IoTest, QuarantineMovesTheFileAside) {
+  const std::string p = path("corrupt.rbc");
+  write_plain(p, "garbage");
+  EXPECT_TRUE(io::quarantine_file(p));
+  EXPECT_FALSE(fs::exists(p));
+  EXPECT_EQ(io::read_file(p + ".quarantine"), "garbage");
+  // A second quarantine of the same name replaces the first (evidence of
+  // the LATEST corruption is the useful one).
+  write_plain(p, "garbage2");
+  EXPECT_TRUE(io::quarantine_file(p));
+  EXPECT_EQ(io::read_file(p + ".quarantine"), "garbage2");
+}
+
+TEST_F(IoTest, SweepReapsOldDebrisButNotFreshOrForeignFiles) {
+  const std::string old_tmp = path("a.rbc.tmp.999");
+  const std::string old_quarantine = path("b.rbc.quarantine");
+  const std::string fresh_tmp = path("c.rbc.tmp.1000");
+  const std::string entry = path("d.rbc");
+  for (const auto& p : {old_tmp, old_quarantine, fresh_tmp, entry})
+    write_plain(p, "x");
+  // Age the first two past the cutoff; the fresh temp may belong to a live
+  // concurrent run and the .rbc is a committed entry — both must survive.
+  const auto old_time = fs::file_time_type::clock::now() -
+                        std::chrono::hours(2);
+  fs::last_write_time(old_tmp, old_time);
+  fs::last_write_time(old_quarantine, old_time);
+  EXPECT_EQ(io::sweep_stale_files(dir_, std::chrono::hours(1)), 2u);
+  EXPECT_FALSE(fs::exists(old_tmp));
+  EXPECT_FALSE(fs::exists(old_quarantine));
+  EXPECT_TRUE(fs::exists(fresh_tmp));
+  EXPECT_TRUE(fs::exists(entry));
+  // Missing directories reap nothing (first run, cache never created).
+  EXPECT_EQ(io::sweep_stale_files(path("no-such-dir"), std::chrono::hours(1)),
+            0u);
+}
+
+TEST_F(IoTest, FaultSpecsValidateAndCountDown) {
+  EXPECT_THROW(io::set_fault("no-action"), std::invalid_argument);
+  EXPECT_THROW(io::set_fault("@1:kill"), std::invalid_argument);
+  EXPECT_THROW(io::set_fault("p@0:kill"), std::invalid_argument);
+  EXPECT_THROW(io::set_fault("p@x:kill"), std::invalid_argument);
+  EXPECT_THROW(io::set_fault("p@1:explode"), std::invalid_argument);
+
+  io::set_fault("p@2:enospc");
+  EXPECT_EQ(io::check_fault("other"), io::FaultAction::kNone);  // wrong point
+  EXPECT_EQ(io::check_fault("p"), io::FaultAction::kNone);      // hit 1 of 2
+  EXPECT_EQ(io::check_fault("p"), io::FaultAction::kEnospc);    // fires
+  EXPECT_EQ(io::check_fault("p"), io::FaultAction::kNone);      // disarmed
+}
+
+}  // namespace
+}  // namespace radnet

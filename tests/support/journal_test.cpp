@@ -1,0 +1,143 @@
+// Run-journal format pins (support/journal.hpp): checksummed append,
+// committed-prefix replay, torn-tail truncation and byte-level corruption.
+// The invariant under every mutation: replay returns a (possibly shorter)
+// PREFIX of the records that were appended — never a record that was not,
+// never an altered record.
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "support/io.hpp"
+#include "support/journal.hpp"
+
+namespace radnet {
+namespace {
+
+namespace fs = std::filesystem;
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    io::set_fault("");
+    fs::remove(path_);
+  }
+  void TearDown() override {
+    io::set_fault("");
+    fs::remove(path_);
+  }
+
+  void write_records(const std::vector<std::string>& payloads,
+                     std::uint64_t keep_bytes = 0) {
+    JournalWriter writer;
+    writer.open(path_, keep_bytes);
+    for (const auto& p : payloads) writer.append(p);
+    writer.close();
+  }
+
+  std::string path_ = "journal_test.journal";
+};
+
+const std::vector<std::string> kPayloads = {
+    "header radnet-batch-journal-v1 0011223344556677 0 16",
+    "trials 0 0 16 1:4:12:3:0x1.8p+1:9:2:64:-1",
+    "result 0 16 1 0 0 {\"hash\":\"00112233\"}",
+};
+
+TEST_F(JournalTest, AppendedRecordsReplayInOrder) {
+  write_records(kPayloads);
+  const JournalReplay replay = read_journal(path_);
+  ASSERT_EQ(replay.records.size(), kPayloads.size());
+  for (std::size_t i = 0; i < kPayloads.size(); ++i)
+    EXPECT_EQ(replay.records[i].payload, kPayloads[i]);
+  EXPECT_FALSE(replay.torn_tail);
+  EXPECT_EQ(replay.committed_bytes, fs::file_size(path_));
+  // Record end offsets tile the file: each record knows where the
+  // committed prefix containing it ends.
+  EXPECT_EQ(replay.records.back().end_offset, replay.committed_bytes);
+}
+
+TEST_F(JournalTest, MissingFileIsAnEmptyReplay) {
+  const JournalReplay replay = read_journal("no_such.journal");
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_FALSE(replay.torn_tail);
+  EXPECT_EQ(replay.committed_bytes, 0u);
+}
+
+TEST_F(JournalTest, TruncationAtEveryOffsetYieldsACommittedPrefix) {
+  write_records(kPayloads);
+  const std::string full = *io::read_file(path_);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << full.substr(0, len);
+    out.close();
+    const JournalReplay replay = read_journal(path_);
+    ASSERT_LE(replay.records.size(), kPayloads.size()) << "len " << len;
+    for (std::size_t i = 0; i < replay.records.size(); ++i)
+      EXPECT_EQ(replay.records[i].payload, kPayloads[i]) << "len " << len;
+    EXPECT_LE(replay.committed_bytes, len) << "len " << len;
+    // Everything not replayed is reported torn (except the empty file,
+    // which is simply a fresh journal).
+    if (replay.committed_bytes < len) {
+      EXPECT_TRUE(replay.torn_tail) << "len " << len;
+    }
+  }
+}
+
+TEST_F(JournalTest, FlippedBytesNeverAlterAReplayedRecord) {
+  write_records(kPayloads);
+  const std::string full = *io::read_file(path_);
+  for (std::size_t at = 0; at < full.size(); ++at) {
+    std::string garbled = full;
+    garbled[at] = static_cast<char>(garbled[at] ^ 0x5a);
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << garbled;
+    out.close();
+    const JournalReplay replay = read_journal(path_);
+    // The replayed records are an exact prefix of the appended ones; the
+    // record containing the flip (and everything after) is dropped.
+    ASSERT_LT(replay.records.size(), kPayloads.size()) << "at " << at;
+    for (std::size_t i = 0; i < replay.records.size(); ++i)
+      EXPECT_EQ(replay.records[i].payload, kPayloads[i]) << "at " << at;
+    EXPECT_TRUE(replay.torn_tail) << "at " << at;
+  }
+}
+
+TEST_F(JournalTest, OpenWithKeepBytesTruncatesTheTornTail) {
+  write_records(kPayloads);
+  // Simulate a torn tail, then reopen keeping only the first two records —
+  // the appended record must land right after them.
+  std::ofstream(path_, std::ios::binary | std::ios::app) << "52 torn gar";
+  const JournalReplay before = read_journal(path_);
+  ASSERT_EQ(before.records.size(), kPayloads.size());
+  write_records({"result 1 8 0 0 0 {}"}, before.records[1].end_offset);
+  const JournalReplay after = read_journal(path_);
+  ASSERT_EQ(after.records.size(), 3u);
+  EXPECT_EQ(after.records[0].payload, kPayloads[0]);
+  EXPECT_EQ(after.records[1].payload, kPayloads[1]);
+  EXPECT_EQ(after.records[2].payload, "result 1 8 0 0 0 {}");
+  EXPECT_FALSE(after.torn_tail);
+}
+
+TEST_F(JournalTest, MultilinePayloadsAreRejected) {
+  JournalWriter writer;
+  writer.open(path_, 0);
+  EXPECT_THROW(writer.append("two\nlines"), std::invalid_argument);
+}
+
+TEST_F(JournalTest, InjectedEnospcOnAppendThrowsIoError) {
+  JournalWriter writer;
+  writer.open(path_, 0);
+  writer.append(kPayloads[0]);
+  io::set_fault("journal-append@1:enospc");
+  EXPECT_THROW(writer.append(kPayloads[1]), io::IoError);
+  writer.close();
+  // Whatever reached the disk, replay still returns a clean prefix.
+  const JournalReplay replay = read_journal(path_);
+  ASSERT_LE(replay.records.size(), 2u);
+  for (std::size_t i = 0; i < replay.records.size(); ++i)
+    EXPECT_EQ(replay.records[i].payload, kPayloads[i]);
+}
+
+}  // namespace
+}  // namespace radnet

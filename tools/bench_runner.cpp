@@ -30,7 +30,11 @@
 //                       "identical": ..., "stranded_fraction": ...},
 //     "e19_batch": {"specs": ..., "trials_run": ..., "trials_saved": ...,
 //                   "serial_ms": ..., "parallel_ms": ..., "warm_ms": ...,
-//                   "threads_identical": ..., "cached_identical": ...} }
+//                   "threads_identical": ..., "cached_identical": ...},
+//     "e20_faulttol": {"specs": ..., "kill_confirmed": ...,
+//                      "partial_prefix": ..., "resumed_identical": ...,
+//                      "journal_trials": ..., "journal_results": ...,
+//                      "baseline_ms": ..., "resume_ms": ...} }
 //
 // Every entry carries its wall-clock cost, the thread count it ran with
 // and the process peak RSS when it finished (ru_maxrss — monotone, so an
@@ -59,13 +63,22 @@
 // asserted across all of them. The smoke gate FAILS (non-zero exit) if any
 // family's serial and parallel results ever diverge, or if a cached batch
 // answer differs by one byte from the cold run that produced it —
-// bit-identity is a correctness contract, not a statistic.
+// bit-identity is a correctness contract, not a statistic. Schema v7 adds
+// "e20_faulttol": the crash-safety gate. A journaled sweep is forked into
+// a child that is SIGKILLed mid-flight by the RADNET_FAULT grant-boundary
+// hook, then resumed in-process from the journal's committed prefix; the
+// gate fails unless the child really died by SIGKILL, the torn partial
+// output is a byte-prefix of the uninterrupted stream, and the resumed
+// stream is byte-identical to it (resume(interrupt(run)) == run).
 //
 // Flags: --quick shrinks sizes/repetitions for smoke runs; --out overrides
 // the output path (default BENCH_engine.json in the working directory).
 #include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <chrono>
+#include <csignal>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -82,6 +95,7 @@
 #include "harness/batch.hpp"
 #include "sim/engine.hpp"
 #include "support/cli_args.hpp"
+#include "support/io.hpp"
 #include "support/stats.hpp"
 #include "support/thread_pool.hpp"
 
@@ -449,6 +463,97 @@ BatchNumbers time_batch(bool quick) {
   return b;
 }
 
+struct FaultTolNumbers {
+  std::uint64_t specs = 0;
+  bool kill_confirmed = false;    ///< the child really died by SIGKILL
+  bool partial_prefix = false;    ///< torn output is a prefix of the stream
+  bool resumed_identical = false; ///< resume(interrupt(run)) == run, bytes
+  std::uint64_t journal_trials = 0;   ///< trial records replayed on resume
+  std::uint64_t journal_results = 0;  ///< result records replayed on resume
+  double baseline_ms = 0.0;
+  double resume_ms = 0.0;
+};
+
+/// E20's tracked numbers and the crash-safety gate: run a small journaled
+/// sweep to completion for the reference bytes, fork a child that runs the
+/// same sweep under `grant@2:kill` (SIGKILL at the second grant boundary,
+/// mid-sweep by construction: tol = 0 forces every spec through multiple
+/// grants), then resume in-process from the journal the dead child left
+/// behind. The contract under test is the tentpole invariant of the
+/// fault-tolerance layer — resume(interrupt(run)) == run, byte-for-byte —
+/// plus the weaker torn-output guarantee that whatever the child flushed
+/// before dying is a prefix of the uninterrupted stream, never a
+/// divergence. Everything runs serially: result bytes are thread-invariant
+/// anyway, and the forked child must not depend on pool threads that do
+/// not survive fork.
+FaultTolNumbers time_faulttol() {
+  namespace rh = radnet::harness;
+  namespace fs = std::filesystem;
+  FaultTolNumbers f;
+  std::vector<rh::BatchSpec> specs;
+  for (const std::uint32_t n : {96u, 128u}) {
+    rh::BatchSpec spec;
+    spec.protocol = "alg1";
+    spec.family = rh::BatchFamily::kImplicitGnp;
+    spec.n = n;
+    spec.trials = 16;
+    spec.max_rounds = 256;
+    spec.tol = 0.0;  // exhaust the budget: several grants per spec
+    spec.seed = 7;
+    spec.validate();
+    specs.push_back(spec);
+  }
+  f.specs = specs.size();
+
+  rh::BatchOptions base;
+  base.threads = 1;
+  base.min_grant = 4;
+  double t0 = now_ns();
+  std::ostringstream expect;
+  (void)rh::run_batch(specs, base, expect, nullptr);
+  f.baseline_ms = (now_ns() - t0) / 1e6;
+
+  const fs::path dir = fs::temp_directory_path() / "radnet_bench_runner_e20";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string journal = (dir / "run.journal").string();
+  const std::string partial = (dir / "partial.jsonl").string();
+
+  const pid_t pid = fork();
+  if (pid == 0) {
+    radnet::io::set_fault("grant@2:kill");
+    std::ofstream out(partial, std::ios::binary | std::ios::trunc);
+    rh::BatchOptions opts = base;
+    opts.journal_path = journal;
+    try {
+      (void)rh::run_batch(specs, opts, out, nullptr);
+    } catch (...) {
+      _exit(3);
+    }
+    _exit(0);  // fault never fired — the parent reports the gate failure
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  f.kill_confirmed = WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+
+  const std::string torn = radnet::io::read_file(partial).value_or("");
+  f.partial_prefix = expect.str().compare(0, torn.size(), torn) == 0;
+
+  rh::BatchOptions resume = base;
+  resume.journal_path = journal;
+  resume.resume = true;
+  rh::BatchStats stats;
+  std::ostringstream resumed;
+  t0 = now_ns();
+  (void)rh::run_batch(specs, resume, resumed, &stats);
+  f.resume_ms = (now_ns() - t0) / 1e6;
+  f.journal_trials = stats.journal_trials;
+  f.journal_results = stats.journal_results;
+  f.resumed_identical = resumed.str() == expect.str();
+  fs::remove_all(dir);
+  return f;
+}
+
 struct Comparison {
   std::uint32_t n = 0;
   double p = 0.0;
@@ -642,12 +747,38 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const FaultTolNumbers e20 = time_faulttol();
+  std::cout << "crash-safe sweep (E20) " << e20.specs << " specs: child "
+            << (e20.kill_confirmed ? "SIGKILLed mid-flight" : "NOT KILLED")
+            << ", " << e20.journal_trials << " trials + "
+            << e20.journal_results
+            << " results replayed from the journal; baseline "
+            << e20.baseline_ms << " ms, resume " << e20.resume_ms << " ms, "
+            << (e20.partial_prefix && e20.resumed_identical ? "byte-identical"
+                                                            : "DIVERGED")
+            << "\n";
+  if (!e20.kill_confirmed) {
+    std::cerr << "fault-tolerance gate: the injected SIGKILL never fired — "
+                 "the grant-boundary fault hook is dead\n";
+    return 1;
+  }
+  if (!e20.partial_prefix) {
+    std::cerr << "fault-tolerance gate: the torn partial output is not a "
+                 "byte-prefix of the uninterrupted stream\n";
+    return 1;
+  }
+  if (!e20.resumed_identical) {
+    std::cerr << "fault-tolerance gate: the resumed stream differs from the "
+                 "uninterrupted run — resume(interrupt(run)) != run\n";
+    return 1;
+  }
+
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "cannot write " << out_path << '\n';
     return 1;
   }
-  out << "{\n  \"schema\": \"radnet-bench-engine-v6\",\n  \"host\": {"
+  out << "{\n  \"schema\": \"radnet-bench-engine-v7\",\n  \"host\": {"
       << "\"hardware_concurrency\": "
       << std::max(1u, std::thread::hardware_concurrency())
       << ", \"pool_threads\": " << radnet::global_pool().size() << "},\n"
@@ -707,7 +838,16 @@ int main(int argc, char** argv) {
       << ", \"warm_ms\": " << e19.warm_ms << ", \"threads_identical\": "
       << (e19.threads_identical ? "true" : "false")
       << ", \"cached_identical\": "
-      << (e19.cached_identical ? "true" : "false") << "}\n}\n";
+      << (e19.cached_identical ? "true" : "false") << "},\n"
+      << "  \"e20_faulttol\": {\"specs\": " << e20.specs
+      << ", \"kill_confirmed\": " << (e20.kill_confirmed ? "true" : "false")
+      << ", \"partial_prefix\": " << (e20.partial_prefix ? "true" : "false")
+      << ", \"resumed_identical\": "
+      << (e20.resumed_identical ? "true" : "false")
+      << ", \"journal_trials\": " << e20.journal_trials
+      << ", \"journal_results\": " << e20.journal_results
+      << ", \"baseline_ms\": " << e20.baseline_ms
+      << ", \"resume_ms\": " << e20.resume_ms << "}\n}\n";
   std::cout << "wrote " << out_path << '\n';
   return 0;
 }
