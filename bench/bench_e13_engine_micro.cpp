@@ -14,6 +14,7 @@
 #include "sim/engine.hpp"
 #include "sim/reference_engine.hpp"
 #include "support/bitset.hpp"
+#include "support/simd.hpp"
 
 namespace {
 
@@ -141,6 +142,88 @@ void BM_BroadcastEndToEndImplicit(benchmark::State& state) {
   state.counters["nodes"] = n;
 }
 BENCHMARK(BM_BroadcastEndToEndImplicit)->Arg(1 << 14)->Arg(1 << 16)->Arg(1 << 20);
+
+/// Shared shape of the two per-sweep SIMD benchmarks: Arg(0) = n, Arg(1) =
+/// dispatch mode (0 scalar, 1 SIMD — degrades to scalar without AVX2, the
+/// avx2_active counter records which kernels really ran). One iteration =
+/// one full round sweep; ns/sweep scalar vs SIMD is the tracked pair.
+radnet::simd::Mode arg_mode(benchmark::State& state) {
+  return state.range(1) == 0 ? radnet::simd::Mode::kScalar
+                             : radnet::simd::Mode::kAvx2;
+}
+
+struct NullSink {
+  std::uint64_t events = 0;
+  void deliver(radnet::graph::NodeId, radnet::graph::NodeId) { ++events; }
+  void collide(radnet::graph::NodeId) { ++events; }
+  void deliver_bulk(std::uint64_t count) { events += count; }
+  void collide_bulk(std::uint64_t count) { events += count; }
+};
+
+void BM_DenseClassifySweep(benchmark::State& state) {
+  // The dense G(n,p) lane-classification sweep in its plain regime
+  // (k*p ~ 0.8 ln n, q > 0.5): every listener draws one classification
+  // uniform, batched over RNG lanes.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const double p = 8.0 * std::log(n) / n;
+  radnet::simd::set_mode(arg_mode(state));
+  radnet::sim::ImplicitGnpTopology topo(radnet::sim::ImplicitGnp{n, p, Rng(91)});
+  std::vector<radnet::graph::NodeId> tx;
+  std::vector<char> is_tx(n, 0);
+  for (radnet::graph::NodeId v = 0; v < n / 10; ++v) {
+    tx.push_back(v * 7 % n);
+    is_tx[tx.back()] = 1;
+  }
+  NullSink sink;
+  std::uint32_t round = 0;
+  for (auto _ : state) {
+    topo.begin_round(round++);
+    topo.deliver({tx.data(), tx.size()}, is_tx, /*half_duplex=*/false,
+                 radnet::sim::DeliveryPath::kAuto, std::nullopt,
+                 /*collisions_inert=*/false, sink);
+    benchmark::DoNotOptimize(sink.events);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+  state.counters["nodes"] = n;
+  state.counters["avx2_active"] =
+      radnet::simd::active_mode() == radnet::simd::Mode::kAvx2 ? 1 : 0;
+}
+BENCHMARK(BM_DenseClassifySweep)
+    ->Args({1 << 14, 0})->Args({1 << 14, 1})
+    ->Args({1 << 16, 0})->Args({1 << 16, 1});
+
+void BM_RggDistanceSweep(benchmark::State& state) {
+  // The RGG distance-mask listener scan at mean degree 64 with half the
+  // nodes transmitting — dense cells, so the vector distance masks (not
+  // the bucketing or motion) dominate.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const double radius = std::sqrt(64.0 / (3.141592653589793 * n));
+  radnet::simd::set_mode(arg_mode(state));
+  radnet::sim::ImplicitRggTopology topo(
+      radnet::sim::ImplicitRgg{n, radius, radius / 8.0, Rng(92)});
+  std::vector<radnet::graph::NodeId> tx;
+  std::vector<char> is_tx(n, 0);
+  for (radnet::graph::NodeId v = 0; v < n; v += 2) {
+    tx.push_back(v);
+    is_tx[v] = 1;
+  }
+  NullSink sink;
+  std::uint32_t round = 0;
+  for (auto _ : state) {
+    topo.begin_round(round++);
+    topo.deliver({tx.data(), tx.size()}, is_tx, /*half_duplex=*/false,
+                 radnet::sim::DeliveryPath::kAuto, std::nullopt,
+                 /*collisions_inert=*/false, sink);
+    benchmark::DoNotOptimize(sink.events);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+  state.counters["nodes"] = n;
+  state.counters["avx2_active"] =
+      radnet::simd::active_mode() == radnet::simd::Mode::kAvx2 ? 1 : 0;
+}
+BENCHMARK(BM_RggDistanceSweep)
+    ->Args({1 << 14, 0})->Args({1 << 14, 1})
+    ->Args({1 << 16, 0})->Args({1 << 16, 1});
 
 void BM_GnpGeneration(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));

@@ -36,6 +36,7 @@
 #include "sim/sharding.hpp"
 #include "support/require.hpp"
 #include "support/rng.hpp"
+#include "support/simd.hpp"
 #include "support/thread_pool.hpp"
 
 namespace radnet::sim {
@@ -81,6 +82,17 @@ class GnpSampler {
   /// block indices stay below 2^32, so lanes >= 2^32 can never collide.
   static constexpr std::uint64_t kAuxLane = 0x1'0000'0001ull;
   static constexpr std::uint64_t kAttentiveLane = 0x1'0000'0002ull;
+
+  /// Sub-stream layout of a dense plain-sweep block's key: fork counters
+  /// 0 .. LaneRng::kLanes-1 seed the lane generator (the listener at block
+  /// offset i consumes lane i % kLanes's draw number i / kLanes — a pure
+  /// function of the offset, so classification batches without any
+  /// per-listener branching), and kSenderSubLane feeds the block's sender
+  /// stream, consumed in ascending listener order by the deliveries. The
+  /// split decouples the fixed-rate classification draws from the
+  /// variable-length sender draws (Lemire rejection), which is what lets
+  /// the classification vectorise at all.
+  static constexpr std::uint64_t kSenderSubLane = LaneRng::kLanes;
 
   void init(NodeId n, double p, Rng rng) {
     RADNET_REQUIRE(n >= 1, "implicit G(n,p) needs n >= 1");
@@ -133,6 +145,10 @@ class GnpSampler {
   };
 
   [[nodiscard]] OutcomeProbs outcome_probs(std::uint64_t count) const {
+    // Threshold evaluations are O(1) per round (hoisted out of the block
+    // loops into dense_plan / the attentive preamble); the counter pins
+    // that in a regression test. Only touched on the coordinating thread.
+    ++outcome_probs_evals_;
     OutcomeProbs probs;
     if (count == 0 || p_ <= 0.0) return probs;
     if (p_ >= 1.0) {  // degenerate complete graph
@@ -144,6 +160,49 @@ class GnpSampler {
     probs.silent = std::exp(cd * std::log1p(-p_));
     probs.single = cd * p_ * std::exp((cd - 1.0) * std::log1p(-p_));
     return probs;
+  }
+
+  /// Total outcome_probs evaluations so far — a regression hook: the
+  /// per-round thresholds are computed once per sweep, never per block.
+  [[nodiscard]] std::uint64_t outcome_probs_evals() const {
+    return outcome_probs_evals_;
+  }
+
+  /// Everything a dense (non-sparse) round's blocks need, computed once
+  /// per sweep from round-global quantities — every block sees the same
+  /// plan, so the strategy choice and thresholds are shared, not
+  /// recomputed per block.
+  struct DensePlan {
+    OutcomeProbs probs;     ///< non-transmitting listener outcome law
+    OutcomeProbs probs_tx;  ///< transmitting listener law (silent=1 half-dup)
+    bool plain = false;     ///< q > 0.5: vectorised plain sweep
+    double q = 0.0;         ///< P[hear >= 1] for a non-transmitting listener
+    // Skip-walk constants (only filled when !plain):
+    double q_tx = 0.0;
+    double single_given_hit = 0.0;
+    double single_given_hit_tx = 0.0;
+    double inv_log1m_q = 0.0;
+    // Plain-sweep thresholds (only meaningful when plain):
+    simd::DenseClassifyParams params{};
+  };
+
+  [[nodiscard]] DensePlan dense_plan(std::uint64_t k, bool half_duplex) const {
+    DensePlan plan;
+    plan.probs = outcome_probs(k);
+    plan.probs_tx = half_duplex ? OutcomeProbs{} : outcome_probs(k - 1);
+    plan.q = plan.probs.hit();
+    plan.plain = plan.q > 0.5;
+    if (plan.plain) {
+      plan.params = simd::DenseClassifyParams{
+          plan.probs.silent, plan.probs.silent + plan.probs.single,
+          plan.probs_tx.silent, plan.probs_tx.silent + plan.probs_tx.single};
+    } else {
+      plan.q_tx = plan.probs_tx.hit();
+      plan.single_given_hit = plan.probs.single_given_hit();
+      plan.single_given_hit_tx = plan.probs_tx.single_given_hit();
+      plan.inv_log1m_q = 1.0 / std::log1p(-plan.q);
+    }
+    return plan;
   }
 
   /// The full static-backend round: attentive fast path when the protocol
@@ -210,17 +269,24 @@ class GnpSampler {
     // Both laws are independent across listeners (and pairs), so the block
     // decomposition is exact, not approximate.
     const bool sparse = p_ < 1.0 && static_cast<double>(k) * p_ < 0.25;
+    // Round-global thresholds and strategy, computed exactly once per sweep
+    // (never per block — pinned by outcome_probs_evals()).
+    DensePlan plan;
+    if (!sparse && p_ < 1.0) plan = dense_plan(k, half_duplex);
     const std::uint64_t blocks = block_count(n_, kShardBlockSize);
-    const auto run_block = [&](std::uint64_t b, auto& em, Rng& rng) {
+    const auto run_block = [&](std::uint64_t b, auto& em,
+                               const StreamKey& block_key) {
       const NodeId lo = static_cast<NodeId>(b * kShardBlockSize);
       const NodeId hi = static_cast<NodeId>(std::min<std::uint64_t>(
           n_, (b + 1) * static_cast<std::uint64_t>(kShardBlockSize)));
-      if (sparse)
+      if (sparse) {
+        Rng rng = block_key.make_rng();
         pair_grid_block(lo, hi, rng, transmitters, is_tx, half_duplex, em,
                         skip);
-      else
-        binomial_block(lo, hi, rng, transmitters, is_tx, half_duplex, em,
-                       skip);
+      } else {
+        binomial_block(lo, hi, block_key, plan, transmitters, is_tx,
+                       half_duplex, em, skip);
+      }
     };
     if (pool_ != nullptr && blocks > 1) {
       const bool want_records = wants_records<Record>();
@@ -230,8 +296,7 @@ class GnpSampler {
         buf.clear();
         BufferEmitter em{buf, want_records, collisions_inert,
                          inert_deliveries};
-        Rng rng = round_key_.fork(b).make_rng();
-        run_block(b, em, rng);
+        run_block(b, em, round_key_.fork(b));
       });
       merge_shard_buffers(std::span<const ShardBuffer>(buffers_.data(), blocks),
                           sink, record);
@@ -241,8 +306,7 @@ class GnpSampler {
       DirectEmitter<Sink, std::remove_reference_t<Record>> em{
           sink, record, collisions_inert, inert_deliveries};
       for (std::uint64_t b = 0; b < blocks; ++b) {
-        Rng rng = round_key_.fork(b).make_rng();
-        run_block(b, em, rng);
+        run_block(b, em, round_key_.fork(b));
         em.flush_block();
       }
     }
@@ -441,16 +505,39 @@ class GnpSampler {
     flush();
   }
 
+  /// Listeners classified per call to the dispatched dense kernel: large
+  /// enough to amortise the dispatch and keep lane state in registers,
+  /// small enough for the code buffer to live in L1. A multiple of
+  /// LaneRng::kLanes, so partial lane batches only occur at block ends.
+  static constexpr NodeId kDenseChunk = 2048;
+
   /// Classifies one block's listeners as silent / single-hit / collided
   /// directly from Binomial(k', p) outcome probabilities, where k'
   /// excludes the listener itself when it is transmitting (no self-loops).
-  /// When most listeners hear nothing, the listeners with >= 1 hit are
-  /// themselves geometric-skip-sampled at rate q = 1 - P[X=0], making the
-  /// block O(event listeners) instead of O(hi - lo); per event the only
-  /// randomness is one classification uniform (plus the sender draw on
-  /// delivery).
+  /// Thresholds and strategy come precomputed in `plan` (round-global, so
+  /// every block agrees). Two regimes:
+  ///
+  ///   * plain (q > 0.5): most listeners hear something, so every listener
+  ///     draws one classification uniform. This is the vectorised path:
+  ///     the block's LaneRng (seeded from the block key's lane counters)
+  ///     produces the uniforms positionally — listener offset i consumes
+  ///     lane i % kLanes — and simd::classify_dense turns a whole chunk
+  ///     into outcome codes branch-free; only the (rare in this regime)
+  ///     silent gaps and the emit calls remain scalar. Skipped and
+  ///     half-duplex-transmitting listeners consume their positional draw
+  ///     like everyone else (outcome discarded), keeping the draw schedule
+  ///     a pure function of the block span. Sender draws on delivery come
+  ///     from the block's dedicated kSenderSubLane stream in ascending
+  ///     listener order.
+  ///   * skip-walk (q <= 0.5): geometric skip-sampling over the listeners
+  ///     with >= 1 hit at rate q, on the block key's direct Rng — a
+  ///     transmitter listener's true hit probability q' (from
+  ///     Binomial(k-1, p)) is below the walk's rate q, so those landings
+  ///     are thinned by q'/q — exact rejection, preserving per-listener
+  ///     independence. O(event listeners), inherently branchy, left scalar.
   template <class Emitter, class Skip>
-  void binomial_block(NodeId lo, NodeId hi, Rng& rng,
+  void binomial_block(NodeId lo, NodeId hi, const StreamKey& block_key,
+                      const DensePlan& plan,
                       std::span<const NodeId> transmitters,
                       const std::vector<char>& is_tx, bool half_duplex,
                       Emitter& em, Skip&& skip) {
@@ -473,43 +560,44 @@ class GnpSampler {
       }
       return;
     }
-    const OutcomeProbs probs = outcome_probs(k);
-    // Full-duplex transmitter listeners hear one fewer candidate sender.
-    const OutcomeProbs probs_tx =
-        half_duplex ? OutcomeProbs{} : outcome_probs(k - 1);
-    const double q = probs.hit();
 
-    if (q > 0.5) {
-      // Most listeners hear something: a plain sweep is cheaper than
-      // skip-sampling (and the block is O(events) either way).
-      for (NodeId v = lo; v < hi; ++v) {
-        const bool tx = is_tx[v] != 0;
-        if ((half_duplex && tx) || skip(v)) continue;
-        classify(v, tx, probs, probs_tx, transmitters, em, rng);
+    if (plan.plain) {
+      LaneRng lanes(block_key);
+      Rng sender_rng = block_key.fork(kSenderSubLane).make_rng();
+      unsigned char codes[kDenseChunk];
+      const NodeId span = hi - lo;
+      for (NodeId base = 0; base < span; base += kDenseChunk) {
+        const NodeId m = std::min<NodeId>(kDenseChunk, span - base);
+        simd::classify_dense(lanes, is_tx.data() + lo + base, m, codes,
+                             plan.params);
+        for (NodeId i = 0; i < m; ++i) {
+          if (codes[i] == simd::kOutcomeSilent) continue;
+          const NodeId v = lo + base + i;
+          if (skip(v)) continue;
+          const bool tx = is_tx[v] != 0;
+          // Half-duplex transmitters classify against silent_tx = 1 and
+          // never reach here; full-duplex ones carry the probs_tx law.
+          if (codes[i] == simd::kOutcomeDeliver)
+            deliver_uniform(v, tx, transmitters, em, sender_rng);
+          else
+            em.on_collide(v);
+        }
       }
       return;
     }
 
-    // Skip-walk the block's listeners that hear >= 1 transmitter. A
-    // transmitter listener's true hit probability q' (from
-    // Binomial(k-1, p)) is below the walk's rate q, so those landings are
-    // thinned by q'/q — exact rejection, preserving per-listener
-    // independence.
-    const double q_tx = probs_tx.hit();
-    const double single_given_hit = probs.single_given_hit();
-    const double single_given_hit_tx = probs_tx.single_given_hit();
-    const double inv_log1m_q = 1.0 / std::log1p(-q);
+    Rng rng = block_key.make_rng();
     const std::uint64_t span = static_cast<std::uint64_t>(hi) - lo;
-    for (std::uint64_t o = rng.geometric_inv(inv_log1m_q) - 1; o < span;
-         o += rng.geometric_inv(inv_log1m_q)) {
+    for (std::uint64_t o = rng.geometric_inv(plan.inv_log1m_q) - 1; o < span;
+         o += rng.geometric_inv(plan.inv_log1m_q)) {
       const NodeId v = lo + static_cast<NodeId>(o);
       if (skip(v)) continue;
       const bool tx = is_tx[v] != 0;
-      double single_prob = single_given_hit;
+      double single_prob = plan.single_given_hit;
       if (tx) {
         if (half_duplex) continue;
-        if (rng.next_double() * q >= q_tx) continue;
-        single_prob = single_given_hit_tx;
+        if (rng.next_double() * plan.q >= plan.q_tx) continue;
+        single_prob = plan.single_given_hit_tx;
       }
       if (rng.next_double() < single_prob)
         deliver_uniform(v, tx, transmitters, em, rng);
@@ -521,6 +609,9 @@ class GnpSampler {
   NodeId n_ = 0;
   double p_ = 0.0;
   double inv_log1m_p_ = 0.0;
+  /// Regression hook (see outcome_probs): bumped only on the coordinating
+  /// thread — all per-block work receives precomputed thresholds.
+  mutable std::uint64_t outcome_probs_evals_ = 0;
   StreamKey key_;        ///< backend randomness root (from the spec's rng)
   StreamKey round_key_;  ///< key_.fork(round), re-forked every begin_round
   Rng lane_rng_;         ///< serial attentive/aggregate stream for the round

@@ -59,6 +59,7 @@
 #include "sim/sharding.hpp"
 #include "support/require.hpp"
 #include "support/rng.hpp"
+#include "support/simd.hpp"
 #include "support/thread_pool.hpp"
 
 namespace radnet::sim {
@@ -189,15 +190,6 @@ class ImplicitRggTopology {
   }
 
  private:
-  /// A transmitter with its round position inlined, so the per-listener
-  /// cell scans read contiguous 24-byte entries instead of random-accessing
-  /// the n-sized positions array.
-  struct TxEntry {
-    double x;
-    double y;
-    NodeId id;
-  };
-
   [[nodiscard]] std::uint32_t cell_index(const graph::Point& pt) const {
     auto cx = static_cast<std::uint32_t>(pt.x / cell_size_);
     auto cy = static_cast<std::uint32_t>(pt.y / cell_size_);
@@ -258,10 +250,10 @@ class ImplicitRggTopology {
   }
 
   /// Counting-sorts the round's k transmitters into the cell grid
-  /// (cell_begin_/tx_by_cell_ form a CSR over occupied cells only) and
-  /// stamps every cell whose 3x3 neighbourhood holds a transmitter, so the
-  /// sweep rejects listeners in silent neighbourhoods with one load. Cost
-  /// O(k + occupied·9); the CSR counters are restored to zero in
+  /// (cell_begin_/the tx SoA arrays form a CSR over occupied cells only)
+  /// and stamps every cell whose 3x3 neighbourhood holds a transmitter, so
+  /// the sweep rejects listeners in silent neighbourhoods with one load.
+  /// Cost O(k + occupied·9); the CSR counters are restored to zero in
   /// O(occupied) by unbucket_transmitters.
   void bucket_transmitters(std::span<const NodeId> transmitters) {
     occupied_.clear();
@@ -271,20 +263,34 @@ class ImplicitRggTopology {
       ++cell_fill_[c];
     }
     // Exclusive scan over the occupied cells in first-touch order; the
-    // per-cell segment order inside tx_by_cell_ follows transmitter-list
-    // order, so the sweep's hit enumeration is deterministic. Each entry
-    // carries the transmitter's coordinates so the listener sweep scans
-    // contiguous memory instead of random-accessing the positions array.
+    // per-cell segment order inside the SoA arrays follows transmitter-list
+    // order, so the sweep's hit enumeration is deterministic. Coordinates
+    // are inlined (structure-of-arrays, so the distance kernel can load
+    // four x's or four y's as one vector) rather than random-accessed from
+    // the n-sized positions array.
     std::uint32_t offset = 0;
     for (const std::uint32_t c : occupied_) {
       cell_begin_[c] = offset;
       offset += cell_fill_[c];
       cell_fill_[c] = cell_begin_[c];
     }
-    tx_by_cell_.resize(transmitters.size());
+    const std::size_t k = transmitters.size();
+    tx_x_.resize(k + simd::kRggPad);
+    tx_y_.resize(k + simd::kRggPad);
+    tx_id_.resize(k + simd::kRggPad);
     for (const NodeId t : transmitters) {
       const graph::Point& pt = pts_[t];
-      tx_by_cell_[cell_fill_[cell_index(pt)]++] = TxEntry{pt.x, pt.y, t};
+      const std::uint32_t slot = cell_fill_[cell_index(pt)]++;
+      tx_x_[slot] = pt.x;
+      tx_y_[slot] = pt.y;
+      tx_id_[slot] = t;
+    }
+    // Far-away sentinels let the vector scan load full-width chunks that
+    // overhang the final segment without reading garbage distances.
+    for (std::size_t i = k; i < k + simd::kRggPad; ++i) {
+      tx_x_[i] = 1e30;
+      tx_y_[i] = 1e30;
+      tx_id_[i] = detail::kNoSender;
     }
 
     // Version-stamp the active neighbourhoods; stamps self-invalidate next
@@ -317,11 +323,18 @@ class ImplicitRggTopology {
   /// One listener block of the delivery sweep: for each listener able to
   /// hear, count transmitters within `radius` among the <= 9 neighbouring
   /// cells, early-exiting at the second hit (a collision needs no exact
-  /// count). Purely deterministic geometry — no RNG — so block outputs are
-  /// independent of schedule by construction.
+  /// count). The per-cell distance checks run through the dispatched
+  /// simd::rgg_scan kernel — four squared distances per compare on AVX2,
+  /// in the exact double-precision form of the scalar scan, so every mode
+  /// emits the same events. Purely deterministic geometry — no RNG — so
+  /// block outputs are independent of schedule by construction.
   template <class Emitter>
   void sweep_block(NodeId lo, NodeId hi, const std::vector<char>& is_tx,
                    bool half_duplex, Emitter& em) {
+    const simd::RggScanCtx ctx{tx_x_.data(),       tx_y_.data(),
+                               tx_id_.data(),      cell_begin_.data(),
+                               cell_fill_.data(),  cells_,
+                               r2_};
     for (NodeId v = lo; v < hi; ++v) {
       if (half_duplex && is_tx[v]) continue;  // its own radio is busy
       const graph::Point& pv = pts_[v];
@@ -331,28 +344,9 @@ class ImplicitRggTopology {
       cy = std::min(cy, cells_ - 1);
       if (near_tx_stamp_[cy * cells_ + cx] != round_stamp_)
         continue;  // no transmitter within reach: silence
-      std::uint32_t hits = 0;
       NodeId sender = 0;
-      const std::uint32_t x0 = cx > 0 ? cx - 1 : 0;
-      const std::uint32_t x1 = std::min(cx + 1, cells_ - 1);
-      const std::uint32_t y0 = cy > 0 ? cy - 1 : 0;
-      const std::uint32_t y1 = std::min(cy + 1, cells_ - 1);
-      for (std::uint32_t y = y0; y <= y1 && hits < 2; ++y) {
-        for (std::uint32_t x = x0; x <= x1 && hits < 2; ++x) {
-          const std::uint32_t c = y * cells_ + x;
-          const std::uint32_t begin = cell_begin_[c];
-          const std::uint32_t end = cell_fill_[c];
-          for (std::uint32_t i = begin; i < end; ++i) {
-            const TxEntry& t = tx_by_cell_[i];
-            if (t.id == v) continue;  // full-duplex self: no self-loop
-            const double ddx = pv.x - t.x;
-            const double ddy = pv.y - t.y;
-            if (ddx * ddx + ddy * ddy > r2_) continue;
-            sender = t.id;
-            if (++hits >= 2) break;
-          }
-        }
-      }
+      const std::uint32_t hits = simd::rgg_scan(ctx, pv.x, pv.y, cx, cy, v,
+                                                &sender);
       if (hits == 1)
         em.on_deliver(v, sender);
       else if (hits >= 2)
@@ -373,7 +367,11 @@ class ImplicitRggTopology {
   std::vector<graph::Point> pts_;        ///< current positions, 16 B/node
   std::vector<std::uint32_t> cell_begin_;  ///< tx CSR starts (occupied cells)
   std::vector<std::uint32_t> cell_fill_;   ///< tx CSR ends / scatter cursors
-  std::vector<TxEntry> tx_by_cell_;        ///< transmitters, cell-grouped
+  /// Transmitters, cell-grouped, structure-of-arrays with kRggPad
+  /// sentinels (see bucket_transmitters / simd::RggScanCtx).
+  std::vector<double> tx_x_;
+  std::vector<double> tx_y_;
+  std::vector<NodeId> tx_id_;
   std::vector<std::uint32_t> occupied_;    ///< cells holding >= 1 transmitter
   std::vector<std::uint32_t> near_tx_stamp_;  ///< round_stamp_ if 3x3 has a tx
   std::uint32_t round_stamp_ = 0;

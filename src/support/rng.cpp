@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/require.hpp"
+#include "support/simd.hpp"
 
 namespace radnet {
 
@@ -164,6 +165,57 @@ std::uint64_t Rng::binomial(std::uint64_t n, double p) {
   }
   // Floating-point leftovers (mass ~1e-16) land on the mode.
   return m;
+}
+
+LaneRng::LaneRng(const StreamKey& key) {
+  for (unsigned l = 0; l < kLanes; ++l) {
+    // Exactly key.fork(l).make_rng()'s seeding: four splitmix64 steps from
+    // the forked key, with the same (unreachable) all-zero guard.
+    std::uint64_t s = key.fork(l).value();
+    for (unsigned w = 0; w < 4; ++w) s_[w][l] = splitmix64(s);
+    if ((s_[0][l] | s_[1][l] | s_[2][l] | s_[3][l]) == 0)
+      s_[0][l] = 0x9e3779b97f4a7c15ull;
+  }
+}
+
+std::uint64_t LaneRng::next_u64_lane(unsigned lane) {
+  const std::uint64_t s1 = s_[1][lane];
+  const std::uint64_t result = std::rotl(s1 * 5, 7) * 9;
+  const std::uint64_t t = s1 << 17;
+  s_[2][lane] ^= s_[0][lane];
+  s_[3][lane] ^= s1;
+  s_[1][lane] ^= s_[2][lane];
+  s_[0][lane] ^= s_[3][lane];
+  s_[2][lane] ^= t;
+  s_[3][lane] = std::rotl(s_[3][lane], 45);
+  return result;
+}
+
+double LaneRng::next_double_lane(unsigned lane) {
+  return static_cast<double>(next_u64_lane(lane) >> 11) * 0x1.0p-53;
+}
+
+void LaneRng::next_u64_lanes_scalar(std::uint64_t* out) {
+  for (unsigned l = 0; l < kLanes; ++l) out[l] = next_u64_lane(l);
+}
+
+void LaneRng::next_u64_lanes(std::uint64_t* out) {
+  simd::lane_step(*this, out);
+}
+
+void LaneRng::uniform_lanes(double* out) {
+  std::uint64_t bits[kLanes];
+  next_u64_lanes(bits);
+  for (unsigned l = 0; l < kLanes; ++l)
+    out[l] = static_cast<double>(bits[l] >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t LaneRng::bernoulli_lanes(double p) {
+  double u[kLanes];
+  uniform_lanes(u);
+  std::uint64_t mask = 0;
+  for (unsigned l = 0; l < kLanes; ++l) mask |= (u[l] < p ? 1ull : 0ull) << l;
+  return mask;
 }
 
 StreamKey StreamKey::from_rng(const Rng& rng) {

@@ -96,6 +96,67 @@ class Rng {
   std::array<std::uint64_t, 4> s_;
 };
 
+class StreamKey;
+
+/// Eight independent xoshiro256** generators stepped in lockstep — the
+/// batched lane generator behind the SIMD round sweeps (support/simd.hpp).
+///
+/// Lane l is seeded from key.fork(l), i.e. from *consecutive StreamKey fork
+/// counters*, and every lane's output sequence is byte-identical to what
+/// `key.fork(l).make_rng()` would draw on its own. The bulk draws
+/// (next_u64_lanes / uniform_lanes / bernoulli_lanes) advance every lane by
+/// exactly one step; the per-lane accessors advance a single lane. Both
+/// views share the same state words, so a fused vector kernel and a scalar
+/// replay of the same draw schedule consume the same streams — that is the
+/// whole bit-identity argument of the vectorised sweeps, pinned by
+/// tests/support/simd_test.cpp.
+///
+/// State is stored word-major (s_[word][lane]) so the AVX2 path can load
+/// one state word of four lanes as a single 256-bit register; the scalar
+/// fallback walks the same layout. The bulk draws dispatch at runtime
+/// (support/simd.hpp) and are byte-identical in every mode.
+class LaneRng {
+ public:
+  /// Lane count. Fixed — part of the dense sweep's randomness contract:
+  /// listener position i consumes lane i % kLanes, independent of the
+  /// vector width the host happens to execute with.
+  static constexpr unsigned kLanes = 8;
+
+  LaneRng() = default;
+
+  /// Seeds lane l from key.fork(l) for l in [0, kLanes).
+  explicit LaneRng(const StreamKey& key);
+
+  /// One lockstep step: out[l] = lane l's next 64 random bits.
+  /// Runtime-dispatched; byte-identical to kLanes next_u64_lane calls.
+  void next_u64_lanes(std::uint64_t* out);
+
+  /// One lockstep step: out[l] = lane l's next uniform double in [0, 1).
+  void uniform_lanes(double* out);
+
+  /// One lockstep step: bit l of the result is set iff lane l's uniform
+  /// draw is < p (the same `u < p` comparison Rng::bernoulli uses).
+  std::uint64_t bernoulli_lanes(double p);
+
+  /// Advances a single lane (shares state with the lockstep steps).
+  std::uint64_t next_u64_lane(unsigned lane);
+  double next_double_lane(unsigned lane);
+
+  /// Portable reference implementation of next_u64_lanes — the scalar
+  /// fallback the dispatched path must match byte-for-byte.
+  void next_u64_lanes_scalar(std::uint64_t* out);
+
+  /// Raw state row for word w (kLanes values) — the fused SIMD kernels in
+  /// support/simd_avx2.cpp operate on these in place.
+  [[nodiscard]] std::uint64_t* word(unsigned w) noexcept { return s_[w]; }
+  [[nodiscard]] const std::uint64_t* word(unsigned w) const noexcept {
+    return s_[w];
+  }
+
+ private:
+  alignas(32) std::uint64_t s_[4][kLanes] = {};
+};
+
 /// Counter-keyed sub-stream derivation, the randomness backbone of the
 /// block-sharded round sweeps (sim/topology.hpp).
 ///

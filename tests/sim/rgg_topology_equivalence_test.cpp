@@ -35,6 +35,7 @@
 #include "harness/monte_carlo.hpp"
 #include "sim/engine.hpp"
 #include "statistical_oracle.hpp"
+#include "support/simd.hpp"
 
 namespace radnet::sim {
 namespace {
@@ -146,39 +147,51 @@ CollectSink brute_force_round(const ImplicitRggTopology& topo, double radius,
 }
 
 TEST(ImplicitRggGeometry, CellGridSweepMatchesBruteForce) {
+  // Runs under every SIMD dispatch mode: the vectorised distance-mask scan
+  // keeps comparisons in the exact double-precision form of the scalar
+  // sweep, so both modes must match the brute-force oracle event-for-event.
+  const simd::Mode mode_before = simd::active_mode();
   const graph::NodeId n = 700;
   const double radius = graph::rgg_threshold_radius(n, 4.0);
   const double step = radius / 6.0;
-  for (const bool half_duplex : {true, false}) {
-    ImplicitRggTopology topo(ImplicitRgg{n, radius, step, Rng(0x9e0)});
-    std::vector<char> is_tx(n, 0);
-    for (std::uint32_t round = 0; round < 24; ++round) {
-      topo.begin_round(round);
-      // A deterministic transmitter set that varies per round and includes
-      // clustered ids (adjacent ids are geometrically unrelated, but cell
-      // collisions among transmitters are what the early-exit must handle).
-      std::vector<graph::NodeId> tx;
-      for (graph::NodeId v = round % 5; v < n; v += 3 + (round % 11))
-        tx.push_back(v);
-      for (const graph::NodeId t : tx) is_tx[t] = 1;
+  for (const simd::Mode mode : {simd::Mode::kScalar, simd::Mode::kAvx2}) {
+    if (mode == simd::Mode::kAvx2 && !simd::cpu_has_avx2()) continue;
+    simd::set_mode(mode);
+    for (const bool half_duplex : {true, false}) {
+      ImplicitRggTopology topo(ImplicitRgg{n, radius, step, Rng(0x9e0)});
+      std::vector<char> is_tx(n, 0);
+      for (std::uint32_t round = 0; round < 24; ++round) {
+        topo.begin_round(round);
+        // A deterministic transmitter set that varies per round and
+        // includes clustered ids (adjacent ids are geometrically
+        // unrelated, but cell collisions among transmitters are what the
+        // early-exit must handle).
+        std::vector<graph::NodeId> tx;
+        for (graph::NodeId v = round % 5; v < n; v += 3 + (round % 11))
+          tx.push_back(v);
+        for (const graph::NodeId t : tx) is_tx[t] = 1;
 
-      CollectSink got;
-      topo.deliver({tx.data(), tx.size()}, is_tx, half_duplex,
-                   DeliveryPath::kAuto, std::nullopt,
-                   /*collisions_inert=*/false, got);
-      const CollectSink expected =
-          brute_force_round(topo, radius, {tx.data(), tx.size()}, is_tx,
-                            half_duplex);
-      ASSERT_EQ(got.deliveries, expected.deliveries)
-          << "round " << round << " half_duplex " << half_duplex;
-      ASSERT_EQ(got.collisions, expected.collisions)
-          << "round " << round << " half_duplex " << half_duplex;
-      EXPECT_EQ(got.bulk_deliveries, 0u);
-      EXPECT_EQ(got.bulk_collisions, 0u);
+        CollectSink got;
+        topo.deliver({tx.data(), tx.size()}, is_tx, half_duplex,
+                     DeliveryPath::kAuto, std::nullopt,
+                     /*collisions_inert=*/false, got);
+        const CollectSink expected =
+            brute_force_round(topo, radius, {tx.data(), tx.size()}, is_tx,
+                              half_duplex);
+        ASSERT_EQ(got.deliveries, expected.deliveries)
+            << "round " << round << " half_duplex " << half_duplex
+            << " mode " << simd::mode_name(mode);
+        ASSERT_EQ(got.collisions, expected.collisions)
+            << "round " << round << " half_duplex " << half_duplex
+            << " mode " << simd::mode_name(mode);
+        EXPECT_EQ(got.bulk_deliveries, 0u);
+        EXPECT_EQ(got.bulk_collisions, 0u);
 
-      for (const graph::NodeId t : tx) is_tx[t] = 0;
+        for (const graph::NodeId t : tx) is_tx[t] = 0;
+      }
     }
   }
+  simd::set_mode(mode_before);
 }
 
 TEST(ImplicitRggGeometry, AttentiveHintFoldsExactly) {

@@ -1,0 +1,129 @@
+// Regression tests for the dense sweep's round-global plan hoist.
+//
+// GnpSampler::sweep computes its DensePlan — the OutcomeProbs thresholds
+// that drive both the vectorised plain classification and the skip-walk —
+// exactly once per sweep on the coordinating thread, never per block.
+// outcome_probs_evals() pins that: a dense full-duplex sweep costs exactly
+// two evaluations (non-tx and tx listener laws) no matter how many
+// kShardBlockSize blocks the listener range splits into, serial or pooled.
+// The tests also cross-check that the pooled sweep emits the same events
+// as the serial one under every SIMD dispatch mode, at the sampler level
+// (below the engine, so a plan regression cannot hide behind trace
+// equality elsewhere).
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/backends/implicit.hpp"
+#include "support/rng.hpp"
+#include "support/simd.hpp"
+#include "support/thread_pool.hpp"
+
+namespace radnet::sim {
+namespace {
+
+using detail::GnpSampler;
+using graph::NodeId;
+
+struct CollectSink {
+  std::vector<std::pair<NodeId, NodeId>> deliveries;
+  std::vector<NodeId> collisions;
+  std::uint64_t bulk_deliveries = 0;
+  std::uint64_t bulk_collisions = 0;
+
+  void deliver(NodeId listener, NodeId sender) {
+    deliveries.emplace_back(listener, sender);
+  }
+  void collide(NodeId listener) { collisions.push_back(listener); }
+  void deliver_bulk(std::uint64_t count) { bulk_deliveries += count; }
+  void collide_bulk(std::uint64_t count) { bulk_collisions += count; }
+
+  friend bool operator==(const CollectSink& a, const CollectSink& b) {
+    return a.deliveries == b.deliveries && a.collisions == b.collisions &&
+           a.bulk_deliveries == b.bulk_deliveries &&
+           a.bulk_collisions == b.bulk_collisions;
+  }
+};
+
+// A dense plain regime spanning multiple shard blocks: q = 1-(1-p)^k well
+// above 0.5, so every block takes the vectorised classification path.
+struct DenseFixture {
+  NodeId n;
+  double p;
+  std::vector<NodeId> transmitters;
+  std::vector<char> is_tx;
+
+  explicit DenseFixture(NodeId nodes, NodeId k) : n(nodes), is_tx(nodes, 0) {
+    p = 8.0 * std::log(static_cast<double>(n)) / static_cast<double>(n);
+    transmitters.reserve(k);
+    for (NodeId v = 0; v < k; ++v) {
+      transmitters.push_back(v * 7 % n);
+      is_tx[transmitters.back()] = 1;
+    }
+  }
+
+  CollectSink sweep(GnpSampler& sampler, std::uint32_t round,
+                    bool half_duplex) const {
+    sampler.begin_round(round);
+    CollectSink sink;
+    sampler.sweep({transmitters.data(), transmitters.size()}, is_tx,
+                  half_duplex, std::nullopt, /*collisions_inert=*/false, sink,
+                  detail::SkipNone{}, detail::RecordNone{});
+    return sink;
+  }
+};
+
+TEST(DenseSweepPlan, OutcomeProbsComputedOncePerSweep) {
+  const DenseFixture fx(4 * GnpSampler::kShardBlockSize + 123, 8192);
+  GnpSampler sampler;
+  sampler.init(fx.n, fx.p, Rng(0x90a7));
+  // Sanity: this regime really is the dense plain path (5 blocks).
+  const auto plan = sampler.dense_plan(fx.transmitters.size(), false);
+  ASSERT_TRUE(plan.plain) << "fixture regressed out of the plain regime";
+
+  for (const bool half_duplex : {false, true}) {
+    const std::uint64_t before = sampler.outcome_probs_evals();
+    fx.sweep(sampler, half_duplex ? 2 : 1, half_duplex);
+    const std::uint64_t evals = sampler.outcome_probs_evals() - before;
+    // Full duplex evaluates the non-tx and tx laws; half duplex only the
+    // non-tx law (transmitters hear nothing by construction). Five blocks
+    // swept — per-block recomputation would show up as >= 5 here.
+    EXPECT_EQ(evals, half_duplex ? 1u : 2u)
+        << "plan recomputed per block, half_duplex=" << half_duplex;
+  }
+}
+
+TEST(DenseSweepPlan, PooledSweepSharesPlanAndMatchesSerial) {
+  const DenseFixture fx(4 * GnpSampler::kShardBlockSize + 123, 8192);
+  const simd::Mode before_mode = simd::active_mode();
+  for (const simd::Mode mode : {simd::Mode::kScalar, simd::Mode::kAvx2}) {
+    if (mode == simd::Mode::kAvx2 && !simd::cpu_has_avx2()) continue;
+    simd::set_mode(mode);
+
+    GnpSampler serial;
+    serial.init(fx.n, fx.p, Rng(0x90a7));
+    const CollectSink expected = fx.sweep(serial, 3, false);
+
+    GnpSampler pooled;
+    pooled.init(fx.n, fx.p, Rng(0x90a7));
+    ThreadPool pool(4);
+    pooled.set_parallelism(&pool);
+    const std::uint64_t before = pooled.outcome_probs_evals();
+    const CollectSink got = fx.sweep(pooled, 3, false);
+    EXPECT_EQ(pooled.outcome_probs_evals() - before, 2u)
+        << "pooled sweep recomputed the plan per block";
+    EXPECT_TRUE(got == expected)
+        << "pooled sweep diverged from serial, mode "
+        << simd::mode_name(mode);
+    EXPECT_FALSE(expected.deliveries.empty());
+  }
+  simd::set_mode(before_mode);
+}
+
+}  // namespace
+}  // namespace radnet::sim

@@ -19,8 +19,11 @@
 // energy budgets, crash/recover schedules — all serial, StreamKey-keyed)
 // is pinned on the implicit static, implicit RGG and explicit CSR
 // families, including AdversaryStats via the exhaustive RunResult
-// equality. Final tests drive the Monte-Carlo harness's round-parallel
-// mode against its serial mode on both backend families.
+// equality. The SimdModes* tests extend the matrix with the SIMD dispatch
+// dimension (support/simd.hpp): scalar and AVX2 kernels consume the same
+// counter-keyed streams, so every mode × thread-count combination must
+// stay byte-identical too. Final tests drive the Monte-Carlo harness's
+// round-parallel mode against its serial mode on both backend families.
 #include <cmath>
 #include <memory>
 #include <string>
@@ -33,6 +36,7 @@
 #include "graph/generators.hpp"
 #include "harness/monte_carlo.hpp"
 #include "sim/engine.hpp"
+#include "support/simd.hpp"
 
 namespace radnet::sim {
 namespace {
@@ -428,6 +432,86 @@ TEST(ThreadInvariance, MonteCarloRoundParallelMatchesSerialCsr) {
   EXPECT_EQ(a.total_tx, b.total_tx);
   EXPECT_EQ(a.deliveries, b.deliveries);
   EXPECT_EQ(a.collisions, b.collisions);
+}
+
+/// Runs `make_run` under every SIMD dispatch mode × every thread count and
+/// asserts all results byte-equal the scalar serial run — trace, ledger and
+/// exhaustive RunResult. The SIMD kernels consume the same counter-keyed
+/// streams as the scalar path, so RADNET_SIMD must never change output
+/// bytes, at any parallelism.
+template <class MakeRun>
+void expect_simd_mode_invariant(MakeRun&& make_run, const char* what) {
+  const simd::Mode before = simd::active_mode();
+  RunOptions options;
+  options.record_trace = true;
+  options.threads = 1;
+  simd::set_mode(simd::Mode::kScalar);
+  const RunResult scalar_serial = make_run(options);
+  for (const simd::Mode mode : {simd::Mode::kScalar, simd::Mode::kAvx2}) {
+    if (mode == simd::Mode::kAvx2 && !simd::cpu_has_avx2()) continue;
+    simd::set_mode(mode);
+    for (const unsigned threads : kThreadCounts) {
+      options.threads = threads;
+      expect_identical(scalar_serial, make_run(options), what);
+    }
+  }
+  simd::set_mode(before);
+}
+
+TEST(ThreadInvariance, SimdModesImplicitStaticBroadcast) {
+  // The dense classification sweep runs its vectorised plain path in this
+  // regime (k·p well above the sparse cutoff, q > 0.5 mid-broadcast).
+  const graph::NodeId n = 50'000;
+  const double p = 8.0 * std::log(n) / n;
+  expect_simd_mode_invariant(
+      [&](RunOptions options) {
+        options.max_rounds = 256;
+        const ImplicitGnp spec{n, p, Rng(0x51D1)};
+        BroadcastRandomProtocol proto(BroadcastRandomParams{.p = p});
+        Engine engine;
+        return engine.run(spec, proto, Rng(13), options);
+      },
+      "SIMD modes, implicit static broadcast");
+}
+
+TEST(ThreadInvariance, SimdModesImplicitDynamicSketch) {
+  // churn < 1 routes the same dense sweep through the pair sketch's
+  // record path — the lane-batched classification must feed it the exact
+  // same resolution sequence in every mode.
+  const graph::NodeId n = 50'000;
+  const double p = 16.0 / n;
+  expect_simd_mode_invariant(
+      [&](RunOptions options) {
+        options.max_rounds = 64;
+        ImplicitDynamicGnp spec;
+        spec.n = n;
+        spec.p = p;
+        spec.churn = 0.5;
+        spec.rng = Rng(0x51D2);
+        GossipRumorMarginalProtocol proto(GossipRumorMarginalParams{.p = p});
+        Engine engine;
+        return engine.run(spec, proto, Rng(17), options);
+      },
+      "SIMD modes, implicit dynamic sketch");
+}
+
+TEST(ThreadInvariance, SimdModesImplicitRggMobility) {
+  // The RGG delivery sweep's distance checks run through the dispatched
+  // vector-mask kernel; delivery draws no RNG, so this pins the
+  // arithmetic-identity contract (same double-precision form, same early
+  // exit, same sender) across modes and thread counts.
+  const graph::NodeId n = 150'000;
+  const double radius = std::sqrt(16.0 / (3.14159 * n));
+  const double p = 3.14159 * radius * radius;
+  expect_simd_mode_invariant(
+      [&](RunOptions options) {
+        options.max_rounds = 48;
+        const ImplicitRgg spec{n, radius, radius / 8.0, Rng(0x51D3)};
+        GossipRumorMarginalProtocol proto(GossipRumorMarginalParams{.p = p});
+        Engine engine;
+        return engine.run(spec, proto, Rng(19), options);
+      },
+      "SIMD modes, implicit RGG mobility");
 }
 
 TEST(ThreadInvariance, MonteCarloRoundParallelMatchesSerial) {

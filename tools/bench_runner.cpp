@@ -70,6 +70,16 @@
 // gate fails unless the child really died by SIGKILL, the torn partial
 // output is a byte-prefix of the uninterrupted stream, and the resumed
 // stream is byte-identical to it (resume(interrupt(run)) == run).
+// Schema v8 adds "e13_simd" plus four benchmarks rows
+// (dense_classify_sweep_* / rgg_distance_sweep_*): per-sweep ns/round of
+// the two vectorised hot loops — the dense G(n,p) lane classification and
+// the RGG distance-mask scan — timed under scalar and SIMD dispatch
+// (support/simd.hpp), and a "simd"/"cpu_avx2" pair in the host block
+// recording which kernels the run actually used. The smoke gate FAILS if
+// the scalar and SIMD kernels ever diverge: the lane generator's bulk
+// stream is byte-compared against its scalar reference, and both sweep
+// benchmarks fingerprint every emitted event (order included) per mode —
+// SIMD is a dispatch choice, never an observable one.
 //
 // Flags: --quick shrinks sizes/repetitions for smoke runs; --out overrides
 // the output path (default BENCH_engine.json in the working directory).
@@ -96,6 +106,8 @@
 #include "sim/engine.hpp"
 #include "support/cli_args.hpp"
 #include "support/io.hpp"
+#include "support/rng.hpp"
+#include "support/simd.hpp"
 #include "support/stats.hpp"
 #include "support/thread_pool.hpp"
 
@@ -554,6 +566,154 @@ FaultTolNumbers time_faulttol() {
   return f;
 }
 
+/// Order-sensitive FNV-style fingerprint of a delivery stream: two runs
+/// produce the same fingerprint iff they emit the same events in the same
+/// order — the observable the SIMD dispatch must never change.
+struct FingerprintSink {
+  std::uint64_t hash = 0x9e3779b97f4a7c15ull;
+  std::uint64_t deliveries = 0;
+  std::uint64_t collisions = 0;
+
+  void mix(std::uint64_t x) { hash = (hash ^ x) * 0x100000001b3ull; }
+  void deliver(NodeId listener, NodeId sender) {
+    ++deliveries;
+    mix(listener | (static_cast<std::uint64_t>(sender) << 32));
+  }
+  void collide(NodeId listener) {
+    ++collisions;
+    mix(~static_cast<std::uint64_t>(listener));
+  }
+  void deliver_bulk(std::uint64_t count) { mix(count * 3 + 1); }
+  void collide_bulk(std::uint64_t count) { mix(count * 3 + 2); }
+};
+
+struct SimdSweep {
+  double scalar_ns = 0.0;  ///< median ns per sweep, scalar kernels
+  double simd_ns = 0.0;    ///< median ns per sweep, SIMD kernels
+  std::uint64_t scalar_fp = 0;
+  std::uint64_t simd_fp = 0;
+  [[nodiscard]] double speedup() const { return scalar_ns / simd_ns; }
+  [[nodiscard]] bool identical() const { return scalar_fp == simd_fp; }
+};
+
+struct SimdNumbers {
+  std::uint32_t dense_n = 0;
+  std::uint32_t rgg_n = 0;
+  SimdSweep dense;
+  SimdSweep rgg;
+  bool lanes_identical = false;  ///< bulk lane stream == scalar reference
+};
+
+/// Per-sweep cost of the dense G(n,p) lane classification: k*p ~ 0.8 ln n
+/// puts every block on the vectorised plain path (q well above 0.5).
+SimdSweep time_dense_classify(std::uint32_t n, std::uint32_t reps) {
+  SimdSweep s;
+  const double p = 8.0 * std::log(n) / n;
+  std::vector<NodeId> tx;
+  std::vector<char> is_tx(n, 0);
+  for (NodeId v = 0; v < n / 10; ++v) {
+    tx.push_back(v * 7 % n);
+    is_tx[tx.back()] = 1;
+  }
+  const auto run = [&](radnet::simd::Mode mode, double* ns_out,
+                       std::uint64_t* fp_out) {
+    radnet::simd::set_mode(mode);
+    radnet::sim::ImplicitGnpTopology topo(
+        radnet::sim::ImplicitGnp{n, p, Rng(91)});
+    FingerprintSink sink;
+    Sample ns;
+    radnet::sim::Round round = 0;  // backends require non-decreasing rounds
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      const double t0 = now_ns();
+      for (radnet::sim::Round r = 0; r < kRounds; ++r) {
+        topo.begin_round(round++);
+        topo.deliver({tx.data(), tx.size()}, is_tx, /*half_duplex=*/false,
+                     radnet::sim::DeliveryPath::kAuto, std::nullopt,
+                     /*collisions_inert=*/false, sink);
+      }
+      ns.add((now_ns() - t0) / kRounds);
+    }
+    *ns_out = ns.median();
+    *fp_out = sink.hash ^ sink.deliveries ^ (sink.collisions << 1);
+  };
+  run(radnet::simd::Mode::kScalar, &s.scalar_ns, &s.scalar_fp);
+  run(radnet::simd::Mode::kAvx2, &s.simd_ns, &s.simd_fp);
+  return s;
+}
+
+/// Per-sweep cost of the RGG distance-mask scan: mean degree 64 with half
+/// the nodes transmitting keeps every cell populated, so the scan (not the
+/// bucketing) dominates. begin_round's counter-keyed motion sweep is
+/// included — it is mode-independent, so the delta between the rows is
+/// the scan alone.
+SimdSweep time_rgg_distance(std::uint32_t n, std::uint32_t reps) {
+  SimdSweep s;
+  const double radius = std::sqrt(64.0 / (3.141592653589793 * n));
+  std::vector<NodeId> tx;
+  std::vector<char> is_tx(n, 0);
+  for (NodeId v = 0; v < n; v += 2) {
+    tx.push_back(v);
+    is_tx[v] = 1;
+  }
+  const auto run = [&](radnet::simd::Mode mode, double* ns_out,
+                       std::uint64_t* fp_out) {
+    radnet::simd::set_mode(mode);
+    radnet::sim::ImplicitRggTopology topo(
+        radnet::sim::ImplicitRgg{n, radius, radius / 8.0, Rng(92)});
+    FingerprintSink sink;
+    Sample ns;
+    radnet::sim::Round round = 0;  // backends require non-decreasing rounds
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      const double t0 = now_ns();
+      for (radnet::sim::Round r = 0; r < kRounds; ++r) {
+        topo.begin_round(round++);
+        topo.deliver({tx.data(), tx.size()}, is_tx, /*half_duplex=*/false,
+                     radnet::sim::DeliveryPath::kAuto, std::nullopt,
+                     /*collisions_inert=*/false, sink);
+      }
+      ns.add((now_ns() - t0) / kRounds);
+    }
+    *ns_out = ns.median();
+    *fp_out = sink.hash ^ sink.deliveries ^ (sink.collisions << 1);
+  };
+  run(radnet::simd::Mode::kScalar, &s.scalar_ns, &s.scalar_fp);
+  run(radnet::simd::Mode::kAvx2, &s.simd_ns, &s.simd_fp);
+  return s;
+}
+
+/// Byte-compares the lane generator's dispatched bulk stream against its
+/// portable scalar reference — the root of the whole SIMD identity
+/// argument, checked directly.
+bool lane_streams_identical() {
+  const auto key = radnet::StreamKey::from_rng(Rng(0x51));
+  radnet::LaneRng dispatched(key);
+  radnet::LaneRng reference(key);
+  radnet::simd::set_mode(radnet::simd::Mode::kAvx2);
+  for (std::uint32_t step = 0; step < 4096; ++step) {
+    std::uint64_t got[radnet::LaneRng::kLanes];
+    std::uint64_t want[radnet::LaneRng::kLanes];
+    dispatched.next_u64_lanes(got);
+    reference.next_u64_lanes_scalar(want);
+    for (unsigned l = 0; l < radnet::LaneRng::kLanes; ++l)
+      if (got[l] != want[l]) return false;
+  }
+  return true;
+}
+
+/// E13's SIMD rows and the scalar-vs-SIMD identity gate. On hosts without
+/// AVX2 set_mode degrades to scalar, so the rows coincide and the gate
+/// passes trivially; cpu_avx2 in the host block records which case ran.
+SimdNumbers time_simd_sweeps(bool quick) {
+  SimdNumbers s;
+  s.dense_n = quick ? (1u << 14) : (1u << 16);
+  s.rgg_n = quick ? (1u << 14) : (1u << 16);
+  const std::uint32_t reps = quick ? 3 : 5;
+  s.dense = time_dense_classify(s.dense_n, reps);
+  s.rgg = time_rgg_distance(s.rgg_n, reps);
+  s.lanes_identical = lane_streams_identical();
+  return s;
+}
+
 struct Comparison {
   std::uint32_t n = 0;
   double p = 0.0;
@@ -649,6 +809,10 @@ int main(int argc, char** argv) {
   }();
   const bool quick = args.get_bool("quick", false);
   const std::string out_path = args.get_string("out", "BENCH_engine.json");
+  // The dispatch mode the process resolved at startup (RADNET_SIMD env or
+  // CPUID) — recorded in the host block; every entry below except the
+  // explicit scalar-vs-SIMD rows runs under it.
+  const radnet::simd::Mode host_mode = radnet::simd::active_mode();
 
   const std::vector<std::uint32_t> sizes =
       quick ? std::vector<std::uint32_t>{1u << 10, 1u << 12}
@@ -773,15 +937,56 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const SimdNumbers e13 = time_simd_sweeps(quick);
+  radnet::simd::set_mode(host_mode);
+  std::cout << "SIMD sweeps (E13) dense n=" << e13.dense_n << ": scalar "
+            << e13.dense.scalar_ns << " ns/sweep, simd " << e13.dense.simd_ns
+            << " ns/sweep, speedup " << e13.dense.speedup()
+            << "x; rgg n=" << e13.rgg_n << ": scalar " << e13.rgg.scalar_ns
+            << " ns/sweep, simd " << e13.rgg.simd_ns << " ns/sweep, speedup "
+            << e13.rgg.speedup() << "x, "
+            << (e13.dense.identical() && e13.rgg.identical() &&
+                        e13.lanes_identical
+                    ? "bit-identical"
+                    : "DIVERGED")
+            << "\n";
+  if (!e13.lanes_identical) {
+    std::cerr << "SIMD gate: the dispatched lane-RNG stream diverged from "
+                 "its scalar reference\n";
+    return 1;
+  }
+  if (!e13.dense.identical()) {
+    std::cerr << "SIMD gate: dense classification events diverged between "
+                 "scalar and SIMD dispatch\n";
+    return 1;
+  }
+  if (!e13.rgg.identical()) {
+    std::cerr << "SIMD gate: RGG distance-scan events diverged between "
+                 "scalar and SIMD dispatch\n";
+    return 1;
+  }
+  entries.push_back(
+      {"dense_classify_sweep_scalar", e13.dense_n, e13.dense.scalar_ns, 0.0,
+       1, peak_rss_kb()});
+  entries.push_back({"dense_classify_sweep_simd", e13.dense_n,
+                     e13.dense.simd_ns, 0.0, 1, peak_rss_kb()});
+  entries.push_back({"rgg_distance_sweep_scalar", e13.rgg_n,
+                     e13.rgg.scalar_ns, 0.0, 1, peak_rss_kb()});
+  entries.push_back({"rgg_distance_sweep_simd", e13.rgg_n, e13.rgg.simd_ns,
+                     0.0, 1, peak_rss_kb()});
+
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "cannot write " << out_path << '\n';
     return 1;
   }
-  out << "{\n  \"schema\": \"radnet-bench-engine-v7\",\n  \"host\": {"
+  out << "{\n  \"schema\": \"radnet-bench-engine-v8\",\n  \"host\": {"
       << "\"hardware_concurrency\": "
       << std::max(1u, std::thread::hardware_concurrency())
-      << ", \"pool_threads\": " << radnet::global_pool().size() << "},\n"
+      << ", \"pool_threads\": " << radnet::global_pool().size()
+      << ", \"simd\": \"" << radnet::simd::mode_name(host_mode)
+      << "\", \"cpu_avx2\": "
+      << (radnet::simd::cpu_has_avx2() ? "true" : "false") << "},\n"
       << "  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     out << "    {\"name\": \"" << entries[i].name << "\", \"n\": "
@@ -847,7 +1052,20 @@ int main(int argc, char** argv) {
       << ", \"journal_trials\": " << e20.journal_trials
       << ", \"journal_results\": " << e20.journal_results
       << ", \"baseline_ms\": " << e20.baseline_ms
-      << ", \"resume_ms\": " << e20.resume_ms << "}\n}\n";
+      << ", \"resume_ms\": " << e20.resume_ms << "},\n"
+      << "  \"e13_simd\": {\"dense_n\": " << e13.dense_n
+      << ", \"dense_scalar_ns\": " << e13.dense.scalar_ns
+      << ", \"dense_simd_ns\": " << e13.dense.simd_ns
+      << ", \"dense_speedup\": " << e13.dense.speedup()
+      << ", \"rgg_n\": " << e13.rgg_n
+      << ", \"rgg_scalar_ns\": " << e13.rgg.scalar_ns
+      << ", \"rgg_simd_ns\": " << e13.rgg.simd_ns
+      << ", \"rgg_speedup\": " << e13.rgg.speedup()
+      << ", \"identical\": "
+      << (e13.dense.identical() && e13.rgg.identical() && e13.lanes_identical
+              ? "true"
+              : "false")
+      << "}\n}\n";
   std::cout << "wrote " << out_path << '\n';
   return 0;
 }
