@@ -34,6 +34,7 @@
 #include <thread>
 
 #include "core/broadcast_random.hpp"
+#include "core/gossip_random.hpp"
 #include "graph/generators.hpp"
 #include "harness/experiment.hpp"
 #include "sim/engine.hpp"
@@ -61,6 +62,43 @@ radnet::sim::RunResult run_once(std::uint32_t n, double p, unsigned threads,
   proto.reset(n, Rng(0));
   radnet::sim::RunOptions options;
   options.max_rounds = proto.round_budget();
+  options.threads = threads;
+  return engine.run(spec, proto, Rng(seed + 1), options);
+}
+
+// A churned-dynamic trial: churn = 0.5 routes every delivery through the
+// pair sketch, so the round cost is dominated by the sender-chunked gather
+// and group-chunked classify phases this row prices.
+radnet::sim::RunResult run_once_sketch(std::uint32_t n, unsigned threads,
+                                       std::uint64_t seed) {
+  radnet::sim::Engine engine;
+  radnet::sim::ImplicitDynamicGnp spec;
+  spec.n = n;
+  spec.p = 16.0 / n;
+  spec.churn = 0.5;
+  spec.rng = Rng(seed);
+  radnet::core::GossipRumorMarginalProtocol proto(
+      radnet::core::GossipRumorMarginalParams{.p = spec.p});
+  radnet::sim::RunOptions options;
+  options.max_rounds = 64;
+  options.threads = threads;
+  return engine.run(spec, proto, Rng(seed + 1), options);
+}
+
+// A mobility-RGG broadcast trial: per round the transmitter bucketing (the
+// chunk-sharded counting sort + 3x3 stamp) and the cell-grid sweep are the
+// work this row prices.
+radnet::sim::RunResult run_once_rgg(std::uint32_t n, unsigned threads,
+                                    std::uint64_t seed) {
+  radnet::sim::Engine engine;
+  const double radius =
+      std::sqrt(16.0 / (3.14159265358979 * static_cast<double>(n)));
+  const double p = 3.14159265358979 * radius * radius;
+  const radnet::sim::ImplicitRgg spec{n, radius, radius / 8.0, Rng(seed)};
+  radnet::core::GossipRumorMarginalProtocol proto(
+      radnet::core::GossipRumorMarginalParams{.p = p});
+  radnet::sim::RunOptions options;
+  options.max_rounds = 64;
   options.threads = threads;
   return engine.run(spec, proto, Rng(seed + 1), options);
 }
@@ -205,6 +243,96 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "\nbest CSR speedup: " << csr_best << "x on " << hw
+            << " hardware threads\n";
+
+  // --- sharded sketch phases: churned-dynamic rows --------------------
+  const auto n_dyn = static_cast<std::uint32_t>(env.scaled(1u << 21, 1u << 12));
+  std::cout << "\ndynamic sketch: n = " << n_dyn
+            << ", p = 16/n, churn = 0.5 (sender-chunked gather + "
+            << "group-chunked classify dominate the round)\n\n";
+  const double s0 = now_ms();
+  const auto sketch_serial = run_once_sketch(n_dyn, 1, env.seed);
+  const double sketch_serial_ms = now_ms() - s0;
+
+  radnet::Table st({"threads", "wall ms", "speedup", "identical to serial"});
+  st.set_caption(
+      "E17-sketch: one churned-dynamic gossip trial per row, same seed; "
+      "'identical' compares completion, rounds and the full energy ledger "
+      "bit-for-bit");
+  st.row()
+      .add(std::uint64_t{1})
+      .add(sketch_serial_ms, 1)
+      .add(1.0, 2)
+      .add("yes (baseline)");
+  bool sketch_identical = true;
+  double sketch_best = 1.0;
+  for (const unsigned threads : {2u, 4u, 8u, 0u}) {
+    const double s1 = now_ms();
+    const auto run = run_once_sketch(n_dyn, threads, env.seed);
+    const double ms = now_ms() - s1;
+    const bool same = run == sketch_serial;
+    sketch_identical = sketch_identical && same;
+    sketch_best = std::max(sketch_best, sketch_serial_ms / ms);
+    radnet::Table& row = st.row();
+    if (threads == 0)
+      row.add("all (" + std::to_string(radnet::global_pool().size()) + ")");
+    else
+      row.add(std::uint64_t{threads});
+    row.add(ms, 1)
+        .add(sketch_serial_ms / ms, 2)
+        .add(same ? "yes" : "NO — BUG");
+  }
+  radnet::harness::emit_table(env, "e17", "thread_scaling_sketch", st);
+  if (!sketch_identical) {
+    std::cout << "\nFAILED: sketch-phase results diverged across thread "
+                 "counts\n";
+    return 1;
+  }
+  std::cout << "\nbest sketch speedup: " << sketch_best << "x on " << hw
+            << " hardware threads\n";
+
+  // --- sharded RGG bucketing: mobility rows ----------------------------
+  const auto n_rgg = static_cast<std::uint32_t>(env.scaled(1u << 21, 1u << 12));
+  std::cout << "\nRGG bucketing: n = " << n_rgg
+            << ", r = sqrt(16/(pi n)), step = r/8 (chunk-sharded counting "
+            << "sort + 3x3 stamp feed the cell-grid sweep)\n\n";
+  const double g0 = now_ms();
+  const auto rgg_serial = run_once_rgg(n_rgg, 1, env.seed);
+  const double rgg_serial_ms = now_ms() - g0;
+
+  radnet::Table gt({"threads", "wall ms", "speedup", "identical to serial"});
+  gt.set_caption(
+      "E17-RGG: one mobility-RGG gossip trial per row, same seed; "
+      "'identical' compares completion, rounds and the full energy ledger "
+      "bit-for-bit");
+  gt.row()
+      .add(std::uint64_t{1})
+      .add(rgg_serial_ms, 1)
+      .add(1.0, 2)
+      .add("yes (baseline)");
+  bool rgg_identical = true;
+  double rgg_best = 1.0;
+  for (const unsigned threads : {2u, 4u, 8u, 0u}) {
+    const double g1 = now_ms();
+    const auto run = run_once_rgg(n_rgg, threads, env.seed);
+    const double ms = now_ms() - g1;
+    const bool same = run == rgg_serial;
+    rgg_identical = rgg_identical && same;
+    rgg_best = std::max(rgg_best, rgg_serial_ms / ms);
+    radnet::Table& row = gt.row();
+    if (threads == 0)
+      row.add("all (" + std::to_string(radnet::global_pool().size()) + ")");
+    else
+      row.add(std::uint64_t{threads});
+    row.add(ms, 1).add(rgg_serial_ms / ms, 2).add(same ? "yes" : "NO — BUG");
+  }
+  radnet::harness::emit_table(env, "e17", "thread_scaling_rgg", gt);
+  if (!rgg_identical) {
+    std::cout << "\nFAILED: RGG bucketing results diverged across thread "
+                 "counts\n";
+    return 1;
+  }
+  std::cout << "\nbest RGG speedup: " << rgg_best << "x on " << hw
             << " hardware threads\n";
 
   if (full) {

@@ -126,7 +126,9 @@ void run_monte_carlo_range(const McSpec& spec, std::uint32_t first,
   // independent trials saturate the machine, so each trial runs its rounds
   // serially. With fewer trials than threads (the huge-trial regime),
   // trials run sequentially on the calling thread and each trial fans its
-  // block-sharded rounds out over the whole pool instead. The sampled
+  // sharded round phases — listener-block sweeps, the dynamic sketch
+  // gather/classify chunks, the RGG bucketing chunks — out over the whole
+  // pool instead. The sampled
   // backends always shard their sweeps, so any under-subscribed trial
   // count prefers round-parallelism; explicit-CSR rounds below the work
   // gate (CsrDelivery::kMinParallelRoundWork) stay serial inside the

@@ -147,8 +147,17 @@ class GnpSampler {
   [[nodiscard]] OutcomeProbs outcome_probs(std::uint64_t count) const {
     // Threshold evaluations are O(1) per round (hoisted out of the block
     // loops into dense_plan / the attentive preamble); the counter pins
-    // that in a regression test. Only touched on the coordinating thread.
+    // that in a regression test. Only touched on the coordinating thread —
+    // parallel callers with per-listener eligible counts (the dynamic
+    // backend's sharded classify phase) use outcome_probs_for() instead.
     ++outcome_probs_evals_;
+    return outcome_probs_for(count);
+  }
+
+  /// The pure outcome law for `count` eligible transmitters — no eval
+  /// counter, so it is safe to call concurrently from sharded phases whose
+  /// per-listener counts genuinely vary (nothing to hoist there).
+  [[nodiscard]] OutcomeProbs outcome_probs_for(std::uint64_t count) const {
     OutcomeProbs probs;
     if (count == 0 || p_ <= 0.0) return probs;
     if (p_ >= 1.0) {  // degenerate complete graph

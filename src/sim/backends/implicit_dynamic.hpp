@@ -32,8 +32,18 @@
 //     and bands the modelled regime.
 //
 // Parallelism: the round sweeps and the failure injection shard into the
-// counter-keyed listener blocks of the shared sampler; the sketch phases
-// (gather/classify pinned pairs) stay serial on per-round keyed streams.
+// counter-keyed listener blocks of the shared sampler, and the sketch
+// phases shard too, under the per-chunk merge contract of sim/sharding.hpp:
+// gather decomposes per fixed-width *sender* chunk (distinct senders own
+// disjoint sketch chains, so chunk walks are race-free; frees and head
+// erasures are deferred to a serial commit in chunk order), classify per
+// pinned-listener-*group* chunk (groups are independent given the gathered
+// pinned set; sketch insertions and pinned events are buffered per chunk
+// and replayed serially in ascending chunk = listener order). Every draw
+// comes from a (round, chunk)-keyed stream — gather chunk c from
+// churn_key.fork(round).fork(c), classify chunk c from the reserved
+// kClassifyLane below it — so results are bit-identical at any thread
+// count (the serial schedule walks the same chunks inline).
 #pragma once
 
 #include <algorithm>
@@ -165,6 +175,48 @@ class PairSketch {
     if (it->second == kNil) heads_.erase(it);
   }
 
+  /// The parallel-phase variant of visit(): walks and mutates sender's
+  /// chain exactly like visit(), but *defers* every shared-state effect —
+  /// unlinked entry indices append to `freed` instead of the free list, and
+  /// an emptied head is left in place (value kNil) with the sender noted in
+  /// `emptied` for the caller to erase later. Distinct senders own disjoint
+  /// chains and distinct map slots, and the map's bucket structure is never
+  /// modified here, so concurrent calls for distinct senders are race-free.
+  template <class F>
+  void visit_deferred(NodeId sender, F&& f, std::vector<std::uint32_t>& freed,
+                      std::vector<NodeId>& emptied) {
+    const auto it = heads_.find(sender);
+    if (it == heads_.end()) return;
+    std::uint32_t* link = &it->second;
+    while (*link != kNil) {
+      Entry& e = pool_[*link];
+      if (f(e.listener, e.round)) {
+        link = &e.next;
+      } else {
+        const std::uint32_t idx = *link;
+        *link = e.next;
+        freed.push_back(idx);
+      }
+    }
+    if (it->second == kNil) emptied.push_back(sender);
+  }
+
+  /// Serial completion of a batch of visit_deferred() calls: returns the
+  /// unlinked entries to the free list in the order given and erases the
+  /// emptied heads. Calling per chunk in ascending chunk order keeps the
+  /// free-list (and therefore future slot reuse) deterministic — free-list
+  /// order is never observable in output, but determinism keeps the pool
+  /// layout reproducible for debugging.
+  void commit_deferred(std::span<const std::uint32_t> freed,
+                       std::span<const NodeId> emptied) {
+    for (const std::uint32_t idx : freed) {
+      pool_[idx].next = free_head_;
+      free_head_ = idx;
+      --size_;
+    }
+    for (const NodeId sender : emptied) heads_.erase(sender);
+  }
+
   /// Drops every entry older than `horizon` rounds — reclaims the slots of
   /// senders that stopped transmitting. Only the *set* of dropped entries
   /// is observable (free-list order never is), so iterating the unordered
@@ -224,7 +276,6 @@ class ImplicitDynamicGnpTopology {
         StreamKey::from_rng(spec.rng.split(ImplicitDynamicGnp::kChurnStream));
     fail_key_ =
         StreamKey::from_rng(spec.rng.split(ImplicitDynamicGnp::kFailStream));
-    churn_rng_ = churn_key_.fork(0).make_rng();
     // At churn = 1 nothing is tracked: the record hook is a no-op, so the
     // sharded sweeps need not buffer resolved pairs.
     sampler_.set_records_enabled(churn_ < 1.0);
@@ -256,8 +307,10 @@ class ImplicitDynamicGnpTopology {
   /// Number of permanently failed nodes so far.
   [[nodiscard]] NodeId failed_count() const { return failed_count_; }
 
-  /// Accepted for the sharded sweep and failure injection; the sketch
-  /// phases stay serial regardless.
+  /// Accepted for the sharded sweep, the failure injection and the sketch
+  /// phases (gather per sender chunk, classify per pinned-group chunk);
+  /// serial when null. Either way the output is bit-identical — every
+  /// phase is chunk-decomposed and counter-keyed the same way regardless.
   void set_parallelism(ThreadPool* pool) {
     pool_ = pool;
     sampler_.set_parallelism(pool);
@@ -266,10 +319,9 @@ class ImplicitDynamicGnpTopology {
   void begin_round(std::uint32_t round) {
     round_ = round;
     sampler_.begin_round(round);
-    // The sketch and failure streams re-key per round too: every draw this
-    // round is a pure function of (spec seed, round, position), never of
-    // how many draws earlier rounds consumed.
-    churn_rng_ = churn_key_.fork(round).make_rng();
+    // The sketch and failure streams are keyed per (round, chunk/block) at
+    // phase time: every draw this round is a pure function of (spec seed,
+    // round, position), never of how many draws earlier rounds consumed.
     if (p_of_round_)
       sampler_.set_p(std::clamp(p_of_round_(round), 0.0, 1.0));
     if (fail_prob_ > 0.0) draw_failures();
@@ -368,6 +420,42 @@ class ImplicitDynamicGnpTopology {
     bool is_delivery;
   };
 
+  /// Fixed chunk width of both sharded sketch phases (senders for gather,
+  /// pinned-listener groups for classify). Part of the randomness
+  /// contract: chunk c of a phase owns its (round, chunk)-keyed stream, so
+  /// the decomposition must never depend on thread count — the serial
+  /// schedule walks the same chunks inline.
+  static constexpr std::uint64_t kSketchChunkSize = 1024;
+
+  /// Reserved fork counter separating the classify phase's chunk streams
+  /// from the gather phase's within a round's churn key. Chunk counters
+  /// stay below 2^32, so the two families can never collide.
+  static constexpr std::uint64_t kClassifyLane = 0x1'0000'0001ull;
+
+  /// One chunk's private scratch for the sharded sketch phases, reused
+  /// across rounds (cleared, never shrunk) so steady-state rounds allocate
+  /// nothing — pinned by tests/sim/shard_scratch_test.cpp.
+  struct SketchShard {
+    std::vector<PinnedTouch> pinned;   ///< gather: touches in walk order
+    std::vector<std::uint32_t> freed;  ///< gather: deferred free-list pushes
+    std::vector<NodeId> emptied;       ///< gather: deferred head erasures
+    std::vector<PinnedEvent> events;   ///< classify: events in group order
+    std::vector<std::pair<NodeId, NodeId>> records;  ///< classify: (sender, listener)
+    std::uint64_t nontx = 0;  ///< classify: non-transmitting pinned groups
+    std::uint64_t tx = 0;     ///< classify: transmitting pinned groups
+  };
+
+  /// The current phase's shared inputs, stashed so the pool fan-out lambda
+  /// captures only `this` (see gather_chunk). Valid for the duration of
+  /// one gather_pinned / classify_pinned call.
+  struct SketchPhase {
+    std::span<const NodeId> tx;
+    const std::vector<char>* is_tx = nullptr;
+    bool half_duplex = false;
+    StreamKey gather_key;    ///< churn_key_.fork(round)
+    StreamKey classify_key;  ///< churn_key_.fork(round).fork(kClassifyLane)
+  };
+
   template <class Sink>
   void emit(const PinnedEvent& e, Sink& sink) const {
     if (e.is_delivery)
@@ -406,103 +494,208 @@ class ImplicitDynamicGnpTopology {
     void collide_bulk(std::uint64_t count) { inner.collide_bulk(count); }
   };
 
-  /// Walks the sketch lists of this round's transmitters and resolves each
-  /// touched pair's persistence: the recorded present state survives with
-  /// probability (1-churn)^age (no re-sample hit it — memoryless, so the
-  /// entry's clock restarts at this round), otherwise the pair re-draws
-  /// fresh Bernoulli(p). Negative outcomes drop the entry (absence is not
-  /// stored — the modelled fallback). Pairs whose listener cannot hear
-  /// this round (failed, or transmitting under half-duplex) are left
-  /// untouched: their state is unobservable, so it just keeps ageing.
+  /// Walks the sketch lists of this round's transmitters — sharded per
+  /// fixed-width sender chunk under the per-chunk merge contract
+  /// (sim/sharding.hpp) — and resolves each touched pair's persistence:
+  /// the recorded present state survives with probability (1-churn)^age
+  /// (no re-sample hit it — memoryless, so the entry's clock restarts at
+  /// this round), otherwise the pair re-draws fresh Bernoulli(p). Negative
+  /// outcomes drop the entry (absence is not stored — the modelled
+  /// fallback). Pairs whose listener cannot hear this round (failed, or
+  /// transmitting under half-duplex) are left untouched: their state is
+  /// unobservable, so it just keeps ageing. Chunk c draws from
+  /// churn_key.fork(round).fork(c); chunk walks touch disjoint sketch
+  /// chains, and the deferred frees / head erasures commit serially in
+  /// ascending chunk order, so the sketch ends the phase in the exact
+  /// state the serial chunk walk leaves it in.
   void gather_pinned(std::span<const NodeId> tx,
                      const std::vector<char>& is_tx, bool half_duplex) {
-    for (const NodeId t : tx) {
-      sketch_.visit(t, [&](NodeId w, std::uint32_t& entry_round) {
-        const std::uint64_t age = round_ - entry_round;
-        if (age > horizon_) return false;  // numerically fresh again
-        if (failed_count_ > 0 && failed_[w] != 0) return true;
-        if (half_duplex && is_tx[w]) return true;
-        bool present = true;
-        if (age > 0) {
-          const double survive =
-              std::exp(static_cast<double>(age) * log1m_churn_);
-          if (churn_rng_.next_double() >= survive)
-            present = churn_rng_.bernoulli(sampler_.p());
-        }
-        if (present) entry_round = round_;
-        pinned_.push_back({w, t, present});
-        return present;
-      });
+    const std::uint64_t chunks =
+        detail::block_count(tx.size(), kSketchChunkSize);
+    if (shards_.size() < chunks) shards_.resize(chunks);
+    sketch_phase_.tx = tx;
+    sketch_phase_.is_tx = &is_tx;
+    sketch_phase_.half_duplex = half_duplex;
+    sketch_phase_.gather_key = churn_key_.fork(round_);
+    detail::run_chunked(pool_, chunks,
+                        [this](std::uint64_t c) { gather_chunk(c); });
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      const SketchShard& shard = shards_[c];
+      pinned_.insert(pinned_.end(), shard.pinned.begin(), shard.pinned.end());
+      sketch_.commit_deferred(shard.freed, shard.emptied);
     }
-    std::stable_sort(pinned_.begin(), pinned_.end(),
-                     [](const PinnedTouch& a, const PinnedTouch& b) {
-                       return a.listener < b.listener;
-                     });
+    // Stable sort by listener via an index tie-break and reused member
+    // scratch — std::stable_sort would heap-allocate its merge buffer
+    // every round (tests/sim/shard_scratch_test.cpp pins steady-state
+    // rounds allocation-free).
+    const auto count = static_cast<std::uint32_t>(pinned_.size());
+    pinned_order_.resize(count);
+    for (std::uint32_t i = 0; i < count; ++i) pinned_order_[i] = i;
+    std::sort(pinned_order_.begin(), pinned_order_.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                return pinned_[a].listener != pinned_[b].listener
+                           ? pinned_[a].listener < pinned_[b].listener
+                           : a < b;
+              });
+    pinned_scratch_.resize(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+      pinned_scratch_[i] = pinned_[pinned_order_[i]];
+    pinned_.swap(pinned_scratch_);
     for (const PinnedTouch& t : pinned_) marks_[t.listener] = 1;
+  }
+
+  /// One gather chunk: walks the sketch chains of senders
+  /// tx[c·chunk, (c+1)·chunk) with the chunk's keyed stream, accumulating
+  /// pinned touches, freed entry indices and emptied heads in the chunk's
+  /// private scratch. Kept out-of-line so the pool fan-out lambda captures
+  /// only `this` (std::function inline storage — no per-round allocation).
+  void gather_chunk(std::uint64_t c) {
+    SketchShard& shard = shards_[c];
+    shard.pinned.clear();
+    shard.freed.clear();
+    shard.emptied.clear();
+    Rng rng = sketch_phase_.gather_key.fork(c).make_rng();
+    const std::span<const NodeId> tx = sketch_phase_.tx;
+    const std::vector<char>& is_tx = *sketch_phase_.is_tx;
+    const bool half_duplex = sketch_phase_.half_duplex;
+    const std::uint64_t lo = c * kSketchChunkSize;
+    const std::uint64_t hi =
+        std::min<std::uint64_t>(tx.size(), lo + kSketchChunkSize);
+    for (std::uint64_t s = lo; s < hi; ++s) {
+      const NodeId t = tx[s];
+      sketch_.visit_deferred(
+          t,
+          [&](NodeId w, std::uint32_t& entry_round) {
+            const std::uint64_t age = round_ - entry_round;
+            if (age > horizon_) return false;  // numerically fresh again
+            if (failed_count_ > 0 && failed_[w] != 0) return true;
+            if (half_duplex && is_tx[w]) return true;
+            bool present = true;
+            if (age > 0) {
+              const double survive =
+                  std::exp(static_cast<double>(age) * log1m_churn_);
+              if (rng.next_double() >= survive)
+                present = rng.bernoulli(sampler_.p());
+            }
+            if (present) entry_round = round_;
+            shard.pinned.push_back({w, t, present});
+            return present;
+          },
+          shard.freed, shard.emptied);
+    }
   }
 
   /// Classifies each pinned listener: total hits = resolved sketch hits +
   /// Binomial(k_unknown, p) over its untracked pairs, collapsed to the
-  /// silent / single / collided classes the engine distinguishes. Events
-  /// are buffered (already in ascending listener order) for the caller to
-  /// emit or merge.
+  /// silent / single / collided classes the engine distinguishes. Sharded
+  /// per pinned-listener-group chunk: groups are independent given the
+  /// gathered pinned set (classification reads pinned_ and tx only), chunk
+  /// c draws from the reserved classify lane's fork(c), and the per-chunk
+  /// event buffers and sketch records merge serially in ascending chunk —
+  /// i.e. listener — order, so pinned_events_ ends the phase in ascending
+  /// listener order and the sketch sees insertions in the order the serial
+  /// chunk walk produces.
   template <class Record>
   void classify_pinned(std::span<const NodeId> tx,
                        const std::vector<char>& is_tx, bool half_duplex,
                        std::uint64_t* pinned_nontx, std::uint64_t* pinned_tx,
                        Record&& record) {
+    group_starts_.clear();
+    for (std::size_t i = 0; i < pinned_.size(); ++i)
+      if (i == 0 || pinned_[i].listener != pinned_[i - 1].listener)
+        group_starts_.push_back(i);
+    const std::uint64_t groups = group_starts_.size();
+    if (groups == 0) return;
+    group_starts_.push_back(pinned_.size());  // end sentinel
+    const std::uint64_t chunks = detail::block_count(groups, kSketchChunkSize);
+    if (shards_.size() < chunks) shards_.resize(chunks);
+    sketch_phase_.tx = tx;
+    sketch_phase_.is_tx = &is_tx;
+    sketch_phase_.half_duplex = half_duplex;
+    sketch_phase_.classify_key = churn_key_.fork(round_).fork(kClassifyLane);
+    detail::run_chunked(pool_, chunks,
+                        [this](std::uint64_t c) { classify_chunk(c); });
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      const SketchShard& shard = shards_[c];
+      *pinned_nontx += shard.nontx;
+      *pinned_tx += shard.tx;
+      for (const auto& [sender, listener] : shard.records)
+        record(sender, listener);
+      pinned_events_.insert(pinned_events_.end(), shard.events.begin(),
+                            shard.events.end());
+    }
+  }
+
+  /// One classify chunk: groups [c·chunk, (c+1)·chunk) of the sorted
+  /// pinned set, drawn from the chunk's keyed stream into private event /
+  /// record scratch. Out-of-line for the same [this]-only capture reason
+  /// as gather_chunk.
+  void classify_chunk(std::uint64_t c) {
+    SketchShard& shard = shards_[c];
+    shard.events.clear();
+    shard.records.clear();
+    shard.nontx = 0;
+    shard.tx = 0;
+    Rng rng = sketch_phase_.classify_key.fork(c).make_rng();
+    const std::span<const NodeId> tx = sketch_phase_.tx;
+    const std::vector<char>& is_tx = *sketch_phase_.is_tx;
+    const bool half_duplex = sketch_phase_.half_duplex;
     const std::uint64_t k = tx.size();
-    std::size_t i = 0;
-    while (i < pinned_.size()) {
-      std::size_t j = i;
+    const std::uint64_t groups = group_starts_.size() - 1;
+    const std::uint64_t glo = c * kSketchChunkSize;
+    const std::uint64_t ghi =
+        std::min<std::uint64_t>(groups, glo + kSketchChunkSize);
+    for (std::uint64_t g = glo; g < ghi; ++g) {
+      const std::size_t i = group_starts_[g];
+      const std::size_t j = group_starts_[g + 1];
       std::uint32_t hits_known = 0;
       NodeId stored_sender = 0;
       const NodeId w = pinned_[i].listener;
-      for (; j < pinned_.size() && pinned_[j].listener == w; ++j) {
-        if (pinned_[j].present) {
+      for (std::size_t s = i; s < j; ++s) {
+        if (pinned_[s].present) {
           ++hits_known;
-          stored_sender = pinned_[j].sender;
+          stored_sender = pinned_[s].sender;
         }
       }
       const std::uint64_t cnt_known = j - i;
       const bool wtx = is_tx[w] != 0;
-      ++(wtx ? *pinned_tx : *pinned_nontx);
+      ++(wtx ? shard.tx : shard.nontx);
       const std::uint64_t eligible =
           k - cnt_known - (wtx && !half_duplex ? 1u : 0u);
       if (hits_known >= 2) {
-        pinned_events_.push_back({w, 0, false});
+        shard.events.push_back({w, 0, false});
       } else {
-        const auto probs = sampler_.outcome_probs(eligible);
-        const double u = churn_rng_.next_double();
+        const auto probs = sampler_.outcome_probs_for(eligible);
+        const double u = rng.next_double();
         if (hits_known == 1) {
           // One tracked hit: collision iff any untracked pair also hits.
           if (u < probs.silent)
-            pinned_events_.push_back({w, stored_sender, true});
+            shard.events.push_back({w, stored_sender, true});
           else
-            pinned_events_.push_back({w, 0, false});
+            shard.events.push_back({w, 0, false});
         } else if (u >= probs.silent) {
           if (u < probs.silent + probs.single) {
-            const NodeId sender = pick_unknown_sender(tx, w, wtx, i, j);
-            record(sender, w);
-            pinned_events_.push_back({w, sender, true});
+            const NodeId sender = pick_unknown_sender(rng, tx, w, wtx, i, j);
+            shard.records.emplace_back(sender, w);
+            shard.events.push_back({w, sender, true});
           } else {
-            pinned_events_.push_back({w, 0, false});
+            shard.events.push_back({w, 0, false});
           }
         }
       }
-      i = j;
     }
   }
 
   /// Uniform draw over the transmitters whose pair to `w` is untracked
   /// (rejecting w itself and the listeners' resolved senders — a handful
   /// at most, so rejection terminates fast; probs.single > 0 guarantees
-  /// the untracked set is non-empty).
-  NodeId pick_unknown_sender(std::span<const NodeId> tx, NodeId w, bool wtx,
-                             std::size_t begin, std::size_t end) {
+  /// the untracked set is non-empty). Draws from the calling chunk's
+  /// stream.
+  NodeId pick_unknown_sender(Rng& rng, std::span<const NodeId> tx, NodeId w,
+                             bool wtx, std::size_t begin, std::size_t end) {
     for (;;) {
-      const NodeId cand = tx[static_cast<std::size_t>(
-          churn_rng_.uniform_below(tx.size()))];
+      const NodeId cand =
+          tx[static_cast<std::size_t>(rng.uniform_below(tx.size()))];
       if (wtx && cand == w) continue;
       bool tracked = false;
       for (std::size_t s = begin; s < end; ++s)
@@ -552,9 +745,8 @@ class ImplicitDynamicGnpTopology {
   double churn_;
   double fail_prob_;
   std::function<double(std::uint32_t)> p_of_round_;
-  StreamKey churn_key_;  ///< per-round sketch stream root
+  StreamKey churn_key_;  ///< per-(round, chunk) sketch stream root
   StreamKey fail_key_;   ///< per-(round, block) failure stream root
-  Rng churn_rng_;        ///< re-keyed from churn_key_ every begin_round
   ThreadPool* pool_ = nullptr;
   std::vector<NodeId> fail_counts_;  ///< per-block new failures, merged serially
   double log1m_churn_ = 0.0;
@@ -571,6 +763,11 @@ class ImplicitDynamicGnpTopology {
   std::vector<NodeId> live_tx_;
   std::vector<PinnedTouch> pinned_;
   std::vector<PinnedEvent> pinned_events_;
+  std::vector<SketchShard> shards_;       ///< per-chunk scratch, reused
+  std::vector<std::uint32_t> pinned_order_;   ///< gather sort scratch
+  std::vector<PinnedTouch> pinned_scratch_;   ///< gather sort scratch
+  std::vector<std::size_t> group_starts_; ///< pinned group offsets + sentinel
+  SketchPhase sketch_phase_;              ///< current phase inputs
 };
 
 }  // namespace radnet::sim

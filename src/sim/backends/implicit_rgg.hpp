@@ -26,6 +26,8 @@
 // the 8 surrounding ones, so one round costs
 //   O(n)                 movement (2 uniforms per node)
 // + O(k + occupied·9)    bucket the k transmitters, stamp active cells
+//                        (sharded per transmitter chunk, serial merge
+//                        O(runs) — see bucket_transmitters)
 // + O(n + sum over listeners near transmitters of the <= 9 cells'
 //                        transmitter counts, early-exiting at the second
 //                        hit — a collision needs no exact count)
@@ -45,10 +47,16 @@
 // sim/sharding.hpp: blocks run in any order, buffers merge serially in
 // ascending listener order, and the engine sink observes exactly the
 // event sequence a serial sweep would have produced (the block-merge
-// ordering invariant).
+// ordering invariant). The transmitter bucketing is sharded too, under
+// the per-chunk merge contract: each transmitter chunk counting-sorts
+// locally, a serial cell-ordered merge lays out the shared CSR, and the
+// chunks scatter into disjoint reserved slots — RNG-free, so the bucket
+// contents the sweep sees are byte-identical at any thread count *and*
+// any chunk granularity (the bucketing oracle test sweeps both).
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <optional>
@@ -90,6 +98,12 @@ class ImplicitRggTopology {
   /// round's movement key.
   static constexpr std::uint64_t kInitLane = 0x1'0000'0003ull;
 
+  /// Default transmitter-chunk width of the sharded bucketing phase. Not
+  /// part of any randomness contract — bucketing draws no RNG and the
+  /// cell-ordered merge makes the bucket contents provably independent of
+  /// the decomposition — so it is free to change (and overridable below).
+  static constexpr NodeId kTxChunkSize = 4096;
+
   explicit ImplicitRggTopology(const ImplicitRgg& spec)
       : n_(spec.n), radius_(spec.radius), step_(spec.step) {
     RADNET_REQUIRE(spec.n >= 1, "implicit RGG needs n >= 1");
@@ -124,9 +138,44 @@ class ImplicitRggTopology {
     return pts_;
   }
 
-  /// Serial blocks when null (the default); sharded movement and delivery
-  /// sweeps on `pool` otherwise. Either way the output is bit-identical.
+  /// Serial blocks when null (the default); sharded movement, transmitter
+  /// bucketing and delivery sweeps on `pool` otherwise. Either way the
+  /// output is bit-identical.
   void set_parallelism(ThreadPool* pool) { pool_ = pool; }
+
+  /// Forces the transmitter-chunk width of the sharded bucketing phase
+  /// (0 restores the default). A test/bench knob, never an observable
+  /// one: the bucketing oracle in
+  /// tests/sim/rgg_topology_equivalence_test.cpp sweeps granularities ×
+  /// schedules and asserts identical cell contents and stamps throughout.
+  void set_bucket_chunk(NodeId width) {
+    bucket_chunk_ = width == 0 ? kTxChunkSize : width;
+  }
+
+  // --- bucketing introspection (for the oracle test and diagnostics) ----
+
+  /// Runs just the bucketing phase for the current round's positions;
+  /// callers pair it with unbucket_for_test() to restore the grid.
+  void bucket_for_test(std::span<const NodeId> transmitters) {
+    bucket_transmitters(transmitters);
+  }
+  void unbucket_for_test() { unbucket_transmitters(); }
+  [[nodiscard]] std::uint32_t grid_cells() const { return cells_; }
+  [[nodiscard]] std::uint32_t cell_of(NodeId v) const {
+    return cell_index(pts_[v]);
+  }
+  /// Ids of the transmitters bucketed into `cell`, in segment order (the
+  /// order the sweep enumerates hits in); empty for unoccupied cells.
+  [[nodiscard]] std::span<const NodeId> cell_entries(
+      std::uint32_t cell) const {
+    return {tx_id_.data() + cell_begin_[cell],
+            cell_fill_[cell] - cell_begin_[cell]};
+  }
+  /// Whether the sweep would consider `cell`'s listeners at all this
+  /// round (some transmitter occupies its 3x3 neighbourhood).
+  [[nodiscard]] bool cell_stamped(std::uint32_t cell) const {
+    return near_tx_stamp_[cell] == round_stamp_;
+  }
 
   /// Advances the motion process to round `round` (non-decreasing, the
   /// engine's access pattern). Round 0 is the initial placement; each
@@ -253,38 +302,75 @@ class ImplicitRggTopology {
   /// (cell_begin_/the tx SoA arrays form a CSR over occupied cells only)
   /// and stamps every cell whose 3x3 neighbourhood holds a transmitter, so
   /// the sweep rejects listeners in silent neighbourhoods with one load.
-  /// Cost O(k + occupied·9); the CSR counters are restored to zero in
+  /// Sharded per transmitter chunk under the per-chunk merge contract of
+  /// sim/sharding.hpp: each chunk sorts its transmitters by cell locally
+  /// (stable, so chunk-local order = transmitter-list order), a serial
+  /// cell-ordered merge lays out the shared CSR in O(runs), and the chunks
+  /// scatter coordinates into their reserved, disjoint slots. Chunks are
+  /// merged in ascending order, so each cell's segment concatenates the
+  /// chunks' sub-segments in transmitter-list order — the sweep's hit
+  /// enumeration is byte-identical to a serial counting sort's, at any
+  /// thread count and any chunk granularity (the phase draws no RNG).
+  /// Cost O(k + occupied·9) work; the CSR counters are restored to zero in
   /// O(occupied) by unbucket_transmitters.
   void bucket_transmitters(std::span<const NodeId> transmitters) {
+    const std::uint64_t chunks =
+        detail::block_count(transmitters.size(), bucket_chunk_);
+    if (bucket_chunks_.size() < chunks) bucket_chunks_.resize(chunks);
+    bucket_tx_ = transmitters;
+
+    // Phase 1 (parallel): chunk-local counting sort into (cell, len) runs.
+    detail::run_chunked(pool_, chunks,
+                        [this](std::uint64_t c) { bucket_sort_chunk(c); });
+
+    // Phase 2 (serial cell-ordered merge, O(runs)): accumulate per-cell
+    // counts in chunk-scan order (occupied_ = first-touch order), lay the
+    // CSR out with an exclusive scan, then hand every run its scatter
+    // slot. After this loop cell_fill_[c] is the segment *end*, the same
+    // invariant the sweep reads.
     occupied_.clear();
-    for (const NodeId t : transmitters) {
-      const std::uint32_t c = cell_index(pts_[t]);
-      if (cell_fill_[c] == 0) occupied_.push_back(c);
-      ++cell_fill_[c];
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      const BucketChunk& bc = bucket_chunks_[c];
+      for (std::size_t r = 0; r < bc.run_cell.size(); ++r) {
+        const std::uint32_t cell = bc.run_cell[r];
+        if (cell_fill_[cell] == 0) occupied_.push_back(cell);
+        cell_fill_[cell] += bc.run_len[r];
+      }
     }
-    // Exclusive scan over the occupied cells in first-touch order; the
-    // per-cell segment order inside the SoA arrays follows transmitter-list
-    // order, so the sweep's hit enumeration is deterministic. Coordinates
-    // are inlined (structure-of-arrays, so the distance kernel can load
-    // four x's or four y's as one vector) rather than random-accessed from
-    // the n-sized positions array.
+    // Coordinates are inlined (structure-of-arrays, so the distance kernel
+    // can load four x's or four y's as one vector) rather than
+    // random-accessed from the n-sized positions array.
     std::uint32_t offset = 0;
-    for (const std::uint32_t c : occupied_) {
-      cell_begin_[c] = offset;
-      offset += cell_fill_[c];
-      cell_fill_[c] = cell_begin_[c];
+    for (const std::uint32_t cell : occupied_) {
+      cell_begin_[cell] = offset;
+      offset += cell_fill_[cell];
+      cell_fill_[cell] = cell_begin_[cell];
     }
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      BucketChunk& bc = bucket_chunks_[c];
+      bc.run_slot.resize(bc.run_cell.size());
+      for (std::size_t r = 0; r < bc.run_cell.size(); ++r) {
+        bc.run_slot[r] = cell_fill_[bc.run_cell[r]];
+        cell_fill_[bc.run_cell[r]] += bc.run_len[r];
+      }
+    }
+
     const std::size_t k = transmitters.size();
     tx_x_.resize(k + simd::kRggPad);
     tx_y_.resize(k + simd::kRggPad);
     tx_id_.resize(k + simd::kRggPad);
-    for (const NodeId t : transmitters) {
-      const graph::Point& pt = pts_[t];
-      const std::uint32_t slot = cell_fill_[cell_index(pt)]++;
-      tx_x_[slot] = pt.x;
-      tx_y_[slot] = pt.y;
-      tx_id_[slot] = t;
-    }
+    // Version-stamp the active neighbourhoods; stamps self-invalidate next
+    // round, so nothing is ever cleared.
+    ++round_stamp_;
+
+    // Phase 3 (parallel): scatter into the reserved disjoint slots and
+    // stamp each run cell's 3x3 neighbourhood. A cell split across chunks
+    // is stamped more than once — every store writes the same
+    // round_stamp_ value through a relaxed atomic_ref, and the pool join
+    // orders all of them before the sweep's plain loads.
+    detail::run_chunked(pool_, chunks,
+                        [this](std::uint64_t c) { bucket_scatter_chunk(c); });
+
     // Far-away sentinels let the vector scan load full-width chunks that
     // overhang the final segment without reading garbage distances.
     for (std::size_t i = k; i < k + simd::kRggPad; ++i) {
@@ -292,21 +378,79 @@ class ImplicitRggTopology {
       tx_y_[i] = 1e30;
       tx_id_[i] = detail::kNoSender;
     }
+  }
 
-    // Version-stamp the active neighbourhoods; stamps self-invalidate next
-    // round, so nothing is ever cleared.
-    ++round_stamp_;
-    for (const std::uint32_t c : occupied_) {
-      const std::uint32_t cx = c % cells_;
-      const std::uint32_t cy = c / cells_;
-      for (int dy = -1; dy <= 1; ++dy) {
-        for (int dx = -1; dx <= 1; ++dx) {
-          const std::int64_t nx = static_cast<std::int64_t>(cx) + dx;
-          const std::int64_t ny = static_cast<std::int64_t>(cy) + dy;
-          if (nx < 0 || ny < 0 || nx >= cells_ || ny >= cells_) continue;
-          near_tx_stamp_[static_cast<std::uint32_t>(ny) * cells_ +
-                         static_cast<std::uint32_t>(nx)] = round_stamp_;
-        }
+  /// Phase 1 of bucket_transmitters for chunk `c`: cell indices for the
+  /// chunk's transmitters, a stable local sort by cell, and the collapsed
+  /// (cell, len) run list. Out-of-line so the pool fan-out lambda captures
+  /// only `this` (std::function inline storage — no per-round allocation).
+  void bucket_sort_chunk(std::uint64_t c) {
+    BucketChunk& bc = bucket_chunks_[c];
+    const std::uint64_t lo = c * static_cast<std::uint64_t>(bucket_chunk_);
+    const std::uint64_t hi =
+        std::min<std::uint64_t>(bucket_tx_.size(), lo + bucket_chunk_);
+    const auto len = static_cast<std::uint32_t>(hi - lo);
+    bc.cell.resize(len);
+    bc.order.resize(len);
+    for (std::uint32_t i = 0; i < len; ++i) {
+      bc.cell[i] = cell_index(pts_[bucket_tx_[lo + i]]);
+      bc.order[i] = i;
+    }
+    // Index tie-break = stable order, without std::stable_sort's per-call
+    // heap-allocated merge buffer (tests/sim/shard_scratch_test.cpp pins
+    // steady-state rounds allocation-free).
+    std::sort(bc.order.begin(), bc.order.end(),
+              [&bc](std::uint32_t a, std::uint32_t b) {
+                return bc.cell[a] != bc.cell[b] ? bc.cell[a] < bc.cell[b]
+                                                : a < b;
+              });
+    bc.run_cell.clear();
+    bc.run_len.clear();
+    for (std::uint32_t i = 0; i < len; ++i) {
+      const std::uint32_t cell = bc.cell[bc.order[i]];
+      if (bc.run_cell.empty() || bc.run_cell.back() != cell) {
+        bc.run_cell.push_back(cell);
+        bc.run_len.push_back(0);
+      }
+      ++bc.run_len.back();
+    }
+  }
+
+  /// Phase 3 of bucket_transmitters for chunk `c`: scatter the chunk's
+  /// transmitters (in local sorted order) into the runs' reserved slots
+  /// and stamp each run cell's neighbourhood.
+  void bucket_scatter_chunk(std::uint64_t c) {
+    BucketChunk& bc = bucket_chunks_[c];
+    const std::uint64_t lo = c * static_cast<std::uint64_t>(bucket_chunk_);
+    std::size_t pos = 0;
+    for (std::size_t r = 0; r < bc.run_cell.size(); ++r) {
+      const std::uint32_t len = bc.run_len[r];
+      std::uint32_t slot = bc.run_slot[r];
+      for (std::uint32_t j = 0; j < len; ++j, ++pos, ++slot) {
+        const NodeId t = bucket_tx_[lo + bc.order[pos]];
+        const graph::Point& pt = pts_[t];
+        tx_x_[slot] = pt.x;
+        tx_y_[slot] = pt.y;
+        tx_id_[slot] = t;
+      }
+      stamp_cell(bc.run_cell[r]);
+    }
+  }
+
+  /// Stamps `cell`'s 3x3 neighbourhood with the current round stamp.
+  /// Callable concurrently: all concurrent stores write the same value.
+  void stamp_cell(std::uint32_t cell) {
+    const std::uint32_t cx = cell % cells_;
+    const std::uint32_t cy = cell / cells_;
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const std::int64_t nx = static_cast<std::int64_t>(cx) + dx;
+        const std::int64_t ny = static_cast<std::int64_t>(cy) + dy;
+        if (nx < 0 || ny < 0 || nx >= cells_ || ny >= cells_) continue;
+        std::atomic_ref<std::uint32_t>(
+            near_tx_stamp_[static_cast<std::uint32_t>(ny) * cells_ +
+                           static_cast<std::uint32_t>(nx)])
+            .store(round_stamp_, std::memory_order_relaxed);
       }
     }
   }
@@ -375,6 +519,20 @@ class ImplicitRggTopology {
   std::vector<std::uint32_t> occupied_;    ///< cells holding >= 1 transmitter
   std::vector<std::uint32_t> near_tx_stamp_;  ///< round_stamp_ if 3x3 has a tx
   std::uint32_t round_stamp_ = 0;
+
+  /// One transmitter chunk's private bucketing scratch, reused across
+  /// rounds (resized, never shrunk) — pinned allocation-free in steady
+  /// state by tests/sim/shard_scratch_test.cpp.
+  struct BucketChunk {
+    std::vector<std::uint32_t> cell;   ///< cell of chunk-local tx i
+    std::vector<std::uint32_t> order;  ///< local indices, stably cell-sorted
+    std::vector<std::uint32_t> run_cell;  ///< distinct cells, sorted order
+    std::vector<std::uint32_t> run_len;   ///< transmitters per run
+    std::vector<std::uint32_t> run_slot;  ///< global scatter start per run
+  };
+  NodeId bucket_chunk_ = kTxChunkSize;  ///< see set_bucket_chunk()
+  std::span<const NodeId> bucket_tx_;   ///< current phase's transmitters
+  std::vector<BucketChunk> bucket_chunks_;
   detail::AttentiveFlags att_flags_;          ///< swept rounds' attentive mask
   std::vector<detail::ShardBuffer> buffers_;  ///< per-block scratch, reused
 };

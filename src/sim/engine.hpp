@@ -56,12 +56,15 @@ struct RunOptions {
   /// the forced values exist for path-parity tests and microbenchmarks.
   /// Ignored by the implicit backend.
   DeliveryPath delivery_path = DeliveryPath::kAuto;
-  /// Within-trial parallelism for the backends' block-sharded rounds:
+  /// Within-trial parallelism for the backends' sharded round phases —
+  /// the listener-block sweeps, the dynamic backend's sender-/group-
+  /// chunked sketch phases and the RGG transmitter-chunked bucketing:
   /// 1 (default) = serial, 0 = every core (the shared global_pool(), sized
   /// by RADNET_THREADS when set), k > 1 = exactly k pool threads. Purely a
   /// scheduling knob — sampling backends counter-key every RNG draw by
-  /// (round, listener block) and explicit-CSR delivery involves no RNG at
-  /// all, so the RunResult is bit-identical for every value (asserted by
+  /// (round, block/chunk), and explicit-CSR delivery and RGG bucketing
+  /// involve no RNG at all, so the RunResult is bit-identical for every
+  /// value (asserted through tests/sim/shard_invariance.hpp by
   /// tests/sim/thread_invariance_test.cpp). The Monte-Carlo harness
   /// overrides the default with 0 when there are fewer trials than pool
   /// threads (trial- vs round-parallelism).

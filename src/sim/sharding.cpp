@@ -3,7 +3,17 @@
 #include <algorithm>
 #include <bit>
 
+#include "support/thread_pool.hpp"
+
 namespace radnet::sim::detail {
+
+void run_chunked(ThreadPool* pool, std::uint64_t chunks,
+                 const std::function<void(std::uint64_t)>& body) {
+  if (pool != nullptr && chunks > 1)
+    pool->parallel_for_index(chunks, body);
+  else
+    for (std::uint64_t c = 0; c < chunks; ++c) body(c);
+}
 
 unsigned csr_block_shift(NodeId n, unsigned parallelism) {
   // Aim for ~4 blocks per thread so the pool's dynamic chunking can balance

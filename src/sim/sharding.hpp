@@ -44,6 +44,22 @@
 //     exactly as a serial sweep would have delivered them. Bulk counts
 //     are order-free by definition and flush once per block.
 //
+// Per-chunk merge contract (the generalisation the non-listener phases
+// use): a phase whose natural work unit is not a listener block — the
+// dynamic backend's sketch phases decompose per *sender* chunk (gather)
+// and per pinned-listener-*group* chunk (classify), the RGG bucketing per
+// *transmitter* chunk — shards into fixed-width chunks, gives each chunk
+// either its own (round, chunk)-keyed stream (sketch phases) or no RNG at
+// all (bucketing), accumulates all shared-state effects in per-chunk
+// scratch, and commits them in one serial merge in ascending chunk order.
+// Because chunks cover the input in order, the merged effect sequence —
+// sketch frees and inserts, pinned events, per-cell bucket segments — is
+// exactly what a serial walk of the same chunks produces, so output stays
+// bit-identical at any thread count; where a phase draws no RNG (the
+// bucketing counting sort) it is additionally chunk-*granularity*
+// independent, which the bucketing oracle test exercises. run_chunked()
+// below is the shared fan-out.
+//
 // Bulk ledger accounting: two classes of per-listener events can collapse
 // into exact per-block *counts* instead of buffered events, shrinking the
 // serial merge to O(attentive deliveries):
@@ -58,11 +74,16 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "graph/digraph.hpp"
+
+namespace radnet {
+class ThreadPool;
+}
 
 namespace radnet::sim {
 
@@ -99,6 +120,18 @@ inline constexpr NodeId kShardBlockSize = 1u << 16;
 /// granularity; blocks shrink (down to 2^8) until the pool has ~4 blocks
 /// per thread to balance, and never exceed the sampling backends' 2^16.
 [[nodiscard]] unsigned csr_block_shift(NodeId n, unsigned parallelism);
+
+/// The shared chunk fan-out of the per-chunk merge contract (file comment):
+/// runs body(c) for every chunk in [0, chunks), on the pool when one is
+/// given and there is more than one chunk, inline in ascending order
+/// otherwise. The decomposition is the caller's — and for keyed phases part
+/// of its randomness contract — so the two schedules execute the *same*
+/// chunks; only the interleaving differs, and the caller's serial merge
+/// restores order. Keep `body` small enough for std::function's inline
+/// storage (a single captured pointer) so steady-state rounds stay
+/// allocation-free — pinned by tests/sim/shard_scratch_test.cpp.
+void run_chunked(ThreadPool* pool, std::uint64_t chunks,
+                 const std::function<void(std::uint64_t)>& body);
 
 /// No listener is excluded from a round (backends without a skip hook).
 struct SkipNone {

@@ -21,8 +21,11 @@
 // Seeds are fixed; RADNET_STAT_TRIALS scales the resolution (ctest label
 // tier1_stat). Thread-count bit-identity of the backend lives in
 // tests/sim/thread_invariance_test.cpp.
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -36,6 +39,7 @@
 #include "sim/engine.hpp"
 #include "statistical_oracle.hpp"
 #include "support/simd.hpp"
+#include "support/thread_pool.hpp"
 
 namespace radnet::sim {
 namespace {
@@ -273,6 +277,80 @@ TEST(ImplicitRggGeometry, SameSpecReplaysIdentically) {
   const RunResult a = run_once();
   const RunResult b = run_once();
   EXPECT_TRUE(a == b);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-bucketing oracle: the parallel counting sort vs first principles.
+
+TEST(ImplicitRggGeometry, ShardedBucketingMatchesSerialCountingSort) {
+  // The transmitter bucketing shards into per-chunk local counting sorts
+  // whose runs merge into the shared grid in cell order. The contract it
+  // must keep for the sweep to stay byte-identical: every cell's entry
+  // list equals the serial counting sort's — the transmitters of that
+  // cell *in global transmitter-list order* — and a cell is stamped iff
+  // some transmitter occupies its 3x3 neighbourhood. The phase draws no
+  // randomness, so the bucket layout must also be independent of the
+  // chunk *granularity*, not just the schedule; this sweeps both, with
+  // chunk widths straddling every boundary case (one chunk for all, many
+  // tiny chunks, a prime width, a width that leaves a short tail chunk).
+  const graph::NodeId n = 3000;
+  const double radius = graph::rgg_threshold_radius(n, 4.0);
+  ImplicitRggTopology topo(ImplicitRgg{n, radius, radius / 5.0, Rng(0xB0CC)});
+  const std::uint32_t dim = topo.grid_cells();
+  const std::size_t grid = static_cast<std::size_t>(dim) * dim;
+
+  for (std::uint32_t round = 0; round < 4; ++round) {
+    topo.begin_round(round);
+    // Transmitter sets from sparse (k = 3) through dense (k = n) — dense
+    // rounds force many transmitters per cell and cells split across
+    // chunk boundaries (the merge's concatenation case).
+    std::vector<graph::NodeId> tx;
+    const graph::NodeId stride = round == 0 ? n / 3 : (round == 1 ? 17 : 1);
+    for (graph::NodeId v = round % 3; v < n; v += stride) tx.push_back(v);
+    const auto k = static_cast<graph::NodeId>(tx.size());
+
+    // The serial counting sort, from first principles.
+    std::vector<std::vector<graph::NodeId>> expected(grid);
+    for (const graph::NodeId t : tx) expected[topo.cell_of(t)].push_back(t);
+    std::vector<char> stamped(grid, 0);
+    for (std::size_t cell = 0; cell < grid; ++cell) {
+      if (expected[cell].empty()) continue;
+      const auto cx = static_cast<std::int64_t>(cell % dim);
+      const auto cy = static_cast<std::int64_t>(cell / dim);
+      for (std::int64_t dy = -1; dy <= 1; ++dy)
+        for (std::int64_t dx = -1; dx <= 1; ++dx) {
+          const std::int64_t nx = cx + dx, ny = cy + dy;
+          if (nx < 0 || ny < 0 || nx >= dim || ny >= dim) continue;
+          stamped[static_cast<std::size_t>(ny) * dim + nx] = 1;
+        }
+    }
+
+    const graph::NodeId widths[] = {0, 64, 257, 1024, k + 7};
+    for (const graph::NodeId width : widths) {
+      topo.set_bucket_chunk(width);
+      for (ThreadPool* pool : {static_cast<ThreadPool*>(nullptr),
+                               resolve_pool(0)}) {
+        topo.set_parallelism(pool);
+        topo.bucket_for_test({tx.data(), tx.size()});
+        for (std::size_t cell = 0; cell < grid; ++cell) {
+          const std::span<const graph::NodeId> got =
+              topo.cell_entries(static_cast<std::uint32_t>(cell));
+          ASSERT_TRUE(std::equal(got.begin(), got.end(),
+                                 expected[cell].begin(),
+                                 expected[cell].end()))
+              << "round " << round << " k " << k << " width " << width
+              << " pool " << (pool != nullptr) << " cell " << cell;
+          ASSERT_EQ(topo.cell_stamped(static_cast<std::uint32_t>(cell)),
+                    stamped[cell] != 0)
+              << "round " << round << " k " << k << " width " << width
+              << " pool " << (pool != nullptr) << " cell " << cell;
+        }
+        topo.unbucket_for_test();
+      }
+    }
+    topo.set_bucket_chunk(0);
+    topo.set_parallelism(nullptr);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,180 @@
+// Allocation-bound regression for the chunk-sharded per-round phases.
+//
+// The sharded sketch phases (implicit_dynamic.hpp: sender-chunked gather,
+// group-chunked classify) and the sharded RGG transmitter bucketing
+// (implicit_rgg.hpp) keep all per-(round, chunk) scratch in reusable
+// member buffers, and their pool fan-out lambdas capture only `this` so
+// the std::function handed to ThreadPool::parallel_for_index stays in its
+// inline storage. The consequence pinned here: once warmed up, steady-state
+// rounds of both phases perform *zero* heap allocations, with a live
+// multi-chunk decomposition on the real global pool. The global
+// operator new below counts every allocation in the process (worker
+// threads included), so a regression anywhere in the phase machinery — a
+// by-value capture that spills std::function to the heap, per-round
+// scratch reconstruction, a merge buffer rebuilt per call — fails loudly.
+//
+// Scenario notes. The dynamic run saturates the sketch during a sampling
+// warm-up, then drops the density schedule to p = 0: delivery then skips
+// the sampling sweep entirely but still runs gather + classify over the
+// live sketch (tracking stays on, draws still consumed), so the counted
+// rounds exercise exactly the two sharded sketch phases. The RGG run
+// parks the motion process (step = 0) and drives just the bucketing phase
+// through its test hook — the counted work is the parallel counting sort
+// plus the cell-ordered merge and scatter, nothing else.
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+
+// Out-of-line on purpose: with the free() visible at the delete site, GCC
+// pairs it against the replaced operator new and emits
+// -Wmismatched-new-delete (the pairing is fine — every new below is
+// malloc-family — but the warning is not suppressible per-pair).
+[[gnu::noinline]] void counted_free(void* ptr) { std::free(ptr); }
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* ptr = std::malloc(size == 0 ? 1 : size)) return ptr;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  const auto al = static_cast<std::size_t>(align);
+  const std::size_t padded = (size + al - 1) / al * al;
+  if (void* ptr = std::aligned_alloc(al, padded == 0 ? al : padded))
+    return ptr;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* ptr) noexcept { counted_free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { counted_free(ptr); }
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  counted_free(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  counted_free(ptr);
+}
+
+namespace radnet::sim {
+namespace {
+
+struct CountSink {
+  std::uint64_t deliveries = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t bulk = 0;
+
+  void deliver(graph::NodeId, graph::NodeId) { ++deliveries; }
+  void collide(graph::NodeId) { ++collisions; }
+  void deliver_bulk(std::uint64_t count) { bulk += count; }
+  void collide_bulk(std::uint64_t count) { bulk += count; }
+};
+
+TEST(ShardScratch, DynamicSketchPhasesSteadyStateAllocFree) {
+  const graph::NodeId n = 8192;
+  const graph::NodeId k = 2560;  // 3 gather chunks at kSketchChunkSize=1024
+  const double p0 = 1.5 / static_cast<double>(k);
+  constexpr std::uint32_t kSamplingRounds = 16;
+
+  ImplicitDynamicGnp spec;
+  spec.n = n;
+  spec.p = p0;
+  spec.churn = 0.05;  // slow decay: the sketch stays live for the window
+  spec.sketch_capacity = 16384;
+  spec.rng = Rng(0x5C4A7C4);
+  // Sampling warm-up fills the sketch to capacity; afterwards p = 0 skips
+  // the sampling sweep, leaving exactly the sharded gather + classify
+  // phases as the round's work.
+  spec.p_of_round = [p0](std::uint32_t round) {
+    return round < kSamplingRounds ? p0 : 0.0;
+  };
+  ImplicitDynamicGnpTopology topo(spec);
+  topo.set_parallelism(resolve_pool(0));
+
+  std::vector<graph::NodeId> tx(k);
+  for (graph::NodeId v = 0; v < k; ++v) tx[v] = v;
+  std::vector<char> is_tx(n, 0);
+  for (const graph::NodeId t : tx) is_tx[t] = 1;
+
+  CountSink sink;
+  const auto run_round = [&](std::uint32_t round) {
+    topo.begin_round(round);
+    topo.deliver({tx.data(), tx.size()}, is_tx, /*half_duplex=*/false,
+                 DeliveryPath::kAuto, std::nullopt,
+                 /*collisions_inert=*/false, sink);
+  };
+
+  // Warm up: fill the sketch, then let four p = 0 rounds high-water the
+  // per-chunk scratch under the counted regime's workload shape.
+  for (std::uint32_t round = 0; round < kSamplingRounds + 4; ++round)
+    run_round(round);
+  ASSERT_GT(topo.sketch_size(), 4096u)
+      << "warm-up failed to populate the sketch; the counted rounds would "
+         "not exercise the sharded phases";
+
+  const std::uint64_t before = g_allocations.load();
+  for (std::uint32_t round = kSamplingRounds + 4; round < kSamplingRounds + 12;
+       ++round)
+    run_round(round);
+  const std::uint64_t during = g_allocations.load() - before;
+
+  EXPECT_EQ(during, 0u)
+      << "steady-state gather/classify rounds allocated " << during
+      << " times; per-(round, chunk) scratch is being rebuilt";
+  EXPECT_GT(topo.sketch_size(), 1024u);  // the phases still had real work
+  EXPECT_GT(sink.deliveries, 0u);
+}
+
+TEST(ShardScratch, RggBucketingSteadyStateAllocFree) {
+  const graph::NodeId n = 8192;
+  const double radius = graph::rgg_threshold_radius(n, 4.0);
+  // step = 0 parks the motion process: identical occupancy every round, so
+  // every scratch buffer's high-water mark is hit on the first pass.
+  ImplicitRggTopology topo(ImplicitRgg{n, radius, 0.0, Rng(0xB0C5C)});
+  topo.begin_round(0);
+  topo.set_parallelism(resolve_pool(0));
+  topo.set_bucket_chunk(512);  // 8 chunks over k = 4096 transmitters
+
+  std::vector<graph::NodeId> tx;
+  for (graph::NodeId v = 0; v < n; v += 2) tx.push_back(v);
+
+  for (int warm = 0; warm < 2; ++warm) {
+    topo.bucket_for_test({tx.data(), tx.size()});
+    topo.unbucket_for_test();
+  }
+
+  const std::uint64_t before = g_allocations.load();
+  for (int round = 0; round < 8; ++round) {
+    topo.bucket_for_test({tx.data(), tx.size()});
+    topo.unbucket_for_test();
+  }
+  const std::uint64_t during = g_allocations.load() - before;
+
+  EXPECT_EQ(during, 0u)
+      << "steady-state bucketing rounds allocated " << during
+      << " times; per-chunk scratch is being rebuilt";
+
+  // The counted work was real: bucket once more and check the grid.
+  topo.bucket_for_test({tx.data(), tx.size()});
+  std::uint64_t bucketed = 0;
+  const std::uint32_t dim = topo.grid_cells();
+  for (std::uint32_t cell = 0; cell < dim * dim; ++cell)
+    bucketed += topo.cell_entries(cell).size();
+  EXPECT_EQ(bucketed, tx.size());
+  topo.unbucket_for_test();
+  topo.set_bucket_chunk(0);
+}
+
+}  // namespace
+}  // namespace radnet::sim

@@ -1,32 +1,33 @@
-// Thread-count invariance of the block-sharded topology backends.
+// Shard invariance of the block- and chunk-sharded topology backends.
 //
-// The sharded round sweeps key every RNG draw by (round, listener block)
-// (StreamKey counter keying) — and the explicit CSR paths draw no
-// randomness at all — so a single-trial RunResult — completion, round
+// The sharded phases key every RNG draw by (round, block/chunk) (StreamKey
+// counter keying) — and the explicit CSR paths and the RGG bucketing draw
+// no randomness at all — so a single-trial RunResult — completion, round
 // counts, the full energy ledger and the per-event trace — must be
 // *bit-identical* whether a round runs serially or over a pool of any
-// size. These tests pin that guarantee at 1, 2 and 8 threads across the
-// implicit static backend, the implicit dynamic backend at churn 1.0 and
-// 0.5 (exercising the pair sketch's record/merge path), a
-// failure-injection run (exercising the sharded failure sweep), the
-// implicit mobility-RGG backend (counter-keyed motion sweep + RNG-free
-// cell-grid delivery, with and without the attentive bulk fold), and the
-// explicit CSR family: all three delivery paths on a
-// static G(n,p) graph and on DynamicCsrTopology sequences (link churn and
-// RGG mobility), each cross-checked byte-identical against the serial
-// seed results and against the serial kSortedTouch baseline. The
-// adversary layer (jammer injection, Byzantine rerouting, heterogeneous
-// energy budgets, crash/recover schedules — all serial, StreamKey-keyed)
-// is pinned on the implicit static, implicit RGG and explicit CSR
-// families, including AdversaryStats via the exhaustive RunResult
-// equality. The SimdModes* tests extend the matrix with the SIMD dispatch
-// dimension (support/simd.hpp): scalar and AVX2 kernels consume the same
-// counter-keyed streams, so every mode × thread-count combination must
-// stay byte-identical too. Final tests drive the Monte-Carlo harness's
-// round-parallel mode against its serial mode on both backend families.
+// size. Every section expresses that through the shared property harness
+// in shard_invariance.hpp ({1, 2, 8, 0} threads, optionally × the SIMD
+// dispatch modes, against the scalar serial baseline): the implicit static
+// backend, the implicit dynamic backend at churn 1.0 and 0.5 (the
+// sender-chunked gather and group-chunked classify sketch phases plus the
+// sweep's record/merge path), a failure-injection run (the block-sharded
+// failure sweep), the dedicated phase matrices for the sharded sketch
+// phases (churn + failures + ramping transmitter counts, so gather spans
+// many sender chunks) and the RGG transmitter bucketing (dense cells,
+// ramping k), the implicit mobility-RGG backend (counter-keyed motion
+// sweep + RNG-free cell-grid delivery, with and without the attentive bulk
+// fold), and the explicit CSR family: all three delivery paths on a static
+// G(n,p) graph and on DynamicCsrTopology sequences (link churn and RGG
+// mobility), each cross-checked byte-identical against the serial seed
+// results and against the serial kSortedTouch baseline. The adversary
+// layer (jammer injection, Byzantine rerouting, heterogeneous energy
+// budgets, crash/recover schedules — all serial, StreamKey-keyed) is
+// pinned on the implicit static, implicit RGG and explicit CSR families,
+// including AdversaryStats via the exhaustive RunResult equality. Final
+// tests drive the Monte-Carlo harness's round-parallel mode against its
+// serial mode on both backend families.
 #include <cmath>
 #include <memory>
-#include <string>
 
 #include <gtest/gtest.h>
 
@@ -35,8 +36,8 @@
 #include "graph/dynamics.hpp"
 #include "graph/generators.hpp"
 #include "harness/monte_carlo.hpp"
+#include "shard_invariance.hpp"
 #include "sim/engine.hpp"
-#include "support/simd.hpp"
 
 namespace radnet::sim {
 namespace {
@@ -45,41 +46,18 @@ using core::BroadcastRandomParams;
 using core::BroadcastRandomProtocol;
 using core::GossipRumorMarginalParams;
 using core::GossipRumorMarginalProtocol;
-
-constexpr unsigned kThreadCounts[] = {1, 2, 8};
-
-void expect_identical(const RunResult& a, const RunResult& b,
-                      const char* what) {
-  // Field-wise first for readable failures, then the exhaustive
-  // RunResult::operator== so future fields cannot silently escape the
-  // bit-identity gate.
-  EXPECT_EQ(a.completed, b.completed) << what;
-  EXPECT_EQ(a.rounds_executed, b.rounds_executed) << what;
-  EXPECT_EQ(a.completion_round, b.completion_round) << what;
-  EXPECT_EQ(a.ledger, b.ledger) << what;
-  EXPECT_EQ(a.trace, b.trace) << what;
-  EXPECT_TRUE(a == b) << what;
-}
-
-/// Runs `make_run(options)` at every thread count and asserts all results
-/// equal the serial one. record_trace is on, so equality covers every
-/// per-listener event in order, not just the aggregate ledger.
-template <class MakeRun>
-void expect_thread_invariant(MakeRun&& make_run, const char* what) {
-  RunOptions options;
-  options.record_trace = true;
-  options.threads = 1;
-  const RunResult serial = make_run(options);
-  for (const unsigned threads : kThreadCounts) {
-    options.threads = threads;
-    expect_identical(serial, make_run(options), what);
-  }
-}
+using shard_test::expect_csr_shard_invariant;
+using shard_test::expect_identical;
+using shard_test::expect_shard_invariant;
+using shard_test::kShardThreadCounts;
 
 TEST(ThreadInvariance, ImplicitStaticBroadcast) {
+  // The dense classification sweep runs its vectorised plain path in this
+  // regime (k·p well above the sparse cutoff, q > 0.5 mid-broadcast), so
+  // the SIMD mode sweep is on.
   const graph::NodeId n = 50'000;  // several shard blocks
   const double p = 8.0 * std::log(n) / n;
-  expect_thread_invariant(
+  expect_shard_invariant(
       [&](RunOptions options) {
         options.max_rounds = 256;
         const ImplicitGnp spec{n, p, Rng(0xA11CE)};
@@ -87,7 +65,7 @@ TEST(ThreadInvariance, ImplicitStaticBroadcast) {
         Engine engine;
         return engine.run(spec, proto, Rng(7), options);
       },
-      "implicit static broadcast");
+      "implicit static broadcast", /*sweep_simd_modes=*/true);
 }
 
 TEST(ThreadInvariance, AttentivePathAndBulkCollisions) {
@@ -107,15 +85,17 @@ TEST(ThreadInvariance, AttentivePathAndBulkCollisions) {
   };
   const RunResult serial = run_with(1);
   EXPECT_TRUE(serial.completed);
-  for (const unsigned threads : kThreadCounts)
+  for (const unsigned threads : kShardThreadCounts) {
+    if (threads == 1) continue;  // `serial` IS the 1-thread run
     expect_identical(serial, run_with(threads), "attentive path");
+  }
 }
 
 void expect_dynamic_invariant(double churn, double fail_prob,
-                              const char* what) {
+                              const char* what, bool sweep_simd_modes) {
   const graph::NodeId n = 50'000;
   const double p = 16.0 / n;
-  expect_thread_invariant(
+  expect_shard_invariant(
       [&](RunOptions options) {
         options.max_rounds = 64;
         ImplicitDynamicGnp spec;
@@ -128,35 +108,69 @@ void expect_dynamic_invariant(double churn, double fail_prob,
         Engine engine;
         return engine.run(spec, proto, Rng(9), options);
       },
-      what);
+      what, sweep_simd_modes);
 }
 
 TEST(ThreadInvariance, ImplicitDynamicChurnOne) {
-  expect_dynamic_invariant(1.0, 0.0, "dynamic churn=1.0");
+  // churn = 1 never touches the sketch; this pins the sweep + merge path.
+  expect_dynamic_invariant(1.0, 0.0, "dynamic churn=1.0", false);
 }
 
 TEST(ThreadInvariance, ImplicitDynamicChurnHalf) {
-  // churn < 1 routes deliveries through the pair sketch: the sweep's
-  // buffered record merge must reproduce the serial sketch insertion order
-  // exactly, or later rounds diverge.
-  expect_dynamic_invariant(0.5, 0.0, "dynamic churn=0.5");
+  // churn < 1 routes deliveries through the pair sketch: the sender-chunked
+  // gather, the group-chunked classify and the sweep's buffered record
+  // merge must reproduce the serial sketch insertion order exactly, or
+  // later rounds diverge. The gossip marginal ramps transmitters to ~n, so
+  // gather spans dozens of sender chunks. SIMD modes on: the lane-batched
+  // dense classification must feed the sketch the exact same resolution
+  // sequence in every mode (acceptance matrix: churned-dynamic runs
+  // byte-identical across {1,2,8,0} threads × SIMD modes).
+  expect_dynamic_invariant(0.5, 0.0, "dynamic churn=0.5", true);
 }
 
 TEST(ThreadInvariance, FailureInjection) {
   // fail_prob > 0 also exercises the block-sharded failure sweep.
-  expect_dynamic_invariant(1.0, 0.002, "dynamic with failures");
+  expect_dynamic_invariant(1.0, 0.002, "dynamic with failures", false);
+}
+
+TEST(ThreadInvariance, DynamicSketchPhaseMatrix) {
+  // The dedicated phase matrix for the sharded sketch phases: churn and
+  // failures together, a deeper horizon (lower churn → older entries
+  // survive re-examination), and the gossip ramp driving both phases
+  // through 1 → many chunks as k grows. Every (mode, threads) cell must
+  // byte-equal the scalar serial run — this is the matrix that catches a
+  // chunk-keying or merge-order slip in gather/classify specifically.
+  const graph::NodeId n = 60'000;
+  const double p = 16.0 / n;
+  expect_shard_invariant(
+      [&](RunOptions options) {
+        options.max_rounds = 72;
+        ImplicitDynamicGnp spec;
+        spec.n = n;
+        spec.p = p;
+        spec.churn = 0.35;
+        spec.fail_prob = 0.001;
+        spec.rng = Rng(0x5CE7);
+        GossipRumorMarginalProtocol proto(GossipRumorMarginalParams{.p = p});
+        Engine engine;
+        return engine.run(spec, proto, Rng(47), options);
+      },
+      "dynamic sketch phase matrix", /*sweep_simd_modes=*/true);
 }
 
 TEST(ThreadInvariance, ImplicitRggMobility) {
   // The implicit mobility-RGG backend: motion draws are counter-keyed per
-  // (round, block) and the cell-grid delivery sweep draws no randomness,
-  // so trace + ledger + RunResult must be byte-identical at any thread
-  // count. n spans several shard blocks so 2- and 8-thread schedules
-  // genuinely interleave both the movement and the delivery blocks.
+  // (round, block), and the bucketing + cell-grid delivery draw no
+  // randomness, so trace + ledger + RunResult must be byte-identical at
+  // any thread count and SIMD mode (the distance checks run through the
+  // dispatched vector-mask kernel). n spans several shard blocks so 2- and
+  // 8-thread schedules genuinely interleave movement, bucketing and
+  // delivery work (acceptance matrix: RGG mobility runs byte-identical
+  // across {1,2,8,0} threads × SIMD modes).
   const graph::NodeId n = 150'000;
   const double radius = std::sqrt(16.0 / (3.14159 * n));
   const double p = 3.14159 * radius * radius;
-  expect_thread_invariant(
+  expect_shard_invariant(
       [&](RunOptions options) {
         options.max_rounds = 48;
         const ImplicitRgg spec{n, radius, radius / 8.0, Rng(0x1266)};
@@ -164,7 +178,28 @@ TEST(ThreadInvariance, ImplicitRggMobility) {
         Engine engine;
         return engine.run(spec, proto, Rng(29), options);
       },
-      "implicit RGG mobility");
+      "implicit RGG mobility", /*sweep_simd_modes=*/true);
+}
+
+TEST(ThreadInvariance, RggBucketingPhaseMatrix) {
+  // The dedicated phase matrix for the sharded transmitter bucketing: a
+  // denser geometry (more transmitters per cell, more runs per chunk) and
+  // a broadcast ramp that crosses the 1-chunk → many-chunk boundary, so a
+  // cell split across chunks (the merge's concatenation case) occurs every
+  // heavy round. The phase draws no RNG, so any divergence here is a
+  // layout slip in the cell-ordered merge, not a stream mismatch.
+  const graph::NodeId n = 120'000;
+  const double radius = std::sqrt(24.0 / (3.14159 * n));
+  const double p = 3.14159 * radius * radius;
+  expect_shard_invariant(
+      [&](RunOptions options) {
+        options.max_rounds = 48;
+        const ImplicitRgg spec{n, radius, radius / 4.0, Rng(0xB0C4)};
+        BroadcastRandomProtocol proto(BroadcastRandomParams{.p = p});
+        Engine engine;
+        return engine.run(spec, proto, Rng(53), options);
+      },
+      "RGG bucketing phase matrix", /*sweep_simd_modes=*/true);
 }
 
 TEST(ThreadInvariance, ImplicitRggAttentiveBulkLedger) {
@@ -186,52 +221,9 @@ TEST(ThreadInvariance, ImplicitRggAttentiveBulkLedger) {
   };
   const RunResult serial = run_with(1);
   EXPECT_GT(serial.ledger.total_deliveries, 0u);
-  for (const unsigned threads : kThreadCounts)
+  for (const unsigned threads : kShardThreadCounts) {
+    if (threads == 1) continue;  // `serial` IS the 1-thread run
     expect_identical(serial, run_with(threads), "implicit RGG attentive");
-}
-
-constexpr DeliveryPath kAllPaths[] = {DeliveryPath::kSortedTouch,
-                                      DeliveryPath::kLinearScan,
-                                      DeliveryPath::kInNeighborScan,
-                                      DeliveryPath::kAuto};
-
-const char* path_name(DeliveryPath path) {
-  switch (path) {
-    case DeliveryPath::kSortedTouch: return "sorted-touch";
-    case DeliveryPath::kLinearScan: return "linear-scan";
-    case DeliveryPath::kInNeighborScan: return "in-neighbor-scan";
-    default: return "auto";
-  }
-}
-
-/// Runs every delivery path at every thread count against `make_run` and
-/// asserts (a) each path is bit-identical to its own serial run and (b)
-/// every path's serial run equals the serial kSortedTouch baseline — the
-/// path-parity and thread-invariance contracts in one sweep. record_trace
-/// is on, so equality covers every per-listener event in order.
-template <class MakeRun>
-void expect_csr_thread_invariant(MakeRun&& make_run, const char* what) {
-  RunOptions options;
-  options.record_trace = true;
-  options.threads = 1;
-  options.delivery_path = DeliveryPath::kSortedTouch;
-  const RunResult baseline = make_run(options);
-  for (const DeliveryPath path : kAllPaths) {
-    options.delivery_path = path;
-    options.threads = 1;
-    // (kSortedTouch, 1 thread) IS the baseline run — skip the repeat.
-    const RunResult serial =
-        path == DeliveryPath::kSortedTouch ? baseline : make_run(options);
-    expect_identical(baseline, serial,
-                     (std::string(what) + " serial " + path_name(path)).c_str());
-    // `serial` IS the 1-thread run, so only the parallel schedules remain.
-    for (const unsigned threads : {2u, 8u}) {
-      options.threads = threads;
-      expect_identical(serial, make_run(options),
-                       (std::string(what) + " " + path_name(path) + " x" +
-                        std::to_string(threads))
-                           .c_str());
-    }
   }
 }
 
@@ -242,7 +234,7 @@ TEST(ThreadInvariance, CsrStaticAllPaths) {
   const double p = 12.0 / n;
   Rng grng(0x5eed);
   const graph::Digraph g = graph::gnp_directed(n, p, grng);
-  expect_csr_thread_invariant(
+  expect_csr_shard_invariant(
       [&](RunOptions options) {
         options.max_rounds = 96;
         BroadcastRandomProtocol proto(BroadcastRandomParams{.p = p});
@@ -273,8 +265,8 @@ TEST(ThreadInvariance, CsrAttentiveBulkLedger) {
   };
   const RunResult baseline = run_with(DeliveryPath::kSortedTouch, 1);
   EXPECT_TRUE(baseline.completed);
-  for (const DeliveryPath path : kAllPaths)
-    for (const unsigned threads : kThreadCounts)
+  for (const DeliveryPath path : shard_test::kAllDeliveryPaths)
+    for (const unsigned threads : kShardThreadCounts)
       expect_identical(baseline, run_with(path, threads),
                        "csr attentive bulk ledger");
 
@@ -310,7 +302,7 @@ TEST(ThreadInvariance, CsrDynamicChurnAllPaths) {
   // genuinely meets the reused scatter/shard buffers here.
   const graph::NodeId n = 4500;
   const double p = 16.0 / n;
-  expect_csr_thread_invariant(
+  expect_csr_shard_invariant(
       [&](RunOptions options) {
         options.max_rounds = 10;
         graph::ChurnGnp seq(n, p, 0.3, Rng(0xc4a2));
@@ -325,7 +317,7 @@ TEST(ThreadInvariance, CsrDynamicMobilityAllPaths) {
   // RGG mobility: symmetric geometric links, positions drifting per round.
   const graph::NodeId n = 30'000;
   const double radius = std::sqrt(16.0 / (3.14159 * n));
-  expect_csr_thread_invariant(
+  expect_csr_shard_invariant(
       [&](RunOptions options) {
         options.max_rounds = 24;
         graph::MobilityRgg seq(n, radius, radius / 8.0, Rng(0x30b1));
@@ -357,7 +349,7 @@ AdversarySpec attack_spec() {
 TEST(ThreadInvariance, AdversaryImplicitGnpBroadcast) {
   const graph::NodeId n = 50'000;
   const double p = 8.0 * std::log(n) / n;
-  expect_thread_invariant(
+  expect_shard_invariant(
       [&](RunOptions options) {
         options.max_rounds = 96;
         options.adversary = attack_spec();
@@ -373,7 +365,7 @@ TEST(ThreadInvariance, AdversaryImplicitRggGossip) {
   const graph::NodeId n = 150'000;
   const double radius = std::sqrt(16.0 / (3.14159 * n));
   const double p = 3.14159 * radius * radius;
-  expect_thread_invariant(
+  expect_shard_invariant(
       [&](RunOptions options) {
         options.max_rounds = 48;
         options.adversary = attack_spec();
@@ -390,7 +382,7 @@ TEST(ThreadInvariance, AdversaryCsrAllPaths) {
   const double p = 12.0 / n;
   Rng grng(0x5eed);
   const graph::Digraph g = graph::gnp_directed(n, p, grng);
-  expect_csr_thread_invariant(
+  expect_csr_shard_invariant(
       [&](RunOptions options) {
         options.max_rounds = 96;
         options.adversary = attack_spec();
@@ -432,86 +424,6 @@ TEST(ThreadInvariance, MonteCarloRoundParallelMatchesSerialCsr) {
   EXPECT_EQ(a.total_tx, b.total_tx);
   EXPECT_EQ(a.deliveries, b.deliveries);
   EXPECT_EQ(a.collisions, b.collisions);
-}
-
-/// Runs `make_run` under every SIMD dispatch mode × every thread count and
-/// asserts all results byte-equal the scalar serial run — trace, ledger and
-/// exhaustive RunResult. The SIMD kernels consume the same counter-keyed
-/// streams as the scalar path, so RADNET_SIMD must never change output
-/// bytes, at any parallelism.
-template <class MakeRun>
-void expect_simd_mode_invariant(MakeRun&& make_run, const char* what) {
-  const simd::Mode before = simd::active_mode();
-  RunOptions options;
-  options.record_trace = true;
-  options.threads = 1;
-  simd::set_mode(simd::Mode::kScalar);
-  const RunResult scalar_serial = make_run(options);
-  for (const simd::Mode mode : {simd::Mode::kScalar, simd::Mode::kAvx2}) {
-    if (mode == simd::Mode::kAvx2 && !simd::cpu_has_avx2()) continue;
-    simd::set_mode(mode);
-    for (const unsigned threads : kThreadCounts) {
-      options.threads = threads;
-      expect_identical(scalar_serial, make_run(options), what);
-    }
-  }
-  simd::set_mode(before);
-}
-
-TEST(ThreadInvariance, SimdModesImplicitStaticBroadcast) {
-  // The dense classification sweep runs its vectorised plain path in this
-  // regime (k·p well above the sparse cutoff, q > 0.5 mid-broadcast).
-  const graph::NodeId n = 50'000;
-  const double p = 8.0 * std::log(n) / n;
-  expect_simd_mode_invariant(
-      [&](RunOptions options) {
-        options.max_rounds = 256;
-        const ImplicitGnp spec{n, p, Rng(0x51D1)};
-        BroadcastRandomProtocol proto(BroadcastRandomParams{.p = p});
-        Engine engine;
-        return engine.run(spec, proto, Rng(13), options);
-      },
-      "SIMD modes, implicit static broadcast");
-}
-
-TEST(ThreadInvariance, SimdModesImplicitDynamicSketch) {
-  // churn < 1 routes the same dense sweep through the pair sketch's
-  // record path — the lane-batched classification must feed it the exact
-  // same resolution sequence in every mode.
-  const graph::NodeId n = 50'000;
-  const double p = 16.0 / n;
-  expect_simd_mode_invariant(
-      [&](RunOptions options) {
-        options.max_rounds = 64;
-        ImplicitDynamicGnp spec;
-        spec.n = n;
-        spec.p = p;
-        spec.churn = 0.5;
-        spec.rng = Rng(0x51D2);
-        GossipRumorMarginalProtocol proto(GossipRumorMarginalParams{.p = p});
-        Engine engine;
-        return engine.run(spec, proto, Rng(17), options);
-      },
-      "SIMD modes, implicit dynamic sketch");
-}
-
-TEST(ThreadInvariance, SimdModesImplicitRggMobility) {
-  // The RGG delivery sweep's distance checks run through the dispatched
-  // vector-mask kernel; delivery draws no RNG, so this pins the
-  // arithmetic-identity contract (same double-precision form, same early
-  // exit, same sender) across modes and thread counts.
-  const graph::NodeId n = 150'000;
-  const double radius = std::sqrt(16.0 / (3.14159 * n));
-  const double p = 3.14159 * radius * radius;
-  expect_simd_mode_invariant(
-      [&](RunOptions options) {
-        options.max_rounds = 48;
-        const ImplicitRgg spec{n, radius, radius / 8.0, Rng(0x51D3)};
-        GossipRumorMarginalProtocol proto(GossipRumorMarginalParams{.p = p});
-        Engine engine;
-        return engine.run(spec, proto, Rng(19), options);
-      },
-      "SIMD modes, implicit RGG mobility");
 }
 
 TEST(ThreadInvariance, MonteCarloRoundParallelMatchesSerial) {

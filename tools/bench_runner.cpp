@@ -79,7 +79,14 @@
 // the scalar and SIMD kernels ever diverge: the lane generator's bulk
 // stream is byte-compared against its scalar reference, and both sweep
 // benchmarks fingerprint every emitted event (order included) per mode —
-// SIMD is a dispatch choice, never an observable one.
+// SIMD is a dispatch choice, never an observable one. Schema v9 adds
+// "sketch_thread_scaling" and "rgg_bucketing_thread_scaling": the last two
+// per-round phases to shard — the dynamic backend's pair-sketch gather /
+// classify (per sender- and pinned-group-chunk, streams keyed per
+// (round, chunk)) and the RGG transmitter bucketing (per transmitter
+// chunk, RNG-free, cell-ordered merge) — each timed serial vs all-core on
+// a workload that phase dominates, with the same bit-identity gate:
+// divergence fails the run with a non-zero exit.
 //
 // Flags: --quick shrinks sizes/repetitions for smoke runs; --out overrides
 // the output path (default BENCH_engine.json in the working directory).
@@ -280,6 +287,73 @@ ThreadScaling time_csr_thread_scaling(std::uint32_t n) {
     BroadcastRandomProtocol proto(BroadcastRandomParams{.p = p});
     const double t0 = now_ns();
     const auto run = engine.run(g, proto, Rng(24), options);
+    *ms = (now_ns() - t0) / 1e6;
+    return run;
+  };
+  const auto serial = run_with(1, &s.serial_ms);
+  const auto parallel = run_with(0, &s.parallel_ms);
+  s.speedup = s.serial_ms / s.parallel_ms;
+  s.identical = serial == parallel;
+  return s;
+}
+
+/// The sharded sketch phases' tracked number: one churned-dynamic gossip
+/// trial (churn = 0.5 routes every delivery through the pair sketch, so
+/// the sender-chunked gather and group-chunked classify phases dominate),
+/// serial vs all-core, bit-identity asserted. Chunk streams are keyed per
+/// (round, chunk), so a divergence means a keying or merge-order bug.
+ThreadScaling time_sketch_thread_scaling(std::uint32_t n) {
+  ThreadScaling s;
+  s.n = n;
+  s.pool_threads = radnet::global_pool().size();
+  const double p = 16.0 / n;
+  radnet::sim::Engine engine;
+  radnet::sim::RunOptions options;
+  options.max_rounds = 64;
+  const auto run_with = [&](unsigned threads, double* ms) {
+    options.threads = threads;
+    radnet::sim::ImplicitDynamicGnp spec;
+    spec.n = n;
+    spec.p = p;
+    spec.churn = 0.5;
+    spec.rng = Rng(51);
+    radnet::core::GossipRumorMarginalProtocol proto(
+        radnet::core::GossipRumorMarginalParams{.p = p});
+    const double t0 = now_ns();
+    const auto run = engine.run(spec, proto, Rng(52), options);
+    *ms = (now_ns() - t0) / 1e6;
+    return run;
+  };
+  const auto serial = run_with(1, &s.serial_ms);
+  const auto parallel = run_with(0, &s.parallel_ms);
+  s.speedup = s.serial_ms / s.parallel_ms;
+  s.identical = serial == parallel;
+  return s;
+}
+
+/// The sharded RGG transmitter bucketing's tracked number: one mobility
+/// gossip trial (the repeated-transmitter regime keeps k large, so the
+/// chunk-sharded counting sort + 3x3 stamp are a steady share of the
+/// round), serial vs all-core, bit-identity asserted. Bucketing draws no
+/// randomness, so a divergence means a cell-merge layout bug.
+ThreadScaling time_rgg_bucketing_thread_scaling(std::uint32_t n) {
+  ThreadScaling s;
+  s.n = n;
+  s.pool_threads = radnet::global_pool().size();
+  const double radius =
+      std::sqrt(16.0 / (3.14159265358979 * static_cast<double>(n)));
+  const double p = 3.14159265358979 * radius * radius;
+  radnet::sim::Engine engine;
+  radnet::sim::RunOptions options;
+  options.max_rounds = 64;
+  const auto run_with = [&](unsigned threads, double* ms) {
+    options.threads = threads;
+    radnet::core::GossipRumorMarginalProtocol proto(
+        radnet::core::GossipRumorMarginalParams{.p = p});
+    const double t0 = now_ns();
+    const auto run = engine.run(
+        radnet::sim::ImplicitRgg{n, radius, radius / 8.0, Rng(53)}, proto,
+        Rng(54), options);
     *ms = (now_ns() - t0) / 1e6;
     return run;
   };
@@ -864,6 +938,30 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const ThreadScaling sts =
+      time_sketch_thread_scaling(quick ? (1u << 14) : (1u << 20));
+  std::cout << "sketch-phase thread scaling n=" << sts.n << ": serial "
+            << sts.serial_ms << " ms, " << sts.pool_threads << "-thread "
+            << sts.parallel_ms << " ms, speedup " << sts.speedup << "x, "
+            << (sts.identical ? "bit-identical" : "DIVERGED") << "\n";
+  if (!sts.identical) {
+    std::cerr << "sketch-phase serial-vs-parallel runs diverged — chunk "
+                 "keying or merge-order bug\n";
+    return 1;
+  }
+
+  const ThreadScaling bts =
+      time_rgg_bucketing_thread_scaling(quick ? (1u << 14) : (1u << 20));
+  std::cout << "RGG bucketing thread scaling n=" << bts.n << ": serial "
+            << bts.serial_ms << " ms, " << bts.pool_threads << "-thread "
+            << bts.parallel_ms << " ms, speedup " << bts.speedup << "x, "
+            << (bts.identical ? "bit-identical" : "DIVERGED") << "\n";
+  if (!bts.identical) {
+    std::cerr << "RGG bucketing serial-vs-parallel runs diverged — "
+                 "cell-merge layout bug\n";
+    return 1;
+  }
+
   const MobilityNumbers mob =
       time_rgg_mobility(quick ? (1u << 18) : 10'000'000u, quick ? 32u : 64u);
   std::cout << "mobility RGG (E14b) n=" << mob.n << " horizon=" << mob.horizon
@@ -980,7 +1078,7 @@ int main(int argc, char** argv) {
     std::cerr << "cannot write " << out_path << '\n';
     return 1;
   }
-  out << "{\n  \"schema\": \"radnet-bench-engine-v8\",\n  \"host\": {"
+  out << "{\n  \"schema\": \"radnet-bench-engine-v9\",\n  \"host\": {"
       << "\"hardware_concurrency\": "
       << std::max(1u, std::thread::hardware_concurrency())
       << ", \"pool_threads\": " << radnet::global_pool().size()
@@ -1016,6 +1114,18 @@ int main(int argc, char** argv) {
       << ", \"speedup\": " << cts.speedup
       << ", \"pool_threads\": " << cts.pool_threads << ", \"identical\": "
       << (cts.identical ? "true" : "false") << "},\n"
+      << "  \"sketch_thread_scaling\": {\"n\": " << sts.n
+      << ", \"serial_ms\": " << sts.serial_ms
+      << ", \"parallel_ms\": " << sts.parallel_ms
+      << ", \"speedup\": " << sts.speedup
+      << ", \"pool_threads\": " << sts.pool_threads << ", \"identical\": "
+      << (sts.identical ? "true" : "false") << "},\n"
+      << "  \"rgg_bucketing_thread_scaling\": {\"n\": " << bts.n
+      << ", \"serial_ms\": " << bts.serial_ms
+      << ", \"parallel_ms\": " << bts.parallel_ms
+      << ", \"speedup\": " << bts.speedup
+      << ", \"pool_threads\": " << bts.pool_threads << ", \"identical\": "
+      << (bts.identical ? "true" : "false") << "},\n"
       << "  \"e14b_mobility\": {\"n\": " << mob.n
       << ", \"degree\": " << mob.degree << ", \"horizon\": " << mob.horizon
       << ", \"serial_ms\": " << mob.serial_ms
